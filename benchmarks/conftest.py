@@ -1,0 +1,190 @@
+"""Shared benchmark infrastructure.
+
+Master stores are loaded once per parameter combination (session-scoped
+cache); each benchmark round runs against a fresh snapshot, mirroring
+the paper's protocol of measuring the operation only.  At session end a
+paper-style series table per figure is printed and the raw numbers are
+saved to ``benchmarks/results/results.json`` (EXPERIMENTS.md quotes
+them).
+
+Environment knobs:
+
+* ``REPRO_BENCH_FULL=1`` extends the depth sweeps to the paper's full
+  depth 6 (the default stops at 5 to keep the suite quick);
+* ``REPRO_BENCH_ROUNDS`` overrides rounds per benchmark (default 4:
+  1 warmup + 3 measured, mirroring "5 runs, first discarded" at a
+  CI-friendly size).
+"""
+
+from __future__ import annotations
+
+import os
+from collections import defaultdict
+
+import pytest
+
+from repro.bench.experiments import (
+    build_dblp_store,
+    build_fixed_store,
+    build_randomized_store,
+)
+from repro.bench.harness import Measurement
+from repro.bench.reporting import format_series, save_results
+from repro.workloads.dblp import DblpParams
+from repro.workloads.synthetic import SyntheticParams
+
+RESULTS_PATH = os.path.join(os.path.dirname(__file__), "results", "results.json")
+
+FULL = os.environ.get("REPRO_BENCH_FULL", "") == "1"
+ROUNDS = int(os.environ.get("REPRO_BENCH_ROUNDS", "4"))
+
+#: Depth sweep used by Figures 8-11 (paper: 1..6; default here 1..5).
+DEPTH_SWEEP = list(range(1, 7 if FULL else 6))
+#: Scaling-factor sweep used by Figures 6-7 (paper-exact).
+SF_SWEEP = [100, 200, 400, 800]
+#: DBLP size: the paper's snapshot was ~400k tuples; the default here is
+#: about a tenth of that.  REPRO_BENCH_FULL approximates the full size.
+DBLP_PARAMS = DblpParams(conferences=400 if FULL else 60)
+
+
+class _MasterCache:
+    """Loads each master store once and shares it across benchmarks."""
+
+    def __init__(self) -> None:
+        self._stores = {}
+
+    def fixed(self, scaling_factor: int, depth: int, fanout: int):
+        key = ("fixed", scaling_factor, depth, fanout)
+        if key not in self._stores:
+            self._stores[key] = build_fixed_store(
+                SyntheticParams(scaling_factor, depth, fanout)
+            )
+        return self._stores[key]
+
+    def randomized(self, scaling_factor: int, depth: int, fanout: int):
+        key = ("randomized", scaling_factor, depth, fanout)
+        if key not in self._stores:
+            self._stores[key] = build_randomized_store(
+                SyntheticParams(scaling_factor, depth, fanout)
+            )
+        return self._stores[key]
+
+    def dblp(self):
+        key = ("dblp",)
+        if key not in self._stores:
+            self._stores[key] = build_dblp_store(DBLP_PARAMS)
+        return self._stores[key]
+
+    def close_all(self) -> None:
+        for store in self._stores.values():
+            store.close()
+        self._stores.clear()
+
+
+class _ResultCollector:
+    """Accumulates per-figure measurements for the session report."""
+
+    def __init__(self) -> None:
+        self.by_figure: dict[str, list[Measurement]] = defaultdict(list)
+        self.x_labels: dict[str, str] = {}
+
+    def record(
+        self, figure: str, x_label: str, method: str, x: float,
+        seconds: float, client_statements: int = 0, trigger_statements: int = 0,
+    ) -> None:
+        self.x_labels[figure] = x_label
+        self.by_figure[figure].append(
+            Measurement(
+                method=method,
+                x=x,
+                seconds=seconds,
+                client_statements=client_statements,
+                trigger_statements=trigger_statements,
+                runs=ROUNDS,
+            )
+        )
+
+    def report(self) -> str:
+        blocks = []
+        for figure in sorted(self.by_figure):
+            blocks.append(
+                format_series(
+                    figure,
+                    self.x_labels.get(figure, "x"),
+                    self.by_figure[figure],
+                    show_statements=True,
+                )
+            )
+        return "\n\n".join(blocks)
+
+    def save(self) -> None:
+        for figure, measurements in self.by_figure.items():
+            save_results(RESULTS_PATH, figure, measurements)
+
+
+@pytest.fixture(scope="session")
+def masters():
+    cache = _MasterCache()
+    yield cache
+    cache.close_all()
+
+
+@pytest.fixture(scope="session")
+def collector():
+    return _ResultCollector()
+
+
+@pytest.fixture
+def record(collector, request):
+    """Record one benchmark point into the session report."""
+
+    def _record(figure, x_label, method, x, benchmark_fixture, store=None):
+        stats = benchmark_fixture.stats.stats
+        client = store.db.counts.client if store is not None else 0
+        trigger = store.db.counts.trigger_emulation if store is not None else 0
+        collector.record(
+            figure, x_label, method, x, stats.mean, client, trigger
+        )
+
+    return _record
+
+
+def pytest_sessionfinish(session):
+    collector = None
+    # The session fixture may never have been created (e.g. --collect-only).
+    try:
+        collector = session._repro_collector  # type: ignore[attr-defined]
+    except AttributeError:
+        return
+    if collector and collector.by_figure:
+        collector.save()
+        print("\n" + "=" * 70)
+        print("Paper-style series (see EXPERIMENTS.md for interpretation):")
+        print(collector.report())
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _expose_collector(request, collector):
+    request.session._repro_collector = collector
+    return collector
+
+
+def run_rounds(benchmark, master, operation):
+    """Run ``operation`` against a fresh snapshot per round.
+
+    Returns the last snapshot (for statement-count reporting).  The
+    first round is pytest-benchmark's warmup-ish round; our ROUNDS
+    default mirrors the paper's discard-first protocol.
+    """
+    state = {}
+
+    def setup():
+        if "store" in state:
+            state["store"].close()
+        store = master.snapshot()
+        store.db.counts.reset()
+        state["store"] = store
+        return (store,), {}
+
+    benchmark.pedantic(operation, setup=setup, rounds=ROUNDS, iterations=1)
+    return state["store"]

@@ -1,0 +1,79 @@
+"""Ablation: storage mapping choice (§5.1's discussion made measurable).
+
+The paper focuses on Shared Inlining because the Edge and Attribute
+mappings "cause excessive fragmentation of XML elements across multiple
+tuples and relations".  This ablation deletes the same ten subtrees
+from the same document under all three mappings: inlining touches a
+tuple per element (data subelements folded in); Edge and Attribute pay
+one tuple per *object* and orphan sweeps across the whole edge space.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+from repro.bench.experiments import build_fixed_store, random_subtree_ids
+from repro.relational.attribute_map import AttributeMapping
+from repro.relational.edge import EdgeMapping
+from repro.workloads.synthetic import SyntheticParams, generate_fixed
+
+PARAMS = SyntheticParams(scaling_factor=100, depth=4, fanout=2)
+
+
+@pytest.fixture(scope="module")
+def synthetic_document():
+    return generate_fixed(PARAMS)
+
+
+def test_ablation_inlining_delete(benchmark, record):
+    master = build_fixed_store(PARAMS)
+    master.set_delete_method("per_tuple_trigger")
+    ids = random_subtree_ids(master, "n1")
+
+    def setup():
+        store = master.snapshot()
+        return (store,), {}
+
+    def operation(store):
+        for subtree_id in ids:
+            store.delete_subtrees("n1", '"n1".id = ?', (subtree_id,))
+
+    benchmark.pedantic(operation, setup=setup, rounds=ROUNDS, iterations=1)
+    record(
+        "Ablation: storage mapping, random delete (sf=100, d=4, f=2)",
+        "-", "inlining", 0, benchmark,
+    )
+    master.close()
+
+
+def test_ablation_edge_delete(benchmark, record, synthetic_document):
+    def setup():
+        mapping = EdgeMapping()
+        mapping.load(synthetic_document)
+        ids = mapping.element_ids("n1")[:10]
+        return (mapping, ids), {}
+
+    def operation(mapping, ids):
+        mapping.delete_subtrees(ids)
+
+    benchmark.pedantic(operation, setup=setup, rounds=ROUNDS, iterations=1)
+    record(
+        "Ablation: storage mapping, random delete (sf=100, d=4, f=2)",
+        "-", "edge", 0, benchmark,
+    )
+
+
+def test_ablation_attribute_delete(benchmark, record, synthetic_document):
+    def setup():
+        mapping = AttributeMapping()
+        mapping.load(synthetic_document)
+        ids = mapping.element_ids("n1")[:10]
+        return (mapping, ids), {}
+
+    def operation(mapping, ids):
+        mapping.delete_subtrees(ids)
+
+    benchmark.pedantic(operation, setup=setup, rounds=ROUNDS, iterations=1)
+    record(
+        "Ablation: storage mapping, random delete (sf=100, d=4, f=2)",
+        "-", "attribute", 0, benchmark,
+    )

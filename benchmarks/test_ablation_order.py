@@ -1,0 +1,48 @@
+"""Ablation: the §8 "pushing positions" problem, measured.
+
+Repeated inserts at the *front* of a wide sibling list are the worst
+case the paper's conclusion anticipates: with dense renumbering every
+insert shifts every existing sibling (quadratic total work), while
+gap-based ordinals bisect and only occasionally rebalance.
+"""
+
+import pytest
+
+from conftest import ROUNDS
+from repro.relational.ordered import GapPolicy, OrderedStore, RenumberPolicy
+from repro.relational.store import XmlStore
+from repro.workloads.synthetic import SyntheticParams, load_fixed_directly, synthetic_dtd
+
+SIBLINGS = 800  # initial children of the root
+FRONT_INSERTS = 200
+
+
+def build_ordered(policy):
+    store = XmlStore.from_dtd(synthetic_dtd(1), document_name="synthetic.xml")
+    load_fixed_directly(
+        store.db, store.schema, SyntheticParams(SIBLINGS, 1, 1), allocator=store.allocator
+    )
+    ordered = OrderedStore(store, policy=policy)
+    ordered.index_existing()
+    root_id = store.db.query_one('SELECT id FROM "root"')[0]
+    return ordered, root_id
+
+
+@pytest.mark.parametrize("policy_name", ["renumber", "gap"])
+def test_ablation_front_inserts(benchmark, record, policy_name):
+    def setup():
+        policy = RenumberPolicy() if policy_name == "renumber" else GapPolicy()
+        ordered, root_id = build_ordered(policy)
+        ordered.db.counts.reset()
+        return (ordered, root_id), {}
+
+    def operation(ordered, root_id):
+        for i in range(FRONT_INSERTS):
+            ordered.register_insert(10_000_000 + i, root_id, 0)
+
+    benchmark.pedantic(operation, setup=setup, rounds=ROUNDS, iterations=1)
+    record(
+        f"Ablation: position maintenance, {FRONT_INSERTS} front inserts "
+        f"among {SIBLINGS} siblings",
+        "-", policy_name, 0, benchmark,
+    )

@@ -1,0 +1,34 @@
+"""Figure 10: insert (subtree copy) performance, bulk workload, fixed
+scaling factor=100 fanout=4, depth swept.
+
+Paper shape: the table method clearly outperforms the others for bulk
+inserts (a constant number of statements per relation); the tuple
+method's per-source-tuple INSERTs dominate as the copied volume grows.
+"""
+
+import pytest
+
+from conftest import DEPTH_SWEEP, run_rounds
+from repro.bench.experiments import INSERT_STRATEGIES, bulk_insert
+
+
+@pytest.mark.parametrize("depth", DEPTH_SWEEP)
+@pytest.mark.parametrize("method", INSERT_STRATEGIES)
+def test_fig10(benchmark, masters, record, method, depth):
+    master = masters.fixed(100, depth, 4)
+    master.set_insert_method(method)
+    root_id = master.db.query_one('SELECT id FROM "root"')[0]
+
+    def operation(store):
+        bulk_insert(store, root_id)
+
+    store = run_rounds(benchmark, master, operation)
+    assert store.tuple_count("n1") == 200
+    record(
+        "Figure 10: insert, bulk workload (sf=100, fanout=4)",
+        "depth",
+        method,
+        depth,
+        benchmark,
+        store,
+    )

@@ -1,0 +1,39 @@
+"""Figure 11: insert (subtree copy) performance, random workload
+(10 subtrees), fixed scaling factor=100 fanout=4, depth swept.
+
+Paper shape: for small copies (shallow subtrees) the tuple method is
+preferable — it avoids the other methods' setup overhead; as depth
+grows (more tuples per copied subtree), the table method overtakes it.
+"""
+
+import pytest
+
+from conftest import DEPTH_SWEEP, run_rounds
+from repro.bench.experiments import (
+    INSERT_STRATEGIES,
+    random_insert,
+    random_subtree_ids,
+)
+
+
+@pytest.mark.parametrize("depth", DEPTH_SWEEP)
+@pytest.mark.parametrize("method", INSERT_STRATEGIES)
+def test_fig11(benchmark, masters, record, method, depth):
+    master = masters.fixed(100, depth, 4)
+    master.set_insert_method(method)
+    root_id = master.db.query_one('SELECT id FROM "root"')[0]
+    ids = random_subtree_ids(master, "n1")
+
+    def operation(store):
+        random_insert(store, root_id, ids)
+
+    store = run_rounds(benchmark, master, operation)
+    assert store.tuple_count("n1") == 100 + len(ids)
+    record(
+        "Figure 11: insert, random workload (sf=100, fanout=4)",
+        "depth",
+        method,
+        depth,
+        benchmark,
+        store,
+    )

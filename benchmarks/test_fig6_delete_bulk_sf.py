@@ -1,0 +1,30 @@
+"""Figure 6: delete performance, bulk workload, fixed fanout=1 depth=8,
+scaling factor swept over {100, 200, 400, 800}.
+
+Paper shape: per-statement triggers beat per-tuple triggers on bulk
+deletes (whole relations empty, per-relation sweeps beat per-id
+lookups); the ASR method trails; all methods grow with document size.
+"""
+
+import pytest
+
+from conftest import SF_SWEEP, run_rounds
+from repro.bench.experiments import DELETE_STRATEGIES, bulk_delete
+
+
+@pytest.mark.parametrize("scaling_factor", SF_SWEEP)
+@pytest.mark.parametrize("method", DELETE_STRATEGIES)
+def test_fig6(benchmark, masters, record, method, scaling_factor):
+    master = masters.fixed(scaling_factor, 8, 1)
+    master.set_delete_method(method)
+    store = run_rounds(benchmark, master, bulk_delete)
+    assert store.tuple_count("n1") == 0
+    assert store.tuple_count("n8") == 0
+    record(
+        "Figure 6: delete, bulk workload (fanout=1, depth=8)",
+        "sf",
+        method,
+        scaling_factor,
+        benchmark,
+        store,
+    )

@@ -1,0 +1,35 @@
+"""Figure 7: delete performance, random workload (10 subtrees), fixed
+fanout=1 depth=8, scaling factor swept.
+
+Paper shape: per-tuple triggers win and stay *flat* as the document
+grows (per-id index lookups, work proportional to deleted data only);
+per-statement triggers degrade with document size (each sweep scans the
+whole child relation / its index).
+"""
+
+import pytest
+
+from conftest import SF_SWEEP, run_rounds
+from repro.bench.experiments import DELETE_STRATEGIES, random_delete, random_subtree_ids
+
+
+@pytest.mark.parametrize("scaling_factor", SF_SWEEP)
+@pytest.mark.parametrize("method", DELETE_STRATEGIES)
+def test_fig7(benchmark, masters, record, method, scaling_factor):
+    master = masters.fixed(scaling_factor, 8, 1)
+    master.set_delete_method(method)
+    ids = random_subtree_ids(master, "n1")
+
+    def operation(store):
+        random_delete(store, ids)
+
+    store = run_rounds(benchmark, master, operation)
+    assert store.tuple_count("n1") == scaling_factor - len(ids)
+    record(
+        "Figure 7: delete, random workload (fanout=1, depth=8)",
+        "sf",
+        method,
+        scaling_factor,
+        benchmark,
+        store,
+    )

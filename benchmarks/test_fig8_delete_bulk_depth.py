@@ -1,0 +1,29 @@
+"""Figure 8: delete performance, bulk workload, fixed scaling factor=100
+fanout=4, depth swept (documents grow exponentially; the paper plots a
+log y axis).
+
+Paper shape: trigger-based methods clearly beat the ASR method on bulk
+deletes at every depth.
+"""
+
+import pytest
+
+from conftest import DEPTH_SWEEP, run_rounds
+from repro.bench.experiments import DELETE_STRATEGIES, bulk_delete
+
+
+@pytest.mark.parametrize("depth", DEPTH_SWEEP)
+@pytest.mark.parametrize("method", DELETE_STRATEGIES)
+def test_fig8(benchmark, masters, record, method, depth):
+    master = masters.fixed(100, depth, 4)
+    master.set_delete_method(method)
+    store = run_rounds(benchmark, master, bulk_delete)
+    assert store.tuple_count("n1") == 0
+    record(
+        "Figure 8: delete, bulk workload (sf=100, fanout=4)",
+        "depth",
+        method,
+        depth,
+        benchmark,
+        store,
+    )

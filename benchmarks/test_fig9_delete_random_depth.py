@@ -1,0 +1,33 @@
+"""Figure 9: delete performance, random workload, fixed scaling
+factor=100 fanout=4, depth swept.
+
+Paper shape: per-tuple triggers perform best; per-statement triggers
+are slow because every trigger firing index-scans each relation.
+"""
+
+import pytest
+
+from conftest import DEPTH_SWEEP, run_rounds
+from repro.bench.experiments import DELETE_STRATEGIES, random_delete, random_subtree_ids
+
+
+@pytest.mark.parametrize("depth", DEPTH_SWEEP)
+@pytest.mark.parametrize("method", DELETE_STRATEGIES)
+def test_fig9(benchmark, masters, record, method, depth):
+    master = masters.fixed(100, depth, 4)
+    master.set_delete_method(method)
+    ids = random_subtree_ids(master, "n1")
+
+    def operation(store):
+        random_delete(store, ids)
+
+    store = run_rounds(benchmark, master, operation)
+    assert store.tuple_count("n1") == 100 - len(ids)
+    record(
+        "Figure 9: delete, random workload (sf=100, fanout=4)",
+        "depth",
+        method,
+        depth,
+        benchmark,
+        store,
+    )

@@ -1,0 +1,77 @@
+"""Section 7.2: effect of ASRs on path-expression evaluation.
+
+The paper's (negative) finding: ASRs only help on documents with small
+fanout.  At fanout 4 a length-3 path ran ~2x *slower* through the ASR;
+at length 4 the methods broke even; only longer paths gained.  The
+cause: the ASR holds one row per full root-to-leaf path, so its size
+explodes with fanout, while the conventional plan joins much smaller
+per-level relations.
+
+Benchmarked here: the conventional multi-way join vs. the two-join ASR
+plan, for path lengths 3..5 at fanout 1 and fanout 4.
+"""
+
+import pytest
+
+from conftest import FULL, run_rounds
+from repro.relational.asr import AsrManager
+
+PATH_LENGTHS = [3, 4, 5]
+FANOUTS = [1, 4]
+
+
+def _predicate(path_length):
+    return f"CAST(t{path_length}.num AS INTEGER) % 7 = 0"
+
+
+def _join_sql(path_length):
+    parts = ['"n1" t1']
+    for level in range(2, path_length + 1):
+        parts.append(f'JOIN "n{level}" t{level} ON t{level}.parentId = t{level - 1}.id')
+    return (
+        f"SELECT DISTINCT t1.id FROM {' '.join(parts)} WHERE {_predicate(path_length)}"
+    )
+
+
+@pytest.fixture(scope="module")
+def asr_by_store():
+    """One ASR per master store, built lazily and torn down at the end."""
+    managers = {}
+    yield managers
+    for manager in managers.values():
+        manager.drop_all()
+
+
+@pytest.mark.parametrize("fanout", FANOUTS)
+@pytest.mark.parametrize("path_length", PATH_LENGTHS)
+@pytest.mark.parametrize("plan", ["joins", "asr"])
+def test_sec72(benchmark, masters, record, asr_by_store, plan, path_length, fanout):
+    depth = 6 if FULL else 5
+    master = masters.fixed(100, depth, fanout)
+    if plan == "asr":
+        key = (100, depth, fanout)
+        if key not in asr_by_store:
+            manager = AsrManager(master.db, master.schema)
+            manager.create_all()
+            asr_by_store[key] = manager
+        manager = asr_by_store[key]
+        sql = manager.path_query_sql(
+            "n1", f"n{path_length}", _predicate(path_length).replace(
+                f"t{path_length}.", "t."
+            )
+        )
+    else:
+        sql = _join_sql(path_length)
+
+    def operation(store):
+        store.db.query(sql)
+
+    store = run_rounds(benchmark, master, operation)
+    record(
+        f"Section 7.2: path expression evaluation (fanout={fanout})",
+        "path len",
+        plan,
+        path_length,
+        benchmark,
+        store,
+    )

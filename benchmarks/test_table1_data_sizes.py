@@ -1,0 +1,52 @@
+"""Table 1: the synthetic-data parameter grid and its data sizes.
+
+The table's three rows (fixed fanout / fixed depth / fixed scaling
+factor) define the parameter space Figures 6-11 explore; its "max data
+size" column pins the tuple counts: 6400 tuples for the fixed-fanout
+row, 7200 for fixed-depth, 58 500 for fixed-sf.  This module verifies
+the counts exactly and benchmarks loading the largest configuration of
+each row (data-size growth: linear, linear, exponential).
+"""
+
+import pytest
+
+from repro.bench.experiments import build_fixed_store
+from repro.workloads.synthetic import SyntheticParams
+
+ROWS = {
+    # row name -> (fixed description, params of the largest configuration,
+    #              expected tuple count)
+    "fixed fanout (f=1)": (SyntheticParams(800, 8, 1), 6400),
+    "fixed depth (d=2)": (SyntheticParams(800, 2, 8), 7200),
+    "fixed scaling factor (sf=100)": (SyntheticParams(100, 4, 8), 58500),
+}
+
+
+@pytest.mark.parametrize("row", list(ROWS))
+def test_table1_max_data_size(benchmark, row):
+    params, expected_tuples = ROWS[row]
+
+    def load():
+        store = build_fixed_store(params)
+        total = sum(
+            store.tuple_count(f"n{level}") for level in range(1, params.depth + 1)
+        )
+        store.close()
+        return total
+
+    total = benchmark.pedantic(load, rounds=2, iterations=1)
+    assert total == expected_tuples
+
+
+def test_table1_growth_shapes():
+    """Data size growth per row: linear in depth+sf, linear in fanout+sf,
+    exponential in depth."""
+    # fixed fanout=1: tuples = sf * d (linear in both)
+    assert SyntheticParams(200, 4, 1).total_tuples == 2 * SyntheticParams(100, 4, 1).total_tuples
+    assert SyntheticParams(100, 8, 1).total_tuples == 2 * SyntheticParams(100, 4, 1).total_tuples
+    # fixed depth=2: tuples = sf * (1 + f) (linear in fanout and sf)
+    assert SyntheticParams(100, 2, 8).total_tuples == 100 * 9
+    # fixed sf: exponential in depth
+    d4 = SyntheticParams(100, 4, 8).total_tuples
+    d3 = SyntheticParams(100, 3, 8).total_tuples
+    assert d4 / d3 > 7  # roughly a factor of the fanout per level

@@ -1,0 +1,66 @@
+"""Table 2: experimental results on DBLP data.
+
+Paper numbers (seconds, 40 MB DBLP, DB2 on an 866 MHz P-III):
+
+    delete:  per-tuple 1.6 | per-stm 4.6 | cascade 4.8 | ASR 2.2
+    insert:  ASR 4.2 | table 1.7 | tuple 15.4
+
+Workloads: delete the publications of year 2000 (a small slice of very
+"bushy" data — per-statement/cascade pay a full sweep per relation to
+remove a sliver); insert replicates 10 conference subtrees.  Expected
+shape: per-tuple trigger is the best delete; table is the best insert;
+tuple-based insert is the worst by a large factor.
+"""
+
+import pytest
+
+from conftest import run_rounds
+from repro.bench.experiments import ALL_DELETE_STRATEGIES, INSERT_STRATEGIES, random_subtree_ids
+
+
+@pytest.mark.parametrize("method", ALL_DELETE_STRATEGIES)
+def test_table2_delete_year_2000(benchmark, masters, record, method):
+    master = masters.dblp()
+    master.set_delete_method(method)
+
+    def operation(store):
+        store.delete_subtrees("publication", '"publication"."year" = ?', ("2000",))
+
+    store = run_rounds(benchmark, master, operation)
+    assert store.db.query_one(
+        "SELECT COUNT(*) FROM publication WHERE year='2000'"
+    )[0] == 0
+    record(
+        "Table 2 (DBLP): delete publications of year 2000",
+        "-",
+        method,
+        0,
+        benchmark,
+        store,
+    )
+
+
+@pytest.mark.parametrize("method", INSERT_STRATEGIES)
+def test_table2_insert_conferences(benchmark, masters, record, method):
+    master = masters.dblp()
+    master.set_insert_method(method)
+    root_id = master.db.query_one('SELECT id FROM "dblp"')[0]
+    ids = random_subtree_ids(master, "conference")
+    before = master.tuple_count("conference")
+
+    def operation(store):
+        for conference_id in ids:
+            store.copy_subtrees(
+                "conference", '"conference".id = ?', (conference_id,), root_id
+            )
+
+    store = run_rounds(benchmark, master, operation)
+    assert store.tuple_count("conference") == before + len(ids)
+    record(
+        "Table 2 (DBLP): insert (replicate 10 conference subtrees)",
+        "-",
+        method,
+        0,
+        benchmark,
+        store,
+    )

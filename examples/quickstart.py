@@ -1,0 +1,88 @@
+"""Quickstart: update an XML document two ways — in memory, and through
+the relational (SQLite) store.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import XQueryEngine, XmlStore, parse, serialize
+
+DTD = """\
+<!ELEMENT CustDB (Customer*)>
+<!ELEMENT Customer (Name, Address, Order*)>
+<!ELEMENT Address (City, State)>
+<!ELEMENT Order (Date, Status, OrderLine*)>
+<!ELEMENT OrderLine (ItemName, Qty)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+<!ELEMENT State (#PCDATA)>
+<!ELEMENT Date (#PCDATA)>
+<!ELEMENT Status (#PCDATA)>
+<!ELEMENT ItemName (#PCDATA)>
+<!ELEMENT Qty (#PCDATA)>
+"""
+
+XML = """\
+<CustDB>
+  <Customer>
+    <Name>John</Name>
+    <Address><City>Seattle</City><State>WA</State></Address>
+    <Order>
+      <Date>2000-05-01</Date><Status>ready</Status>
+      <OrderLine><ItemName>tire</ItemName><Qty>4</Qty></OrderLine>
+    </Order>
+  </Customer>
+  <Customer>
+    <Name>Mary</Name>
+    <Address><City>Portland</City><State>OR</State></Address>
+  </Customer>
+</CustDB>
+"""
+
+# The paper's Example 9: delete customer data for customers named John.
+DELETE_JOHNS = """
+    FOR $d IN document("custdb.xml")/CustDB,
+        $c IN $d/Customer[Name="John"]
+    UPDATE $d { DELETE $c }
+"""
+
+
+def run_in_memory() -> None:
+    print("=== In-memory engine ===")
+    document = parse(XML)
+    engine = XQueryEngine({"custdb.xml": document})
+    result = engine.execute(DELETE_JOHNS)
+    print(f"bindings matched: {result.bindings}, operations run: {result.operations}")
+    print(serialize(document))
+    print()
+
+
+def run_relational() -> None:
+    print("=== Relational store (SQLite) ===")
+    store = XmlStore.from_dtd(DTD, document_name="custdb.xml")
+    store.load(parse(XML))
+    print(f"loaded {store.tuple_count()} tuples into "
+          f"{len(store.schema.relations)} relations: "
+          f"{sorted(store.schema.relations)}")
+
+    # Query through the Sorted Outer Union before updating.
+    johns = store.query(
+        'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c'
+    )
+    print(f"customers named John before delete: {len(johns)}")
+
+    store.set_delete_method("per_tuple_trigger")  # the paper's overall winner
+    store.db.counts.reset()
+    store.execute(DELETE_JOHNS)
+    print(f"delete translated to {store.db.counts.client} SQL statement(s)")
+
+    remaining = store.query(
+        'FOR $c IN document("custdb.xml")/CustDB/Customer RETURN $c'
+    )
+    print("remaining customers:")
+    for customer in remaining:
+        print(serialize(customer, indent=2))
+
+
+if __name__ == "__main__":
+    run_in_memory()
+    run_relational()

@@ -1,0 +1,39 @@
+"""Benchmark harness reproducing the paper's evaluation (Section 7).
+
+:mod:`~repro.bench.harness` implements the measurement protocol (five
+runs, first discarded, averaged — §7); :mod:`~repro.bench.experiments`
+defines one experiment per table/figure and the workload drivers
+(bulk = every subtree, random = 10 random subtrees — §7.1);
+:mod:`~repro.bench.reporting` prints paper-style series and persists
+results for EXPERIMENTS.md.
+"""
+
+from repro.bench.harness import ExperimentRunner, Measurement
+from repro.bench.experiments import (
+    DELETE_STRATEGIES,
+    INSERT_STRATEGIES,
+    build_dblp_store,
+    build_fixed_store,
+    build_randomized_store,
+    delete_series,
+    insert_series,
+    path_expression_comparison,
+    random_subtree_ids,
+)
+from repro.bench.reporting import format_series, save_results
+
+__all__ = [
+    "DELETE_STRATEGIES",
+    "ExperimentRunner",
+    "INSERT_STRATEGIES",
+    "Measurement",
+    "build_dblp_store",
+    "build_fixed_store",
+    "build_randomized_store",
+    "delete_series",
+    "format_series",
+    "insert_series",
+    "path_expression_comparison",
+    "random_subtree_ids",
+    "save_results",
+]

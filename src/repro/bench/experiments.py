@@ -1,0 +1,188 @@
+"""Experiment definitions: workload drivers behind every table/figure.
+
+Workloads (Section 7.1): *bulk* applies the operation to **every**
+subtree element at the root level (one SQL statement for deletes);
+*random* applies it to **10 randomly chosen** subtrees (one statement
+each).  Deletes remove ``n1`` subtrees; inserts replicate subtrees of
+the root (Section 7.4).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional, Sequence
+
+from repro.bench.harness import ExperimentRunner, Measurement
+from repro.relational.store import XmlStore
+from repro.workloads.dblp import DblpParams, dblp_dtd, load_dblp_directly
+from repro.workloads.randomized import load_randomized_directly
+from repro.workloads.synthetic import SyntheticParams, load_fixed_directly, synthetic_dtd
+
+DELETE_STRATEGIES = ("asr", "per_statement_trigger", "per_tuple_trigger")
+ALL_DELETE_STRATEGIES = DELETE_STRATEGIES + ("cascade",)
+INSERT_STRATEGIES = ("tuple", "table", "asr")
+
+RANDOM_SUBTREES = 10  # the paper's random workload size
+
+
+# ----------------------------------------------------------------------
+# Store builders
+# ----------------------------------------------------------------------
+def build_fixed_store(params: SyntheticParams) -> XmlStore:
+    """A store loaded with a fixed synthetic document."""
+    store = XmlStore.from_dtd(synthetic_dtd(params.depth), document_name="synthetic.xml")
+    load_fixed_directly(store.db, store.schema, params, allocator=store.allocator)
+    return store
+
+
+def build_randomized_store(params: SyntheticParams) -> XmlStore:
+    """A store loaded with a randomized synthetic document."""
+    store = XmlStore.from_dtd(synthetic_dtd(params.depth), document_name="synthetic.xml")
+    load_randomized_directly(store.db, store.schema, params, allocator=store.allocator)
+    return store
+
+
+def build_dblp_store(params: DblpParams = DblpParams()) -> XmlStore:
+    """A store loaded with DBLP-shaped data."""
+    store = XmlStore.from_dtd(dblp_dtd(), document_name="dblp.xml")
+    load_dblp_directly(store.db, store.schema, params, allocator=store.allocator)
+    return store
+
+
+def random_subtree_ids(
+    store: XmlStore, relation: str, count: int = RANDOM_SUBTREES, seed: int = 42
+) -> list[int]:
+    """Pick the ids of ``count`` random subtree roots (fixed seed so all
+    methods delete the same subtrees)."""
+    ids = [row[0] for row in store.db.query(f'SELECT id FROM "{relation}"')]
+    rng = random.Random(seed)
+    if len(ids) <= count:
+        return ids
+    return rng.sample(ids, count)
+
+
+# ----------------------------------------------------------------------
+# Delete experiments (Figures 6-9, Table 2 top row)
+# ----------------------------------------------------------------------
+def bulk_delete(store: XmlStore, relation: str = "n1") -> None:
+    """Bulk workload: delete every subtree (single statement)."""
+    store.delete_subtrees(relation)
+
+
+def random_delete(store: XmlStore, ids: Sequence[int], relation: str = "n1") -> None:
+    """Random workload: one delete statement per chosen subtree."""
+    for subtree_id in ids:
+        store.delete_subtrees(relation, f'"{relation}".id = ?', (subtree_id,))
+
+
+def delete_series(
+    master: XmlStore,
+    x: float,
+    workload: str,
+    methods: Sequence[str] = DELETE_STRATEGIES,
+    relation: str = "n1",
+    runner: Optional[ExperimentRunner] = None,
+) -> list[Measurement]:
+    """Measure every delete method at one x value on one loaded store."""
+    runner = runner or ExperimentRunner(master)
+    ids = random_subtree_ids(master, relation) if workload == "random" else []
+    results: list[Measurement] = []
+    for method in methods:
+        master.set_delete_method(method)
+        runner.master = master
+        if workload == "bulk":
+            operation = lambda store: bulk_delete(store, relation)  # noqa: E731
+        else:
+            operation = lambda store: random_delete(store, ids, relation)  # noqa: E731
+        results.append(runner.measure(method, x, operation))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Insert experiments (Figures 10-11, Table 2 bottom row)
+# ----------------------------------------------------------------------
+def bulk_insert(store: XmlStore, root_id: int, relation: str = "n1") -> None:
+    """Bulk workload: replicate every subtree of the root (one strategy
+    invocation covering all subtrees — Section 7.4)."""
+    store.copy_subtrees(relation, f'"{relation}".parentId = ?', (root_id,), root_id)
+
+
+def random_insert(
+    store: XmlStore, root_id: int, ids: Sequence[int], relation: str = "n1"
+) -> None:
+    """Random workload: replicate 10 randomly chosen subtrees."""
+    for subtree_id in ids:
+        store.copy_subtrees(relation, f'"{relation}".id = ?', (subtree_id,), root_id)
+
+
+def insert_series(
+    master: XmlStore,
+    x: float,
+    workload: str,
+    methods: Sequence[str] = INSERT_STRATEGIES,
+    relation: str = "n1",
+    runner: Optional[ExperimentRunner] = None,
+) -> list[Measurement]:
+    """Measure every insert method at one x value on one loaded store."""
+    runner = runner or ExperimentRunner(master)
+    root_relation = master.schema.root
+    root_id = master.db.query_one(f'SELECT id FROM "{root_relation}"')[0]
+    ids = random_subtree_ids(master, relation) if workload == "random" else []
+    results: list[Measurement] = []
+    for method in methods:
+        master.set_insert_method(method)
+        runner.master = master
+        if workload == "bulk":
+            operation = lambda store: bulk_insert(store, root_id, relation)  # noqa: E731
+        else:
+            operation = lambda store: random_insert(store, root_id, ids, relation)  # noqa: E731
+        results.append(runner.measure(method, x, operation))
+    return results
+
+
+# ----------------------------------------------------------------------
+# Path expression evaluation with/without ASRs (Section 7.2)
+# ----------------------------------------------------------------------
+def path_expression_comparison(
+    master: XmlStore, path_length: int, runs: int = 5
+) -> dict[str, Measurement]:
+    """Compare conventional multi-way joins against the ASR method for a
+    path expression of the given length (``n1/.../n<path_length>`` with a
+    selection at the bottom).
+
+    Returns ``{"joins": ..., "asr": ...}`` measurements of the query that
+    retrieves the n1 (subtree root) ids of matching paths.
+    """
+    from repro.relational.asr import AsrManager
+
+    runner = ExperimentRunner(master, runs=runs)
+    bottom = f"n{path_length}"
+    # A selective predicate on the bottom relation: ids divisible by 7.
+    predicate = "CAST(t.num AS INTEGER) % 7 = 0"
+
+    join_parts = ['"n1" t1']
+    for level in range(2, path_length + 1):
+        join_parts.append(
+            f'JOIN "n{level}" t{level} ON t{level}.parentId = t{level - 1}.id'
+        )
+    join_sql = (
+        f"SELECT DISTINCT t1.id FROM {' '.join(join_parts)} "
+        f"WHERE {predicate.replace('t.', f't{path_length}.')}"
+    )
+
+    asr = AsrManager(master.db, master.schema)
+    asr.create_all()
+    try:
+        asr_sql = asr.path_query_sql("n1", bottom, predicate)
+
+        def run_joins(store: XmlStore) -> None:
+            store.db.query(join_sql)
+
+        def run_asr(store: XmlStore) -> None:
+            store.db.query(asr_sql)
+
+        joins = runner.measure("joins", path_length, run_joins)
+        through_asr = runner.measure("asr", path_length, run_asr)
+    finally:
+        asr.drop_all()
+    return {"joins": joins, "asr": through_asr}

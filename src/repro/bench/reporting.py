@@ -1,0 +1,72 @@
+"""Paper-style reporting of experiment results.
+
+``format_series`` renders a figure's measurements as the series the
+paper plots (one line per method, one column per x value);
+``save_results`` persists raw measurements as JSON so EXPERIMENTS.md can
+reference exact numbers.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable, Sequence
+
+from repro.bench.harness import Measurement
+
+
+def format_series(
+    title: str,
+    x_label: str,
+    measurements: Sequence[Measurement],
+    show_statements: bool = False,
+) -> str:
+    """Render measurements grouped by method, one row per method."""
+    xs = sorted({m.x for m in measurements})
+    methods = []
+    for measurement in measurements:
+        if measurement.method not in methods:
+            methods.append(measurement.method)
+    by_key = {(m.method, m.x): m for m in measurements}
+    header = [f"{x_label}:"] + [_format_x(x) for x in xs]
+    lines = [title, "  " + "  ".join(f"{cell:>12}" for cell in header)]
+    for method in methods:
+        cells = [f"{method}:"]
+        for x in xs:
+            measurement = by_key.get((method, x))
+            if measurement is None:
+                cells.append("-")
+            elif show_statements:
+                cells.append(f"{measurement.seconds:.4f}s/{measurement.statements}st")
+            else:
+                cells.append(f"{measurement.seconds:.4f}s")
+        lines.append("  " + "  ".join(f"{cell:>12}" for cell in cells))
+    return "\n".join(lines)
+
+
+def _format_x(x: float) -> str:
+    return str(int(x)) if float(x).is_integer() else f"{x:g}"
+
+
+def save_results(
+    path: str, experiment: str, measurements: Iterable[Measurement]
+) -> None:
+    """Append measurements for one experiment into a JSON results file."""
+    payload = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    payload[experiment] = [
+        {
+            "method": m.method,
+            "x": m.x,
+            "seconds": m.seconds,
+            "client_statements": m.client_statements,
+            "trigger_statements": m.trigger_statements,
+            "runs": m.runs,
+        }
+        for m in measurements
+    ]
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)

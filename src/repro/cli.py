@@ -1,0 +1,251 @@
+"""Command-line interface: query, update, validate, and explore documents.
+
+Usage::
+
+    python -m repro query    --xml doc.xml [--dtd doc.dtd] 'FOR ... RETURN $x'
+    python -m repro update   --xml doc.xml [--dtd doc.dtd] 'FOR ... UPDATE ...'
+                             [--backend memory|sqlite] [--output new.xml]
+                             [--delete-method NAME] [--insert-method NAME]
+                             [--typecheck]
+    python -m repro validate --xml doc.xml --dtd doc.dtd
+    python -m repro shell    --xml doc.xml [--dtd doc.dtd]
+
+The document name visible to ``document("...")`` inside statements is
+the XML file's basename (override with ``--name``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+from typing import Optional
+
+from repro.errors import ReproError
+from repro.relational.store import XmlStore
+from repro.updates.typecheck import typecheck
+from repro.xmlmodel import parse_dtd, parse_file, serialize
+from repro.xmlmodel.dtd import validate
+from repro.xmlmodel.policy import RefPolicy
+from repro.xquery.engine import QueryResult, XQueryEngine
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="XQuery-with-updates over XML documents "
+        "(reproduction of 'Updating XML', SIGMOD 2001)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    def add_common(sub: argparse.ArgumentParser, needs_dtd: bool = False) -> None:
+        sub.add_argument("--xml", required=True, help="XML document file")
+        sub.add_argument("--dtd", required=needs_dtd, help="DTD file")
+        sub.add_argument(
+            "--name",
+            help="name exposed to document(...) (default: the XML basename)",
+        )
+
+    query = commands.add_parser("query", help="run a FLWR statement")
+    add_common(query)
+    query.add_argument("statement", help="the XQuery statement")
+
+    update = commands.add_parser("update", help="run a FLWU update statement")
+    add_common(update)
+    update.add_argument("statement", help="the XQuery update statement")
+    update.add_argument(
+        "--backend",
+        choices=("memory", "sqlite"),
+        default="memory",
+        help="execute in memory or through the relational store "
+        "(sqlite requires --dtd)",
+    )
+    update.add_argument("--output", help="write the updated document here")
+    update.add_argument(
+        "--delete-method",
+        default="per_tuple_trigger",
+        choices=("per_tuple_trigger", "per_statement_trigger", "cascade", "asr"),
+    )
+    update.add_argument(
+        "--insert-method", default="table", choices=("tuple", "table", "asr")
+    )
+    update.add_argument(
+        "--typecheck",
+        action="store_true",
+        help="trial-execute against the DTD first; abort on violations",
+    )
+
+    check = commands.add_parser("validate", help="validate a document against a DTD")
+    add_common(check, needs_dtd=True)
+
+    shell = commands.add_parser("shell", help="interactive statement loop")
+    add_common(shell)
+
+    return parser
+
+
+def _load(args) -> tuple[str, "Document", Optional["Dtd"], Optional[RefPolicy]]:
+    from repro.xmlmodel.dtd import Dtd  # noqa: F401  (type comment aid)
+    from repro.xmlmodel.model import Document  # noqa: F401
+
+    dtd = None
+    policy = None
+    if args.dtd:
+        with open(args.dtd, "r", encoding="utf-8") as handle:
+            dtd = parse_dtd(handle.read())
+        policy = RefPolicy.from_dtd(dtd)
+    document = parse_file(args.xml, policy=policy)
+    name = args.name or os.path.basename(args.xml)
+    return name, document, dtd, policy
+
+
+def cmd_query(args) -> int:
+    name, document, _dtd, policy = _load(args)
+    engine = XQueryEngine({name: document}, policy=policy)
+    parsed = engine.parse(args.statement)
+    if parsed.is_update:
+        print("statement is an update; use `repro update`", file=sys.stderr)
+        return 2
+    result = engine.execute(parsed)
+    assert isinstance(result, QueryResult)
+    for node in result:
+        from repro.xmlmodel.model import Element
+
+        if isinstance(node, Element):
+            print(serialize(node))
+        else:
+            from repro.xpath.evaluator import string_value
+
+            print(string_value(node))
+    print(f"-- {len(result)} result(s)", file=sys.stderr)
+    return 0
+
+
+def cmd_update(args) -> int:
+    name, document, dtd, policy = _load(args)
+    if args.typecheck:
+        if dtd is None:
+            print("--typecheck requires --dtd", file=sys.stderr)
+            return 2
+        issues = typecheck({name: document}, {name: dtd}, args.statement, policy=policy)
+        for issue in issues:
+            print(str(issue), file=sys.stderr)
+        if any(issue.severity == "error" for issue in issues):
+            print("typecheck failed; document not modified", file=sys.stderr)
+            return 1
+    if args.backend == "sqlite":
+        if dtd is None:
+            print("--backend sqlite requires --dtd", file=sys.stderr)
+            return 2
+        store = XmlStore.from_dtd(dtd, document_name=name)
+        store.load(document)
+        store.set_delete_method(args.delete_method)
+        store.set_insert_method(args.insert_method)
+        store.db.counts.reset()
+        store.execute(args.statement)
+        for warning in store.warnings:
+            print(f"warning: {warning}", file=sys.stderr)
+        print(
+            f"-- {store.db.counts.client} SQL statement(s) "
+            f"(+{store.db.counts.trigger_emulation} in trigger emulation)",
+            file=sys.stderr,
+        )
+        results = store.query(
+            f'FOR $d IN document("{name}")/{store.schema.relation(store.schema.root).tag} '
+            "RETURN $d"
+        )
+        updated_text = serialize(results[0]) if results else ""
+        store.close()
+    else:
+        engine = XQueryEngine({name: document}, policy=policy)
+        result = engine.execute(args.statement)
+        print(
+            f"-- {result.bindings} binding(s), {result.operations} operation(s)",
+            file=sys.stderr,
+        )
+        updated_text = serialize(document)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(updated_text + "\n")
+        print(f"-- wrote {args.output}", file=sys.stderr)
+    else:
+        print(updated_text)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    name, document, dtd, _policy = _load(args)
+    assert dtd is not None
+    try:
+        validate(document, dtd)
+    except ReproError as error:
+        print(f"INVALID: {error}")
+        return 1
+    print(f"{name}: valid")
+    return 0
+
+
+def cmd_shell(args) -> int:
+    name, document, dtd, policy = _load(args)
+    engine = XQueryEngine({name: document}, policy=policy)
+    print(f"loaded {name} ({document.count_elements()} elements); "
+          "end statements with an empty line; :quit to exit, :print to dump")
+    buffer: list[str] = []
+    while True:
+        try:
+            prompt = "....> " if buffer else "xqry> "
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        if line.strip() == ":quit":
+            return 0
+        if line.strip() == ":print":
+            print(serialize(document))
+            continue
+        if line.strip():
+            buffer.append(line)
+            continue
+        if not buffer:
+            continue
+        statement = "\n".join(buffer)
+        buffer = []
+        try:
+            result = engine.execute(statement)
+        except ReproError as error:
+            print(f"error: {error}")
+            continue
+        if isinstance(result, QueryResult):
+            for node in result:
+                from repro.xmlmodel.model import Element
+
+                if isinstance(node, Element):
+                    print(serialize(node))
+                else:
+                    from repro.xpath.evaluator import string_value
+
+                    print(string_value(node))
+            print(f"-- {len(result)} result(s)")
+        else:
+            print(f"-- updated: {result.bindings} binding(s), "
+                  f"{result.operations} operation(s)")
+
+
+def main(argv: Optional[list[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "query": cmd_query,
+        "update": cmd_update,
+        "validate": cmd_validate,
+        "shell": cmd_shell,
+    }
+    try:
+        return handlers[args.command](args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,82 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch a single base class.  Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class XmlParseError(ReproError):
+    """Raised when an XML document cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending input
+    position when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class DtdError(ReproError):
+    """Raised for malformed DTD declarations or unsupported DTD features."""
+
+
+class ValidationError(ReproError):
+    """Raised when a document does not conform to its DTD."""
+
+
+class ModelError(ReproError):
+    """Raised for illegal manipulations of the in-memory XML data model.
+
+    Examples: inserting a duplicate attribute, detaching a node that is
+    not a child of the given parent, or using a node after deletion.
+    """
+
+
+class XPathError(ReproError):
+    """Raised for XPath syntax or evaluation errors."""
+
+
+class XQueryError(ReproError):
+    """Raised for XQuery syntax errors."""
+
+
+class UpdateError(ReproError):
+    """Raised when an update operation is invalid or violates semantics.
+
+    This covers the paper's restrictions from Section 3.2, e.g. an
+    ``Insert`` of an attribute whose name already exists on the target,
+    or use of a deleted binding later in an operation sequence.
+    """
+
+
+class DeletedBindingError(UpdateError):
+    """Raised when a binding that was deleted earlier in an update
+    sequence is used by a later operation (other than as content)."""
+
+
+class MappingError(ReproError):
+    """Raised when an XML-to-relational mapping cannot be derived or a
+    document does not fit the derived schema."""
+
+
+class StorageError(ReproError):
+    """Raised for errors in the relational storage layer."""
+
+
+class TranslationError(ReproError):
+    """Raised when an XQuery query or update cannot be translated to SQL
+    for the selected storage mapping."""

@@ -1,0 +1,37 @@
+"""XML-to-relational storage and the paper's update strategies (Sections 5-6).
+
+Layers, bottom up:
+
+* :mod:`~repro.relational.database` — SQLite wrapper with statement
+  counting and per-statement trigger emulation;
+* :mod:`~repro.relational.schema`, :mod:`~repro.relational.inlining`,
+  :mod:`~repro.relational.edge`, :mod:`~repro.relational.attribute_map`
+  — mapping schemas (Shared Inlining is the primary one);
+* :mod:`~repro.relational.shredder` — documents to tuples;
+* :mod:`~repro.relational.outer_union` — Sorted Outer Union queries and
+  the XML tagger;
+* :mod:`~repro.relational.asr` — Access Support Relations;
+* :mod:`~repro.relational.delete_methods`,
+  :mod:`~repro.relational.insert_methods` — the strategy implementations
+  the paper benchmarks;
+* :mod:`~repro.relational.store` — the :class:`XmlStore` facade tying
+  everything together (load documents, run XQuery queries and updates).
+"""
+
+from repro.relational.database import Database, StatementCounts
+from repro.relational.idgen import IdAllocator
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.schema import InlinedField, MappingSchema, Relation
+from repro.relational.shredder import create_schema, shred_document
+
+__all__ = [
+    "Database",
+    "IdAllocator",
+    "InlinedField",
+    "MappingSchema",
+    "Relation",
+    "StatementCounts",
+    "create_schema",
+    "derive_inlining_schema",
+    "shred_document",
+]

@@ -1,0 +1,248 @@
+"""Access Support Relations (Sections 5.3, 6.1.3, 6.2.3).
+
+An ASR indexes one root-to-leaf *relation chain* of the mapping: it has
+one id column per relation on the chain and one row per full path of
+tuples, in left-complete extension (NULLs only at the bottom — a tuple
+with no children still contributes a row ending in NULLs).  A ``mark``
+column supports the paper's marking scheme for ASR-based deletes and
+inserts.
+
+A branching mapping (e.g. DBLP: publications have both authors and
+citations) gets one ASR per root-to-leaf chain, managed together by
+:class:`AsrManager`; a delete below a branch point touches every chain
+that passes through the deleted relation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.relational.database import Database
+from repro.relational.schema import MappingSchema, Relation
+
+
+@dataclass
+class AsrChain:
+    """One ASR: the relation chain it indexes and its table name."""
+
+    table: str
+    relations: list[str]  # root relation first, leaf last
+
+    def id_column(self, level: int) -> str:
+        return f"id_{level}"
+
+    def level_of(self, relation: str) -> Optional[int]:
+        try:
+            return self.relations.index(relation)
+        except ValueError:
+            return None
+
+    @property
+    def depth(self) -> int:
+        return len(self.relations)
+
+
+class AsrManager:
+    """Builds and maintains the ASRs of a mapping."""
+
+    def __init__(self, db: Database, schema: MappingSchema) -> None:
+        self.db = db
+        self.schema = schema
+        self.chains: list[AsrChain] = [
+            AsrChain(table=f"asr_{chain[-1]}", relations=chain)
+            for chain in _leaf_chains(schema)
+        ]
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def create_all(self) -> None:
+        """Create and populate every chain's ASR from the loaded data."""
+        for chain in self.chains:
+            self._create_chain(chain)
+
+    def _create_chain(self, chain: AsrChain) -> None:
+        columns = [f"{chain.id_column(level)} INTEGER" for level in range(chain.depth)]
+        columns.append("mark INTEGER DEFAULT 0")
+        self.db.execute(f'DROP TABLE IF EXISTS "{chain.table}"')
+        self.db.execute(f'CREATE TABLE "{chain.table}" ({", ".join(columns)})')
+        # Populate with LEFT JOINs for the left-complete extension.
+        select_cols = ", ".join(f"t{level}.id" for level in range(chain.depth))
+        joins = [f'"{chain.relations[0]}" t0']
+        for level in range(1, chain.depth):
+            joins.append(
+                f'LEFT JOIN "{chain.relations[level]}" t{level} '
+                f"ON t{level}.parentId = t{level - 1}.id"
+            )
+        id_cols = ", ".join(chain.id_column(level) for level in range(chain.depth))
+        self.db.execute(
+            f'INSERT INTO "{chain.table}" ({id_cols}) '
+            f"SELECT {select_cols} FROM {' '.join(joins)}"
+        )
+        for level in range(chain.depth):
+            self.db.execute(
+                f'CREATE INDEX "idx_{chain.table}_{level}" '
+                f'ON "{chain.table}" ({chain.id_column(level)})'
+            )
+        self.db.execute(
+            f'CREATE INDEX "idx_{chain.table}_mark" ON "{chain.table}" (mark)'
+        )
+
+    def drop_all(self) -> None:
+        for chain in self.chains:
+            self.db.execute(f'DROP TABLE IF EXISTS "{chain.table}"')
+
+    # ------------------------------------------------------------------
+    # Queries through the ASR (Section 5.3)
+    # ------------------------------------------------------------------
+    def chain_through(self, relation: str) -> AsrChain:
+        """Some chain passing through ``relation`` (the deepest-reaching)."""
+        best: Optional[AsrChain] = None
+        for chain in self.chains:
+            if chain.level_of(relation) is not None:
+                if best is None or chain.depth > best.depth:
+                    best = chain
+        if best is None:
+            raise StorageError(f"no ASR chain passes through relation {relation!r}")
+        return best
+
+    def path_query_sql(
+        self,
+        start_relation: str,
+        end_relation: str,
+        end_where: str,
+    ) -> str:
+        """SQL returning ids of ``start_relation`` tuples that have a
+        descendant in ``end_relation`` satisfying ``end_where`` (columns
+        qualified with ``t``) — two joins instead of a chain of joins."""
+        chain = self.chain_through(end_relation)
+        start_level = chain.level_of(start_relation)
+        end_level = chain.level_of(end_relation)
+        if start_level is None or end_level is None or start_level > end_level:
+            raise StorageError(
+                f"no ASR path from {start_relation!r} down to {end_relation!r}"
+            )
+        return (
+            f"SELECT DISTINCT a.{chain.id_column(start_level)} "
+            f'FROM "{chain.table}" a JOIN "{end_relation}" t '
+            f"ON t.id = a.{chain.id_column(end_level)} "
+            f"WHERE {end_where}"
+        )
+
+    # ------------------------------------------------------------------
+    # Maintenance pieces used by the ASR-based delete/insert strategies
+    # ------------------------------------------------------------------
+    def mark_subtrees(self, relation: str, id_select_sql: str, params: Sequence = ()) -> None:
+        """Mark, in every chain through ``relation``, the paths whose
+        ``relation``-level id is produced by ``id_select_sql``."""
+        for chain in self.chains:
+            level = chain.level_of(relation)
+            if level is None:
+                continue
+            self.db.execute(
+                f'UPDATE "{chain.table}" SET mark = 1 '
+                f"WHERE {chain.id_column(level)} IN ({id_select_sql})",
+                params,
+            )
+
+    def marked_descendant_ids_sql(self, relation: str, target_relation: str) -> Optional[str]:
+        """SELECT of marked ids of ``target_relation`` at-or-below
+        ``relation``'s level, or None if no chain relates them."""
+        for chain in self.chains:
+            level = chain.level_of(relation)
+            target_level = chain.level_of(target_relation)
+            if level is None or target_level is None or target_level < level:
+                continue
+            column = chain.id_column(target_level)
+            return (
+                f'SELECT DISTINCT {column} AS cid FROM "{chain.table}" '
+                f"WHERE mark = 1 AND {column} IS NOT NULL"
+            )
+        return None
+
+    def repair_left_completeness(self, relation: str) -> None:
+        """Re-insert stub rows for parents whose every path was marked,
+        keeping the left-complete property after the marked rows go."""
+        for chain in self.chains:
+            level = chain.level_of(relation)
+            if level is None or level == 0:
+                continue
+            parent_column = chain.id_column(level - 1)
+            prefix_cols = ", ".join(chain.id_column(i) for i in range(level))
+            # Anti-join via NOT IN so the surviving-parents set is
+            # materialised once rather than probed per marked row.
+            self.db.execute(
+                f'INSERT INTO "{chain.table}" ({prefix_cols}) '
+                f"SELECT DISTINCT {prefix_cols} FROM \"{chain.table}\" m "
+                f"WHERE m.mark = 1 AND m.{parent_column} IS NOT NULL "
+                f"AND m.{parent_column} NOT IN (SELECT {parent_column} "
+                f'FROM "{chain.table}" WHERE mark = 0 '
+                f"AND {parent_column} IS NOT NULL)"
+            )
+
+    def delete_marked(self) -> None:
+        for chain in self.chains:
+            self.db.execute(f'DELETE FROM "{chain.table}" WHERE mark = 1')
+
+    def unmark_all(self) -> None:
+        for chain in self.chains:
+            self.db.execute(f'UPDATE "{chain.table}" SET mark = 0 WHERE mark = 1')
+
+    def insert_offset_paths(self, relation: str, offset: int, new_parent_id: int) -> None:
+        """After an ASR-based copy: add paths for the copied subtree, with
+        every id at or below ``relation``'s level shifted by ``offset``.
+
+        The copied subtree hangs under ``new_parent_id``; ancestor id
+        columns above the subtree root are rewritten accordingly using
+        the target parent's own ancestor path."""
+        for chain in self.chains:
+            level = chain.level_of(relation)
+            if level is None:
+                continue
+            if level == 0:
+                raise StorageError("cannot copy the root relation's subtree")
+            parent_column = chain.id_column(level - 1)
+            columns = []
+            for index in range(chain.depth):
+                name = chain.id_column(index)
+                if index < level - 1:
+                    # A tuple has exactly one ancestor chain, so the target
+                    # parent's ancestors come from any one of its rows.
+                    columns.append(
+                        f'(SELECT {name} FROM "{chain.table}" '
+                        f"WHERE {parent_column} = {new_parent_id} AND mark = 0 "
+                        f"LIMIT 1)"
+                    )
+                elif index == level - 1:
+                    columns.append(str(new_parent_id))
+                else:
+                    columns.append(f"m.{name} + {offset}")
+            id_cols = ", ".join(chain.id_column(i) for i in range(chain.depth))
+            self.db.execute(
+                f'INSERT INTO "{chain.table}" ({id_cols}) '
+                f"SELECT {', '.join(columns)} "
+                f'FROM "{chain.table}" m WHERE m.mark = 1'
+            )
+
+
+def _leaf_chains(schema: MappingSchema) -> list[list[str]]:
+    """All root-to-leaf relation chains of the mapping."""
+    chains: list[list[str]] = []
+
+    def visit(name: str, path: list[str]) -> None:
+        relation = schema.relation(name)
+        if name in path:
+            raise StorageError(
+                f"ASRs cannot index a recursive mapping (relation {name!r})"
+            )
+        path = path + [name]
+        if not relation.children:
+            chains.append(path)
+            return
+        for child in relation.children:
+            visit(child, path)
+
+    visit(schema.root, [])
+    return chains

@@ -1,0 +1,161 @@
+"""The Attribute mapping (Florescu & Kossmann [10], summarised in §5.1).
+
+Like the Edge mapping, but horizontally partitioned: one binary table
+per distinct tag or attribute name.  Lookups by name touch a small
+table, but reconstruction still pays a join per step and the number of
+tables grows with the vocabulary.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Optional, Sequence
+
+from repro.errors import MappingError
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+from repro.xmlmodel.model import Document, Element, Text
+
+_TEXT_TABLE = "att_pcdata"
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.-]*$")
+
+
+def _table_for(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise MappingError(f"cannot map name {name!r} to an attribute table")
+    return f"att_{name}"
+
+
+class AttributeMapping:
+    """Load, query, and update documents stored one-table-per-name."""
+
+    def __init__(self, db: Optional[Database] = None) -> None:
+        self.db = db or Database()
+        self.allocator = IdAllocator(self.db)
+        self._tables: set[str] = set()
+        self._ensure_table(_TEXT_TABLE)
+
+    def _ensure_table(self, table: str) -> None:
+        if table in self._tables:
+            return
+        self.db.execute(
+            f'CREATE TABLE IF NOT EXISTS "{table}" ('
+            "id INTEGER, parentId INTEGER, kind TEXT, value TEXT, ordinal INTEGER)"
+        )
+        self.db.execute(
+            f'CREATE INDEX IF NOT EXISTS "idx_{table}_parent" ON "{table}" (parentId)'
+        )
+        self._tables.add(table)
+
+    @property
+    def tables(self) -> list[str]:
+        return sorted(self._tables)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, document: Document) -> int:
+        rows: dict[str, list[tuple]] = {}
+        total = _count_objects(document.root)
+        next_id = self.allocator.reserve(total)
+
+        def add(table: str, row: tuple) -> None:
+            self._ensure_table(table)
+            rows.setdefault(table, []).append(row)
+
+        def emit(element: Element, parent_id: Optional[int]) -> int:
+            nonlocal next_id
+            element_id = next_id
+            next_id += 1
+            add(_table_for(element.name), (element_id, parent_id, "elem", None, 0))
+            for attribute in element.attributes.values():
+                add(
+                    _table_for(attribute.name),
+                    (next_id, element_id, "attr", attribute.value, 0),
+                )
+                next_id += 1
+            for reference in element.references.values():
+                for position, entry in enumerate(reference.entries):
+                    add(
+                        _table_for(reference.name),
+                        (next_id, element_id, "ref", entry.target, position),
+                    )
+                    next_id += 1
+            ordinal = 0
+            for child in element.children:
+                if isinstance(child, Text):
+                    add(_TEXT_TABLE, (next_id, element_id, "text", child.value, ordinal))
+                    next_id += 1
+                else:
+                    emit(child, element_id)
+                ordinal += 1
+            return element_id
+
+        root_id = emit(document.root, None)
+        for table, table_rows in rows.items():
+            self.db.executemany(
+                f'INSERT INTO "{table}" (id, parentId, kind, value, ordinal) '
+                "VALUES (?, ?, ?, ?, ?)",
+                table_rows,
+            )
+        self.db.commit()
+        return root_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def element_ids(self, name: str) -> list[int]:
+        table = _table_for(name)
+        if table not in self._tables:
+            return []
+        return [
+            row[0]
+            for row in self.db.query(
+                f'SELECT id FROM "{table}" WHERE kind = ?', ("elem",)
+            )
+        ]
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def delete_subtrees(self, ids: Sequence[int]) -> None:
+        """Cascading delete: each level's orphan sweep must now visit
+        *every* table — the fragmentation cost the paper warns about."""
+        if not ids:
+            return
+        placeholders = ", ".join("?" for _ in ids)
+        union_ids = " UNION ALL ".join(
+            f'SELECT id FROM "{table}"' for table in self.tables
+        )
+        for table in self.tables:
+            self.db.execute(
+                f'DELETE FROM "{table}" WHERE id IN ({placeholders})', tuple(ids)
+            )
+        while True:
+            removed = 0
+            for table in self.tables:
+                cursor = self.db.execute(
+                    f'DELETE FROM "{table}" WHERE parentId IS NOT NULL '
+                    f"AND parentId NOT IN ({union_ids})"
+                )
+                removed += cursor.rowcount
+            if not removed:
+                return
+
+    def count(self) -> int:
+        return sum(
+            self.db.query_one(f'SELECT COUNT(*) FROM "{table}"')[0]
+            for table in self.tables
+        )
+
+
+def _count_objects(element: Element) -> int:
+    total = 1 + len(element.attributes)
+    for reference in element.references.values():
+        total += len(reference.entries)
+    for child in element.children:
+        if isinstance(child, Text):
+            total += 1
+        else:
+            total += _count_objects(child)
+    return total

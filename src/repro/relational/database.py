@@ -1,0 +1,173 @@
+"""Thin SQLite wrapper: statement counting, triggers, transactions.
+
+The paper substrate was IBM DB2 7.1 via JDBC; we use the stdlib
+``sqlite3`` (see DESIGN.md for why the substitution preserves the
+comparisons).  The wrapper adds what the experiments need:
+
+* **statement counting** — the paper repeatedly attributes performance
+  differences to the number of SQL statements issued, so every
+  ``execute`` bumps a counter, split into client statements and
+  emulated-trigger statements;
+* **per-statement trigger emulation** — SQLite only has ``FOR EACH
+  ROW`` triggers.  DB2-style ``FOR EACH STATEMENT`` delete triggers are
+  emulated by registering sweep statements that the wrapper runs after
+  a client ``DELETE`` on the triggering table, transitively, inside the
+  same transaction (exactly the orphan-sweep SQL a DB2 trigger body
+  would contain);
+* an in-memory default (the paper's experiments run with all data in
+  memory).
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Sequence
+
+from repro.errors import StorageError
+
+
+@dataclass
+class StatementCounts:
+    """Counters for issued SQL, split by origin."""
+
+    client: int = 0  # statements the application issued
+    trigger_emulation: int = 0  # statements run by the per-statement emulation
+
+    def reset(self) -> None:
+        self.client = 0
+        self.trigger_emulation = 0
+
+    @property
+    def total(self) -> int:
+        return self.client + self.trigger_emulation
+
+
+class Database:
+    """A SQLite connection with counting and trigger emulation."""
+
+    def __init__(self, path: str = ":memory:") -> None:
+        self._connection = sqlite3.connect(path)
+        self._connection.execute("PRAGMA foreign_keys = OFF")
+        self.counts = StatementCounts()
+        # table name -> list of (sql, params) run after a client DELETE on it.
+        self._statement_triggers: dict[str, list[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Core execution
+    # ------------------------------------------------------------------
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
+        """Run one client statement (counted), firing emulated triggers."""
+        self.counts.client += 1
+        try:
+            cursor = self._connection.execute(sql, params)
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL failed: {error}\n  statement: {sql}") from error
+        self._fire_statement_triggers(sql)
+        return cursor
+
+    def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> sqlite3.Cursor:
+        """Run one statement against many parameter rows (counted once per
+        row, matching how a JDBC batch still ships per-row work)."""
+        rows = list(rows)
+        self.counts.client += len(rows)
+        try:
+            cursor = self._connection.executemany(sql, rows)
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL failed: {error}\n  statement: {sql}") from error
+        return cursor
+
+    def executescript(self, script: str) -> None:
+        """Run DDL; counted as a single client statement."""
+        self.counts.client += 1
+        try:
+            self._connection.executescript(script)
+        except sqlite3.Error as error:
+            raise StorageError(f"SQL script failed: {error}") from error
+
+    def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
+        return self.execute(sql, params).fetchall()
+
+    def query_one(self, sql: str, params: Sequence[Any] = ()) -> Optional[tuple]:
+        rows = self.execute(sql, params).fetchmany(2)
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise StorageError(f"expected at most one row from: {sql}")
+        return rows[0]
+
+    def clone(self) -> "Database":
+        """Copy the full database into a fresh in-memory instance.
+
+        Uses SQLite's backup API (page-level copy), so a loaded store can
+        be snapshotted once and restored per benchmark run far faster
+        than reloading.  Emulated statement-trigger registrations are
+        wrapper state and are copied too; counters start at zero.
+        """
+        clone = Database()
+        self._connection.commit()
+        self._connection.backup(clone._connection)
+        clone._statement_triggers = dict(self._statement_triggers)
+        return clone
+
+    def commit(self) -> None:
+        self._connection.commit()
+
+    def rollback(self) -> None:
+        self._connection.rollback()
+
+    def close(self) -> None:
+        self._connection.close()
+
+    # ------------------------------------------------------------------
+    # Per-statement trigger emulation
+    # ------------------------------------------------------------------
+    def register_statement_trigger(self, table: str, sweep_sql: list[str]) -> None:
+        """Register DELETE-trigger bodies fired after client deletes on
+        ``table``.  Each body statement is itself treated as a delete on
+        its own target table, so registered triggers chain (as DB2
+        statement triggers would)."""
+        self._statement_triggers[table.lower()] = list(sweep_sql)
+
+    def clear_statement_triggers(self) -> None:
+        self._statement_triggers.clear()
+
+    def _fire_statement_triggers(self, sql: str) -> None:
+        if not self._statement_triggers:
+            return
+        table = _delete_target(sql)
+        if table is None:
+            return
+        self._run_trigger_chain(table)
+
+    def _run_trigger_chain(self, table: str) -> None:
+        for sweep_sql in self._statement_triggers.get(table.lower(), ()):
+            self.counts.trigger_emulation += 1
+            try:
+                cursor = self._connection.execute(sweep_sql)
+            except sqlite3.Error as error:
+                raise StorageError(
+                    f"emulated trigger failed: {error}\n  statement: {sweep_sql}"
+                ) from error
+            chained = _delete_target(sweep_sql)
+            # Chain into the swept table's own trigger.  Stopping when a
+            # sweep removed nothing bounds recursive schemas (a real DB2
+            # statement trigger on a self-referencing table would not
+            # terminate either; cascading delete stops the same way).
+            if chained is not None and cursor.rowcount:
+                self._run_trigger_chain(chained)
+
+
+def _delete_target(sql: str) -> Optional[str]:
+    """Table name if ``sql`` is a DELETE statement, else None."""
+    stripped = sql.lstrip().lower()
+    if not stripped.startswith("delete"):
+        return None
+    parts = stripped.split()
+    try:
+        from_index = parts.index("from")
+    except ValueError:
+        return None
+    if from_index + 1 >= len(parts):
+        return None
+    return parts[from_index + 1].strip('";')

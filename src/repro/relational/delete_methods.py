@@ -1,0 +1,175 @@
+"""The paper's four delete strategies (Section 6.1).
+
+Each strategy removes the subtrees of ``relation`` whose root tuples
+satisfy ``where_sql``:
+
+* :class:`PerTupleTriggerDelete` — one client DELETE; real SQLite
+  ``FOR EACH ROW`` triggers cascade through child relations by looking
+  up each dead tuple's id (per-id index lookups — work proportional to
+  the deleted data, not the document);
+* :class:`PerStatementTriggerDelete` — one client DELETE; emulated
+  DB2-style statement triggers sweep each child relation for orphans
+  (``parentId NOT IN (SELECT id FROM parent)``, a scan whose cost grows
+  with the document);
+* :class:`CascadingDelete` — the same orphan sweeps issued as *client*
+  statements, stopping as soon as a sweep removes nothing (Section
+  6.1.2: simulates per-statement triggers at the application level);
+* :class:`AsrDelete` — marks ASR paths through the doomed subtree
+  roots, deletes each descendant relation's tuples by joining the
+  marked paths, then repairs the ASR (Section 6.1.3).
+
+``install``/``uninstall`` switch the strategy's machinery on and off;
+only one strategy's machinery may be active at a time (the
+:class:`~repro.relational.store.XmlStore` facade enforces this).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.relational.asr import AsrManager
+from repro.relational.database import Database
+from repro.relational.schema import MappingSchema
+from repro.relational import triggers
+
+
+class DeleteMethod:
+    """Base interface; subclasses implement one strategy."""
+
+    name = "abstract"
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        """Set up triggers/ASRs needed by this strategy."""
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        """Tear the machinery down again."""
+
+    def delete(
+        self,
+        db: Database,
+        schema: MappingSchema,
+        relation: str,
+        where_sql: str,
+        params: Sequence = (),
+    ) -> None:
+        raise NotImplementedError
+
+
+class PerTupleTriggerDelete(DeleteMethod):
+    name = "per_tuple_trigger"
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        triggers.install_per_tuple_triggers(db, schema)
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        triggers.remove_per_tuple_triggers(db, schema)
+
+    def delete(self, db, schema, relation, where_sql, params=()) -> None:
+        where = f" WHERE {where_sql}" if where_sql else ""
+        db.execute(f'DELETE FROM "{relation}"{where}', params)
+
+
+class PerStatementTriggerDelete(DeleteMethod):
+    name = "per_statement_trigger"
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        triggers.install_per_statement_triggers(db, schema)
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        triggers.remove_per_statement_triggers(db)
+
+    def delete(self, db, schema, relation, where_sql, params=()) -> None:
+        where = f" WHERE {where_sql}" if where_sql else ""
+        db.execute(f'DELETE FROM "{relation}"{where}', params)
+
+
+class CascadingDelete(DeleteMethod):
+    """Per-statement trigger semantics driven from the application."""
+
+    name = "cascade"
+
+    def delete(self, db, schema, relation, where_sql, params=()) -> None:
+        where = f" WHERE {where_sql}" if where_sql else ""
+        db.execute(f'DELETE FROM "{relation}"{where}', params)
+        # Sweep orphans level by level, stopping a branch as soon as a
+        # sweep removes no tuples (works even for recursive schemas, where
+        # a child has several possible parent relations to survive under).
+        frontier = list(schema.relation(relation).children)
+        while frontier:
+            child = frontier.pop(0)
+            survivors = " UNION ALL ".join(
+                f'SELECT id FROM "{parent}"'
+                for parent in schema.parent_relations_of(child)
+            )
+            cursor = db.execute(
+                f'DELETE FROM "{child}" WHERE parentId NOT IN ({survivors})'
+            )
+            if cursor.rowcount:
+                frontier.extend(schema.relation(child).children)
+
+
+class AsrDelete(DeleteMethod):
+    """Delete through the Access Support Relations."""
+
+    name = "asr"
+
+    def __init__(self, asr: Optional[AsrManager] = None) -> None:
+        self.asr = asr
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        if self.asr is None:
+            self.asr = AsrManager(db, schema)
+        self.asr.create_all()
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        if self.asr is not None:
+            self.asr.drop_all()
+
+    def delete(self, db, schema, relation, where_sql, params=()) -> None:
+        if self.asr is None:
+            raise StorageError("AsrDelete used before install()")
+        where = f" WHERE {where_sql}" if where_sql else ""
+        id_select = f'SELECT id FROM "{relation}"{where}'
+        # 1. Mark every ASR path through a doomed subtree root.
+        self.asr.mark_subtrees(relation, id_select, params)
+        # 2. Keep the ASR left-complete for parents losing all children.
+        self.asr.repair_left_completeness(relation)
+        # 3. Delete descendants per child table via the marked paths.
+        for descendant in _descendant_relations(schema, relation):
+            marked_sql = self.asr.marked_descendant_ids_sql(relation, descendant)
+            if marked_sql is not None:
+                db.execute(f'DELETE FROM "{descendant}" WHERE id IN ({marked_sql})')
+        # 4. Delete the subtree roots via the marked ids — NOT by
+        #    re-evaluating the predicate, which may no longer hold once
+        #    the descendants it referenced are gone.
+        root_marked_sql = self.asr.marked_descendant_ids_sql(relation, relation)
+        if root_marked_sql is not None:
+            db.execute(f'DELETE FROM "{relation}" WHERE id IN ({root_marked_sql})')
+        # 5. Remove the marked paths from the ASR.
+        self.asr.delete_marked()
+
+
+def _descendant_relations(schema: MappingSchema, relation: str) -> list[str]:
+    ordered: list[str] = []
+    queue = list(schema.relation(relation).children)
+    while queue:
+        name = queue.pop(0)
+        if name in ordered:
+            continue
+        ordered.append(name)
+        queue.extend(schema.relation(name).children)
+    return ordered
+
+
+# Strategy classes by name; instantiate one per store (AsrDelete holds
+# per-database state).
+DELETE_METHODS = {
+    method.name: method
+    for method in (
+        PerTupleTriggerDelete,
+        PerStatementTriggerDelete,
+        CascadingDelete,
+        AsrDelete,
+    )
+}

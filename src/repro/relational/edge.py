@@ -1,0 +1,235 @@
+"""The Edge mapping (Florescu & Kossmann [10], summarised in §5.1).
+
+Every XML object — element, attribute, PCDATA, reference — is one tuple
+in a single ``edge`` relation.  Its advantage is schema independence
+(no DTD needed); its drawback, which the paper calls out, is the heavy
+fragmentation: traversing structure or emitting XML requires a join (or
+self-join) per step.
+
+The paper states the alternative schemes "did not yield any different
+results or insights" for updates; the ablation benchmark
+(`benchmarks/test_ablation_mappings.py`) lets you see the fragmentation
+cost directly against Shared Inlining.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+from repro.xmlmodel.model import Document, Element, Text
+
+KIND_ELEMENT = "elem"
+KIND_ATTRIBUTE = "attr"
+KIND_TEXT = "text"
+KIND_REF = "ref"
+
+EDGE_TABLE_SQL = """\
+CREATE TABLE edge (
+    id INTEGER PRIMARY KEY,
+    parentId INTEGER,
+    kind TEXT NOT NULL,
+    name TEXT,
+    value TEXT,
+    ordinal INTEGER
+)"""
+
+
+class EdgeMapping:
+    """Load, query, and update documents stored in a single edge table."""
+
+    def __init__(self, db: Optional[Database] = None) -> None:
+        self.db = db or Database()
+        self.db.execute(EDGE_TABLE_SQL)
+        self.db.execute("CREATE INDEX idx_edge_parent ON edge (parentId)")
+        self.db.execute("CREATE INDEX idx_edge_name ON edge (name)")
+        self.allocator = IdAllocator(self.db)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def load(self, document: Document) -> int:
+        rows: list[tuple] = []
+        total = _count_objects(document.root)
+        next_id = self.allocator.reserve(total)
+
+        def emit(element: Element, parent_id: Optional[int], ordinal: int) -> None:
+            nonlocal next_id
+            element_id = next_id
+            next_id += 1
+            rows.append(
+                (element_id, parent_id, KIND_ELEMENT, element.name, None, ordinal)
+            )
+            for attribute in element.attributes.values():
+                rows.append(
+                    (next_id, element_id, KIND_ATTRIBUTE, attribute.name,
+                     attribute.value, 0)
+                )
+                next_id += 1
+            for reference in element.references.values():
+                for position, entry in enumerate(reference.entries):
+                    rows.append(
+                        (next_id, element_id, KIND_REF, reference.name,
+                         entry.target, position)
+                    )
+                    next_id += 1
+            for child_ordinal, child in enumerate(element.children):
+                if isinstance(child, Text):
+                    rows.append(
+                        (next_id, element_id, KIND_TEXT, None, child.value,
+                         child_ordinal)
+                    )
+                    next_id += 1
+                else:
+                    emit(child, element_id, child_ordinal)
+
+        emit(document.root, None, 0)
+        root_id = rows[0][0]
+        self.db.executemany(
+            "INSERT INTO edge (id, parentId, kind, name, value, ordinal) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        self.db.commit()
+        return root_id
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def element_ids(self, name: str, child_text: Optional[tuple[str, str]] = None) -> list[int]:
+        """Ids of elements with tag ``name``; optionally filtered to those
+        having a child element whose text equals ``child_text[1]``."""
+        if child_text is None:
+            rows = self.db.query(
+                "SELECT id FROM edge WHERE kind = ? AND name = ?",
+                (KIND_ELEMENT, name),
+            )
+            return [row[0] for row in rows]
+        child_name, text = child_text
+        rows = self.db.query(
+            "SELECT e.id FROM edge e JOIN edge c ON c.parentId = e.id "
+            "JOIN edge t ON t.parentId = c.id "
+            "WHERE e.kind = ? AND e.name = ? AND c.kind = ? AND c.name = ? "
+            "AND t.kind = ? AND t.value = ?",
+            (KIND_ELEMENT, name, KIND_ELEMENT, child_name, KIND_TEXT, text),
+        )
+        return [row[0] for row in rows]
+
+    def reconstruct(self, element_id: int) -> Element:
+        """Rebuild the element subtree rooted at ``element_id``.
+
+        One recursive CTE gathers the subtree; the tree is reassembled
+        client-side.
+        """
+        rows = self.db.query(
+            "WITH RECURSIVE sub(id, parentId, kind, name, value, ordinal) AS ("
+            "  SELECT id, parentId, kind, name, value, ordinal FROM edge WHERE id = ?"
+            "  UNION ALL"
+            "  SELECT e.id, e.parentId, e.kind, e.name, e.value, e.ordinal"
+            "  FROM edge e JOIN sub s ON e.parentId = s.id"
+            ") SELECT * FROM sub ORDER BY id",
+            (element_id,),
+        )
+        by_id: dict[int, Element] = {}
+        root: Optional[Element] = None
+        # (parent, ordinal, tiebreak id) -> child node; attached in a
+        # second pass so mixed content keeps its document order.
+        children: list[tuple[int, int, int, object]] = []
+        for row_id, parent_id, kind, name, value, ordinal in rows:
+            if kind == KIND_ELEMENT:
+                element = Element(name)
+                by_id[row_id] = element
+                if parent_id in by_id:
+                    children.append((parent_id, ordinal, row_id, element))
+                elif root is None:
+                    root = element
+            elif kind == KIND_ATTRIBUTE:
+                by_id[parent_id].set_attribute(name, value)
+            elif kind == KIND_REF:
+                by_id[parent_id].add_reference(name, value)
+            elif kind == KIND_TEXT:
+                children.append((parent_id, ordinal, row_id, Text(value)))
+        for parent_id, _ordinal, _row_id, child in sorted(
+            children, key=lambda item: (item[0], item[1], item[2])
+        ):
+            by_id[parent_id].append_child(child)
+        if root is None:
+            raise LookupError(f"no element with id {element_id}")
+        return root
+
+    # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def delete_subtrees(self, ids: Sequence[int]) -> None:
+        """Delete whole subtrees by repeated orphan sweeps (the cascading
+        method; the single-table layout means one statement per level)."""
+        if not ids:
+            return
+        placeholders = ", ".join("?" for _ in ids)
+        self.db.execute(f"DELETE FROM edge WHERE id IN ({placeholders})", tuple(ids))
+        while True:
+            cursor = self.db.execute(
+                "DELETE FROM edge WHERE parentId IS NOT NULL AND parentId NOT IN "
+                "(SELECT id FROM edge)"
+            )
+            if not cursor.rowcount:
+                return
+
+    def copy_subtree(self, element_id: int, new_parent_id: int) -> int:
+        """Copy one subtree under a new parent with fresh ids."""
+        element = self.reconstruct(element_id)
+        rows: list[tuple] = []
+        total = _count_objects(element)
+        next_id = self.allocator.reserve(total)
+        first = next_id
+
+        def emit(node: Element, parent_id: int, ordinal: int) -> None:
+            nonlocal next_id
+            node_id = next_id
+            next_id += 1
+            rows.append((node_id, parent_id, KIND_ELEMENT, node.name, None, ordinal))
+            for attribute in node.attributes.values():
+                rows.append(
+                    (next_id, node_id, KIND_ATTRIBUTE, attribute.name,
+                     attribute.value, 0)
+                )
+                next_id += 1
+            for reference in node.references.values():
+                for position, entry in enumerate(reference.entries):
+                    rows.append(
+                        (next_id, node_id, KIND_REF, reference.name,
+                         entry.target, position)
+                    )
+                    next_id += 1
+            for child_ordinal, child in enumerate(node.children):
+                if isinstance(child, Text):
+                    rows.append(
+                        (next_id, node_id, KIND_TEXT, None, child.value, child_ordinal)
+                    )
+                    next_id += 1
+                else:
+                    emit(child, node_id, child_ordinal)
+
+        emit(element, new_parent_id, 0)
+        self.db.executemany(
+            "INSERT INTO edge (id, parentId, kind, name, value, ordinal) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            rows,
+        )
+        return first
+
+    def count(self) -> int:
+        return self.db.query_one("SELECT COUNT(*) FROM edge")[0]
+
+
+def _count_objects(element: Element) -> int:
+    total = 1 + len(element.attributes)
+    for reference in element.references.values():
+        total += len(reference.entries)
+    for child in element.children:
+        if isinstance(child, Text):
+            total += 1
+        else:
+            total += _count_objects(child)
+    return total

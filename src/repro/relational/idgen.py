@@ -1,0 +1,52 @@
+"""System-wide tuple-id allocation.
+
+Shredded tuples carry document-unique integer ids (the element
+ID/parentId linkage of Section 5.1).  A single ``next available id``
+counter is kept in a one-row metadata table, as the paper's table-based
+insert assumes: its offset-remapping heuristic reserves
+``maxId - minId + 1`` ids by advancing this counter once (Section 6.2.2).
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+
+META_TABLE = "repro_meta"
+
+
+class IdAllocator:
+    """Allocates tuple ids backed by a metadata table.
+
+    ``reserve(count)`` performs the read-modify-write against the
+    database (two statements, as a real implementation would issue);
+    ``next_batch`` is a loading-time convenience on top of it.
+    """
+
+    def __init__(self, db: Database) -> None:
+        self._db = db
+        self._db.execute(
+            f"CREATE TABLE IF NOT EXISTS {META_TABLE} (key TEXT PRIMARY KEY, value INTEGER)"
+        )
+        self._db.execute(
+            f"INSERT OR IGNORE INTO {META_TABLE} (key, value) VALUES ('next_id', 1)"
+        )
+
+    def peek(self) -> int:
+        row = self._db.query_one(f"SELECT value FROM {META_TABLE} WHERE key = 'next_id'")
+        assert row is not None
+        return int(row[0])
+
+    def reserve(self, count: int) -> int:
+        """Reserve ``count`` consecutive ids; returns the first one."""
+        if count < 0:
+            raise ValueError("cannot reserve a negative id range")
+        first = self.peek()
+        self._db.execute(
+            f"UPDATE {META_TABLE} SET value = value + ? WHERE key = 'next_id'",
+            (count,),
+        )
+        return first
+
+    def next_batch(self, count: int) -> range:
+        first = self.reserve(count)
+        return range(first, first + count)

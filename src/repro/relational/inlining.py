@@ -1,0 +1,228 @@
+"""Shared Inlining: derive a relational schema from a DTD (Section 5.1).
+
+Following Shanmugasundaram et al. [14] as summarised by the paper: a
+child element that occurs *at most once* per parent is inlined into the
+parent's relation (its PCDATA and attributes become columns, named by
+the element path, e.g. ``Address_City``); a child with a 1:n
+relationship gets its own relation linked via ``id``/``parentId``.
+
+Element types that warrant their own relation ("table types"):
+
+* the document root;
+* any type occurring with cardinality *many* under some parent
+  (including mixed-content children);
+* any type on a cycle in the DTD's type graph (recursion cannot be
+  inlined).
+
+A table type reached from several distinct parent relations is given
+one relation *per parent* (named ``Parent_Child``) so the relation
+graph stays a tree; this stores the same tuples as a single shared
+relation with a parent-type discriminator would, and keeps
+delete/insert propagation identical, which is what the paper measures.
+
+Inlined optional elements that are non-leaves get an extra *presence
+flag* column (``..._present``) to distinguish "absent" from "present
+with empty content" — the caveat discussed in Section 6.1.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import MappingError
+from repro.xmlmodel.dtd import CARD_MANY, CARD_OPTIONAL, Dtd
+from repro.relational.schema import (
+    FIELD_ATTRIBUTE,
+    FIELD_PCDATA,
+    FIELD_PRESENCE,
+    FIELD_REFS,
+    InlinedField,
+    MappingSchema,
+    Relation,
+)
+
+
+def derive_inlining_schema(dtd: Dtd, root: Optional[str] = None) -> MappingSchema:
+    """Derive the Shared Inlining mapping for ``dtd``.
+
+    ``root`` defaults to the DTD's unique root candidate (the element
+    that never appears as a child).
+    """
+    if root is None:
+        candidates = dtd.root_candidates()
+        if len(candidates) != 1:
+            raise MappingError(
+                f"cannot infer a unique document root from the DTD "
+                f"(candidates: {candidates}); pass root= explicitly"
+            )
+        root = candidates[0]
+    if root not in dtd.elements:
+        raise MappingError(f"root element {root!r} is not declared in the DTD")
+    builder = _SchemaBuilder(dtd)
+    return builder.build(root)
+
+
+class _SchemaBuilder:
+    def __init__(self, dtd: Dtd) -> None:
+        self.dtd = dtd
+        self.table_types = _table_types(dtd)
+        self.schema = MappingSchema(kind="inlining", root="")
+        self._used_names: set[str] = set()
+        # (tag -> relation) for relations on the current construction path;
+        # hitting one again means DTD recursion, resolved as a self-loop.
+        self._stack: dict[str, Relation] = {}
+
+    def build(self, root: str) -> MappingSchema:
+        self.table_types.add(root)
+        root_relation = self._build_relation(root, parent=None)
+        self.schema.root = root_relation.name
+        return self.schema
+
+    # ------------------------------------------------------------------
+    def _build_relation(
+        self,
+        tag: str,
+        parent: Optional[Relation],
+        parent_path: tuple[str, ...] = (),
+    ) -> Relation:
+        if tag in self._stack:
+            # DTD recursion: reuse the ancestor relation as the child —
+            # its parentId column then references its own (or a mutually
+            # recursive) table.  Traversals must treat children as a DAG.
+            existing = self._stack[tag]
+            if parent is not None and existing.name not in parent.children:
+                parent.children.append(existing.name)
+            return existing
+        name = self._relation_name(tag, parent)
+        relation = Relation(
+            name=name,
+            tag=tag,
+            parent=parent.name if parent else None,
+            parent_path=parent_path,
+        )
+        self.schema.relations[name] = relation
+        if parent is not None:
+            parent.children.append(name)
+        taken = {"id", "parentid"}  # lowercase: SQL names are case-insensitive
+        self._stack[tag] = relation
+        try:
+            self._inline(relation, tag, path=(), taken=taken, optional=False)
+        finally:
+            del self._stack[tag]
+        return relation
+
+    def _relation_name(self, tag: str, parent: Optional[Relation]) -> str:
+        if tag not in self._used_names:
+            self._used_names.add(tag)
+            return tag
+        assert parent is not None, "root relation name collision"
+        qualified = f"{parent.tag}_{tag}"
+        suffix = 2
+        name = qualified
+        while name in self._used_names:
+            name = f"{qualified}_{suffix}"
+            suffix += 1
+        self._used_names.add(name)
+        return name
+
+    def _inline(
+        self,
+        relation: Relation,
+        tag: str,
+        path: tuple[str, ...],
+        taken: set[str],
+        optional: bool,
+    ) -> None:
+        """Add the fields contributed by the element at ``path`` (of type
+        ``tag``) and recurse into its inlinable children; spin off child
+        relations for table-typed children."""
+        decl = self.dtd.element(tag)
+        content = decl.content
+        if content.kind == "ANY":
+            raise MappingError(
+                f"element {tag!r} has ANY content, which the inlining mapping "
+                "cannot represent"
+            )
+        attlist = self.dtd.attlist(tag)
+        has_structure = bool(attlist) or content.kind in ("CHILDREN", "MIXED")
+        if path and optional and has_structure:
+            column = self._column_name(path + ("present",), taken)
+            relation.fields.append(InlinedField(column, FIELD_PRESENCE, path))
+        for attr_name, attr_decl in attlist.items():
+            kind = FIELD_REFS if attr_decl.attr_type in ("IDREF", "IDREFS") else FIELD_ATTRIBUTE
+            column = self._column_name(path + (attr_name,), taken)
+            relation.fields.append(InlinedField(column, kind, path, name=attr_name))
+        if content.kind in ("PCDATA", "MIXED"):
+            # The anchor's own text column is named after its tag
+            # (relation "author" stores its PCDATA in column "author").
+            column = self._column_name(path if path else (tag,), taken)
+            relation.fields.append(InlinedField(column, FIELD_PCDATA, path))
+        if content.kind == "MIXED":
+            # Mixed-content children always repeat: each becomes a relation.
+            for child_tag in content.mixed_names:
+                self._build_relation(child_tag, parent=relation, parent_path=path)
+            return
+        if content.kind != "CHILDREN":
+            return
+        cardinalities = content.child_cardinalities()
+        for child_tag in content.child_names():
+            cardinality = cardinalities[child_tag]
+            if child_tag in self.table_types or cardinality == CARD_MANY:
+                self.table_types.add(child_tag)
+                self._build_relation(child_tag, parent=relation, parent_path=path)
+            else:
+                self._inline(
+                    relation,
+                    child_tag,
+                    path + (child_tag,),
+                    taken,
+                    optional=optional or cardinality == CARD_OPTIONAL,
+                )
+
+    @staticmethod
+    def _column_name(parts: tuple[str, ...], taken: set[str]) -> str:
+        """Unique column name; SQL column names compare case-insensitively,
+        so an XML attribute named ``ID`` must not collide with the system
+        ``id`` column (it becomes ``ID_2``)."""
+        base = "_".join(parts)
+        name = base
+        suffix = 2
+        while name.lower() in taken:
+            name = f"{base}_{suffix}"
+            suffix += 1
+        taken.add(name.lower())
+        return name
+
+
+def _table_types(dtd: Dtd) -> set[str]:
+    """Element types that must get their own relation regardless of parent:
+    those with a *many* occurrence anywhere, and those on a type-graph cycle."""
+    table_types: set[str] = set()
+    edges: dict[str, list[str]] = {}
+    for name, decl in dtd.elements.items():
+        children = decl.content.child_names()
+        edges[name] = children
+        cardinalities = decl.content.child_cardinalities()
+        for child in children:
+            if cardinalities.get(child) == CARD_MANY:
+                table_types.add(child)
+    table_types.update(_types_on_cycles(edges))
+    return table_types
+
+
+def _types_on_cycles(edges: dict[str, list[str]]) -> set[str]:
+    """Nodes reachable from themselves in the type graph."""
+    on_cycle: set[str] = set()
+    for start in edges:
+        stack = list(edges.get(start, ()))
+        seen: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node == start:
+                on_cycle.add(start)
+                break
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(edges.get(node, ()))
+    return on_cycle

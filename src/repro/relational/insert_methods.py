@@ -1,0 +1,268 @@
+"""The paper's three complex-insert strategies (Section 6.2).
+
+All three copy the subtrees of ``relation`` whose root tuples satisfy
+``where_sql`` so that the copies become children of the tuple
+``new_parent_id`` (copy semantics: fresh ids, same connectivity):
+
+* :class:`TupleInsert` — reads the source through a Sorted Outer Union
+  query a tuple at a time, remaps each element's id through an
+  in-memory mapping (ids are allocated **without gaps**), and issues one
+  INSERT per source element — cheap setup, statement count proportional
+  to the copied data (Section 6.2.1);
+* :class:`TableInsert` — materialises the source rows in temp tables,
+  computes the min/max id over them, reserves ``maxId - minId + 1`` ids
+  by advancing the system-wide counter once, and re-inserts each
+  relation en masse with ``id + offset`` — a constant number of
+  statements per relation (Section 6.2.2);
+* :class:`AsrInsert` — uses marked ASR paths instead of temp tables to
+  find the source tuples, then the same offset remap directly from the
+  data relations, plus ASR maintenance statements (Section 6.2.3).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.relational.asr import AsrManager
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator, META_TABLE
+from repro.relational.outer_union import build_outer_union, subtree_relations
+from repro.relational.schema import MappingSchema
+
+
+class InsertMethod:
+    """Base interface for the copy-insert strategies."""
+
+    name = "abstract"
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        """Set up any machinery the strategy needs (ASRs)."""
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        """Tear the machinery down again."""
+
+    def insert_copy(
+        self,
+        db: Database,
+        schema: MappingSchema,
+        allocator: IdAllocator,
+        relation: str,
+        where_sql: str,
+        params: Sequence,
+        new_parent_id: int,
+    ) -> None:
+        raise NotImplementedError
+
+
+class TupleInsert(InsertMethod):
+    name = "tuple"
+
+    def insert_copy(self, db, schema, allocator, relation, where_sql, params, new_parent_id):
+        query = build_outer_union(schema, relation, where_sql, params)
+        rows = db.query(query.sql, query.params)
+        id_map: dict[int, int] = {}
+        next_id = allocator.peek()
+        first_id = next_id
+        entry_by_name = {entry.relation: entry for entry in query.layout}
+        for row in rows:
+            entry = query.entry_for_row(row)
+            rel = schema.relation(entry.relation)
+            old_id = row[entry.id_index]
+            new_id = next_id
+            next_id += 1
+            id_map[old_id] = new_id
+            if entry.parent_relation is None:
+                parent_id = new_parent_id
+            else:
+                parent_entry = entry_by_name[entry.parent_relation]
+                parent_id = id_map[row[parent_entry.id_index]]
+            values = [new_id, parent_id] + [row[i] for i in entry.data_indices]
+            columns = ", ".join(f'"{c}"' for c in rel.all_columns)
+            placeholders = ", ".join("?" for _ in values)
+            db.execute(
+                f'INSERT INTO "{rel.name}" ({columns}) VALUES ({placeholders})',
+                values,
+            )
+        # Persist the gap-free allocation with a single counter update.
+        if next_id != first_id:
+            db.execute(
+                f"UPDATE {META_TABLE} SET value = ? WHERE key = 'next_id'",
+                (next_id,),
+            )
+
+
+class TableInsert(InsertMethod):
+    name = "table"
+
+    def insert_copy(self, db, schema, allocator, relation, where_sql, params, new_parent_id):
+        try:
+            relations = subtree_relations(schema, relation)
+        except StorageError:
+            # Recursive mapping: the subtree nests its own relation.  A
+            # fix-point (recursive CTE) gathers the tuples instead of one
+            # temp table per static level (cf. the fix-point remark in §5.2).
+            self._insert_copy_recursive(
+                db, schema, allocator, relation, where_sql, params, new_parent_id
+            )
+            return
+        temp_names = {rel.name: f"tmp_copy_{rel.name}" for rel in relations}
+        # 1. Materialise the source subtree into temp tables, top-down.
+        where = f" WHERE {where_sql}" if where_sql else ""
+        db.execute(
+            f'CREATE TEMP TABLE "{temp_names[relation]}" AS '
+            f'SELECT * FROM "{relation}"{where}',
+            params,
+        )
+        for rel in relations[1:]:
+            parent_temp = temp_names[rel.parent]
+            db.execute(
+                f'CREATE TEMP TABLE "{temp_names[rel.name]}" AS '
+                f'SELECT c.* FROM "{rel.name}" c JOIN "{parent_temp}" p '
+                f"ON c.parentId = p.id"
+            )
+        try:
+            # 2. min/max over all source tuples -> offset heuristic.
+            union = " UNION ALL ".join(
+                f'SELECT id FROM "{temp_names[rel.name]}"' for rel in relations
+            )
+            row = db.query_one(f"SELECT MIN(id), MAX(id) FROM ({union})")
+            min_id, max_id = row if row else (None, None)
+            if min_id is None:
+                return  # nothing matched
+            first_new = allocator.reserve(max_id - min_id + 1)
+            offset = first_new - min_id
+            # 3. En-masse re-insert per relation with remapped ids.
+            for rel in relations:
+                data_cols = ", ".join(f'"{c}"' for c in rel.data_columns)
+                data_part = f", {data_cols}" if rel.data_columns else ""
+                if rel.name == relation:
+                    parent_expr = str(new_parent_id)
+                else:
+                    parent_expr = f"parentId + {offset}"
+                db.execute(
+                    f'INSERT INTO "{rel.name}" (id, parentId'
+                    f"{', ' + data_cols if rel.data_columns else ''}) "
+                    f"SELECT id + {offset}, {parent_expr}{data_part} "
+                    f'FROM "{temp_names[rel.name]}"'
+                )
+        finally:
+            for temp in temp_names.values():
+                db.execute(f'DROP TABLE IF EXISTS "{temp}"')
+
+    def _insert_copy_recursive(
+        self, db, schema, allocator, relation, where_sql, params, new_parent_id
+    ) -> None:
+        """Copy subtrees of a self-recursive relation with one fix-point
+        query.  Supported when the recursion is a pure self-loop (every
+        reachable descendant relation is the relation itself)."""
+        reachable: set[str] = set()
+        queue = [relation]
+        while queue:
+            name = queue.pop(0)
+            for child in schema.relation(name).children:
+                if child not in reachable:
+                    reachable.add(child)
+                    queue.append(child)
+        if reachable - {relation}:
+            raise StorageError(
+                f"recursive copy of {relation!r} with additional child "
+                f"relations {sorted(reachable - {relation})} is not supported"
+            )
+        rel = schema.relation(relation)
+        where = f" WHERE {where_sql}" if where_sql else ""
+        temp = f"tmp_copy_{relation}"
+        db.execute(
+            f'CREATE TEMP TABLE "{temp}" AS '
+            f"WITH RECURSIVE sub(sid) AS ("
+            f'  SELECT id FROM "{relation}"{where}'
+            f"  UNION"
+            f'  SELECT p.id FROM "{relation}" p JOIN sub ON p.parentId = sub.sid'
+            f') SELECT r.*, (r.id IN (SELECT id FROM "{relation}"{where})) AS is_root '
+            f'FROM "{relation}" r WHERE r.id IN (SELECT sid FROM sub)',
+            tuple(params) + tuple(params),
+        )
+        try:
+            row = db.query_one(f'SELECT MIN(id), MAX(id) FROM "{temp}"')
+            min_id, max_id = row if row else (None, None)
+            if min_id is None:
+                return
+            first_new = allocator.reserve(max_id - min_id + 1)
+            offset = first_new - min_id
+            data_cols = ", ".join(f'"{c}"' for c in rel.data_columns)
+            data_part = f", {data_cols}" if rel.data_columns else ""
+            db.execute(
+                f'INSERT INTO "{relation}" (id, parentId'
+                f"{', ' + data_cols if rel.data_columns else ''}) "
+                f"SELECT id + {offset}, CASE WHEN is_root THEN {new_parent_id} "
+                f"ELSE parentId + {offset} END{data_part} "
+                f'FROM "{temp}"'
+            )
+        finally:
+            db.execute(f'DROP TABLE IF EXISTS "{temp}"')
+
+
+class AsrInsert(InsertMethod):
+    name = "asr"
+
+    def __init__(self, asr: Optional[AsrManager] = None) -> None:
+        self.asr = asr
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        if self.asr is None:
+            self.asr = AsrManager(db, schema)
+        self.asr.create_all()
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        if self.asr is not None:
+            self.asr.drop_all()
+
+    def insert_copy(self, db, schema, allocator, relation, where_sql, params, new_parent_id):
+        if self.asr is None:
+            raise StorageError("AsrInsert used before install()")
+        where = f" WHERE {where_sql}" if where_sql else ""
+        id_select = f'SELECT id FROM "{relation}"{where}'
+        # 1. Mark the source paths.
+        self.asr.mark_subtrees(relation, id_select, params)
+        try:
+            # 2. Offset from the marked ids' min/max.
+            relations = subtree_relations(schema, relation)
+            selects = []
+            for rel in relations:
+                marked = self.asr.marked_descendant_ids_sql(relation, rel.name)
+                if marked is not None:
+                    selects.append(marked)
+            union = " UNION ALL ".join(selects)
+            row = db.query_one(f"SELECT MIN(cid), MAX(cid) FROM ({union})")
+            min_id, max_id = row if row else (None, None)
+            if min_id is None:
+                return
+            first_new = allocator.reserve(max_id - min_id + 1)
+            offset = first_new - min_id
+            # 3. Replicate tuples straight from the data relations.
+            for rel in relations:
+                marked = self.asr.marked_descendant_ids_sql(relation, rel.name)
+                if marked is None:
+                    continue
+                data_cols = ", ".join(f'"{c}"' for c in rel.data_columns)
+                data_part = f", {data_cols}" if rel.data_columns else ""
+                if rel.name == relation:
+                    parent_expr = str(new_parent_id)
+                else:
+                    parent_expr = f"parentId + {offset}"
+                db.execute(
+                    f'INSERT INTO "{rel.name}" (id, parentId'
+                    f"{', ' + data_cols if rel.data_columns else ''}) "
+                    f"SELECT id + {offset}, {parent_expr}{data_part} "
+                    f'FROM "{rel.name}" WHERE id IN ({marked})'
+                )
+            # 4. Add ASR paths for the copies.
+            self.asr.insert_offset_paths(relation, offset, new_parent_id)
+        finally:
+            # 5. Unmark.
+            self.asr.unmark_all()
+
+
+# Strategy classes by name; instantiate one per store (AsrInsert holds
+# per-database state).
+INSERT_METHODS = {method.name: method for method in (TupleInsert, TableInsert, AsrInsert)}

@@ -1,0 +1,258 @@
+"""Sorted Outer Union result construction (Section 5.2, Figure 5).
+
+To return an XML subtree stored across multiple relations in one tuple
+stream, each relation in the subtree contributes a ``WITH`` CTE that
+pads the "wide" tuple with NULLs; the branches are ``UNION ALL``-ed and
+sorted so child tuples follow their parents (child tuples carry their
+ancestors' key columns but not their data).  The client-side *tagger*
+(:func:`reconstruct_elements`) reassembles model elements from the
+sorted stream, rebuilding inlined structure (``Address_City`` back into
+``<Address><City>...</City></Address>``) along the way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.errors import StorageError
+from repro.relational.schema import (
+    FIELD_ATTRIBUTE,
+    FIELD_PCDATA,
+    FIELD_PRESENCE,
+    FIELD_REFS,
+    MappingSchema,
+    Relation,
+)
+from repro.xmlmodel.model import Element, Text
+
+
+@dataclass
+class LayoutEntry:
+    """Where one relation's columns live inside the wide tuple."""
+
+    relation: str
+    parent_relation: Optional[str]
+    id_index: int
+    data_indices: list[int]
+
+
+@dataclass
+class OuterUnionQuery:
+    """A generated Sorted Outer Union query plus its wide-tuple layout."""
+
+    sql: str
+    params: tuple
+    layout: list[LayoutEntry]
+    width: int
+
+    def entry_for_row(self, row: Sequence) -> LayoutEntry:
+        """The layout entry a wide tuple belongs to: deepest non-NULL id."""
+        owner: Optional[LayoutEntry] = None
+        for entry in self.layout:
+            if row[entry.id_index] is not None:
+                owner = entry
+        if owner is None:
+            raise StorageError(f"wide tuple with no id columns set: {row!r}")
+        return owner
+
+
+def subtree_relations(schema: MappingSchema, target: str) -> list[Relation]:
+    """The target relation and everything below it, in DFS pre-order."""
+    ordered: list[Relation] = []
+    on_path: set[str] = set()
+
+    def visit(name: str) -> None:
+        if name in on_path:
+            raise StorageError(
+                "the Sorted Outer Union cannot cover a recursive mapping "
+                f"(relation {name!r} nests itself); query a bounded subtree"
+            )
+        relation = schema.relation(name)
+        ordered.append(relation)
+        on_path.add(name)
+        for child in relation.children:
+            visit(child)
+        on_path.remove(name)
+
+    visit(target)
+    return ordered
+
+
+def build_outer_union(
+    schema: MappingSchema,
+    target: str,
+    where_sql: str = "",
+    params: Sequence = (),
+) -> OuterUnionQuery:
+    """Generate the Figure-5-style query for the subtree rooted at
+    ``target``.  ``where_sql`` filters the base (target) relation only —
+    as the paper notes, conditions must sit in the first subquery since
+    the other branches cannot remove tuples."""
+    relations = subtree_relations(schema, target)
+    layout: list[LayoutEntry] = []
+    cursor = 0
+    for relation in relations:
+        entry = LayoutEntry(
+            relation=relation.name,
+            parent_relation=relation.parent if relation.name != target else None,
+            id_index=cursor,
+            data_indices=list(range(cursor + 1, cursor + 1 + len(relation.fields))),
+        )
+        layout.append(entry)
+        cursor += 1 + len(relation.fields)
+    width = cursor
+    wide_columns = [f"c{i}" for i in range(width)]
+    entry_by_name = {entry.relation: entry for entry in layout}
+
+    ctes: list[str] = []
+    for position, relation in enumerate(relations):
+        entry = entry_by_name[relation.name]
+        select_parts = ["NULL"] * width
+        alias = "r"
+        if position == 0:
+            # The base subquery carries the selection, so its columns are
+            # qualified by the bare table name — the same form a DELETE's
+            # WHERE clause uses, letting callers share translated predicates.
+            qualifier = f'"{relation.name}"'
+            select_parts[entry.id_index] = f"{qualifier}.id"
+            for inlined, index in zip(relation.fields, entry.data_indices):
+                select_parts[index] = f'{qualifier}."{inlined.column}"'
+            where = f" WHERE {where_sql}" if where_sql else ""
+            body = (
+                f"SELECT {', '.join(select_parts)} "
+                f'FROM "{relation.name}"{where}'
+            )
+        else:
+            parent_entry = entry_by_name[relation.parent]  # type: ignore[index]
+            parent_cte = f"q{relations.index(schema.relation(relation.parent))}"
+            # Child tuples carry every ancestor id (the key attributes),
+            # but no ancestor data.
+            ancestor = entry_by_name[relation.parent]  # type: ignore[index]
+            chain: list[LayoutEntry] = []
+            walk: Optional[LayoutEntry] = ancestor
+            while walk is not None:
+                chain.append(walk)
+                walk = entry_by_name.get(walk.parent_relation) if walk.parent_relation else None
+            for ancestor_entry in chain:
+                column = wide_columns[ancestor_entry.id_index]
+                select_parts[ancestor_entry.id_index] = f"base.{column}"
+            select_parts[entry.id_index] = f"{alias}.id"
+            for inlined, index in zip(relation.fields, entry.data_indices):
+                select_parts[index] = f'{alias}."{inlined.column}"'
+            body = (
+                f"SELECT {', '.join(select_parts)} "
+                f'FROM {parent_cte} base, "{relation.name}" {alias} '
+                f"WHERE {alias}.parentId = base.{wide_columns[parent_entry.id_index]}"
+            )
+        ctes.append(f"q{position}({', '.join(wide_columns)}) AS ({body})")
+
+    union = " UNION ALL ".join(f"SELECT * FROM q{i}" for i in range(len(relations)))
+    order_columns = ", ".join(wide_columns[entry.id_index] for entry in layout)
+    sql = f"WITH {', '.join(ctes)} {union} ORDER BY {order_columns}"
+    return OuterUnionQuery(sql=sql, params=tuple(params), layout=layout, width=width)
+
+
+# ----------------------------------------------------------------------
+# The tagger: sorted wide tuples -> model elements
+# ----------------------------------------------------------------------
+def reconstruct_elements(
+    schema: MappingSchema,
+    query: OuterUnionQuery,
+    rows: Sequence[Sequence],
+    positions: Optional[dict[int, int]] = None,
+) -> list[Element]:
+    """Rebuild the XML elements of the target relation from a sorted
+    Outer Union result.  Returns the top-level elements in stream order.
+
+    ``positions`` optionally maps tuple ids to document-order positions
+    (from an order-preserving store): relation-anchored siblings are
+    then re-ordered accordingly (inlined content keeps its
+    mapping-determined place)."""
+    entry_by_name = {entry.relation: entry for entry in query.layout}
+    built: dict[tuple[str, int], Element] = {}  # (relation, tuple id) -> element
+    roots: list[Element] = []
+    # anchor element id -> [(child element, tuple id)] for optional reorder.
+    attachments: dict[int, list[tuple[Element, int]]] = {}
+    anchors: dict[int, Element] = {}
+    for row in rows:
+        entry = query.entry_for_row(row)
+        relation = schema.relation(entry.relation)
+        element = _build_element(relation, row, entry)
+        tuple_id = row[entry.id_index]
+        built[(relation.name, tuple_id)] = element
+        if entry.parent_relation is None:
+            roots.append(element)
+        else:
+            parent_entry = entry_by_name[entry.parent_relation]
+            parent_id = row[parent_entry.id_index]
+            parent_element = built.get((entry.parent_relation, parent_id))
+            if parent_element is None:
+                raise StorageError(
+                    "outer union stream is not sorted: child tuple arrived "
+                    f"before its parent ({relation.name} id={tuple_id})"
+                )
+            anchor = _ensure_path(parent_element, relation.parent_path)
+            anchor.append_child(element)
+            if positions is not None:
+                anchors[anchor.node_id] = anchor
+                attachments.setdefault(anchor.node_id, []).append((element, tuple_id))
+    if positions is not None:
+        _reorder_attachments(anchors, attachments, positions)
+    return roots
+
+
+def _reorder_attachments(
+    anchors: dict[int, Element],
+    attachments: dict[int, list[tuple[Element, int]]],
+    positions: dict[int, int],
+) -> None:
+    """Re-sort relation-anchored siblings by their stored positions."""
+    for anchor_id, attached in attachments.items():
+        if len(attached) < 2:
+            continue
+        anchor = anchors[anchor_id]
+        by_element_id = {element.node_id: tuple_id for element, tuple_id in attached}
+        attached_elements = [element for element, _ in attached]
+        desired = sorted(
+            attached_elements,
+            key=lambda el: positions.get(by_element_id[el.node_id], 1 << 60),
+        )
+        iterator = iter(desired)
+        for index, child in enumerate(anchor.children):
+            if isinstance(child, Element) and child.node_id in by_element_id:
+                anchor.children[index] = next(iterator)
+
+
+def _build_element(relation: Relation, row: Sequence, entry: LayoutEntry) -> Element:
+    element = Element(relation.tag)
+    for inlined, index in zip(relation.fields, entry.data_indices):
+        value = row[index]
+        if value is None:
+            continue
+        if inlined.kind == FIELD_PRESENCE:
+            _ensure_path(element, inlined.path)
+        elif inlined.kind == FIELD_PCDATA:
+            target = _ensure_path(element, inlined.path)
+            if str(value):
+                target.append_child(Text(str(value)))
+        elif inlined.kind == FIELD_ATTRIBUTE:
+            target = _ensure_path(element, inlined.path)
+            target.set_attribute(inlined.name, str(value))
+        elif inlined.kind == FIELD_REFS:
+            target = _ensure_path(element, inlined.path)
+            for ref_target in str(value).split():
+                target.add_reference(inlined.name, ref_target)
+    return element
+
+
+def _ensure_path(element: Element, path: tuple[str, ...]) -> Element:
+    """Find-or-create the inlined descendant chain ``path``."""
+    current = element
+    for tag in path:
+        child = current.first_child_element(tag)
+        if child is None:
+            child = Element(tag)
+            current.append_child(child)
+        current = child
+    return current

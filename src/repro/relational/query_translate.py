@@ -1,0 +1,526 @@
+"""Translate XPath target paths and predicates to SQL over the mapping.
+
+The update statements the paper evaluates all share one shape: a FOR
+clause binds the update target via an absolute path with predicates
+(``document("custdb.xml")//Order[Status="ready"]``).  This module turns
+such a path into a :class:`TargetSelection`: the relation holding the
+target tuples plus a WHERE clause selecting them.
+
+Supported path features: child and ``//`` descendant steps, steps
+through inlined elements, predicates with ``and``/``or``, comparisons
+between relative paths (including ``@attr``) and literals/numbers, and
+existence tests.  Predicates over child *relations* become correlated
+EXISTS subqueries.  Anything else raises
+:class:`~repro.errors.TranslationError` (the in-memory engine still
+handles it; the relational store is scoped to the paper's workloads).
+
+Column references in the produced WHERE clause are qualified with the
+relation's (quoted) table name, which is valid in DELETE, UPDATE, and
+SELECT alike.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Union
+
+from repro.errors import TranslationError
+from repro.relational.schema import (
+    FIELD_ATTRIBUTE,
+    FIELD_PCDATA,
+    FIELD_PRESENCE,
+    FIELD_REFS,
+    InlinedField,
+    MappingSchema,
+    Relation,
+)
+from repro.xpath.ast import (
+    AttributeStep,
+    BooleanOp,
+    ChildStep,
+    Comparison,
+    ContextStart,
+    DocumentStart,
+    Exists,
+    Expr,
+    Literal,
+    Number,
+    Path,
+    PathValue,
+    VariableStart,
+)
+
+
+@dataclass
+class TargetSelection:
+    """Where a translated path's targets live.
+
+    ``relation`` holds the tuples; ``where_sql``/``params`` select them.
+    ``inlined_path`` is non-empty when the path ends *inside* a tuple
+    (an inlined element) — the paper's "simple" update case.
+    """
+
+    relation: str
+    where_sql: str = ""
+    params: tuple = ()
+    inlined_path: tuple[str, ...] = ()
+
+    @property
+    def is_inlined(self) -> bool:
+        return bool(self.inlined_path)
+
+
+class _AliasSource:
+    def __init__(self) -> None:
+        self._counter = 0
+
+    def next(self) -> str:
+        self._counter += 1
+        return f"s{self._counter}"
+
+
+def translate_target_path(
+    schema: MappingSchema,
+    path: Path,
+    document_name: Optional[str] = None,
+) -> TargetSelection:
+    """Translate an absolute path to the selection of its target tuples.
+
+    When ``document_name`` is given, the path's ``document(...)`` call
+    must name it (the store serves exactly one document)."""
+    if not isinstance(path.start, DocumentStart):
+        raise TranslationError(
+            "only absolute paths (document(...) starts) can be translated; "
+            f"got start {path.start!r}"
+        )
+    if document_name is not None and path.start.name != document_name:
+        raise TranslationError(
+            f"unknown document {path.start.name!r}; this store serves "
+            f"{document_name!r}"
+        )
+    return _translate_steps(schema, path.steps)
+
+
+def translate_relative_path(
+    schema: MappingSchema,
+    base: TargetSelection,
+    path: Path,
+) -> TargetSelection:
+    """Translate a path relative to an existing selection (``$var/...``).
+
+    The result's WHERE constrains the new relation's tuples to descend
+    from tuples selected by ``base``."""
+    if not isinstance(path.start, (VariableStart, ContextStart)):
+        raise TranslationError(f"expected a relative path, got start {path.start!r}")
+    if base.is_inlined:
+        raise TranslationError("cannot navigate below an inlined element binding")
+    return _translate_steps(schema, path.steps, base=base)
+
+
+def _translate_steps(
+    schema: MappingSchema,
+    steps: Sequence,
+    base: Optional[TargetSelection] = None,
+) -> TargetSelection:
+    aliases = _AliasSource()
+    if base is None:
+        relation: Optional[Relation] = None
+        conditions: list[str] = []
+        params: list = []
+    else:
+        relation = schema.relation(base.relation)
+        conditions = [base.where_sql] if base.where_sql else []
+        params = list(base.params)
+    inlined: tuple[str, ...] = ()
+
+    for step in steps:
+        if not isinstance(step, ChildStep):
+            raise TranslationError(
+                f"step {step!r} cannot be translated to SQL (references and "
+                "attribute bindings are resolved by the update translator)"
+            )
+        if relation is None:
+            root = schema.relation(schema.root)
+            if step.descendant:
+                relation = _find_descendant_relation(schema, schema.root, step.name, True)
+            elif root.tag == step.name:
+                relation = root
+            else:
+                raise TranslationError(
+                    f"path step {step.name!r} does not match the mapping root "
+                    f"(tag {root.tag!r})"
+                )
+            conditions, params = _apply_predicates(
+                schema, relation, (), step.predicates, conditions, params, aliases
+            )
+            continue
+        # Within a relation: descend to a child relation or an inlined element.
+        if step.descendant:
+            next_relation = _find_descendant_relation(schema, relation.name, step.name, False)
+            chain = _relation_chain(schema, relation.name, next_relation.name)
+            conditions, params = _link_down(
+                schema, chain, conditions, params, aliases
+            )
+            relation = next_relation
+            inlined = ()
+        else:
+            child_relation = _direct_child_relation(schema, relation, inlined, step.name)
+            if child_relation is not None:
+                conditions, params = _link_down(
+                    schema, [relation, child_relation], conditions, params, aliases
+                )
+                relation = child_relation
+                inlined = ()
+            elif _has_inlined(relation, inlined + (step.name,)):
+                inlined = inlined + (step.name,)
+            else:
+                raise TranslationError(
+                    f"element {step.name!r} is neither a child relation nor an "
+                    f"inlined element under relation {relation.name!r}"
+                )
+        conditions, params = _apply_predicates(
+            schema, relation, inlined, step.predicates, conditions, params, aliases
+        )
+
+    if relation is None:
+        raise TranslationError("path has no steps to translate")
+    where_sql = " AND ".join(f"({condition})" for condition in conditions)
+    return TargetSelection(relation.name, where_sql, tuple(params), inlined)
+
+
+# ----------------------------------------------------------------------
+# Relation navigation helpers
+# ----------------------------------------------------------------------
+def _direct_child_relation(
+    schema: MappingSchema,
+    relation: Relation,
+    inlined: tuple[str, ...],
+    tag: str,
+) -> Optional[Relation]:
+    for child_name in relation.children:
+        child = schema.relation(child_name)
+        if child.tag == tag and child.parent_path == inlined:
+            return child
+    return None
+
+
+def _has_inlined(relation: Relation, path: tuple[str, ...]) -> bool:
+    return any(
+        inlined.path[: len(path)] == path for inlined in relation.fields
+    )
+
+
+def _find_descendant_relation(
+    schema: MappingSchema,
+    start: str,
+    tag: str,
+    include_start: bool,
+) -> Relation:
+    matches: list[Relation] = []
+    queue = [start] if include_start else list(schema.relation(start).children)
+    visited: set[str] = set()
+    while queue:
+        name = queue.pop(0)
+        if name in visited:
+            continue
+        visited.add(name)
+        candidate = schema.relation(name)
+        if candidate.tag == tag:
+            matches.append(candidate)
+        queue.extend(candidate.children)
+    if len(matches) == 1:
+        return matches[0]
+    if not matches:
+        raise TranslationError(f"no relation with tag {tag!r} below {start!r}")
+    raise TranslationError(
+        f"descendant step //{tag} is ambiguous: relations "
+        f"{[m.name for m in matches]}"
+    )
+
+
+def _relation_chain(schema: MappingSchema, top: str, bottom: str) -> list[Relation]:
+    chain = [schema.relation(bottom)]
+    while chain[0].name != top:
+        parent = chain[0].parent
+        if parent is None:
+            raise TranslationError(f"{bottom!r} is not below {top!r}")
+        chain.insert(0, schema.relation(parent))
+    return chain
+
+
+def _link_down(
+    schema: MappingSchema,
+    chain: list[Relation],
+    conditions: list[str],
+    params: list,
+    aliases: _AliasSource,
+) -> tuple[list[str], list]:
+    """Rewrite a selection on chain[0] into one on chain[-1]: the new
+    relation's parentId chain must land in the old selection."""
+    top = chain[0]
+    bottom = chain[-1]
+    inner_where = " AND ".join(f"({c})" for c in conditions)
+    # Build nested IN subqueries bottom-up: parentId IN (SELECT id FROM ...).
+    current_sql = f'SELECT id FROM "{top.name}"'
+    if inner_where:
+        current_sql += f" WHERE {inner_where}"
+    for relation in chain[1:-1]:
+        current_sql = (
+            f'SELECT id FROM "{relation.name}" WHERE parentId IN ({current_sql})'
+        )
+    new_condition = f'"{bottom.name}".parentId IN ({current_sql})'
+    return [new_condition], params
+
+
+# ----------------------------------------------------------------------
+# Predicate translation
+# ----------------------------------------------------------------------
+def _apply_predicates(
+    schema: MappingSchema,
+    relation: Relation,
+    inlined: tuple[str, ...],
+    predicates: Sequence[Expr],
+    conditions: list[str],
+    params: list,
+    aliases: _AliasSource,
+) -> tuple[list[str], list]:
+    qualifier = f'"{relation.name}"'
+    for predicate in predicates:
+        sql, predicate_params = _translate_expr(
+            schema, relation, inlined, qualifier, predicate, aliases
+        )
+        conditions = conditions + [sql]
+        params = params + list(predicate_params)
+    return conditions, params
+
+
+def translate_predicate(
+    schema: MappingSchema,
+    selection: TargetSelection,
+    predicate: Expr,
+) -> TargetSelection:
+    """Add one more predicate (e.g. from a WHERE clause) to a selection."""
+    relation = schema.relation(selection.relation)
+    aliases = _AliasSource()
+    sql, params = _translate_expr(
+        schema, relation, selection.inlined_path, f'"{relation.name}"', predicate, aliases
+    )
+    conditions = [selection.where_sql] if selection.where_sql else []
+    conditions.append(sql)
+    return TargetSelection(
+        selection.relation,
+        " AND ".join(f"({c})" for c in conditions),
+        selection.params + tuple(params),
+        selection.inlined_path,
+    )
+
+
+def _translate_expr(
+    schema: MappingSchema,
+    relation: Relation,
+    inlined: tuple[str, ...],
+    qualifier: str,
+    expr: Expr,
+    aliases: _AliasSource,
+) -> tuple[str, list]:
+    if isinstance(expr, BooleanOp):
+        left_sql, left_params = _translate_expr(
+            schema, relation, inlined, qualifier, expr.left, aliases
+        )
+        right_sql, right_params = _translate_expr(
+            schema, relation, inlined, qualifier, expr.right, aliases
+        )
+        op = "AND" if expr.op == "and" else "OR"
+        return f"({left_sql}) {op} ({right_sql})", left_params + right_params
+    if isinstance(expr, Comparison):
+        return _translate_comparison(schema, relation, inlined, qualifier, expr, aliases)
+    if isinstance(expr, Exists):
+        return _translate_existence(
+            schema, relation, inlined, qualifier, expr.path, aliases
+        )
+    raise TranslationError(f"predicate {expr!r} cannot be translated to SQL")
+
+
+def _translate_comparison(
+    schema: MappingSchema,
+    relation: Relation,
+    inlined: tuple[str, ...],
+    qualifier: str,
+    expr: Comparison,
+    aliases: _AliasSource,
+) -> tuple[str, list]:
+    # Normalise to: path op constant.
+    if isinstance(expr.left, (Literal, Number)) and isinstance(expr.right, PathValue):
+        flipped = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}.get(expr.op, expr.op)
+        expr = Comparison(flipped, expr.right, expr.left)
+    if not isinstance(expr.left, PathValue) or not isinstance(expr.right, (Literal, Number)):
+        raise TranslationError(
+            f"only comparisons between a path and a constant are translatable: {expr!r}"
+        )
+    numeric = isinstance(expr.right, Number)
+    value = expr.right.value
+    op = "=" if expr.op == "=" else ("<>" if expr.op == "!=" else expr.op)
+    column_sql, remaining_path, sub_relation = _resolve_value_path(
+        schema, relation, inlined, qualifier, expr.left.path
+    )
+    if sub_relation is None:
+        lhs = f"CAST({column_sql} AS REAL)" if numeric else column_sql
+        return f"{lhs} {op} ?", [value]
+    # The path crosses into child relations: correlated EXISTS.
+    return _exists_chain(
+        schema, sub_relation, remaining_path, qualifier, op, value, numeric, aliases
+    )
+
+
+def _translate_existence(
+    schema: MappingSchema,
+    relation: Relation,
+    inlined: tuple[str, ...],
+    qualifier: str,
+    path: Path,
+    aliases: _AliasSource,
+) -> tuple[str, list]:
+    column_sql, remaining_path, sub_relation = _resolve_value_path(
+        schema, relation, inlined, qualifier, path, for_existence=True
+    )
+    if sub_relation is None:
+        return f"{column_sql} IS NOT NULL", []
+    return _exists_chain(
+        schema, sub_relation, remaining_path, qualifier, None, None, False, aliases
+    )
+
+
+def _resolve_value_path(
+    schema: MappingSchema,
+    relation: Relation,
+    inlined: tuple[str, ...],
+    qualifier: str,
+    path: Path,
+    for_existence: bool = False,
+) -> tuple[Optional[str], tuple, Optional[Relation]]:
+    """Resolve a relative path inside ``relation``.
+
+    Returns ``(column_sql, remaining_steps, child_relation)``: either the
+    path lands on an inlined column (``column_sql`` set), or it enters a
+    child relation (``child_relation`` set with the steps still to apply).
+    """
+    if not isinstance(path.start, (ContextStart, VariableStart)):
+        raise TranslationError(f"expected a relative path in predicate, got {path!r}")
+    position = inlined
+    steps = list(path.steps)
+    while steps:
+        step = steps[0]
+        if isinstance(step, AttributeStep):
+            inlined_field = _find_field(
+                relation, position, (FIELD_ATTRIBUTE, FIELD_REFS), step.name
+            )
+            if inlined_field is None:
+                raise TranslationError(
+                    f"attribute {step.name!r} is not stored on relation "
+                    f"{relation.name!r} at path {position}"
+                )
+            return f'{qualifier}."{inlined_field.column}"', (), None
+        if not isinstance(step, ChildStep) or step.descendant or step.predicates:
+            raise TranslationError(
+                f"predicate path step {step!r} cannot be translated"
+            )
+        child_relation = _direct_child_relation(schema, relation, position, step.name)
+        if child_relation is not None:
+            return None, tuple(steps[1:]), child_relation
+        position = position + (step.name,)
+        if not _has_inlined(relation, position):
+            raise TranslationError(
+                f"element {step.name!r} not found under relation {relation.name!r}"
+            )
+        steps.pop(0)
+    # Path ended on an inlined element: use its PCDATA column (value
+    # comparison) or its presence (existence test).
+    pcdata = _find_field(relation, position, (FIELD_PCDATA,))
+    if pcdata is not None:
+        return f'{qualifier}."{pcdata.column}"', (), None
+    if for_existence:
+        presence = _find_field(relation, position, (FIELD_PRESENCE,))
+        if presence is not None:
+            return f'{qualifier}."{presence.column}"', (), None
+    raise TranslationError(
+        f"path at {position} under relation {relation.name!r} has no "
+        "comparable column"
+    )
+
+
+def _find_field(
+    relation: Relation,
+    path: tuple[str, ...],
+    kinds: tuple[str, ...],
+    name: str = "",
+) -> Optional[InlinedField]:
+    for inlined_field in relation.fields:
+        if inlined_field.path == path and inlined_field.kind in kinds:
+            if not name or inlined_field.name == name:
+                return inlined_field
+    return None
+
+
+def _exists_chain(
+    schema: MappingSchema,
+    relation: Relation,
+    remaining_steps: tuple,
+    outer_qualifier: str,
+    op: Optional[str],
+    value,
+    numeric: bool,
+    aliases: _AliasSource,
+) -> tuple[str, list]:
+    """EXISTS (...) descending from the outer tuple through ``relation``
+    and any further steps to a final column condition."""
+    alias = aliases.next()
+    inner_path = Path(ContextStart(), remaining_steps)
+    params: list = []
+    if remaining_steps:
+        condition_sql, inner_params = _translate_expr_inner(
+            schema, relation, alias, inner_path, op, value, numeric, aliases
+        )
+        params.extend(inner_params)
+    elif op is not None:
+        pcdata = _find_field(relation, (), (FIELD_PCDATA,))
+        if pcdata is None:
+            raise TranslationError(
+                f"relation {relation.name!r} has no PCDATA column to compare"
+            )
+        lhs = f'{alias}."{pcdata.column}"'
+        if numeric:
+            lhs = f"CAST({lhs} AS REAL)"
+        condition_sql = f"{lhs} {op} ?"
+        params.append(value)
+    else:
+        condition_sql = "1"
+    sql = (
+        f'EXISTS (SELECT 1 FROM "{relation.name}" {alias} '
+        f"WHERE {alias}.parentId = {outer_qualifier}.id AND ({condition_sql}))"
+    )
+    return sql, params
+
+
+def _translate_expr_inner(
+    schema: MappingSchema,
+    relation: Relation,
+    alias: str,
+    path: Path,
+    op: Optional[str],
+    value,
+    numeric: bool,
+    aliases: _AliasSource,
+) -> tuple[str, list]:
+    column_sql, remaining, sub_relation = _resolve_value_path(
+        schema, relation, (), alias, path, for_existence=op is None
+    )
+    if sub_relation is None:
+        if op is None:
+            return f"{column_sql} IS NOT NULL", []
+        lhs = f"CAST({column_sql} AS REAL)" if numeric else column_sql
+        return f"{lhs} {op} ?", [value]
+    inner_alias_qualifier = alias
+    sql, params = _exists_chain(
+        schema, sub_relation, remaining, inner_alias_qualifier, op, value, numeric, aliases
+    )
+    return sql, params

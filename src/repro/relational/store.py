@@ -1,0 +1,352 @@
+"""`XmlStore`: the end-to-end XML repository over SQLite.
+
+Usage::
+
+    store = XmlStore.from_dtd(dtd_text)
+    store.load(document)
+    store.set_delete_method("per_tuple_trigger")
+    store.execute('FOR $c IN document("doc.xml")/CustDB/Customer[Name="John"] '
+                  'UPDATE $d { DELETE $c }')      # translated to SQL
+    elements = store.query('FOR $c IN .../Customer[Name="John"] RETURN $c')
+
+Queries run through the Sorted Outer Union (Section 5.2); updates run
+through the configured delete/insert strategies (Section 6).  The store
+keeps the paper's measurement hooks exposed: ``db.counts`` for SQL
+statement counts and strategy switching per experiment.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from repro.errors import StorageError, TranslationError
+from repro.relational.asr import AsrManager
+from repro.relational.database import Database
+from repro.relational.delete_methods import (
+    DELETE_METHODS,
+    AsrDelete,
+    DeleteMethod,
+)
+from repro.relational.idgen import IdAllocator
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.insert_methods import (
+    INSERT_METHODS,
+    AsrInsert,
+    InsertMethod,
+)
+from repro.relational.outer_union import build_outer_union, reconstruct_elements
+from repro.relational.query_translate import (
+    TargetSelection,
+    translate_predicate,
+    translate_target_path,
+)
+from repro.relational.schema import MappingSchema
+from repro.relational.shredder import create_schema, shred_document
+from repro.relational.update_translate import UpdateTranslator, _strip_variable
+from repro.xmlmodel.dtd import Dtd, parse_dtd
+from repro.xmlmodel.model import Document, Element
+from repro.xmlmodel.policy import RefPolicy
+from repro.xpath.ast import Path, VariableStart
+from repro.xquery.ast import Query
+from repro.xquery.parser import parse_query
+
+
+class XmlStore:
+    """An XML repository with a relational (SQLite) core."""
+
+    def __init__(
+        self,
+        schema: MappingSchema,
+        db: Optional[Database] = None,
+        document_name: str = "doc.xml",
+        policy: Optional[RefPolicy] = None,
+        strict_order: bool = False,
+        create: bool = True,
+    ) -> None:
+        self.schema = schema
+        self.db = db or Database()
+        self.document_name = document_name
+        self.policy = policy or RefPolicy.default()
+        self.strict_order = strict_order
+        if create:
+            create_schema(self.db, schema)
+        self.allocator = IdAllocator(self.db)
+        self._delete_method: DeleteMethod = DELETE_METHODS["per_tuple_trigger"]()
+        self._insert_method: InsertMethod = INSERT_METHODS["table"]()
+        self._asr: Optional[AsrManager] = None
+        if create:
+            self._delete_method.install(self.db, self.schema)
+        self.warnings: list[str] = []
+
+    def snapshot(self) -> "XmlStore":
+        """A fully independent copy of this store (schema + data +
+        installed machinery).  Benchmark runs mutate the copy.
+
+        Trigger DDL and ASR tables travel with the cloned database;
+        strategy objects are re-instantiated against the copy.
+        """
+        copy = XmlStore(
+            self.schema,
+            db=self.db.clone(),
+            document_name=self.document_name,
+            policy=self.policy,
+            strict_order=self.strict_order,
+            create=False,
+        )
+        if self._asr is not None:
+            copy._asr = AsrManager(copy.db, copy.schema)
+        copy._delete_method = DELETE_METHODS[self._delete_method.name]()
+        if isinstance(copy._delete_method, AsrDelete):
+            copy._delete_method.asr = copy._shared_asr()
+        copy._insert_method = INSERT_METHODS[self._insert_method.name]()
+        if isinstance(copy._insert_method, AsrInsert):
+            copy._insert_method.asr = copy._shared_asr()
+        return copy
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_dtd(
+        cls,
+        dtd: Union[str, Dtd],
+        root: Optional[str] = None,
+        db: Optional[Database] = None,
+        document_name: str = "doc.xml",
+        strict_order: bool = False,
+    ) -> "XmlStore":
+        """Build a store whose mapping is derived from a DTD."""
+        parsed = parse_dtd(dtd) if isinstance(dtd, str) else dtd
+        schema = derive_inlining_schema(parsed, root=root)
+        policy = RefPolicy.from_dtd(parsed)
+        return cls(
+            schema,
+            db=db,
+            document_name=document_name,
+            policy=policy,
+            strict_order=strict_order,
+        )
+
+    def load(self, document: Document) -> int:
+        """Shred a document into the store; returns the root tuple id."""
+        return shred_document(self.db, self.schema, document, self.allocator)
+
+    # ------------------------------------------------------------------
+    # Strategy selection
+    # ------------------------------------------------------------------
+    @property
+    def delete_method(self) -> str:
+        return self._delete_method.name
+
+    @property
+    def insert_method(self) -> str:
+        return self._insert_method.name
+
+    def set_delete_method(self, name: str) -> None:
+        """Switch delete strategy, swapping trigger/ASR machinery."""
+        if name not in DELETE_METHODS:
+            raise StorageError(
+                f"unknown delete method {name!r}; choose from "
+                f"{sorted(DELETE_METHODS)}"
+            )
+        if name == self._delete_method.name:
+            return
+        self._delete_method.uninstall(self.db, self.schema)
+        method = DELETE_METHODS[name]()
+        if isinstance(method, AsrDelete):
+            method.asr = self._shared_asr()
+        method.install(self.db, self.schema)
+        self._delete_method = method
+
+    def set_insert_method(self, name: str) -> None:
+        if name not in INSERT_METHODS:
+            raise StorageError(
+                f"unknown insert method {name!r}; choose from "
+                f"{sorted(INSERT_METHODS)}"
+            )
+        if name == self._insert_method.name:
+            return
+        self._insert_method.uninstall(self.db, self.schema)
+        method = INSERT_METHODS[name]()
+        if isinstance(method, AsrInsert):
+            method.asr = self._shared_asr()
+        method.install(self.db, self.schema)
+        self._insert_method = method
+
+    def _shared_asr(self) -> AsrManager:
+        if self._asr is None:
+            self._asr = AsrManager(self.db, self.schema)
+        return self._asr
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def parse(self, text: str) -> Query:
+        return parse_query(text, policy=self.policy)
+
+    def execute(self, statement: Union[str, Query]) -> Optional[list[Element]]:
+        """Run an XQuery statement: updates mutate the store and return
+        None; RETURN queries reconstruct and return elements."""
+        query = self.parse(statement) if isinstance(statement, str) else statement
+        if query.is_update:
+            translator = UpdateTranslator(
+                self.db,
+                self.schema,
+                self.allocator,
+                self._delete_method,
+                self._insert_method,
+                strict_order=self.strict_order,
+                document_name=self.document_name,
+            )
+            try:
+                translator.execute_update(query)
+            except Exception:
+                # A failing sub-operation must not leave a partial update
+                # behind (the statement is one logical unit of work).
+                self.db.rollback()
+                raise
+            self.warnings.extend(translator.warnings)
+            return None
+        return self.query(query)
+
+    def query(self, statement: Union[str, Query]) -> list[Element]:
+        """Run a FLWR statement via the Sorted Outer Union."""
+        query = self.parse(statement) if isinstance(statement, str) else statement
+        if query.is_update:
+            raise StorageError("use execute() for update statements")
+        if query.returns is None:
+            raise StorageError("query has no RETURN clause")
+        selection = self._query_selection(query)
+        outer_union = build_outer_union(
+            self.schema, selection.relation, selection.where_sql, selection.params
+        )
+        rows = self.db.query(outer_union.sql, outer_union.params)
+        return reconstruct_elements(
+            self.schema, outer_union, rows, positions=self._order_positions()
+        )
+
+    def _order_positions(self):
+        """Tuple-id -> position map for order-aware reconstruction;
+        None in the (paper-default) unordered store."""
+        return None
+
+    def _query_selection(self, query: Query) -> TargetSelection:
+        """Resolve a FLWR query's RETURN target to a tuple selection."""
+        selections: dict[str, TargetSelection] = {}
+        predicate_groups: dict[str, list] = {}
+        for predicate in query.where:
+            variables: set[str] = set()
+            from repro.relational.update_translate import _collect_variables
+
+            _collect_variables(predicate, variables)
+            if len(variables) != 1:
+                raise TranslationError(
+                    f"WHERE predicate {predicate!r} must reference exactly one "
+                    "variable"
+                )
+            predicate_groups.setdefault(variables.pop(), []).append(predicate)
+        from repro.relational.query_translate import translate_relative_path
+        from repro.updates.binding import LetClause
+
+        for clause in query.clauses:
+            if isinstance(clause, LetClause):
+                raise TranslationError(
+                    "LET clauses are not supported by the relational store"
+                )
+            path = clause.path
+            if isinstance(path.start, VariableStart):
+                base = selections.get(path.start.name)
+                if base is None:
+                    raise TranslationError(f"unbound variable ${path.start.name}")
+                selection = translate_relative_path(self.schema, base, path)
+            else:
+                selection = translate_target_path(
+                    self.schema, path, document_name=self.document_name
+                )
+            for predicate in predicate_groups.pop(clause.variable, []):
+                selection = translate_predicate(
+                    self.schema, selection, _strip_variable(predicate)
+                )
+            selections[clause.variable] = selection
+        returns = query.returns
+        assert returns is not None
+        if isinstance(returns.start, VariableStart) and not returns.steps:
+            name = returns.start.name
+            if name not in selections:
+                raise TranslationError(f"RETURN references unbound ${name}")
+            result = selections[name]
+        elif isinstance(returns.start, VariableStart):
+            base = selections.get(returns.start.name)
+            if base is None:
+                raise TranslationError(
+                    f"RETURN references unbound ${returns.start.name}"
+                )
+            result = translate_relative_path(self.schema, base, returns)
+        else:
+            result = translate_target_path(
+                self.schema, returns, document_name=self.document_name
+            )
+        if result.is_inlined:
+            raise TranslationError(
+                "RETURN of inlined elements is not supported; return the "
+                "enclosing element"
+            )
+        return result
+
+    # ------------------------------------------------------------------
+    # Direct (benchmark-facing) operations
+    # ------------------------------------------------------------------
+    def delete_subtrees(
+        self, relation: str, where_sql: str = "", params: Sequence = ()
+    ) -> None:
+        """Delete subtrees with the active strategy (used by benchmarks)."""
+        self._delete_method.delete(self.db, self.schema, relation, where_sql, params)
+
+    def copy_subtrees(
+        self,
+        relation: str,
+        where_sql: str,
+        params: Sequence,
+        new_parent_id: int,
+    ) -> None:
+        """Copy subtrees with the active strategy (used by benchmarks)."""
+        self._insert_method.insert_copy(
+            self.db,
+            self.schema,
+            self.allocator,
+            relation,
+            where_sql,
+            params,
+            new_parent_id,
+        )
+
+    def to_document(self) -> Document:
+        """Reconstruct the full stored document (Sorted Outer Union over
+        the root relation)."""
+        outer_union = build_outer_union(self.schema, self.schema.root)
+        rows = self.db.query(outer_union.sql, outer_union.params)
+        elements = reconstruct_elements(
+            self.schema, outer_union, rows, positions=self._order_positions()
+        )
+        if len(elements) != 1:
+            raise StorageError(
+                f"expected exactly one root tuple, found {len(elements)}"
+            )
+        return Document(elements[0], id_attribute=self.policy.id_attribute)
+
+    def tuple_count(self, relation: Optional[str] = None) -> int:
+        if relation is not None:
+            return self.db.query_one(f'SELECT COUNT(*) FROM "{relation}"')[0]
+        total = 0
+        for name in self.schema.relations:
+            total += self.db.query_one(f'SELECT COUNT(*) FROM "{name}"')[0]
+        return total
+
+    def close(self) -> None:
+        self.db.close()
+
+    def __enter__(self) -> "XmlStore":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

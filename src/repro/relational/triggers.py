@@ -1,0 +1,77 @@
+"""Delete-propagation triggers over the mapping (Section 6.1.1).
+
+Two flavours, matching the paper:
+
+* **per-tuple** triggers are real SQLite ``FOR EACH ROW`` triggers: when
+  a parent tuple dies, the trigger deletes the child tuples whose
+  ``parentId`` equals the dead tuple's id, which recursively fires the
+  child relation's own trigger;
+* **per-statement** triggers fire once per DELETE statement, *after*
+  all relevant tuples are gone, and so must sweep each child relation
+  for orphans (``parentId NOT IN (SELECT id FROM parent)``) — a scan of
+  the whole child relation (or its parentId index).  SQLite has no
+  statement triggers, so these bodies are registered with the
+  :class:`~repro.relational.database.Database` wrapper's emulation
+  (see DESIGN.md).
+
+Only one flavour may be active at a time; strategy selection installs
+the right one.
+"""
+
+from __future__ import annotations
+
+from repro.relational.database import Database
+from repro.relational.schema import MappingSchema
+
+
+def per_tuple_trigger_name(child_relation: str) -> str:
+    return f"trg_row_del_{child_relation}"
+
+
+def install_per_tuple_triggers(db: Database, schema: MappingSchema) -> None:
+    """Create AFTER DELETE FOR EACH ROW triggers down the relation tree."""
+    for relation in schema.iter_top_down():
+        for child_name in relation.children:
+            db.execute(
+                f'CREATE TRIGGER IF NOT EXISTS "{per_tuple_trigger_name(child_name)}" '
+                f'AFTER DELETE ON "{relation.name}" FOR EACH ROW BEGIN '
+                f'DELETE FROM "{child_name}" WHERE parentId = OLD.id; END'
+            )
+
+
+def remove_per_tuple_triggers(db: Database, schema: MappingSchema) -> None:
+    for relation in schema.iter_top_down():
+        for child_name in relation.children:
+            db.execute(f'DROP TRIGGER IF EXISTS "{per_tuple_trigger_name(child_name)}"')
+
+
+def orphan_sweep_sql(schema: MappingSchema, parent_relation: str) -> list[str]:
+    """The statement-trigger body for deletes on ``parent_relation``:
+    one orphan sweep per child relation.
+
+    A child may have several possible parent relations (a recursive
+    relation parents itself *and* hangs under its declared parent), so
+    the sweep checks the union of all of them.
+    """
+    statements = []
+    for child in schema.relation(parent_relation).children:
+        survivors = " UNION ALL ".join(
+            f'SELECT id FROM "{parent}"'
+            for parent in schema.parent_relations_of(child)
+        )
+        statements.append(
+            f'DELETE FROM "{child}" WHERE parentId NOT IN ({survivors})'
+        )
+    return statements
+
+
+def install_per_statement_triggers(db: Database, schema: MappingSchema) -> None:
+    """Register emulated FOR EACH STATEMENT delete triggers for the whole
+    relation tree (bodies chain through the wrapper)."""
+    for relation in schema.iter_top_down():
+        if relation.children:
+            db.register_statement_trigger(relation.name, orphan_sweep_sql(schema, relation.name))
+
+
+def remove_per_statement_triggers(db: Database) -> None:
+    db.clear_statement_triggers()

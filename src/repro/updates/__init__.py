@@ -1,0 +1,51 @@
+"""Primitive XML update operations and their executor (Section 3.2).
+
+The operations — Delete, Rename, Insert, InsertBefore/After, Replace,
+and the recursive Sub-Update — are plain data
+(:mod:`repro.updates.operations`).  :class:`UpdateExecutor` applies a
+sequence of them against a target element with the paper's semantics:
+all bindings resolved over the input before any update runs, content
+evaluated per use, deleted bindings unusable except as content.
+"""
+
+from repro.updates.binding import LetClause, enumerate_bindings
+from repro.updates.content import RefContent, new_attribute, new_element, new_ref
+from repro.updates.delta import apply_delta, diff, from_json, to_json
+from repro.updates.executor import BoundUpdate, UpdateExecutor
+from repro.updates.operations import (
+    Delete,
+    ForClause,
+    Insert,
+    InsertAfter,
+    InsertBefore,
+    Rename,
+    Replace,
+    SubUpdate,
+    UpdateOp,
+    VarOperand,
+)
+
+__all__ = [
+    "BoundUpdate",
+    "Delete",
+    "ForClause",
+    "Insert",
+    "InsertAfter",
+    "InsertBefore",
+    "LetClause",
+    "RefContent",
+    "Rename",
+    "Replace",
+    "SubUpdate",
+    "UpdateExecutor",
+    "UpdateOp",
+    "VarOperand",
+    "apply_delta",
+    "diff",
+    "enumerate_bindings",
+    "from_json",
+    "new_attribute",
+    "new_element",
+    "new_ref",
+    "to_json",
+]

@@ -1,0 +1,68 @@
+"""Binding enumeration shared by the XQuery FLWU evaluator and Sub-Updates.
+
+Enumerates every combination of variable bindings produced by a list of
+``FOR $var IN path`` clauses (evaluated left to right, later clauses
+seeing earlier variables), optionally extended by ``LET`` clauses, and
+filtered by WHERE predicates.  This is the paper's "path-expression-
+matching operation that binds variables to objects within the input XML
+document and returns tuples of references to the selected objects".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Union
+
+from repro.updates.operations import ForClause
+from repro.xpath.ast import Expr, Path
+from repro.xpath.evaluator import Binding, XPathContext, evaluate_path, evaluate_predicate
+
+
+@dataclass(frozen=True)
+class LetClause:
+    """``LET $var := path`` — binds the whole node sequence at once."""
+
+    variable: str
+    path: Path
+
+
+Clause = Union[ForClause, LetClause]
+
+
+def enumerate_bindings(
+    clauses: Sequence[Clause],
+    predicates: Sequence[Expr],
+    context: XPathContext,
+) -> Iterator[dict[str, Binding]]:
+    """Yield one variable-binding dict per combination passing the WHERE.
+
+    The yielded dicts are snapshots (safe to store; enumeration is fully
+    materialisable before any update executes, per Section 3.2).
+    """
+    for bindings in _expand(clauses, 0, {}, context):
+        bound_context = context.child(variables=bindings)
+        if all(evaluate_predicate(predicate, bound_context) for predicate in predicates):
+            yield dict(bindings)
+
+
+def _expand(
+    clauses: Sequence[Clause],
+    index: int,
+    bindings: dict[str, Binding],
+    context: XPathContext,
+) -> Iterator[dict[str, Binding]]:
+    if index == len(clauses):
+        yield bindings
+        return
+    clause = clauses[index]
+    bound_context = context.child(variables=bindings)
+    nodes = evaluate_path(clause.path, bound_context)
+    if isinstance(clause, LetClause):
+        bindings[clause.variable] = nodes  # type: ignore[assignment]
+        yield from _expand(clauses, index + 1, bindings, context)
+        del bindings[clause.variable]
+        return
+    for node in nodes:
+        bindings[clause.variable] = node
+        yield from _expand(clauses, index + 1, bindings, context)
+    bindings.pop(clause.variable, None)

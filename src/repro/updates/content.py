@@ -1,0 +1,45 @@
+"""Content constructors for insert/replace operations (Section 4.2).
+
+The paper introduces ``new_attribute(name, value)`` and
+``new_ref(label, target)`` constructors for content that plain XML
+literals cannot express.  Element and PCDATA content are built directly
+as model nodes (the XQuery parser constructs them from literal XML
+embedded in the query).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.xmlmodel.model import Attribute, Element, Text
+
+
+@dataclass(frozen=True)
+class RefContent:
+    """Content standing for one new IDREF: a label plus a target ID."""
+
+    label: str
+    target: str
+
+
+def new_attribute(name: str, value: str) -> Attribute:
+    """The paper's ``new_attribute(name, "value")`` constructor."""
+    return Attribute(name, value)
+
+
+def new_ref(label: str, target: str) -> RefContent:
+    """The paper's ``new_ref(label, "target")`` constructor."""
+    return RefContent(label, target)
+
+
+def new_element(name: str, text: str | None = None, **attributes: str) -> Element:
+    """Convenience constructor for programmatic element content.
+
+    ``new_element("firstname", "Jeff")`` builds ``<firstname>Jeff</firstname>``.
+    """
+    element = Element(name)
+    for attr_name, attr_value in attributes.items():
+        element.set_attribute(attr_name, attr_value)
+    if text is not None:
+        element.append_child(Text(text))
+    return element

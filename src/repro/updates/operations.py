@@ -1,0 +1,119 @@
+"""The primitive update operations of Section 3.2, as data.
+
+An update is a sequence of these operations against an (implicit)
+target binding.  Operands are either variables (``VarOperand``) resolved
+against the current bindings, or already-bound model nodes; content
+operands may additionally be freshly-constructed nodes
+(:class:`~repro.xmlmodel.model.Element` / ``Text`` / ``Attribute``), a
+:class:`~repro.updates.content.RefContent`, or a plain string (PCDATA,
+or an ID when inserted relative to a reference entry).
+
+The recursive :class:`SubUpdate` carries its own FOR clauses,
+predicates, and nested operation list, enabling updates at multiple
+levels of the document (Example 5 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Union
+
+from repro.updates.content import RefContent
+from repro.xmlmodel.model import Attribute, Element, RefEntry, Reference, Text
+from repro.xpath.ast import Expr, Path
+
+
+@dataclass(frozen=True)
+class VarOperand:
+    """A ``$name`` operand, resolved against the current bindings."""
+
+    name: str
+
+
+# Nodes that can be the object of Delete/Rename/Replace/positional anchors.
+BoundNode = Union[Element, Text, Attribute, Reference, RefEntry]
+Operand = Union[VarOperand, BoundNode]
+
+# Things acceptable as new content.
+Content = Union[VarOperand, Element, Text, Attribute, RefContent, str, Path]
+
+
+@dataclass(frozen=True)
+class Delete:
+    """``DELETE $child`` — remove a member of the target object."""
+
+    child: Operand
+
+
+@dataclass(frozen=True)
+class Rename:
+    """``RENAME $child TO name`` — rename a non-PCDATA member."""
+
+    child: Operand
+    name: str
+
+
+@dataclass(frozen=True)
+class Insert:
+    """``INSERT content`` — append new content to the target.
+
+    In the ordered execution model non-attribute content goes at the
+    end of the target's child (or IDREFS) list.
+    """
+
+    content: Content
+
+
+@dataclass(frozen=True)
+class InsertBefore:
+    """``INSERT content BEFORE $ref`` — ordered model only."""
+
+    anchor: Operand
+    content: Content
+
+
+@dataclass(frozen=True)
+class InsertAfter:
+    """``INSERT content AFTER $ref`` — ordered model only."""
+
+    anchor: Operand
+    content: Content
+
+
+@dataclass(frozen=True)
+class Replace:
+    """``REPLACE $child WITH content`` — atomic replace.
+
+    Equivalent to InsertBefore+Delete in the ordered model, or
+    Insert+Delete under unordered execution.
+    """
+
+    child: Operand
+    content: Content
+
+
+@dataclass(frozen=True)
+class ForClause:
+    """One ``$var IN path`` binding clause (used by FOR and Sub-Update)."""
+
+    variable: str
+    path: Path
+
+
+@dataclass(frozen=True)
+class SubUpdate:
+    """A nested pattern match + update (Section 3.2's Sub-Update).
+
+    ``clauses`` bind new variables starting from the enclosing target;
+    ``predicates`` filter the binding combinations; for each surviving
+    combination, ``operations`` run against the element bound by
+    ``target_variable``.
+    """
+
+    clauses: tuple[ForClause, ...]
+    predicates: tuple[Expr, ...]
+    target_variable: str
+    operations: tuple["UpdateOp", ...]
+
+
+UpdateOp = Union[Delete, Rename, Insert, InsertBefore, InsertAfter, Replace, SubUpdate]

@@ -1,0 +1,178 @@
+"""Typechecking updates against a DTD (the paper's §8 future work).
+
+"The topic of typechecking updates is an important one, and we plan to
+investigate whether it is possible to directly use the techniques
+developed for queries."  This module provides two levels:
+
+* :func:`static_issues` — a fast, execution-free pass over the parsed
+  statement: every element tag constructed by INSERT/REPLACE content
+  must be declared in the DTD, RENAME targets must be declared, and
+  attribute constructors must name declared attributes somewhere in the
+  DTD.  These are *necessary* conditions (a declared tag may still land
+  in a place its parent's content model forbids).
+* :func:`typecheck` — the precise check, by trial execution: the update
+  runs against **copies** of the documents and the results are
+  validated against their DTDs.  The originals are never touched; the
+  returned issues say exactly which constraint the update would break.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from repro.errors import ReproError, ValidationError
+from repro.updates.content import RefContent
+from repro.updates.operations import (
+    Delete,
+    Insert,
+    InsertAfter,
+    InsertBefore,
+    Rename,
+    Replace,
+    SubUpdate,
+    UpdateOp,
+)
+from repro.xmlmodel.dtd import Dtd, validate
+from repro.xmlmodel.model import Attribute, Document, Element
+from repro.xmlmodel.policy import RefPolicy
+from repro.xquery.ast import Query
+from repro.xquery.engine import XQueryEngine
+from repro.xquery.parser import parse_query
+
+SEVERITY_ERROR = "error"
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class TypecheckIssue:
+    """One problem a typecheck pass found."""
+
+    severity: str
+    message: str
+    document: str = ""
+
+    def __str__(self) -> str:
+        where = f" [{self.document}]" if self.document else ""
+        return f"{self.severity}{where}: {self.message}"
+
+
+# ----------------------------------------------------------------------
+# Static (execution-free) pass
+# ----------------------------------------------------------------------
+def static_issues(statement: Union[str, Query], dtd: Dtd,
+                  policy: Optional[RefPolicy] = None) -> list[TypecheckIssue]:
+    """Execution-free necessary-condition checks on a parsed statement."""
+    query = (
+        parse_query(statement, policy=policy or RefPolicy.from_dtd(dtd))
+        if isinstance(statement, str)
+        else statement
+    )
+    issues: list[TypecheckIssue] = []
+    declared_attributes = {
+        attribute.name
+        for attlist in dtd.attributes.values()
+        for attribute in attlist.values()
+    }
+    for clause in query.updates:
+        for operation in clause.operations:
+            _check_operation(operation, dtd, declared_attributes, issues)
+    return issues
+
+
+def _check_operation(
+    operation: UpdateOp,
+    dtd: Dtd,
+    declared_attributes: set[str],
+    issues: list[TypecheckIssue],
+) -> None:
+    if isinstance(operation, (Insert, InsertBefore, InsertAfter, Replace)):
+        content = operation.content
+        if isinstance(content, Element):
+            _check_element_content(content, dtd, issues)
+        elif isinstance(content, Attribute):
+            if declared_attributes and content.name not in declared_attributes:
+                issues.append(
+                    TypecheckIssue(
+                        SEVERITY_WARNING,
+                        f"attribute {content.name!r} is not declared by any "
+                        "ATTLIST in the DTD",
+                    )
+                )
+        elif isinstance(content, RefContent):
+            if declared_attributes and content.label not in declared_attributes:
+                issues.append(
+                    TypecheckIssue(
+                        SEVERITY_WARNING,
+                        f"reference attribute {content.label!r} is not declared "
+                        "by any ATTLIST in the DTD",
+                    )
+                )
+    if isinstance(operation, Rename):
+        if operation.name not in dtd.elements and (
+            not declared_attributes or operation.name not in declared_attributes
+        ):
+            issues.append(
+                TypecheckIssue(
+                    SEVERITY_WARNING,
+                    f"rename target {operation.name!r} is neither a declared "
+                    "element nor a declared attribute",
+                )
+            )
+    if isinstance(operation, SubUpdate):
+        for nested in operation.operations:
+            _check_operation(nested, dtd, declared_attributes, issues)
+
+
+def _check_element_content(
+    element: Element, dtd: Dtd, issues: list[TypecheckIssue]
+) -> None:
+    for descendant in element.iter_descendants(include_self=True):
+        if descendant.name not in dtd.elements:
+            issues.append(
+                TypecheckIssue(
+                    SEVERITY_ERROR,
+                    f"constructed element <{descendant.name}> is not declared "
+                    "in the DTD",
+                )
+            )
+
+
+# ----------------------------------------------------------------------
+# Precise pass: trial execution on copies
+# ----------------------------------------------------------------------
+def typecheck(
+    documents: dict[str, Document],
+    dtds: dict[str, Dtd],
+    statement: Union[str, Query],
+    ordered: bool = True,
+    policy: Optional[RefPolicy] = None,
+) -> list[TypecheckIssue]:
+    """Run the update on document copies and validate the results.
+
+    Returns an empty list iff the update executes cleanly and every
+    document with a registered DTD remains valid.  The originals are
+    never modified.
+    """
+    clones = {name: document.copy() for name, document in documents.items()}
+    if policy is None and dtds:
+        policy = RefPolicy.from_dtd(next(iter(dtds.values())))
+    engine = XQueryEngine(clones, ordered=ordered, policy=policy)
+    try:
+        engine.execute(statement)
+    except ReproError as error:
+        return [
+            TypecheckIssue(SEVERITY_ERROR, f"update fails to execute: {error}")
+        ]
+    issues: list[TypecheckIssue] = []
+    for name, clone in clones.items():
+        dtd = dtds.get(name)
+        if dtd is None:
+            continue
+        try:
+            validate(clone, dtd)
+        except ValidationError as error:
+            issues.append(
+                TypecheckIssue(SEVERITY_ERROR, str(error), document=name)
+            )
+    return issues

@@ -1,0 +1,40 @@
+"""Workload generators for the paper's experiments (Section 7.1).
+
+* :mod:`~repro.workloads.synthetic` — fixed-structure synthetic
+  documents parameterised by scaling factor, depth, and fanout
+  (Section 7.1.1), plus a fast direct-to-tuples loader;
+* :mod:`~repro.workloads.randomized` — randomized-structure variant
+  (Section 7.1.2);
+* :mod:`~repro.workloads.dblp` — DBLP-shaped bibliography data
+  (Section 7.1.3; synthetic stand-in for the 40 MB DBLP snapshot, see
+  DESIGN.md);
+* :mod:`~repro.workloads.tpcw` — customer databases matching the
+  paper's Figure 4 DTD (used by examples and tests).
+"""
+
+from repro.workloads.synthetic import (
+    SyntheticParams,
+    generate_fixed,
+    load_fixed_directly,
+    subtree_tuple_count,
+    synthetic_dtd,
+)
+from repro.workloads.randomized import generate_randomized, load_randomized_directly
+from repro.workloads.dblp import DblpParams, dblp_dtd, generate_dblp, load_dblp_directly
+from repro.workloads.tpcw import CustomerParams, generate_customers
+
+__all__ = [
+    "CustomerParams",
+    "DblpParams",
+    "SyntheticParams",
+    "dblp_dtd",
+    "generate_customers",
+    "generate_dblp",
+    "generate_fixed",
+    "generate_randomized",
+    "load_dblp_directly",
+    "load_fixed_directly",
+    "load_randomized_directly",
+    "subtree_tuple_count",
+    "synthetic_dtd",
+]

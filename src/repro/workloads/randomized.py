@@ -1,0 +1,97 @@
+"""Randomized-structure synthetic documents (Section 7.1.2).
+
+Same parameters as the fixed generator, reinterpreted: ``depth`` is now
+the *maximum* depth — each subtree's actual depth is drawn uniformly
+from [2, depth] — and the fanout at each internal node is drawn
+uniformly from [1, fanout].  The DTD (and hence the relational schema)
+is the fixed generator's: every level's children list simply may be
+shorter or empty.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+from repro.relational.schema import MappingSchema
+from repro.workloads.synthetic import SyntheticParams, _random_string
+from repro.xmlmodel.model import Document, Element, Text
+
+MIN_DEPTH = 2
+
+
+def generate_randomized(params: SyntheticParams) -> Document:
+    """Build a randomized synthetic document in memory."""
+    rng = random.Random(params.seed)
+    root = Element("root")
+    for _ in range(params.scaling_factor):
+        depth = rng.randint(min(MIN_DEPTH, params.depth), params.depth)
+        root.append_child(_build(rng, 1, depth, params.fanout))
+    return Document(root)
+
+
+def _build(rng: random.Random, level: int, depth: int, max_fanout: int) -> Element:
+    element = Element(f"n{level}")
+    str_child = Element("str")
+    str_child.append_child(Text(_random_string(rng)))
+    num_child = Element("num")
+    num_child.append_child(Text(str(rng.randrange(1_000_000))))
+    element.append_child(str_child)
+    element.append_child(num_child)
+    if level < depth:
+        for _ in range(rng.randint(1, max_fanout)):
+            element.append_child(_build(rng, level + 1, depth, max_fanout))
+    return element
+
+
+def load_randomized_directly(
+    db: Database,
+    schema: MappingSchema,
+    params: SyntheticParams,
+    allocator: IdAllocator | None = None,
+) -> int:
+    """Direct-to-tuples loader for the randomized generator."""
+    allocator = allocator or IdAllocator(db)
+    rng = random.Random(params.seed)
+    rows: dict[str, list[tuple]] = {
+        f"n{level}": [] for level in range(1, params.depth + 1)
+    }
+    # Plan the structure first, then assign one contiguous id block.
+    structure: list[tuple[int, int]] = []  # (level, parent_index); -1 = root
+
+    def plan(level: int, parent_index: int, depth: int) -> None:
+        index = len(structure)
+        structure.append((level, parent_index))
+        if level < depth:
+            for _ in range(rng.randint(1, params.fanout)):
+                plan(level + 1, index, depth)
+
+    for _ in range(params.scaling_factor):
+        depth = rng.randint(min(MIN_DEPTH, params.depth), params.depth)
+        plan(1, -1, depth)
+
+    first = allocator.reserve(len(structure) + 1)
+    root_id = first
+    ids = [first + 1 + offset for offset in range(len(structure))]
+    data_rng = random.Random(params.seed + 1)
+    for index, (level, parent_index) in enumerate(structure):
+        parent_id = root_id if parent_index == -1 else ids[parent_index]
+        rows[f"n{level}"].append(
+            (
+                ids[index],
+                parent_id,
+                _random_string(data_rng),
+                str(data_rng.randrange(1_000_000)),
+            )
+        )
+    db.executemany('INSERT INTO "root" (id, parentId) VALUES (?, ?)', [(root_id, None)])
+    for table, table_rows in rows.items():
+        if table_rows:
+            db.executemany(
+                f'INSERT INTO "{table}" (id, parentId, "str", "num") '
+                "VALUES (?, ?, ?, ?)",
+                table_rows,
+            )
+    db.commit()
+    return root_id

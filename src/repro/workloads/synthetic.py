@@ -1,0 +1,150 @@
+"""Fixed-structure synthetic documents (Section 7.1.1).
+
+A document is a root with ``scaling_factor`` subtrees.  Each subtree is
+a complete tree of ``depth`` levels with ``fanout`` children per
+internal node; the element tag encodes the level (``n1`` ... ``nd``),
+so Shared Inlining produces one relation per level — the schema shape
+behind Figures 6-11.  To simulate content, every element carries two
+data subelements: a 50-character string and an integer (both inlined).
+
+Tuple count per subtree is ``sum(fanout**i for i in range(depth))``;
+e.g. depth=4, fanout=8 gives 585 tuples — times scaling factor 100 that
+is the 58 500 tuples of Table 1's largest configuration.
+
+Two loaders are provided: :func:`generate_fixed` builds the in-memory
+XML document (for tests and small runs), and
+:func:`load_fixed_directly` writes the equivalent tuples straight into
+a store's relations (for large benchmark configurations — loading time
+is not part of any measured experiment).
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass
+
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+from repro.relational.schema import MappingSchema
+from repro.xmlmodel.model import Document, Element, Text
+
+DATA_STRING_LENGTH = 50
+
+
+@dataclass(frozen=True)
+class SyntheticParams:
+    """Parameters of a fixed synthetic document (Table 1)."""
+
+    scaling_factor: int
+    depth: int
+    fanout: int
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.scaling_factor < 1 or self.depth < 1 or self.fanout < 1:
+            raise ValueError("scaling_factor, depth, and fanout must be >= 1")
+
+    @property
+    def subtree_tuples(self) -> int:
+        return subtree_tuple_count(self.depth, self.fanout)
+
+    @property
+    def total_tuples(self) -> int:
+        """Element tuples excluding the root."""
+        return self.scaling_factor * self.subtree_tuples
+
+
+def subtree_tuple_count(depth: int, fanout: int) -> int:
+    """Elements in one subtree: sum of fanout**i for i in 0..depth-1."""
+    if fanout == 1:
+        return depth
+    return (fanout**depth - 1) // (fanout - 1)
+
+
+def synthetic_dtd(depth: int) -> str:
+    """The DTD for fixed synthetic documents of the given depth."""
+    lines = ["<!ELEMENT root (n1*)>"]
+    for level in range(1, depth + 1):
+        if level < depth:
+            lines.append(f"<!ELEMENT n{level} (str, num, n{level + 1}*)>")
+        else:
+            lines.append(f"<!ELEMENT n{level} (str, num)>")
+    lines.append("<!ELEMENT str (#PCDATA)>")
+    lines.append("<!ELEMENT num (#PCDATA)>")
+    return "\n".join(lines)
+
+
+def _random_string(rng: random.Random) -> str:
+    return "".join(rng.choices(string.ascii_lowercase, k=DATA_STRING_LENGTH))
+
+
+def generate_fixed(params: SyntheticParams) -> Document:
+    """Build the synthetic document as an in-memory tree."""
+    rng = random.Random(params.seed)
+    root = Element("root")
+    for _ in range(params.scaling_factor):
+        root.append_child(_build_subtree(rng, level=1, params=params))
+    return Document(root)
+
+
+def _build_subtree(rng: random.Random, level: int, params: SyntheticParams) -> Element:
+    element = Element(f"n{level}")
+    str_child = Element("str")
+    str_child.append_child(Text(_random_string(rng)))
+    num_child = Element("num")
+    num_child.append_child(Text(str(rng.randrange(1_000_000))))
+    element.append_child(str_child)
+    element.append_child(num_child)
+    if level < params.depth:
+        for _ in range(params.fanout):
+            element.append_child(_build_subtree(rng, level + 1, params))
+    return element
+
+
+def load_fixed_directly(
+    db: Database,
+    schema: MappingSchema,
+    params: SyntheticParams,
+    allocator: IdAllocator | None = None,
+) -> int:
+    """Write the synthetic document's tuples straight into the relations.
+
+    Produces exactly the rows :func:`generate_fixed` +
+    :func:`~repro.relational.shredder.shred_document` would, orders of
+    magnitude faster for big configurations.  Returns the root tuple id.
+    """
+    allocator = allocator or IdAllocator(db)
+    rng = random.Random(params.seed)
+    total = 1 + params.total_tuples
+    first = allocator.reserve(total)
+    next_id = first
+    rows: dict[str, list[tuple]] = {f"n{level}": [] for level in range(1, params.depth + 1)}
+
+    root_id = next_id
+    next_id += 1
+
+    def emit(level: int, parent_id: int) -> None:
+        nonlocal next_id
+        tuple_id = next_id
+        next_id += 1
+        rows[f"n{level}"].append(
+            (tuple_id, parent_id, _random_string(rng), str(rng.randrange(1_000_000)))
+        )
+        if level < params.depth:
+            for _ in range(params.fanout):
+                emit(level + 1, tuple_id)
+
+    for _ in range(params.scaling_factor):
+        emit(1, root_id)
+
+    db.executemany('INSERT INTO "root" (id, parentId) VALUES (?, ?)', [(root_id, None)])
+    for table, table_rows in rows.items():
+        if table_rows:
+            db.executemany(
+                f'INSERT INTO "{table}" (id, parentId, "str", "num") '
+                "VALUES (?, ?, ?, ?)",
+                table_rows,
+            )
+    db.commit()
+    return root_id

@@ -1,0 +1,98 @@
+"""Customer-database generator for the paper's Figure 4 DTD.
+
+A simplified TPC/W-style workload used by the examples and integration
+tests: customers with inlined name/address and nested orders and order
+lines.  The DTD matches :data:`CUSTOMER_DTD`, which is also the paper's
+running example in Sections 5 and 6.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.xmlmodel.model import Document, Element, Text
+
+CUSTOMER_DTD = """\
+<!ELEMENT CustDB (Customer*)>
+<!ELEMENT Customer (Name, Address, Order*)>
+<!ELEMENT Address (City, State)>
+<!ELEMENT Order (Date, Status, OrderLine*)>
+<!ELEMENT OrderLine (ItemName, Qty)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+<!ELEMENT State (#PCDATA)>
+<!ELEMENT Date (#PCDATA)>
+<!ELEMENT Status (#PCDATA)>
+<!ELEMENT ItemName (#PCDATA)>
+<!ELEMENT Qty (#PCDATA)>
+"""
+
+_FIRST_NAMES = (
+    "John", "Mary", "Ahmed", "Wei", "Lena", "Carlos", "Aisha", "Yuki",
+    "Olga", "Pierre", "Nina", "Raj",
+)
+_CITIES = (
+    ("Seattle", "WA"), ("Portland", "OR"), ("Los Angeles", "CA"),
+    ("Philadelphia", "PA"), ("Austin", "TX"), ("Chicago", "IL"),
+)
+_ITEMS = ("tire", "rim", "pump", "seat", "bell", "chain", "pedal", "light")
+_STATUSES = ("ready", "shipped", "suspended", "delivered")
+
+
+@dataclass(frozen=True)
+class CustomerParams:
+    customers: int = 50
+    max_orders: int = 4
+    max_lines: int = 5
+    seed: int = 0
+
+
+def generate_customers(params: CustomerParams = CustomerParams()) -> Document:
+    """Build a CustDB document with the given shape."""
+    rng = random.Random(params.seed)
+    root = Element("CustDB")
+    for index in range(params.customers):
+        root.append_child(_customer(rng, index, params))
+    return Document(root)
+
+
+def _customer(rng: random.Random, index: int, params: CustomerParams) -> Element:
+    customer = Element("Customer")
+    name = Element("Name")
+    name.append_child(Text(f"{rng.choice(_FIRST_NAMES)}{index}"))
+    customer.append_child(name)
+    address = Element("Address")
+    city_name, state_name = rng.choice(_CITIES)
+    city = Element("City")
+    city.append_child(Text(city_name))
+    state = Element("State")
+    state.append_child(Text(state_name))
+    address.append_child(city)
+    address.append_child(state)
+    customer.append_child(address)
+    for _ in range(rng.randint(0, params.max_orders)):
+        customer.append_child(_order(rng, params))
+    return customer
+
+
+def _order(rng: random.Random, params: CustomerParams) -> Element:
+    order = Element("Order")
+    date = Element("Date")
+    date.append_child(
+        Text(f"{rng.randint(1999, 2001)}-{rng.randint(1, 12):02d}-{rng.randint(1, 28):02d}")
+    )
+    order.append_child(date)
+    status = Element("Status")
+    status.append_child(Text(rng.choice(_STATUSES)))
+    order.append_child(status)
+    for _ in range(rng.randint(1, params.max_lines)):
+        line = Element("OrderLine")
+        item = Element("ItemName")
+        item.append_child(Text(rng.choice(_ITEMS)))
+        qty = Element("Qty")
+        qty.append_child(Text(str(rng.randint(1, 8))))
+        line.append_child(item)
+        line.append_child(qty)
+        order.append_child(line)
+    return order

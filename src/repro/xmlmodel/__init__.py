@@ -1,0 +1,52 @@
+"""In-memory XML data model per the XML Query Data Model simplification
+used in "Updating XML" (Section 3.1).
+
+The model views a document as a node-labelled tree in which
+
+* an **element** has a name, a set of attributes, a set of named
+  reference lists (IDREF/IDREFS), and an ordered list of children
+  (elements and PCDATA),
+* an **attribute** is a (name, string value) pair,
+* a **reference list** (IDREFS) is a named *ordered* list of IDs; an
+  IDREF is a singleton list,
+* **PCDATA** is scalar text content inside an element.
+
+Public entry points:
+
+* :func:`parse` / :func:`parse_file` — parse XML text into a
+  :class:`Document`;
+* :func:`serialize` — turn a document or element back into XML text;
+* :class:`RefPolicy` — declares which attributes are IDs and which are
+  references (either explicitly or derived from a DTD);
+* :mod:`repro.xmlmodel.dtd` — DTD parsing and validation.
+"""
+
+from repro.xmlmodel.model import (
+    Attribute,
+    Document,
+    Element,
+    Node,
+    RefEntry,
+    Reference,
+    Text,
+)
+from repro.xmlmodel.policy import RefPolicy
+from repro.xmlmodel.parser import parse, parse_file
+from repro.xmlmodel.serializer import serialize
+from repro.xmlmodel.dtd import Dtd, parse_dtd
+
+__all__ = [
+    "Attribute",
+    "Document",
+    "Dtd",
+    "Element",
+    "Node",
+    "RefEntry",
+    "Reference",
+    "RefPolicy",
+    "Text",
+    "parse",
+    "parse_dtd",
+    "parse_file",
+    "serialize",
+]

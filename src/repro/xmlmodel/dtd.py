@@ -1,0 +1,584 @@
+"""DTD parsing, content models, and document validation.
+
+The relational mapping layer (Section 5.1) relies on the DTD in two
+ways: the Shared Inlining schema generator asks, for each parent/child
+pair, whether the child can occur *at most once* per parent (then it is
+inlined) or *many times* (then it gets its own table); and the
+:class:`~repro.xmlmodel.policy.RefPolicy` reads ID/IDREF/IDREFS typing
+from ATTLIST declarations.
+
+Supported declarations: ``<!ELEMENT>`` with EMPTY, ANY, ``(#PCDATA)``,
+mixed content ``(#PCDATA | a | b)*``, and children content models built
+from sequences ``,``, choices ``|``, groups, and the occurrence
+indicators ``?``, ``*``, ``+``; ``<!ATTLIST>`` with CDATA, ID, IDREF,
+IDREFS, NMTOKEN(S) and enumerated types, and the ``#REQUIRED`` /
+``#IMPLIED`` / ``#FIXED`` / literal defaults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional, Union
+
+from repro.errors import DtdError, ValidationError
+from repro.xmlmodel.model import Document, Element, Text
+
+# Cardinality of a child element relative to its parent.
+CARD_ONE = "one"  # exactly once
+CARD_OPTIONAL = "optional"  # at most once
+CARD_MANY = "many"  # possibly repeated
+
+
+# ----------------------------------------------------------------------
+# Content model AST
+# ----------------------------------------------------------------------
+@dataclass
+class NameParticle:
+    """A child element name with an occurrence indicator ('', '?', '*', '+')."""
+
+    name: str
+    occurrence: str = ""
+
+
+@dataclass
+class GroupParticle:
+    """A sequence (',') or choice ('|') of particles with an occurrence."""
+
+    combinator: str  # ',' or '|'
+    particles: list[Union["NameParticle", "GroupParticle"]]
+    occurrence: str = ""
+
+
+Particle = Union[NameParticle, GroupParticle]
+
+
+@dataclass
+class ContentModel:
+    """Content model of one element declaration.
+
+    ``kind`` is one of ``'EMPTY'``, ``'ANY'``, ``'PCDATA'`` (text-only),
+    ``'MIXED'`` (text plus the names in ``mixed_names``), or
+    ``'CHILDREN'`` (structured; ``root`` holds the particle tree).
+    """
+
+    kind: str
+    root: Optional[GroupParticle] = None
+    mixed_names: tuple[str, ...] = ()
+
+    def child_names(self) -> list[str]:
+        """All element names that may appear as direct children, in
+        first-appearance order."""
+        if self.kind == "MIXED":
+            return list(self.mixed_names)
+        if self.kind != "CHILDREN" or self.root is None:
+            return []
+        seen: dict[str, None] = {}
+        for particle in _iter_names(self.root):
+            seen.setdefault(particle.name, None)
+        return list(seen)
+
+    def child_cardinalities(self) -> dict[str, str]:
+        """Map each possible child name to CARD_ONE/CARD_OPTIONAL/CARD_MANY.
+
+        This is the decision procedure Shared Inlining uses: a child is
+        inlinable into its parent's relation iff its cardinality is
+        ``one`` or ``optional``.
+        """
+        if self.kind == "MIXED":
+            return {name: CARD_MANY for name in self.mixed_names}
+        if self.kind != "CHILDREN" or self.root is None:
+            return {}
+        counts: dict[str, tuple[int, int]] = {}  # name -> (min, max), max capped at 2
+        _accumulate(self.root, 1, 1, counts)
+        cardinalities: dict[str, str] = {}
+        for name, (minimum, maximum) in counts.items():
+            if maximum > 1:
+                cardinalities[name] = CARD_MANY
+            elif minimum >= 1:
+                cardinalities[name] = CARD_ONE
+            else:
+                cardinalities[name] = CARD_OPTIONAL
+        return cardinalities
+
+
+def _iter_names(particle: Particle) -> Iterator[NameParticle]:
+    if isinstance(particle, NameParticle):
+        yield particle
+        return
+    for child in particle.particles:
+        yield from _iter_names(child)
+
+
+def _occurrence_bounds(occurrence: str) -> tuple[int, int]:
+    """(min, max) multiplicity for an occurrence indicator; max 2 means 'many'."""
+    if occurrence == "?":
+        return 0, 1
+    if occurrence == "*":
+        return 0, 2
+    if occurrence == "+":
+        return 1, 2
+    return 1, 1
+
+
+def _accumulate(
+    particle: Particle,
+    outer_min: int,
+    outer_max: int,
+    counts: dict[str, tuple[int, int]],
+) -> None:
+    """Fold per-name (min, max) occurrence bounds through the particle tree."""
+    occ_min, occ_max = _occurrence_bounds(getattr(particle, "occurrence", ""))
+    eff_min = min(outer_min * occ_min, 2)
+    eff_max = min(outer_max * occ_max, 2)
+    if isinstance(particle, NameParticle):
+        old_min, old_max = counts.get(particle.name, (0, 0))
+        if old_max > 0:
+            # The name appears in more than one position: it may repeat.
+            counts[particle.name] = (min(old_min + eff_min, 2), 2)
+        else:
+            counts[particle.name] = (eff_min, eff_max)
+        return
+    for child in particle.particles:
+        if particle.combinator == "|":
+            # Under a choice each alternative may be skipped entirely.
+            _accumulate(child, 0, eff_max, counts)
+        else:
+            _accumulate(child, eff_min, eff_max, counts)
+
+
+# ----------------------------------------------------------------------
+# Declarations
+# ----------------------------------------------------------------------
+@dataclass
+class ElementDecl:
+    name: str
+    content: ContentModel
+
+
+@dataclass
+class AttributeDecl:
+    name: str
+    attr_type: str  # CDATA | ID | IDREF | IDREFS | NMTOKEN | NMTOKENS | ENUM
+    default: str  # '#REQUIRED' | '#IMPLIED' | '#FIXED' | 'LITERAL'
+    default_value: Optional[str] = None
+    enum_values: tuple[str, ...] = ()
+
+
+@dataclass
+class Dtd:
+    """A parsed DTD: element declarations plus per-element ATTLISTs."""
+
+    elements: dict[str, ElementDecl] = field(default_factory=dict)
+    attributes: dict[str, dict[str, AttributeDecl]] = field(default_factory=dict)
+
+    def element(self, name: str) -> ElementDecl:
+        try:
+            return self.elements[name]
+        except KeyError:
+            raise DtdError(f"no <!ELEMENT> declaration for {name!r}") from None
+
+    def attlist(self, element_name: str) -> dict[str, AttributeDecl]:
+        return self.attributes.get(element_name, {})
+
+    def root_candidates(self) -> list[str]:
+        """Declared elements that never appear as a child of another."""
+        referenced: set[str] = set()
+        for decl in self.elements.values():
+            referenced.update(decl.content.child_names())
+        return [name for name in self.elements if name not in referenced]
+
+    def id_attribute_name(self) -> Optional[str]:
+        """The (single) attribute name declared with type ID, if consistent."""
+        names = {
+            attribute.name
+            for attlist in self.attributes.values()
+            for attribute in attlist.values()
+            if attribute.attr_type == "ID"
+        }
+        if len(names) == 1:
+            return names.pop()
+        return None
+
+
+# ----------------------------------------------------------------------
+# DTD parsing
+# ----------------------------------------------------------------------
+class _DtdScanner:
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < len(self.text) else ""
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.peek().isspace():
+            self.pos += 1
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise DtdError(
+                f"expected {token!r} near ...{self.text[self.pos:self.pos + 30]!r}"
+            )
+        self.pos += len(token)
+
+    def read_until(self, token: str, description: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end == -1:
+            raise DtdError(f"unterminated {description}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        self.skip_whitespace()
+        start = self.pos
+        while not self.at_end() and (self.peek().isalnum() or self.peek() in "_:-.#"):
+            self.pos += 1
+        if start == self.pos:
+            raise DtdError(
+                f"expected a name near ...{self.text[self.pos:self.pos + 30]!r}"
+            )
+        return self.text[start : self.pos]
+
+
+def parse_dtd(text: str) -> Dtd:
+    """Parse an internal DTD subset (the text between '[' and ']')."""
+    dtd = Dtd()
+    scanner = _DtdScanner(text)
+    while True:
+        scanner.skip_whitespace()
+        if scanner.at_end():
+            return dtd
+        if scanner.startswith("<!--"):
+            scanner.pos += 4
+            scanner.read_until("-->", "comment")
+        elif scanner.startswith("<!ELEMENT"):
+            scanner.pos += len("<!ELEMENT")
+            _parse_element_decl(scanner, dtd)
+        elif scanner.startswith("<!ATTLIST"):
+            scanner.pos += len("<!ATTLIST")
+            _parse_attlist_decl(scanner, dtd)
+        elif scanner.startswith("<!ENTITY"):
+            raise DtdError("entity declarations are not supported")
+        else:
+            raise DtdError(
+                f"unrecognised DTD content near ...{text[scanner.pos:scanner.pos + 30]!r}"
+            )
+
+
+def _parse_element_decl(scanner: _DtdScanner, dtd: Dtd) -> None:
+    name = scanner.read_name()
+    scanner.skip_whitespace()
+    content = _parse_content_model(scanner)
+    scanner.skip_whitespace()
+    scanner.expect(">")
+    if name in dtd.elements:
+        raise DtdError(f"duplicate <!ELEMENT> declaration for {name!r}")
+    dtd.elements[name] = ElementDecl(name, content)
+
+
+def _parse_content_model(scanner: _DtdScanner) -> ContentModel:
+    scanner.skip_whitespace()
+    if scanner.startswith("EMPTY"):
+        scanner.pos += len("EMPTY")
+        return ContentModel("EMPTY")
+    if scanner.startswith("ANY"):
+        scanner.pos += len("ANY")
+        return ContentModel("ANY")
+    if not scanner.startswith("("):
+        raise DtdError("expected '(' to open a content model")
+    # Peek inside for #PCDATA to distinguish text/mixed from children.
+    saved = scanner.pos
+    scanner.pos += 1
+    scanner.skip_whitespace()
+    if scanner.startswith("#PCDATA"):
+        scanner.pos += len("#PCDATA")
+        names: list[str] = []
+        while True:
+            scanner.skip_whitespace()
+            if scanner.startswith(")"):
+                scanner.pos += 1
+                break
+            scanner.expect("|")
+            names.append(scanner.read_name())
+        if scanner.startswith("*"):
+            scanner.pos += 1
+        elif names:
+            raise DtdError("mixed content with names must end with ')*'")
+        if names:
+            return ContentModel("MIXED", mixed_names=tuple(names))
+        return ContentModel("PCDATA")
+    scanner.pos = saved
+    group = _parse_group(scanner)
+    return ContentModel("CHILDREN", root=group)
+
+
+def _parse_group(scanner: _DtdScanner) -> GroupParticle:
+    scanner.expect("(")
+    particles: list[Particle] = [_parse_particle(scanner)]
+    combinator = ""
+    while True:
+        scanner.skip_whitespace()
+        ch = scanner.peek()
+        if ch == ")":
+            scanner.pos += 1
+            break
+        if ch not in ",|":
+            raise DtdError(f"expected ',', '|' or ')' in content model, found {ch!r}")
+        if combinator and ch != combinator:
+            raise DtdError("cannot mix ',' and '|' at the same group level")
+        combinator = ch
+        scanner.pos += 1
+        particles.append(_parse_particle(scanner))
+    occurrence = ""
+    if scanner.peek() in "?*+":
+        occurrence = scanner.peek()
+        scanner.pos += 1
+    return GroupParticle(combinator or ",", particles, occurrence)
+
+
+def _parse_particle(scanner: _DtdScanner) -> Particle:
+    scanner.skip_whitespace()
+    if scanner.startswith("("):
+        return _parse_group(scanner)
+    name = scanner.read_name()
+    occurrence = ""
+    if scanner.peek() in "?*+":
+        occurrence = scanner.peek()
+        scanner.pos += 1
+    return NameParticle(name, occurrence)
+
+
+_ATTR_TYPES = ("CDATA", "IDREFS", "IDREF", "ID", "NMTOKENS", "NMTOKEN", "ENTITY", "NOTATION")
+
+
+def _parse_attlist_decl(scanner: _DtdScanner, dtd: Dtd) -> None:
+    element_name = scanner.read_name()
+    attlist = dtd.attributes.setdefault(element_name, {})
+    while True:
+        scanner.skip_whitespace()
+        if scanner.startswith(">"):
+            scanner.pos += 1
+            return
+        attr_name = scanner.read_name()
+        scanner.skip_whitespace()
+        attr_type = "ENUM"
+        enum_values: tuple[str, ...] = ()
+        matched = False
+        for candidate in _ATTR_TYPES:
+            if scanner.startswith(candidate):
+                scanner.pos += len(candidate)
+                attr_type = candidate
+                matched = True
+                break
+        if not matched:
+            if not scanner.startswith("("):
+                raise DtdError(f"unknown attribute type for {attr_name!r}")
+            scanner.pos += 1
+            raw = scanner.read_until(")", "enumerated attribute type")
+            enum_values = tuple(value.strip() for value in raw.split("|"))
+        scanner.skip_whitespace()
+        default = "LITERAL"
+        default_value: Optional[str] = None
+        if scanner.startswith("#REQUIRED"):
+            scanner.pos += len("#REQUIRED")
+            default = "#REQUIRED"
+        elif scanner.startswith("#IMPLIED"):
+            scanner.pos += len("#IMPLIED")
+            default = "#IMPLIED"
+        elif scanner.startswith("#FIXED"):
+            scanner.pos += len("#FIXED")
+            default = "#FIXED"
+            scanner.skip_whitespace()
+            default_value = _read_quoted(scanner)
+        else:
+            default_value = _read_quoted(scanner)
+        attlist[attr_name] = AttributeDecl(
+            attr_name, attr_type, default, default_value, enum_values
+        )
+
+
+def _read_quoted(scanner: _DtdScanner) -> str:
+    quote = scanner.peek()
+    if quote not in "\"'":
+        raise DtdError("expected a quoted default value")
+    scanner.pos += 1
+    return scanner.read_until(quote, "attribute default")
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate(document: Document, dtd: Dtd) -> None:
+    """Check the document against the DTD; raise ValidationError on the
+    first violation.
+
+    Checks element content models (including sequencing), attribute
+    presence for ``#REQUIRED``, enumerated value membership, ID
+    uniqueness, and IDREF target existence.
+    """
+    ids_seen: set[str] = set()
+    idrefs: list[tuple[str, str]] = []  # (element name, target id)
+    for element in document.root.iter_descendants(include_self=True):
+        _validate_element(element, dtd, ids_seen, idrefs)
+    for element_name, target in idrefs:
+        if target not in ids_seen:
+            raise ValidationError(
+                f"IDREF on <{element_name}> points at undeclared ID {target!r}"
+            )
+
+
+def _validate_element(
+    element: Element,
+    dtd: Dtd,
+    ids_seen: set[str],
+    idrefs: list[tuple[str, str]],
+) -> None:
+    decl = dtd.elements.get(element.name)
+    if decl is None:
+        raise ValidationError(f"element <{element.name}> is not declared in the DTD")
+    _validate_content(element, decl.content)
+    attlist = dtd.attlist(element.name)
+    for attr_name, attr_decl in attlist.items():
+        present = (
+            attr_name in element.attributes or attr_name in element.references
+        )
+        if attr_decl.default == "#REQUIRED" and not present:
+            raise ValidationError(
+                f"required attribute {attr_name!r} missing on <{element.name}>"
+            )
+        if attr_decl.attr_type == "ID" and attr_name in element.attributes:
+            value = element.attributes[attr_name].value
+            if value in ids_seen:
+                raise ValidationError(f"duplicate ID value {value!r}")
+            ids_seen.add(value)
+        if attr_decl.attr_type in ("IDREF", "IDREFS"):
+            reference = element.references.get(attr_name)
+            if reference is not None:
+                for target in reference.targets:
+                    idrefs.append((element.name, target))
+        if attr_decl.enum_values and attr_name in element.attributes:
+            value = element.attributes[attr_name].value
+            if value not in attr_decl.enum_values:
+                raise ValidationError(
+                    f"attribute {attr_name!r} on <{element.name}> has value "
+                    f"{value!r}, not one of {attr_decl.enum_values}"
+                )
+    for attr_name in list(element.attributes) + list(element.references):
+        if attr_name not in attlist:
+            raise ValidationError(
+                f"attribute {attr_name!r} on <{element.name}> is not declared"
+            )
+
+
+def _validate_content(element: Element, content: ContentModel) -> None:
+    child_tags = [
+        child.name for child in element.children if isinstance(child, Element)
+    ]
+    has_text = any(
+        isinstance(child, Text) and child.value.strip() for child in element.children
+    )
+    if content.kind == "EMPTY":
+        if element.children:
+            raise ValidationError(f"element <{element.name}> must be EMPTY")
+        return
+    if content.kind == "ANY":
+        return
+    if content.kind == "PCDATA":
+        if child_tags:
+            raise ValidationError(
+                f"element <{element.name}> allows only PCDATA, found <{child_tags[0]}>"
+            )
+        return
+    if content.kind == "MIXED":
+        allowed = set(content.mixed_names)
+        for tag in child_tags:
+            if tag not in allowed:
+                raise ValidationError(
+                    f"element <{tag}> is not allowed inside mixed <{element.name}>"
+                )
+        return
+    # CHILDREN: no significant text allowed; sequence must match the model.
+    if has_text:
+        raise ValidationError(
+            f"element <{element.name}> has element content but contains PCDATA"
+        )
+    assert content.root is not None
+    if not _matches(content.root, child_tags, 0, {}) :
+        raise ValidationError(
+            f"children of <{element.name}> ({child_tags}) do not match its content model"
+        )
+
+
+def _matches(
+    particle: GroupParticle,
+    tags: list[str],
+    start: int,
+    memo: dict[tuple[int, int], set[int]],
+) -> bool:
+    """True iff some prefix match of ``particle`` consumes tags[start:] fully."""
+    return len(tags) in _match_positions(particle, tags, start, memo)
+
+
+def _match_positions(
+    particle: Particle,
+    tags: list[str],
+    start: int,
+    memo: dict[tuple[int, int], set[int]],
+) -> set[int]:
+    """All positions reachable after matching ``particle`` once-or-per-occurrence
+    starting at ``start`` (classic Thompson-style set simulation)."""
+    key = (id(particle), start)
+    if key in memo:
+        return memo[key]
+    memo[key] = set()  # cycle guard for degenerate models
+    base = _match_once_positions(particle, tags, start, memo)
+    occurrence = getattr(particle, "occurrence", "")
+    result: set[int] = set()
+    if occurrence in ("?", "*"):
+        result.add(start)
+    result |= base
+    if occurrence in ("*", "+"):
+        frontier = set(base)
+        while frontier:
+            position = frontier.pop()
+            for next_position in _match_once_positions(particle, tags, position, memo):
+                if next_position not in result:
+                    result.add(next_position)
+                    frontier.add(next_position)
+    memo[key] = result
+    return result
+
+
+def _match_once_positions(
+    particle: Particle,
+    tags: list[str],
+    start: int,
+    memo: dict[tuple[int, int], set[int]],
+) -> set[int]:
+    if isinstance(particle, NameParticle):
+        if start < len(tags) and tags[start] == particle.name:
+            return {start + 1}
+        return set()
+    if particle.combinator == "|":
+        positions: set[int] = set()
+        for child in particle.particles:
+            positions |= _match_positions(child, tags, start, memo)
+        return positions
+    # Sequence: thread position sets through each child in order.
+    current = {start}
+    for child in particle.particles:
+        next_positions: set[int] = set()
+        for position in current:
+            next_positions |= _match_positions(child, tags, position, memo)
+        current = next_positions
+        if not current:
+            return set()
+    return current

@@ -1,0 +1,353 @@
+"""A from-scratch XML 1.0 subset parser producing model trees.
+
+Supported syntax: the XML declaration, comments, processing
+instructions, a ``<!DOCTYPE ...>`` with an optional internal DTD subset
+(handed to :mod:`repro.xmlmodel.dtd`), elements with attributes,
+self-closing tags, CDATA sections, character references (decimal and
+hex), and the five predefined entities.
+
+Unsupported (raises :class:`~repro.errors.XmlParseError`): external
+entities, parameter entities in document content, namespaces-as-scoping
+(colons in names are allowed but treated as opaque characters).
+
+Whitespace-only text between elements is dropped unless
+``preserve_space=True``; this matches how the paper's documents are
+written (pretty-printed element content).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XmlParseError
+from repro.xmlmodel import dtd as dtd_module
+from repro.xmlmodel.model import Document, Element, Text
+from repro.xmlmodel.policy import ATTR_ID, ATTR_IDREF, ATTR_IDREFS, RefPolicy
+
+_PREDEFINED_ENTITIES = {
+    "amp": "&",
+    "lt": "<",
+    "gt": ">",
+    "quot": '"',
+    "apos": "'",
+}
+
+_NAME_START_EXTRA = "_:"
+_NAME_EXTRA = "_:-."
+
+
+def _is_name_start(ch: str) -> bool:
+    return ch.isalpha() or ch in _NAME_START_EXTRA
+
+
+def _is_name_char(ch: str) -> bool:
+    return ch.isalnum() or ch in _NAME_EXTRA
+
+
+class _Scanner:
+    """Character cursor with line/column tracking over the input text."""
+
+    def __init__(self, text: str) -> None:
+        self.text = text
+        self.pos = 0
+
+    def location(self) -> tuple[int, int]:
+        consumed = self.text[: self.pos]
+        line = consumed.count("\n") + 1
+        column = self.pos - (consumed.rfind("\n") + 1) + 1
+        return line, column
+
+    def error(self, message: str) -> XmlParseError:
+        line, column = self.location()
+        return XmlParseError(message, line=line, column=column)
+
+    def at_end(self) -> bool:
+        return self.pos >= len(self.text)
+
+    def peek(self, offset: int = 0) -> str:
+        index = self.pos + offset
+        return self.text[index] if index < len(self.text) else ""
+
+    def startswith(self, token: str) -> bool:
+        return self.text.startswith(token, self.pos)
+
+    def advance(self, count: int = 1) -> str:
+        chunk = self.text[self.pos : self.pos + count]
+        self.pos += count
+        return chunk
+
+    def expect(self, token: str) -> None:
+        if not self.startswith(token):
+            raise self.error(f"expected {token!r}")
+        self.pos += len(token)
+
+    def skip_whitespace(self) -> None:
+        while not self.at_end() and self.peek().isspace():
+            self.pos += 1
+
+    def read_until(self, token: str, description: str) -> str:
+        end = self.text.find(token, self.pos)
+        if end == -1:
+            raise self.error(f"unterminated {description}: missing {token!r}")
+        chunk = self.text[self.pos : end]
+        self.pos = end + len(token)
+        return chunk
+
+    def read_name(self) -> str:
+        if self.at_end() or not _is_name_start(self.peek()):
+            raise self.error("expected a name")
+        start = self.pos
+        self.pos += 1
+        while not self.at_end() and _is_name_char(self.peek()):
+            self.pos += 1
+        return self.text[start : self.pos]
+
+
+class XmlParser:
+    """Recursive-descent parser; one instance parses one document."""
+
+    def __init__(
+        self,
+        text: str,
+        policy: Optional[RefPolicy] = None,
+        preserve_space: bool = False,
+    ) -> None:
+        self._scanner = _Scanner(text)
+        self._policy = policy
+        self._preserve_space = preserve_space
+        self._dtd: Optional[dtd_module.Dtd] = None
+
+    def parse(self) -> Document:
+        """Parse the full document and return a :class:`Document`.
+
+        If no policy was given and the document carries an internal DTD,
+        the policy is derived from the DTD's ATTLIST declarations.
+        """
+        self._parse_prolog()
+        if self._policy is None:
+            if self._dtd is not None:
+                self._policy = RefPolicy.from_dtd(self._dtd)
+            else:
+                self._policy = RefPolicy.default()
+        scanner = self._scanner
+        scanner.skip_whitespace()
+        if not scanner.startswith("<"):
+            raise scanner.error("expected root element")
+        root = self._parse_element()
+        self._parse_misc_trailer()
+        document = Document(root, id_attribute=self._policy.id_attribute)
+        document.dtd = self._dtd  # type: ignore[attr-defined]
+        return document
+
+    # ------------------------------------------------------------------
+    # Prolog / misc
+    # ------------------------------------------------------------------
+    def _parse_prolog(self) -> None:
+        scanner = self._scanner
+        scanner.skip_whitespace()
+        if scanner.startswith("<?xml"):
+            scanner.read_until("?>", "XML declaration")
+        while True:
+            scanner.skip_whitespace()
+            if scanner.startswith("<!--"):
+                scanner.advance(4)
+                scanner.read_until("-->", "comment")
+            elif scanner.startswith("<!DOCTYPE"):
+                self._parse_doctype()
+            elif scanner.startswith("<?"):
+                scanner.advance(2)
+                scanner.read_until("?>", "processing instruction")
+            else:
+                return
+
+    def _parse_doctype(self) -> None:
+        scanner = self._scanner
+        scanner.expect("<!DOCTYPE")
+        scanner.skip_whitespace()
+        scanner.read_name()  # document element name; not enforced here
+        scanner.skip_whitespace()
+        if scanner.startswith("SYSTEM") or scanner.startswith("PUBLIC"):
+            raise scanner.error("external DTD subsets are not supported")
+        if scanner.startswith("["):
+            scanner.advance(1)
+            subset = scanner.read_until("]", "internal DTD subset")
+            self._dtd = dtd_module.parse_dtd(subset)
+            scanner.skip_whitespace()
+        scanner.expect(">")
+
+    def _parse_misc_trailer(self) -> None:
+        scanner = self._scanner
+        while True:
+            scanner.skip_whitespace()
+            if scanner.at_end():
+                return
+            if scanner.startswith("<!--"):
+                scanner.advance(4)
+                scanner.read_until("-->", "comment")
+            elif scanner.startswith("<?"):
+                scanner.advance(2)
+                scanner.read_until("?>", "processing instruction")
+            else:
+                raise scanner.error("content after the root element")
+
+    # ------------------------------------------------------------------
+    # Elements and content
+    # ------------------------------------------------------------------
+    def _parse_element(self) -> Element:
+        scanner = self._scanner
+        scanner.expect("<")
+        name = scanner.read_name()
+        element = Element(name)
+        self._parse_attributes(element)
+        if scanner.startswith("/>"):
+            scanner.advance(2)
+            return element
+        scanner.expect(">")
+        self._parse_content(element)
+        closing = scanner.read_name()
+        if closing != name:
+            raise scanner.error(
+                f"mismatched closing tag: expected </{name}>, found </{closing}>"
+            )
+        scanner.skip_whitespace()
+        scanner.expect(">")
+        return element
+
+    def _parse_attributes(self, element: Element) -> None:
+        scanner = self._scanner
+        assert self._policy is not None
+        while True:
+            scanner.skip_whitespace()
+            if scanner.at_end() or scanner.peek() in "/>":
+                return
+            attr_name = scanner.read_name()
+            scanner.skip_whitespace()
+            scanner.expect("=")
+            scanner.skip_whitespace()
+            value = self._parse_attribute_value()
+            kind = self._policy.classify(element.name, attr_name)
+            if kind in (ATTR_IDREF, ATTR_IDREFS):
+                for target in value.split():
+                    element.add_reference(attr_name, target)
+            else:
+                # IDs are stored as plain attributes; Document indexes them.
+                if attr_name in element.attributes:
+                    raise scanner.error(
+                        f"duplicate attribute {attr_name!r} on element <{element.name}>"
+                    )
+                element.set_attribute(attr_name, value)
+                del kind  # ATTR_ID vs ATTR_CDATA both stored identically
+
+    def _parse_attribute_value(self) -> str:
+        scanner = self._scanner
+        quote = scanner.peek()
+        if quote not in "\"'":
+            raise scanner.error("expected a quoted attribute value")
+        scanner.advance(1)
+        raw = scanner.read_until(quote, "attribute value")
+        if "<" in raw:
+            raise scanner.error("'<' is not allowed inside an attribute value")
+        return self._expand_entities(raw)
+
+    def _parse_content(self, element: Element) -> None:
+        scanner = self._scanner
+        text_parts: list[str] = []
+
+        def flush_text() -> None:
+            if not text_parts:
+                return
+            value = "".join(text_parts)
+            text_parts.clear()
+            if self._preserve_space or value.strip():
+                element.append_child(Text(value))
+
+        while True:
+            if scanner.at_end():
+                raise scanner.error(f"unexpected end of input inside <{element.name}>")
+            if scanner.startswith("</"):
+                flush_text()
+                scanner.advance(2)
+                return
+            if scanner.startswith("<!--"):
+                flush_text()
+                scanner.advance(4)
+                scanner.read_until("-->", "comment")
+            elif scanner.startswith("<![CDATA["):
+                # CDATA content is literal: no entity expansion applies.
+                scanner.advance(9)
+                text_parts.append(scanner.read_until("]]>", "CDATA section"))
+            elif scanner.startswith("<?"):
+                flush_text()
+                scanner.advance(2)
+                scanner.read_until("?>", "processing instruction")
+            elif scanner.startswith("<"):
+                flush_text()
+                element.append_child(self._parse_element())
+            elif scanner.peek() == "&":
+                scanner.advance(1)
+                entity = scanner.read_until(";", "entity reference")
+                text_parts.append(self._resolve_entity(entity))
+            else:
+                text_parts.append(scanner.advance(1))
+
+    # ------------------------------------------------------------------
+    # Entities
+    # ------------------------------------------------------------------
+    def _expand_entities(self, raw: str) -> str:
+        if "&" not in raw:
+            return raw
+        parts: list[str] = []
+        index = 0
+        while index < len(raw):
+            ch = raw[index]
+            if ch != "&":
+                parts.append(ch)
+                index += 1
+                continue
+            end = raw.find(";", index + 1)
+            if end == -1:
+                raise self._scanner.error("unterminated entity reference")
+            entity = raw[index + 1 : end]
+            parts.append(self._resolve_entity(entity))
+            index = end + 1
+        return "".join(parts)
+
+    def _resolve_entity(self, entity: str) -> str:
+        if entity.startswith("#x") or entity.startswith("#X"):
+            try:
+                return chr(int(entity[2:], 16))
+            except ValueError:
+                raise self._scanner.error(f"bad character reference &{entity};") from None
+        if entity.startswith("#"):
+            try:
+                return chr(int(entity[1:]))
+            except ValueError:
+                raise self._scanner.error(f"bad character reference &{entity};") from None
+        expansion = _PREDEFINED_ENTITIES.get(entity)
+        if expansion is None:
+            raise self._scanner.error(f"unknown entity &{entity};")
+        return expansion
+
+
+def parse(
+    text: str,
+    policy: Optional[RefPolicy] = None,
+    preserve_space: bool = False,
+) -> Document:
+    """Parse XML text into a :class:`~repro.xmlmodel.model.Document`.
+
+    ``policy`` controls ID/IDREF/IDREFS classification; when omitted it
+    is derived from the document's internal DTD if present, otherwise
+    only attributes named ``ID`` are treated as IDs.
+    """
+    return XmlParser(text, policy=policy, preserve_space=preserve_space).parse()
+
+
+def parse_file(
+    path: str,
+    policy: Optional[RefPolicy] = None,
+    preserve_space: bool = False,
+) -> Document:
+    """Parse the XML document stored at ``path``."""
+    with open(path, "r", encoding="utf-8") as handle:
+        return parse(handle.read(), policy=policy, preserve_space=preserve_space)

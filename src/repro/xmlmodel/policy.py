@@ -1,0 +1,127 @@
+"""Reference policy: which attributes are IDs and which are references.
+
+Plain XML 1.0 syntax cannot distinguish a data-valued attribute from an
+IDREF/IDREFS attribute — that typing lives in the DTD.  The paper's data
+model (Section 3.1) treats references as structural objects distinct
+from attributes, so the parser needs a policy telling it, for each
+(element name, attribute name) pair, whether the attribute is:
+
+* the element's ``ID``,
+* an ``IDREF``/``IDREFS`` reference list, or
+* ordinary CDATA.
+
+A policy is constructed either explicitly (:meth:`RefPolicy.explicit`),
+from a parsed DTD (:meth:`RefPolicy.from_dtd`), or defaulted
+(:meth:`RefPolicy.default`) — where only an attribute literally named
+``ID`` is treated as the ID and everything else is CDATA.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+ATTR_CDATA = "cdata"
+ATTR_ID = "id"
+ATTR_IDREF = "idref"
+ATTR_IDREFS = "idrefs"
+
+_KINDS = frozenset({ATTR_CDATA, ATTR_ID, ATTR_IDREF, ATTR_IDREFS})
+
+# Key for a policy rule that applies to the attribute name on any element.
+ANY_ELEMENT = "*"
+
+
+class RefPolicy:
+    """Classifies attributes into ID / IDREF / IDREFS / CDATA.
+
+    Rules are keyed by ``(element_name, attribute_name)``; a rule whose
+    element name is ``"*"`` applies to that attribute name on every
+    element.  Exact element matches take precedence over wildcards.
+    """
+
+    def __init__(
+        self,
+        rules: Mapping[tuple[str, str], str] | None = None,
+        id_attribute: str = "ID",
+    ) -> None:
+        self.id_attribute = id_attribute
+        self._rules: dict[tuple[str, str], str] = {}
+        for key, kind in (rules or {}).items():
+            self.add_rule(key[0], key[1], kind)
+
+    def add_rule(self, element_name: str, attribute_name: str, kind: str) -> None:
+        if kind not in _KINDS:
+            raise ValueError(f"unknown attribute kind {kind!r}; expected one of {sorted(_KINDS)}")
+        self._rules[(element_name, attribute_name)] = kind
+
+    def classify(self, element_name: str, attribute_name: str) -> str:
+        """Return the attribute kind for this (element, attribute) pair."""
+        exact = self._rules.get((element_name, attribute_name))
+        if exact is not None:
+            return exact
+        wildcard = self._rules.get((ANY_ELEMENT, attribute_name))
+        if wildcard is not None:
+            return wildcard
+        if attribute_name == self.id_attribute:
+            return ATTR_ID
+        return ATTR_CDATA
+
+    def is_reference(self, element_name: str, attribute_name: str) -> bool:
+        return self.classify(element_name, attribute_name) in (ATTR_IDREF, ATTR_IDREFS)
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @classmethod
+    def default(cls, id_attribute: str = "ID") -> "RefPolicy":
+        """Attributes named ``id_attribute`` are IDs; everything else CDATA."""
+        return cls(id_attribute=id_attribute)
+
+    @classmethod
+    def explicit(
+        cls,
+        references: Iterable[str] = (),
+        singleton_references: Iterable[str] = (),
+        id_attribute: str = "ID",
+    ) -> "RefPolicy":
+        """Build a policy from attribute-name lists applying to all elements.
+
+        ``references`` names become IDREFS lists; ``singleton_references``
+        become IDREF (singleton) lists.
+        """
+        policy = cls(id_attribute=id_attribute)
+        for name in references:
+            policy.add_rule(ANY_ELEMENT, name, ATTR_IDREFS)
+        for name in singleton_references:
+            policy.add_rule(ANY_ELEMENT, name, ATTR_IDREF)
+        return policy
+
+    @classmethod
+    def from_dtd(cls, dtd) -> "RefPolicy":
+        """Derive the policy from a parsed :class:`~repro.xmlmodel.dtd.Dtd`.
+
+        The DTD's ATTLIST declarations carry the authoritative
+        ID/IDREF/IDREFS typing.
+        """
+        policy = cls(id_attribute=dtd.id_attribute_name() or "ID")
+        for element_name, attlist in dtd.attributes.items():
+            for attribute in attlist.values():
+                kind = {
+                    "ID": ATTR_ID,
+                    "IDREF": ATTR_IDREF,
+                    "IDREFS": ATTR_IDREFS,
+                }.get(attribute.attr_type, ATTR_CDATA)
+                policy.add_rule(element_name, attribute.name, kind)
+        return policy
+
+    def __repr__(self) -> str:
+        return f"RefPolicy(rules={len(self._rules)}, id_attribute={self.id_attribute!r})"
+
+
+#: Policy matching the paper's running biology-lab example (Figure 1):
+#: ``managers`` is an IDREFS list; ``source``, ``biologist``, ``lab`` and
+#: ``worksAt`` are IDREF singletons; ``ID`` is the ID attribute.
+BIO_POLICY = RefPolicy.explicit(
+    references=("managers",),
+    singleton_references=("source", "biologist", "lab", "worksAt"),
+)

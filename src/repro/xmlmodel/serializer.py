@@ -1,0 +1,82 @@
+"""Serialize model trees back to XML text.
+
+The serializer writes attributes first (in insertion order), then
+reference lists (IDREFS rendered as space-separated ID values), then
+children.  With ``indent`` set, elements with element-only content are
+pretty-printed; mixed content is written inline to preserve PCDATA.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+from repro.xmlmodel.model import Document, Element, Text
+
+
+def _escape_text(value: str) -> str:
+    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+
+
+def _escape_attribute(value: str) -> str:
+    return _escape_text(value).replace('"', "&quot;")
+
+
+def _format_start_tag(element: Element) -> str:
+    # Attributes are unordered in the data model (Section 3.1), so the
+    # serializer emits them in a canonical (sorted) order; reference
+    # lists keep their internal entry order, which IS meaningful.
+    parts = [element.name]
+    for name in sorted(element.attributes):
+        attribute = element.attributes[name]
+        parts.append(f'{attribute.name}="{_escape_attribute(attribute.value)}"')
+    for name in sorted(element.references):
+        reference = element.references[name]
+        joined = " ".join(reference.targets)
+        parts.append(f'{reference.name}="{_escape_attribute(joined)}"')
+    return " ".join(parts)
+
+
+def _has_element_children(element: Element) -> bool:
+    return any(isinstance(child, Element) for child in element.children)
+
+
+def _has_text_children(element: Element) -> bool:
+    return any(isinstance(child, Text) for child in element.children)
+
+
+def _serialize_element(element: Element, indent: int, depth: int, out: list[str]) -> None:
+    pad = " " * (indent * depth) if indent else ""
+    start = _format_start_tag(element)
+    if not element.children:
+        out.append(f"{pad}<{start}/>")
+        return
+    pretty = indent > 0 and _has_element_children(element) and not _has_text_children(element)
+    if pretty:
+        out.append(f"{pad}<{start}>")
+        for child in element.children:
+            _serialize_element(child, indent, depth + 1, out)  # type: ignore[arg-type]
+        out.append(f"{pad}</{element.name}>")
+        return
+    inline: list[str] = [f"{pad}<{start}>"]
+    for child in element.children:
+        if isinstance(child, Text):
+            inline.append(_escape_text(child.value))
+        else:
+            nested: list[str] = []
+            _serialize_element(child, 0, 0, nested)
+            inline.append("".join(nested))
+    inline.append(f"</{element.name}>")
+    out.append("".join(inline))
+
+
+def serialize(node: Union[Document, Element], indent: int = 2) -> str:
+    """Render a document or element subtree as XML text.
+
+    ``indent=0`` produces a single line with no inter-element whitespace
+    (a canonical-ish form convenient for equality checks in tests).
+    """
+    element = node.root if isinstance(node, Document) else node
+    out: list[str] = []
+    _serialize_element(element, indent, 0, out)
+    separator = "\n" if indent else ""
+    return separator.join(out)

@@ -1,0 +1,75 @@
+"""XPath subset: the path language used by the paper's XQuery examples.
+
+Quick use::
+
+    from repro.xpath import parse_path, evaluate_path, XPathContext
+
+    path = parse_path('document("bio.xml")/db/lab[@ID="baselab"]/name')
+    context = XPathContext(documents={"bio.xml": document})
+    bindings = evaluate_path(path, context)
+"""
+
+from repro.xpath.ast import (
+    AttributeStep,
+    BooleanOp,
+    ChildStep,
+    Comparison,
+    ContextStart,
+    DerefStep,
+    DocumentStart,
+    Exists,
+    Expr,
+    IndexCall,
+    Literal,
+    Number,
+    Path,
+    PathValue,
+    RefStep,
+    Step,
+    TextStep,
+    VariableStart,
+)
+from repro.xpath.evaluator import (
+    Binding,
+    XPathContext,
+    evaluate_expr,
+    evaluate_path,
+    evaluate_predicate,
+    string_value,
+)
+from repro.xpath.lexer import Token, TokenStream, tokenize
+from repro.xpath.parser import parse_expr, parse_expr_from, parse_path, parse_path_from
+
+__all__ = [
+    "AttributeStep",
+    "Binding",
+    "BooleanOp",
+    "ChildStep",
+    "Comparison",
+    "ContextStart",
+    "DerefStep",
+    "DocumentStart",
+    "Exists",
+    "Expr",
+    "IndexCall",
+    "Literal",
+    "Number",
+    "Path",
+    "PathValue",
+    "RefStep",
+    "Step",
+    "TextStep",
+    "Token",
+    "TokenStream",
+    "VariableStart",
+    "XPathContext",
+    "evaluate_expr",
+    "evaluate_path",
+    "evaluate_predicate",
+    "parse_expr",
+    "parse_expr_from",
+    "parse_path",
+    "parse_path_from",
+    "string_value",
+    "tokenize",
+]

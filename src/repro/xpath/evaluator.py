@@ -1,0 +1,359 @@
+"""Evaluation of the XPath subset over the in-memory data model.
+
+Evaluation happens inside an :class:`XPathContext`, which names the
+reachable documents (for ``document("...")``), holds variable bindings
+(single nodes, as established by the XQuery FOR/LET machinery), and
+optionally carries a context node for relative paths.
+
+A path evaluates to a list of *node bindings* in document order with
+duplicates removed: elements, attributes, reference entries, whole
+reference lists (``@name`` on an IDREFS attribute), or text nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Union
+
+from repro.errors import XPathError
+from repro.xmlmodel.model import (
+    Attribute,
+    Document,
+    Element,
+    Node,
+    RefEntry,
+    Reference,
+    Text,
+)
+from repro.xpath.ast import (
+    AttributeStep,
+    BooleanOp,
+    ChildStep,
+    Comparison,
+    ContextStart,
+    DerefStep,
+    DocumentStart,
+    Exists,
+    Expr,
+    IndexCall,
+    Literal,
+    Number,
+    Path,
+    PathValue,
+    RefStep,
+    Step,
+    TextStep,
+    VariableStart,
+)
+
+Binding = Union[Element, Attribute, Reference, RefEntry, Text]
+Atom = Union[str, float]
+
+
+class XPathContext:
+    """Everything a path needs to evaluate: documents, variables, context.
+
+    ``documents`` maps the names used in ``document("...")`` calls to
+    parsed documents.  ``variables`` maps variable names to their
+    current single-node binding.  ``context_node`` anchors relative
+    paths (it is the update target inside nested sub-updates).
+    """
+
+    def __init__(
+        self,
+        documents: Optional[dict[str, Document]] = None,
+        variables: Optional[dict[str, Binding]] = None,
+        context_node: Optional[Binding] = None,
+    ) -> None:
+        self.documents = dict(documents or {})
+        self.variables = dict(variables or {})
+        self.context_node = context_node
+
+    def child(
+        self,
+        variables: Optional[dict[str, Binding]] = None,
+        context_node: Optional[Binding] = None,
+    ) -> "XPathContext":
+        """A derived context with extra variables and/or a new context node."""
+        merged = dict(self.variables)
+        if variables:
+            merged.update(variables)
+        return XPathContext(
+            documents=self.documents,
+            variables=merged,
+            context_node=context_node if context_node is not None else self.context_node,
+        )
+
+    def document_containing(self, node: Node) -> Optional[Document]:
+        """Find the registered document whose tree contains ``node``."""
+        root = node.root_element()
+        if root is None:
+            return None
+        for document in self.documents.values():
+            if document.root is root:
+                return document
+        return None
+
+    def resolve_id(self, node: Node, id_value: str) -> Optional[Element]:
+        """Resolve an ID within the document that owns ``node``."""
+        document = self.document_containing(node)
+        if document is None:
+            return None
+        return document.element_by_id(id_value)
+
+
+def string_value(node: Binding) -> str:
+    """XPath string value: recursive text for elements, the value for
+    attributes/text, the target ID for reference entries."""
+    if isinstance(node, Element):
+        parts: list[str] = []
+        _collect_text(node, parts)
+        return "".join(parts)
+    if isinstance(node, Attribute):
+        return node.value
+    if isinstance(node, RefEntry):
+        return node.target
+    if isinstance(node, Reference):
+        return " ".join(node.targets)
+    if isinstance(node, Text):
+        return node.value
+    raise XPathError(f"cannot take the string value of {node!r}")
+
+
+def _collect_text(element: Element, parts: list[str]) -> None:
+    for child in element.children:
+        if isinstance(child, Text):
+            parts.append(child.value)
+        else:
+            _collect_text(child, parts)
+
+
+def evaluate_path(path: Path, context: XPathContext) -> list[Binding]:
+    """Evaluate a path to its node bindings, in document order, deduplicated."""
+    steps = list(path.steps)
+    if isinstance(path.start, DocumentStart) and steps and isinstance(steps[0], ChildStep):
+        # Standard XPath: the document node sits above the root element,
+        # so the first child step of an absolute path names the ROOT
+        # (document("x.xml")/CustDB selects the <CustDB> root itself).
+        nodes = _document_first_step(path.start, steps.pop(0), context)
+    else:
+        nodes = _start_nodes(path, context)
+    for step in steps:
+        nodes = _apply_step(step, nodes, context)
+    return nodes
+
+
+def _document_first_step(
+    start: DocumentStart, step: ChildStep, context: XPathContext
+) -> list[Binding]:
+    document = context.documents.get(start.name)
+    if document is None:
+        known = sorted(context.documents)
+        raise XPathError(f"unknown document {start.name!r}; known: {known}")
+    root = document.root
+    if step.descendant:
+        candidates: list[Binding] = [
+            element
+            for element in root.iter_descendants(include_self=True)
+            if step.name == "*" or element.name == step.name
+        ]
+    elif step.name == "*" or root.name == step.name:
+        candidates = [root]
+    else:
+        candidates = []
+    if step.predicates:
+        candidates = [
+            node
+            for node in candidates
+            if all(
+                evaluate_predicate(predicate, context.child(context_node=node))
+                for predicate in step.predicates
+            )
+        ]
+    return candidates
+
+
+def _start_nodes(path: Path, context: XPathContext) -> list[Binding]:
+    start = path.start
+    if isinstance(start, DocumentStart):
+        document = context.documents.get(start.name)
+        if document is None:
+            known = sorted(context.documents)
+            raise XPathError(f"unknown document {start.name!r}; known: {known}")
+        return [document.root]
+    if isinstance(start, VariableStart):
+        if start.name not in context.variables:
+            raise XPathError(f"unbound variable ${start.name}")
+        value = context.variables[start.name]
+        # LET clauses bind whole node sequences; FOR clauses bind one node.
+        return list(value) if isinstance(value, list) else [value]
+    assert isinstance(start, ContextStart)
+    if context.context_node is None:
+        raise XPathError("relative path used without a context node")
+    return [context.context_node]
+
+
+def _apply_step(step: Step, nodes: list[Binding], context: XPathContext) -> list[Binding]:
+    results: list[Binding] = []
+    seen: set[int] = set()
+
+    def emit(node: Binding) -> None:
+        if node.node_id not in seen:
+            seen.add(node.node_id)
+            results.append(node)
+
+    for node in nodes:
+        for produced in _step_candidates(step, node, context):
+            emit(produced)
+    if isinstance(step, ChildStep) and step.predicates:
+        results = [
+            node
+            for node in results
+            if all(
+                evaluate_predicate(predicate, context.child(context_node=node))
+                for predicate in step.predicates
+            )
+        ]
+    return results
+
+
+def _step_candidates(
+    step: Step, node: Binding, context: XPathContext
+) -> Iterable[Binding]:
+    if isinstance(step, ChildStep):
+        if not isinstance(node, Element):
+            return
+        if step.descendant:
+            pool: Iterable[Element] = node.iter_descendants(include_self=True)
+        else:
+            pool = node.child_elements()
+        for element in pool:
+            if step.name == "*" or element.name == step.name:
+                yield element
+        return
+    if isinstance(step, AttributeStep):
+        if not isinstance(node, Element):
+            return
+        attribute = node.attributes.get(step.name)
+        if attribute is not None:
+            yield attribute
+        reference = node.references.get(step.name)
+        if reference is not None:
+            yield reference
+        return
+    if isinstance(step, RefStep):
+        if not isinstance(node, Element):
+            return
+        for reference in node.references.values():
+            if step.label != "*" and reference.name != step.label:
+                continue
+            for entry in reference.entries:
+                if step.target == "*" or entry.target == step.target:
+                    yield entry
+        return
+    if isinstance(step, DerefStep):
+        targets: list[str] = []
+        if isinstance(node, RefEntry):
+            targets = [node.target]
+        elif isinstance(node, Reference):
+            targets = node.targets
+        elif isinstance(node, Attribute):
+            targets = node.value.split()
+        for target in targets:
+            element = context.resolve_id(node, target)
+            if element is not None:
+                yield element
+        return
+    if isinstance(step, TextStep):
+        if isinstance(node, Element):
+            for child in node.children:
+                if isinstance(child, Text):
+                    yield child
+        return
+    raise XPathError(f"unsupported step {step!r}")
+
+
+# ----------------------------------------------------------------------
+# Predicate / WHERE expression evaluation
+# ----------------------------------------------------------------------
+def evaluate_expr(expr: Expr, context: XPathContext) -> Union[list[Atom], Atom, bool]:
+    """Evaluate an expression to a value: atoms, atom lists, or a boolean."""
+    if isinstance(expr, Literal):
+        return expr.value
+    if isinstance(expr, Number):
+        return expr.value
+    if isinstance(expr, PathValue):
+        return [string_value(node) for node in evaluate_path(expr.path, context)]
+    if isinstance(expr, IndexCall):
+        positions: list[Atom] = []
+        for node in evaluate_path(expr.path, context):
+            parent = node.parent
+            if isinstance(parent, Element) and isinstance(node, (Element, Text)):
+                positions.append(float(parent.child_index(node)))
+        return positions
+    if isinstance(expr, Exists):
+        return bool(evaluate_path(expr.path, context))
+    if isinstance(expr, Comparison):
+        return _compare(expr, context)
+    if isinstance(expr, BooleanOp):
+        left = evaluate_predicate(expr.left, context)
+        if expr.op == "and":
+            return left and evaluate_predicate(expr.right, context)
+        return left or evaluate_predicate(expr.right, context)
+    raise XPathError(f"unsupported expression {expr!r}")
+
+
+def evaluate_predicate(expr: Expr, context: XPathContext) -> bool:
+    """Evaluate an expression in boolean position."""
+    value = evaluate_expr(expr, context)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, list):
+        return bool(value)
+    if isinstance(value, float):
+        return value != 0.0
+    return bool(value)
+
+
+def _as_atoms(value: Union[list[Atom], Atom, bool]) -> list[Atom]:
+    if isinstance(value, list):
+        return value
+    if isinstance(value, bool):
+        return [1.0 if value else 0.0]
+    return [value]
+
+
+def _compare(expr: Comparison, context: XPathContext) -> bool:
+    """Existential comparison: true iff any pair of atoms satisfies it."""
+    left_atoms = _as_atoms(evaluate_expr(expr.left, context))
+    right_atoms = _as_atoms(evaluate_expr(expr.right, context))
+    numeric_hint = isinstance(expr.left, Number) or isinstance(expr.right, Number)
+    ordering = expr.op in ("<", "<=", ">", ">=")
+    for left in left_atoms:
+        for right in right_atoms:
+            if _compare_atoms(expr.op, left, right, numeric_hint or ordering):
+                return True
+    return False
+
+
+def _compare_atoms(op: str, left: Atom, right: Atom, prefer_numeric: bool) -> bool:
+    if prefer_numeric:
+        try:
+            left_value: Union[str, float] = float(left)
+            right_value: Union[str, float] = float(right)
+        except (TypeError, ValueError):
+            left_value, right_value = str(left), str(right)
+    else:
+        left_value, right_value = str(left), str(right)
+    if op == "=":
+        return left_value == right_value
+    if op == "!=":
+        return left_value != right_value
+    if op == "<":
+        return left_value < right_value
+    if op == "<=":
+        return left_value <= right_value
+    if op == ">":
+        return left_value > right_value
+    if op == ">=":
+        return left_value >= right_value
+    raise XPathError(f"unknown comparison operator {op!r}")

@@ -1,0 +1,143 @@
+"""Tokenizer shared by the XPath and XQuery parsers.
+
+Token types: NAME, VARIABLE (``$name``), STRING, NUMBER, and fixed
+punctuation/operators.  Keywords are *not* distinguished here — the
+parsers decide contextually whether a NAME like ``and`` or ``UPDATE``
+is a keyword, since XPath names and XQuery keywords share the lexical
+space.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import XPathError
+
+# Multi-character operators must be listed before their prefixes.
+_PUNCTUATION = (
+    "->", "//", "!=", "<=", ">=", ":=",
+    "/", ".", "@", "(", ")", "[", "]", "{", "}", ",", "*", "=", "<", ">",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    type: str  # NAME | VARIABLE | STRING | NUMBER | punctuation literal | EOF
+    value: str
+    position: int  # character offset, for error messages
+
+    def __repr__(self) -> str:
+        return f"Token({self.type}, {self.value!r})"
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize ``text``; raises :class:`XPathError` on illegal input."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if ch in "\"'":
+            end = text.find(ch, index + 1)
+            if end == -1:
+                raise XPathError(f"unterminated string literal at offset {index}")
+            tokens.append(Token("STRING", text[index + 1 : end], index))
+            index = end + 1
+            continue
+        if ch == "$":
+            start = index + 1
+            end = start
+            while end < length and (text[end].isalnum() or text[end] in "_-"):
+                end += 1
+            if end == start:
+                raise XPathError(f"expected a variable name after '$' at offset {index}")
+            tokens.append(Token("VARIABLE", text[start:end], index))
+            index = end
+            continue
+        if ch.isdigit():
+            end = index
+            while end < length and (text[end].isdigit() or text[end] == "."):
+                end += 1
+            # A trailing '.' belongs to a following call like `.index()`.
+            if text[index:end].endswith("."):
+                end -= 1
+            tokens.append(Token("NUMBER", text[index:end], index))
+            index = end
+            continue
+        if ch.isalpha() or ch == "_":
+            end = index
+            while end < length and (text[end].isalnum() or text[end] in "_-"):
+                # A '-' that begins the '->' dereference operator ends the name.
+                if text[end] == "-" and end + 1 < length and text[end + 1] == ">":
+                    break
+                end += 1
+            tokens.append(Token("NAME", text[index:end], index))
+            index = end
+            continue
+        for punct in _PUNCTUATION:
+            if text.startswith(punct, index):
+                tokens.append(Token(punct, punct, index))
+                index += len(punct)
+                break
+        else:
+            raise XPathError(f"illegal character {ch!r} at offset {index}")
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+class TokenStream:
+    """Cursor over a token list with the usual peek/expect helpers."""
+
+    def __init__(self, tokens: list[Token]) -> None:
+        self._tokens = tokens
+        self._index = 0
+
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self._index + offset, len(self._tokens) - 1)
+        return self._tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token.type != "EOF":
+            self._index += 1
+        return token
+
+    def at(self, token_type: str, value: str | None = None) -> bool:
+        token = self.peek()
+        if token.type != token_type:
+            return False
+        return value is None or token.value == value
+
+    def at_name(self, value: str) -> bool:
+        """Case-sensitive check for a specific NAME token."""
+        return self.at("NAME", value)
+
+    def accept(self, token_type: str) -> Token | None:
+        if self.at(token_type):
+            return self.next()
+        return None
+
+    def expect(self, token_type: str, context: str = "") -> Token:
+        token = self.peek()
+        if token.type != token_type:
+            where = f" in {context}" if context else ""
+            raise XPathError(
+                f"expected {token_type!r}{where}, found {token.type!r} "
+                f"({token.value!r}) at offset {token.position}"
+            )
+        return self.next()
+
+    def expect_name(self, value: str, context: str = "") -> Token:
+        token = self.peek()
+        if token.type != "NAME" or token.value != value:
+            where = f" in {context}" if context else ""
+            raise XPathError(
+                f"expected {value!r}{where}, found {token.value!r} at offset {token.position}"
+            )
+        return self.next()
+
+    def at_end(self) -> bool:
+        return self.peek().type == "EOF"

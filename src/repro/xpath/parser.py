@@ -1,0 +1,232 @@
+"""Recursive-descent parser for the XPath subset.
+
+Two entry points are shared with the XQuery parser, which embeds path
+expressions and predicates inside its own grammar:
+
+* :func:`parse_path_from` / :func:`parse_expr_from` consume from an
+  existing :class:`~repro.xpath.lexer.TokenStream` and stop at the first
+  token that cannot continue the expression (e.g. an XQuery keyword);
+* :func:`parse_path` / :func:`parse_expr` parse a standalone string and
+  require it to be fully consumed.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XPathError
+from repro.xpath.ast import (
+    AttributeStep,
+    BooleanOp,
+    ChildStep,
+    Comparison,
+    ContextStart,
+    DerefStep,
+    DocumentStart,
+    Exists,
+    Expr,
+    IndexCall,
+    Literal,
+    Number,
+    Path,
+    PathValue,
+    RefStep,
+    Start,
+    Step,
+    TextStep,
+    VariableStart,
+)
+from repro.xpath.lexer import TokenStream, tokenize
+
+_COMPARISON_OPS = ("=", "!=", "<=", ">=", "<", ">")
+
+# Names that terminate an embedded path when the XQuery parser hands us
+# its token stream; the paper writes keywords in upper case.
+_STOP_KEYWORDS = frozenset(
+    {"FOR", "LET", "WHERE", "UPDATE", "RETURN", "IN", "DELETE", "RENAME",
+     "INSERT", "REPLACE", "WITH", "TO", "BEFORE", "AFTER", "and", "or"}
+)
+
+
+def _at_keyword(stream: TokenStream) -> bool:
+    token = stream.peek()
+    return token.type == "NAME" and token.value in _STOP_KEYWORDS
+
+
+def parse_path(text: str) -> Path:
+    """Parse a standalone path expression string."""
+    stream = TokenStream(tokenize(text))
+    path = parse_path_from(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise XPathError(
+            f"unexpected {token.value!r} after path expression at offset {token.position}"
+        )
+    return path
+
+
+def parse_expr(text: str) -> Expr:
+    """Parse a standalone predicate/WHERE expression string."""
+    stream = TokenStream(tokenize(text))
+    expr = parse_expr_from(stream)
+    if not stream.at_end():
+        token = stream.peek()
+        raise XPathError(
+            f"unexpected {token.value!r} after expression at offset {token.position}"
+        )
+    return expr
+
+
+# ----------------------------------------------------------------------
+# Paths
+# ----------------------------------------------------------------------
+def parse_path_from(stream: TokenStream) -> Path:
+    start = _parse_start(stream)
+    steps: list[Step] = []
+    if isinstance(start, ContextStart):
+        # A relative path begins with a step, not a separator.
+        steps.append(_parse_axis_step(stream, descendant=False))
+    while True:
+        if stream.at("//"):
+            stream.next()
+            steps.append(_parse_axis_step(stream, descendant=True))
+        elif stream.at("/") or _at_dot_separator(stream):
+            stream.next()
+            steps.append(_parse_axis_step(stream, descendant=False))
+        elif stream.at("->"):
+            stream.next()
+            steps.append(DerefStep())
+            # `->name` may continue without an explicit separator.
+            if stream.peek().type in ("NAME", "@", "*") and not _at_keyword(stream):
+                steps.append(_parse_axis_step(stream, descendant=False))
+        else:
+            return Path(start, tuple(steps))
+
+
+def _at_dot_separator(stream: TokenStream) -> bool:
+    """A '.' continues the path unless it introduces `.index()`."""
+    if not stream.at("."):
+        return False
+    return not (
+        stream.peek(1).type == "NAME"
+        and stream.peek(1).value == "index"
+        and stream.peek(2).type == "("
+    )
+
+
+def _parse_start(stream: TokenStream) -> Start:
+    token = stream.peek()
+    if token.type == "VARIABLE":
+        stream.next()
+        return VariableStart(token.value)
+    if token.type == "NAME" and token.value == "document" and stream.peek(1).type == "(":
+        stream.next()
+        stream.expect("(", "document()")
+        name = stream.expect("STRING", "document()").value
+        stream.expect(")", "document()")
+        return DocumentStart(name)
+    return ContextStart()
+
+
+def _parse_axis_step(stream: TokenStream, descendant: bool) -> Step:
+    token = stream.peek()
+    if token.type == "@":
+        stream.next()
+        name = stream.expect("NAME", "attribute step").value
+        return AttributeStep(name)
+    if token.type == "NAME" and token.value == "ref" and stream.peek(1).type == "(":
+        stream.next()
+        stream.expect("(", "ref()")
+        label = _parse_ref_argument(stream)
+        stream.expect(",", "ref()")
+        target = _parse_ref_argument(stream)
+        stream.expect(")", "ref()")
+        return RefStep(label, target)
+    if token.type == "NAME" and token.value == "text" and stream.peek(1).type == "(":
+        stream.next()
+        stream.expect("(", "text()")
+        stream.expect(")", "text()")
+        return TextStep()
+    if token.type in ("NAME", "*"):
+        stream.next()
+        predicates: list[Expr] = []
+        while stream.at("["):
+            stream.next()
+            predicates.append(parse_expr_from(stream))
+            stream.expect("]", "predicate")
+        return ChildStep(token.value, tuple(predicates), descendant=descendant)
+    raise XPathError(
+        f"expected a path step, found {token.value!r} at offset {token.position}"
+    )
+
+
+def _parse_ref_argument(stream: TokenStream) -> str:
+    token = stream.peek()
+    if token.type in ("NAME", "STRING"):
+        stream.next()
+        return token.value
+    if token.type == "*":
+        stream.next()
+        return "*"
+    raise XPathError(
+        f"expected a name, string or '*' in ref(), found {token.value!r} "
+        f"at offset {token.position}"
+    )
+
+
+# ----------------------------------------------------------------------
+# Predicate / WHERE expressions
+# ----------------------------------------------------------------------
+def parse_expr_from(stream: TokenStream) -> Expr:
+    return _parse_or(stream)
+
+
+def _parse_or(stream: TokenStream) -> Expr:
+    left = _parse_and(stream)
+    while stream.at_name("or"):
+        stream.next()
+        left = BooleanOp("or", left, _parse_and(stream))
+    return left
+
+
+def _parse_and(stream: TokenStream) -> Expr:
+    left = _parse_comparison(stream)
+    while stream.at_name("and"):
+        stream.next()
+        left = BooleanOp("and", left, _parse_comparison(stream))
+    return left
+
+
+def _parse_comparison(stream: TokenStream) -> Expr:
+    left = _parse_value(stream)
+    for op in _COMPARISON_OPS:
+        if stream.at(op):
+            stream.next()
+            right = _parse_value(stream)
+            return Comparison(op, left, right)
+    if isinstance(left, PathValue):
+        # A bare path in boolean position is an existence test.
+        return Exists(left.path)
+    return left
+
+
+def _parse_value(stream: TokenStream) -> Expr:
+    token = stream.peek()
+    if token.type == "STRING":
+        stream.next()
+        return Literal(token.value)
+    if token.type == "NUMBER":
+        stream.next()
+        return Number(float(token.value))
+    if token.type == "(":
+        stream.next()
+        inner = _parse_or(stream)
+        stream.expect(")", "parenthesised expression")
+        return inner
+    path = parse_path_from(stream)
+    if stream.at("."):
+        # Only `.index()` survives _at_dot_separator; consume it here.
+        stream.next()
+        stream.expect_name("index", "index()")
+        stream.expect("(", "index()")
+        stream.expect(")", "index()")
+        return IndexCall(path)
+    return PathValue(path)

@@ -1,0 +1,29 @@
+"""XQuery with the paper's update extensions (Section 4).
+
+Typical use::
+
+    from repro.xmlmodel import parse
+    from repro.xquery import XQueryEngine
+
+    engine = XQueryEngine({"bio.xml": parse(text, policy=policy)})
+    engine.execute('''
+        FOR $p IN document("bio.xml")/db/paper,
+            $cat IN $p/@category
+        UPDATE $p { DELETE $cat }
+    ''')
+"""
+
+from repro.xquery.ast import Query, UpdateClause
+from repro.xquery.engine import QueryResult, UpdateResult, XQueryEngine
+from repro.xquery.lexer import tokenize_xquery
+from repro.xquery.parser import parse_query
+
+__all__ = [
+    "Query",
+    "QueryResult",
+    "UpdateClause",
+    "UpdateResult",
+    "XQueryEngine",
+    "parse_query",
+    "tokenize_xquery",
+]

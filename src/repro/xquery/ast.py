@@ -1,0 +1,49 @@
+"""AST for the XQuery subset with the paper's update extensions.
+
+The statement form (Section 4.1)::
+
+    FOR $binding1 IN XPath-expr, ...
+    LET $binding := XPath-expr, ...
+    WHERE predicate1, ...
+    UPDATE $binding { subOp {, subOp}* }      -- one or more
+    -- or --
+    RETURN expr
+
+``clauses`` preserves the textual interleaving of FOR and LET.  Update
+clauses reuse the operation types from :mod:`repro.updates.operations`;
+nested updates appear as :class:`~repro.updates.operations.SubUpdate`
+entries inside an operation list.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.updates.binding import LetClause
+from repro.updates.operations import ForClause, UpdateOp
+from repro.xpath.ast import Expr, Path
+
+Clause = Union[ForClause, LetClause]
+
+
+@dataclass(frozen=True)
+class UpdateClause:
+    """``UPDATE $target { op, op, ... }``."""
+
+    target_variable: str
+    operations: tuple[UpdateOp, ...]
+
+
+@dataclass(frozen=True)
+class Query:
+    """A parsed FLWU (For-Let-Where-Update) or FLWR statement."""
+
+    clauses: tuple[Clause, ...]
+    where: tuple[Expr, ...] = ()
+    updates: tuple[UpdateClause, ...] = ()
+    returns: Optional[Path] = None
+
+    @property
+    def is_update(self) -> bool:
+        return bool(self.updates)

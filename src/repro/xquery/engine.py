@@ -1,0 +1,126 @@
+"""In-memory execution of FLWU statements over parsed documents.
+
+:class:`XQueryEngine` is the top of the in-memory stack: it parses a
+statement, enumerates all variable bindings over the *input* documents
+(Section 3.2's bind-before-update rule, including nested Sub-Update
+pattern matches), and then either executes the update operations
+iteration by iteration or returns the RETURN clause's bindings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.errors import UpdateError, XQueryError
+from repro.updates.binding import enumerate_bindings
+from repro.updates.executor import BoundUpdate, UpdateExecutor
+from repro.xmlmodel.model import Document, Element
+from repro.xmlmodel.policy import RefPolicy
+from repro.xpath.evaluator import Binding, XPathContext, evaluate_path
+from repro.xquery.ast import Query
+from repro.xquery.parser import parse_query
+
+
+@dataclass
+class UpdateResult:
+    """Outcome of an update statement."""
+
+    bindings: int  # number of variable-binding iterations
+    operations: int  # primitive operations executed (incl. nested)
+
+
+@dataclass
+class QueryResult:
+    """Outcome of a RETURN statement: the bound nodes, in binding order."""
+
+    nodes: list[Binding] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __iter__(self):
+        return iter(self.nodes)
+
+
+class XQueryEngine:
+    """Executes XQuery statements (with update extensions) in memory.
+
+    ``documents`` maps the names used in ``document("...")`` to parsed
+    documents; ``ordered`` selects the execution model; ``policy``
+    governs reference typing inside constructed XML content (defaults
+    to the policy that is uniform across the registered documents, or
+    the plain default policy).
+    """
+
+    def __init__(
+        self,
+        documents: dict[str, Document],
+        ordered: bool = True,
+        policy: Optional[RefPolicy] = None,
+    ) -> None:
+        self.documents = documents
+        self.ordered = ordered
+        self.policy = policy or RefPolicy.default()
+
+    def parse(self, text: str) -> Query:
+        return parse_query(text, policy=self.policy)
+
+    def execute(self, statement: Union[str, Query]) -> Union[UpdateResult, QueryResult]:
+        """Run a statement; returns an UpdateResult or a QueryResult."""
+        query = self.parse(statement) if isinstance(statement, str) else statement
+        context = XPathContext(documents=self.documents)
+        combos = list(enumerate_bindings(query.clauses, query.where, context))
+        if not query.is_update:
+            return self._execute_return(query, combos, context)
+        executor = UpdateExecutor(context, ordered=self.ordered)
+        # Phase 1: bind every iteration of every UPDATE clause over the
+        # pre-update documents.
+        bound: list[BoundUpdate] = []
+        for combo in combos:
+            for clause in query.updates:
+                target = combo.get(clause.target_variable)
+                if target is None:
+                    raise XQueryError(
+                        f"UPDATE target ${clause.target_variable} is not bound by "
+                        "the FOR/LET clauses"
+                    )
+                if not isinstance(target, Element):
+                    raise UpdateError(
+                        f"UPDATE target ${clause.target_variable} must bind an "
+                        f"element, got {target!r}"
+                    )
+                bound.append(executor.bind(target, clause.operations, combo))
+        # Phase 2: execute iteration by iteration.
+        for bound_update in bound:
+            executor.execute(bound_update)
+        return UpdateResult(bindings=len(combos), operations=sum(
+            _count_operations(item) for item in bound
+        ))
+
+    def _execute_return(
+        self,
+        query: Query,
+        combos: list[dict[str, Binding]],
+        context: XPathContext,
+    ) -> QueryResult:
+        assert query.returns is not None
+        result = QueryResult()
+        seen: set[int] = set()
+        for combo in combos:
+            scoped = context.child(variables=combo)
+            for node in evaluate_path(query.returns, scoped):
+                if node.node_id not in seen:
+                    seen.add(node.node_id)
+                    result.nodes.append(node)
+        return result
+
+
+def _count_operations(bound: BoundUpdate) -> int:
+    total = 0
+    for step in bound.steps:
+        if isinstance(step, BoundUpdate):
+            total += _count_operations(step)
+        else:
+            total += 1
+    return total

@@ -1,0 +1,156 @@
+"""XQuery lexer: the XPath token set plus embedded XML literals.
+
+XML element constructors appear in the paper's update syntax as content
+operands — ``INSERT <firstname>Jeff</firstname>`` — including the
+abbreviated close tag ``</>`` (Example 4).  A ``<`` that opens an XML
+literal is only legal directly after the keywords ``INSERT``, ``WITH``
+or ``RETURN``, which makes extraction deterministic: at those points we
+scan the balanced element text (normalising ``</>`` to the matching
+close tag) and emit a single ``XML`` token carrying the raw markup.
+"""
+
+from __future__ import annotations
+
+from repro.errors import XQueryError
+from repro.xpath.lexer import Token
+
+_XML_OPENERS = frozenset({"INSERT", "WITH", "RETURN"})
+
+
+def tokenize_xquery(text: str) -> list[Token]:
+    """Tokenize XQuery text, folding XML literals into single tokens."""
+    tokens: list[Token] = []
+    index = 0
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch.isspace():
+            index += 1
+            continue
+        if (
+            ch == "<"
+            and index + 1 < length
+            and (text[index + 1].isalpha() or text[index + 1] == "_")
+            and tokens
+            and tokens[-1].type == "NAME"
+            and tokens[-1].value in _XML_OPENERS
+        ):
+            literal, index = _extract_xml_literal(text, index)
+            tokens.append(Token("XML", literal, index))
+            continue
+        # Delegate a single token to the XPath lexer by scanning a chunk.
+        token, consumed = _scan_one(text, index)
+        tokens.append(token)
+        index = consumed
+    tokens.append(Token("EOF", "", length))
+    return tokens
+
+
+_PUNCTUATION = (
+    "->", "//", "!=", "<=", ">=", ":=",
+    "/", ".", "@", "(", ")", "[", "]", "{", "}", ",", "*", "=", "<", ">",
+)
+
+
+def _scan_one(text: str, index: int) -> tuple[Token, int]:
+    """Scan exactly one XPath-style token starting at ``index``."""
+    length = len(text)
+    ch = text[index]
+    if ch in "\"'":
+        end = text.find(ch, index + 1)
+        if end == -1:
+            raise XQueryError(f"unterminated string literal at offset {index}")
+        return Token("STRING", text[index + 1 : end], index), end + 1
+    if ch == "$":
+        end = index + 1
+        while end < length and (text[end].isalnum() or text[end] in "_-"):
+            end += 1
+        if end == index + 1:
+            raise XQueryError(f"expected a variable name after '$' at offset {index}")
+        return Token("VARIABLE", text[index + 1 : end], index), end
+    if ch.isdigit():
+        end = index
+        while end < length and (text[end].isdigit() or text[end] == "."):
+            end += 1
+        if text[index:end].endswith("."):
+            end -= 1
+        return Token("NUMBER", text[index:end], index), end
+    if ch.isalpha() or ch == "_":
+        end = index
+        while end < length and (text[end].isalnum() or text[end] in "_-"):
+            if text[end] == "-" and end + 1 < length and text[end + 1] == ">":
+                break
+            end += 1
+        return Token("NAME", text[index:end], index), end
+    for punct in _PUNCTUATION:
+        if text.startswith(punct, index):
+            return Token(punct, punct, index), index + len(punct)
+    raise XQueryError(f"illegal character {ch!r} at offset {index}")
+
+
+def _extract_xml_literal(text: str, start: int) -> tuple[str, int]:
+    """Scan a balanced XML element from ``start``; returns (markup, end).
+
+    Normalises the paper's ``</>`` abbreviation by substituting the name
+    of the innermost open element.
+    """
+    output: list[str] = []
+    stack: list[str] = []
+    index = start
+    length = len(text)
+    while index < length:
+        ch = text[index]
+        if ch != "<":
+            output.append(ch)
+            index += 1
+            continue
+        if text.startswith("</>", index):
+            if not stack:
+                raise XQueryError(f"'</>' with no open element at offset {index}")
+            name = stack.pop()
+            output.append(f"</{name}>")
+            index += 3
+        elif text.startswith("</", index):
+            end = text.find(">", index)
+            if end == -1:
+                raise XQueryError(f"unterminated close tag at offset {index}")
+            if not stack:
+                raise XQueryError(f"unbalanced close tag at offset {index}")
+            stack.pop()
+            output.append(text[index : end + 1])
+            index = end + 1
+        else:
+            tag_end, self_closing, name = _scan_open_tag(text, index)
+            output.append(text[index:tag_end])
+            if not self_closing:
+                stack.append(name)
+            index = tag_end
+        if not stack:
+            return "".join(output), index
+    raise XQueryError(f"unterminated XML literal starting at offset {start}")
+
+
+def _scan_open_tag(text: str, start: int) -> tuple[int, bool, str]:
+    """Scan ``<name attr="v" ...>`` or ``<name .../>``; returns
+    (end offset, self-closing?, name)."""
+    index = start + 1
+    length = len(text)
+    name_start = index
+    while index < length and (text[index].isalnum() or text[index] in "_:-."):
+        index += 1
+    name = text[name_start:index]
+    if not name:
+        raise XQueryError(f"expected an element name at offset {start}")
+    while index < length:
+        ch = text[index]
+        if ch in "\"'":
+            end = text.find(ch, index + 1)
+            if end == -1:
+                raise XQueryError(f"unterminated attribute value at offset {index}")
+            index = end + 1
+        elif ch == ">":
+            self_closing = text[index - 1] == "/"
+            return index + 1, self_closing, name
+        else:
+            index += 1
+    raise XQueryError(f"unterminated open tag at offset {start}")

@@ -1,0 +1,240 @@
+"""Recursive-descent parser for the FLWU/FLWR statement grammar.
+
+Keywords (FOR, LET, WHERE, UPDATE, RETURN, DELETE, RENAME, INSERT,
+REPLACE, WITH, TO, BEFORE, AFTER, IN) are matched case-insensitively —
+the paper itself mixes ``FOR ... in ...``.  Path expressions and
+predicates are delegated to the XPath parser over the shared token
+stream; XML content literals arrive pre-lexed as single ``XML`` tokens
+and are parsed into model elements with the supplied
+:class:`~repro.xmlmodel.policy.RefPolicy` (which governs IDREF/IDREFS
+splitting inside constructed content).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import XQueryError
+from repro.updates.binding import LetClause
+from repro.updates.content import RefContent
+from repro.updates.operations import (
+    Content,
+    Delete,
+    ForClause,
+    Insert,
+    InsertAfter,
+    InsertBefore,
+    Rename,
+    Replace,
+    SubUpdate,
+    UpdateOp,
+    VarOperand,
+)
+from repro.xmlmodel.model import Attribute
+from repro.xmlmodel.parser import XmlParser
+from repro.xmlmodel.policy import RefPolicy
+from repro.xpath.ast import Expr
+from repro.xpath.lexer import Token, TokenStream
+from repro.xpath.parser import parse_expr_from, parse_path_from
+from repro.xquery.ast import Clause, Query, UpdateClause
+from repro.xquery.lexer import tokenize_xquery
+
+
+def parse_query(text: str, policy: Optional[RefPolicy] = None) -> Query:
+    """Parse an XQuery statement (query or update) into a :class:`Query`."""
+    return _QueryParser(text, policy or RefPolicy.default()).parse()
+
+
+class _QueryParser:
+    def __init__(self, text: str, policy: RefPolicy) -> None:
+        self._stream = TokenStream(tokenize_xquery(text))
+        self._policy = policy
+
+    # ------------------------------------------------------------------
+    # Keyword helpers (case-insensitive)
+    # ------------------------------------------------------------------
+    def _at_keyword(self, word: str) -> bool:
+        token = self._stream.peek()
+        return token.type == "NAME" and token.value.upper() == word
+
+    def _accept_keyword(self, word: str) -> bool:
+        if self._at_keyword(word):
+            self._stream.next()
+            return True
+        return False
+
+    def _expect_keyword(self, word: str) -> None:
+        if not self._accept_keyword(word):
+            token = self._stream.peek()
+            raise XQueryError(
+                f"expected {word}, found {token.value!r} at offset {token.position}"
+            )
+
+    def _expect_variable(self, context: str) -> str:
+        token = self._stream.peek()
+        if token.type != "VARIABLE":
+            raise XQueryError(
+                f"expected a $variable in {context}, found {token.value!r} "
+                f"at offset {token.position}"
+            )
+        self._stream.next()
+        return token.value
+
+    # ------------------------------------------------------------------
+    # Statement structure
+    # ------------------------------------------------------------------
+    def parse(self) -> Query:
+        clauses = self._parse_for_let_clauses()
+        where = self._parse_where()
+        updates: list[UpdateClause] = []
+        while self._at_keyword("UPDATE"):
+            updates.append(self._parse_update_clause())
+        returns = None
+        if self._accept_keyword("RETURN"):
+            returns = parse_path_from(self._stream)
+        if not updates and returns is None:
+            raise XQueryError("statement has neither UPDATE clauses nor RETURN")
+        if not self._stream.at_end():
+            token = self._stream.peek()
+            raise XQueryError(
+                f"unexpected {token.value!r} after statement at offset {token.position}"
+            )
+        return Query(tuple(clauses), tuple(where), tuple(updates), returns)
+
+    def _parse_for_let_clauses(self) -> list[Clause]:
+        clauses: list[Clause] = []
+        while True:
+            if self._accept_keyword("FOR"):
+                clauses.append(self._parse_for_binding())
+                while self._stream.at(","):
+                    self._stream.next()
+                    clauses.append(self._parse_for_binding())
+            elif self._accept_keyword("LET"):
+                clauses.append(self._parse_let_binding())
+                while self._stream.at(","):
+                    self._stream.next()
+                    clauses.append(self._parse_let_binding())
+            else:
+                return clauses
+
+    def _parse_for_binding(self) -> ForClause:
+        variable = self._expect_variable("FOR clause")
+        self._expect_keyword("IN")
+        path = parse_path_from(self._stream)
+        return ForClause(variable, path)
+
+    def _parse_let_binding(self) -> LetClause:
+        variable = self._expect_variable("LET clause")
+        self._stream.expect(":=", "LET clause")
+        path = parse_path_from(self._stream)
+        return LetClause(variable, path)
+
+    def _parse_where(self) -> list[Expr]:
+        predicates: list[Expr] = []
+        if self._accept_keyword("WHERE"):
+            predicates.append(parse_expr_from(self._stream))
+            while self._stream.at(","):
+                self._stream.next()
+                predicates.append(parse_expr_from(self._stream))
+        return predicates
+
+    # ------------------------------------------------------------------
+    # UPDATE clause and sub-operations
+    # ------------------------------------------------------------------
+    def _parse_update_clause(self) -> UpdateClause:
+        self._expect_keyword("UPDATE")
+        target = self._expect_variable("UPDATE clause")
+        self._stream.expect("{", "UPDATE clause")
+        operations = [self._parse_sub_operation()]
+        while self._stream.at(","):
+            self._stream.next()
+            operations.append(self._parse_sub_operation())
+        self._stream.expect("}", "UPDATE clause")
+        return UpdateClause(target, tuple(operations))
+
+    def _parse_sub_operation(self) -> UpdateOp:
+        if self._accept_keyword("DELETE"):
+            return Delete(VarOperand(self._expect_variable("DELETE")))
+        if self._accept_keyword("RENAME"):
+            child = VarOperand(self._expect_variable("RENAME"))
+            self._expect_keyword("TO")
+            token = self._stream.peek()
+            if token.type not in ("NAME", "STRING"):
+                raise XQueryError(
+                    f"expected a name after TO, found {token.value!r} "
+                    f"at offset {token.position}"
+                )
+            self._stream.next()
+            return Rename(child, token.value)
+        if self._accept_keyword("INSERT"):
+            content = self._parse_content("INSERT")
+            if self._accept_keyword("BEFORE"):
+                anchor = VarOperand(self._expect_variable("INSERT ... BEFORE"))
+                return InsertBefore(anchor, content)
+            if self._accept_keyword("AFTER"):
+                anchor = VarOperand(self._expect_variable("INSERT ... AFTER"))
+                return InsertAfter(anchor, content)
+            return Insert(content)
+        if self._accept_keyword("REPLACE"):
+            child = VarOperand(self._expect_variable("REPLACE"))
+            self._expect_keyword("WITH")
+            content = self._parse_content("REPLACE ... WITH")
+            return Replace(child, content)
+        if self._at_keyword("FOR"):
+            return self._parse_nested_update()
+        token = self._stream.peek()
+        raise XQueryError(
+            f"expected an update operation, found {token.value!r} "
+            f"at offset {token.position}"
+        )
+
+    def _parse_nested_update(self) -> SubUpdate:
+        self._expect_keyword("FOR")
+        clauses = [self._parse_for_binding()]
+        while self._stream.at(","):
+            self._stream.next()
+            clauses.append(self._parse_for_binding())
+        predicates = tuple(self._parse_where())
+        inner = self._parse_update_clause()
+        return SubUpdate(tuple(clauses), predicates, inner.target_variable, inner.operations)
+
+    def _parse_content(self, context: str) -> Content:
+        token = self._stream.peek()
+        if token.type == "XML":
+            self._stream.next()
+            document = XmlParser(token.value, policy=self._policy).parse()
+            element = document.root
+            element.parent = None
+            return element
+        if token.type == "STRING":
+            self._stream.next()
+            return token.value
+        if token.type == "VARIABLE":
+            self._stream.next()
+            return VarOperand(token.value)
+        if token.type == "NAME" and token.value == "new_attribute":
+            self._stream.next()
+            name, value = self._parse_constructor_args("new_attribute")
+            return Attribute(name, value)
+        if token.type == "NAME" and token.value == "new_ref":
+            self._stream.next()
+            label, target = self._parse_constructor_args("new_ref")
+            return RefContent(label, target)
+        raise XQueryError(
+            f"expected content in {context}, found {token.value!r} "
+            f"at offset {token.position}"
+        )
+
+    def _parse_constructor_args(self, name: str) -> tuple[str, str]:
+        self._stream.expect("(", name)
+        first = self._stream.peek()
+        if first.type not in ("NAME", "STRING"):
+            raise XQueryError(f"expected a name as the first argument of {name}")
+        self._stream.next()
+        self._stream.expect(",", name)
+        second = self._stream.peek()
+        if second.type not in ("NAME", "STRING", "NUMBER"):
+            raise XQueryError(f"expected a value as the second argument of {name}")
+        self._stream.next()
+        self._stream.expect(")", name)
+        return first.value, second.value

@@ -1,0 +1,114 @@
+"""Unit tests for the measurement harness and reporting."""
+
+import json
+import os
+
+import pytest
+
+from repro.bench.harness import ExperimentRunner, Measurement
+from repro.bench.reporting import format_series, save_results
+from repro.bench.experiments import (
+    build_fixed_store,
+    bulk_delete,
+    random_delete,
+    random_subtree_ids,
+)
+from repro.workloads.synthetic import SyntheticParams
+
+
+@pytest.fixture
+def master():
+    store = build_fixed_store(SyntheticParams(20, 2, 2))
+    yield store
+    store.close()
+
+
+class TestRunner:
+    def test_measure_averages_and_counts(self, master):
+        runner = ExperimentRunner(master, runs=3)
+        measurement = runner.measure("per_tuple_trigger", 20, bulk_delete)
+        assert measurement.seconds > 0
+        assert measurement.runs == 3
+        assert measurement.client_statements == 1
+        assert measurement.method == "per_tuple_trigger"
+
+    def test_master_is_not_mutated(self, master):
+        runner = ExperimentRunner(master, runs=2)
+        runner.measure("x", 0, bulk_delete)
+        assert master.tuple_count("n1") == 20
+
+    def test_runs_env_knob(self, monkeypatch, master):
+        monkeypatch.setenv("REPRO_BENCH_RUNS", "2")
+        runner = ExperimentRunner(master)
+        assert runner.runs == 2
+
+    def test_bad_env_value_falls_back(self, monkeypatch, master):
+        monkeypatch.setenv("REPRO_BENCH_RUNS", "banana")
+        runner = ExperimentRunner(master)
+        assert runner.runs == 5
+
+
+class TestWorkloadDrivers:
+    def test_random_ids_deterministic(self, master):
+        first = random_subtree_ids(master, "n1")
+        second = random_subtree_ids(master, "n1")
+        assert first == second
+        assert len(first) == 10
+
+    def test_random_ids_all_when_small(self):
+        store = build_fixed_store(SyntheticParams(4, 2, 2))
+        ids = random_subtree_ids(store, "n1")
+        assert len(ids) == 4
+        store.close()
+
+    def test_random_delete_removes_exactly_ten(self, master):
+        store = master.snapshot()
+        ids = random_subtree_ids(master, "n1")
+        random_delete(store, ids)
+        assert store.tuple_count("n1") == 10
+        store.close()
+
+
+class TestReporting:
+    def measurements(self):
+        return [
+            Measurement("tuple", 1, 0.002, 10, 0, 3),
+            Measurement("tuple", 2, 0.004, 20, 0, 3),
+            Measurement("table", 1, 0.001, 5, 0, 3),
+            Measurement("table", 2, 0.0015, 5, 2, 3),
+        ]
+
+    def test_format_series_layout(self):
+        text = format_series("Figure X", "depth", self.measurements())
+        lines = text.splitlines()
+        assert lines[0] == "Figure X"
+        assert "depth:" in lines[1]
+        assert any(line.strip().startswith("tuple:") for line in lines)
+        assert any(line.strip().startswith("table:") for line in lines)
+
+    def test_format_series_with_statements(self):
+        text = format_series("F", "x", self.measurements(), show_statements=True)
+        assert "0.0020s/10st" in text
+        assert "0.0015s/7st" in text  # client + trigger statements
+
+    def test_missing_points_render_dash(self):
+        text = format_series("F", "x", self.measurements()[:3])
+        assert "-" in text
+
+    def test_save_results_round_trip(self, tmp_path):
+        path = str(tmp_path / "r" / "results.json")
+        save_results(path, "figX", self.measurements())
+        save_results(path, "figY", self.measurements()[:1])
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert set(payload) == {"figX", "figY"}
+        assert payload["figX"][0]["method"] == "tuple"
+        assert payload["figY"][0]["seconds"] == 0.002
+
+    def test_save_results_overwrites_same_experiment(self, tmp_path):
+        path = str(tmp_path / "results.json")
+        save_results(path, "figX", self.measurements())
+        save_results(path, "figX", self.measurements()[:1])
+        with open(path) as handle:
+            payload = json.load(handle)
+        assert len(payload["figX"]) == 1

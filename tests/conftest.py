@@ -1,0 +1,99 @@
+"""Shared fixtures: the paper's running examples as parsed documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmlmodel import parse
+from repro.xmlmodel.policy import BIO_POLICY
+
+# Figure 1 of the paper: biology labs and publications.
+BIO_XML = """\
+<db lab="lalab">
+  <university ID="ucla">
+    <lab ID="lalab" managers="smith1 jones1">
+      <name>UCLA Bio Lab</name>
+      <city>Los Angeles</city>
+    </lab>
+  </university>
+  <lab ID="baselab" managers="smith1">
+    <name>Seattle Bio Lab</name>
+    <location>
+      <city>Seattle</city>
+      <country>USA</country>
+    </location>
+  </lab>
+  <lab ID="lab2">
+    <name>PMBL</name>
+    <city>Philadelphia</city>
+    <country>USA</country>
+  </lab>
+  <paper ID="Smith991231" source="lab2" category="spectral" biologist="smith1">
+    <title>Autocatalysis of Spectral...</title>
+  </paper>
+  <biologist ID="smith1">
+    <lastname>Smith</lastname>
+  </biologist>
+  <biologist ID="jones1" age="32">
+    <lastname>Jones</lastname>
+  </biologist>
+</db>
+"""
+
+# Figure 4 of the paper: simplified TPC/W customer database DTD.  The
+# paper's Figure 5 query additionally assumes Address is inlined
+# (Address_City, Address_State) and Order carries a Status; we declare
+# the DTD accordingly.
+CUSTOMER_DTD = """\
+<!ELEMENT CustDB (Customer*)>
+<!ELEMENT Customer (Name, Address, Order*)>
+<!ELEMENT Address (City, State)>
+<!ELEMENT Order (Date, Status, OrderLine*)>
+<!ELEMENT OrderLine (ItemName, Qty)>
+<!ELEMENT Name (#PCDATA)>
+<!ELEMENT City (#PCDATA)>
+<!ELEMENT State (#PCDATA)>
+<!ELEMENT Date (#PCDATA)>
+<!ELEMENT Status (#PCDATA)>
+<!ELEMENT ItemName (#PCDATA)>
+<!ELEMENT Qty (#PCDATA)>
+"""
+
+CUSTOMER_XML = """\
+<CustDB>
+  <Customer>
+    <Name>John</Name>
+    <Address><City>Seattle</City><State>WA</State></Address>
+    <Order>
+      <Date>2000-05-01</Date>
+      <Status>ready</Status>
+      <OrderLine><ItemName>tire</ItemName><Qty>4</Qty></OrderLine>
+      <OrderLine><ItemName>rim</ItemName><Qty>4</Qty></OrderLine>
+    </Order>
+    <Order>
+      <Date>2000-06-12</Date>
+      <Status>shipped</Status>
+      <OrderLine><ItemName>pump</ItemName><Qty>1</Qty></OrderLine>
+    </Order>
+  </Customer>
+  <Customer>
+    <Name>Mary</Name>
+    <Address><City>Portland</City><State>OR</State></Address>
+    <Order>
+      <Date>2000-07-20</Date>
+      <Status>ready</Status>
+      <OrderLine><ItemName>seat</ItemName><Qty>2</Qty></OrderLine>
+    </Order>
+  </Customer>
+</CustDB>
+"""
+
+
+@pytest.fixture
+def bio_document():
+    return parse(BIO_XML, policy=BIO_POLICY)
+
+
+@pytest.fixture
+def customer_document():
+    return parse(CUSTOMER_XML)

@@ -1,0 +1,140 @@
+"""Integration: the in-memory engine and the relational store agree.
+
+The same XQuery update statement runs against (a) the document in
+memory via :class:`XQueryEngine` and (b) the same document shredded
+into SQLite via :class:`XmlStore`; the store's reconstructed document
+must match the in-memory result.
+
+Comparison is *canonical*: the relational mapping does not keep order
+among sibling elements of different tags (Section 5.1), so both sides
+are normalised by sorting every element's children by (tag, canonical
+content) before comparing.
+"""
+
+import pytest
+
+from repro import XQueryEngine, XmlStore, parse
+from repro.workloads.tpcw import CUSTOMER_DTD, CustomerParams, generate_customers
+
+
+def canonical(element) -> str:
+    from repro.xmlmodel.model import Element, Text
+
+    attributes = " ".join(
+        f'{name}="{element.attributes[name].value}"' for name in sorted(element.attributes)
+    )
+    references = " ".join(
+        f'{name}->{" ".join(element.references[name].targets)}'
+        for name in sorted(element.references)
+    )
+    parts = []
+    for child in element.children:
+        if isinstance(child, Text):
+            if child.value.strip():
+                parts.append(f"#{child.value}")
+        else:
+            parts.append(canonical(child))
+    body = "".join(sorted(parts))
+    return f"<{element.name} {attributes}|{references}>{body}</{element.name}>"
+
+
+@pytest.fixture
+def pair():
+    """(engine+document, store) loaded with identical data."""
+    document_for_engine = generate_customers(CustomerParams(customers=12, seed=21))
+    document_for_store = generate_customers(CustomerParams(customers=12, seed=21))
+    engine = XQueryEngine({"custdb.xml": document_for_engine})
+    store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+    store.load(document_for_store)
+    return engine, document_for_engine, store
+
+
+def store_root(store):
+    results = store.query('FOR $d IN document("custdb.xml")/CustDB RETURN $d')
+    assert len(results) == 1
+    return results[0]
+
+
+STATEMENTS = [
+    # Complex delete of whole subtrees.
+    'FOR $d IN document("custdb.xml")/CustDB, '
+    '$c IN $d/Customer[Address/State="WA"] UPDATE $d { DELETE $c }',
+    # Delete of an inlined element (simple delete -> SQL UPDATE).
+    'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John0"], '
+    "$a IN $c/Address UPDATE $c { DELETE $a }",
+    # Delete nested subtrees via a relative binding.
+    'FOR $c IN document("custdb.xml")/CustDB/Customer, '
+    '$o IN $c/Order[Status="shipped"] UPDATE $c { DELETE $o }',
+    # Replace an inlined PCDATA element.
+    'FOR $c IN document("custdb.xml")/CustDB/Customer, $n IN $c/Name '
+    'WHERE $c/Address/State = "OR" '
+    "UPDATE $c { REPLACE $n WITH <Name>Renamed</Name> }",
+    # Insert a constructed subtree.
+    'FOR $c IN document("custdb.xml")/CustDB/Customer[Address/City="Austin"] '
+    "UPDATE $c { INSERT <Order><Date>2001-01-01</Date><Status>new</Status>"
+    "<OrderLine><ItemName>horn</ItemName><Qty>2</Qty></OrderLine></Order> }",
+    # Copy subtrees (complex insert).
+    'FOR $source IN document("custdb.xml")/CustDB/Customer[Address/State="IL"], '
+    '$target IN document("custdb.xml")/CustDB UPDATE $target { INSERT $source }',
+]
+
+
+@pytest.mark.parametrize("statement", STATEMENTS)
+def test_statement_agrees(pair, statement):
+    engine, document, store = pair
+    engine.execute(statement)
+    store.execute(statement)
+    assert canonical(store_root(store)) == canonical(document.root)
+
+
+class TestSequencesAgree:
+    def test_chained_statements(self, pair):
+        engine, document, store = pair
+        statements = [
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Address/State="WA"], '
+            "$a IN $c/Address UPDATE $c { DELETE $a }",
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="Mary1"] UPDATE $d { DELETE $c }',
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Address/State="TX"] '
+            "UPDATE $c { INSERT <Order><Date>x</Date><Status>queued</Status>"
+            "</Order> }",
+        ]
+        for statement in statements:
+            engine.execute(statement)
+            store.execute(statement)
+        assert canonical(store_root(store)) == canonical(document.root)
+
+    @pytest.mark.parametrize("delete_method", ["per_tuple_trigger", "cascade", "asr"])
+    def test_strategies_agree_with_engine(self, delete_method):
+        document = generate_customers(CustomerParams(customers=10, seed=5))
+        mirror = generate_customers(CustomerParams(customers=10, seed=5))
+        engine = XQueryEngine({"custdb.xml": document})
+        store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+        store.load(mirror)
+        store.set_delete_method(delete_method)
+        statement = (
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Order/Status="ready"] UPDATE $d { DELETE $c }'
+        )
+        engine.execute(statement)
+        store.execute(statement)
+        assert canonical(store_root(store)) == canonical(document.root)
+
+
+class TestQueriesAgree:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John0"] RETURN $c',
+            'FOR $o IN document("custdb.xml")//Order[Status="ready"] RETURN $o',
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            'WHERE $c/Address/State = "WA" RETURN $c',
+        ],
+    )
+    def test_query_results_agree(self, pair, query):
+        engine, _document, store = pair
+        engine_results = engine.execute(query)
+        store_results = store.query(query)
+        engine_canonical = sorted(canonical(node) for node in engine_results)
+        store_canonical = sorted(canonical(node) for node in store_results)
+        assert store_canonical == engine_canonical

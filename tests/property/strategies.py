@@ -1,0 +1,59 @@
+"""Hypothesis strategies for the repro test suite."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.xmlmodel.model import Document, Element, Text
+
+# Tag/attribute names: simple XML names (plain-letter alphabet; avoids a
+# hypothesis from_regex shrinking bug seen with mixed-class regexes).
+names = st.text(alphabet="abcdefghij", min_size=1, max_size=8)
+
+# Text content: printable, with at least one non-space character so the
+# parser's whitespace-dropping cannot erase it on a round trip.
+texts = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    min_size=1,
+    max_size=20,
+).filter(lambda value: value.strip())
+
+attribute_values = st.text(
+    alphabet=st.characters(blacklist_categories=("Cs", "Cc")),
+    max_size=20,
+)
+
+
+@st.composite
+def elements(draw, max_depth: int = 3, max_children: int = 4) -> Element:
+    """A random model element tree.
+
+    No two adjacent text children are generated (adjacent PCDATA nodes
+    legitimately merge on a parse round trip).
+    """
+    element = Element(draw(names))
+    for attr_name in draw(st.lists(names, max_size=3, unique=True)):
+        element.set_attribute(attr_name, draw(attribute_values))
+    if max_depth > 0:
+        children = draw(
+            st.lists(
+                st.one_of(
+                    texts.map(Text),
+                    elements(max_depth=max_depth - 1, max_children=max_children),
+                ),
+                max_size=max_children,
+            )
+        )
+        previous_was_text = False
+        for child in children:
+            is_text = isinstance(child, Text)
+            if is_text and previous_was_text:
+                continue
+            element.append_child(child)
+            previous_was_text = is_text
+    return element
+
+
+@st.composite
+def documents(draw) -> Document:
+    return Document(draw(elements()))

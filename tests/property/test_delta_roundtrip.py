@@ -1,0 +1,36 @@
+"""Property: diff(a, b) applied to a mirror of a always produces b."""
+
+from hypothesis import given, settings
+
+from repro.updates.delta import apply_delta, diff, from_json, to_json
+from repro.xmlmodel import serialize
+from repro.xmlmodel.model import Document
+
+from tests.property.strategies import elements
+
+
+class TestDeltaRoundTrip:
+    @given(old_root=elements(max_depth=2), new_root=elements(max_depth=2))
+    @settings(max_examples=80, deadline=None)
+    def test_diff_apply_identity(self, old_root, new_root):
+        old = Document(old_root)
+        new = Document(new_root)
+        mirror = Document(old_root.copy())
+        apply_delta(mirror, diff(old, new))
+        assert serialize(mirror, indent=0) == serialize(new, indent=0)
+
+    @given(old_root=elements(max_depth=2), new_root=elements(max_depth=2))
+    @settings(max_examples=40, deadline=None)
+    def test_wire_format_preserves_delta(self, old_root, new_root):
+        old = Document(old_root)
+        new = Document(new_root)
+        ops = diff(old, new)
+        mirror = Document(old_root.copy())
+        apply_delta(mirror, from_json(to_json(ops)))
+        assert serialize(mirror, indent=0) == serialize(new, indent=0)
+
+    @given(root=elements(max_depth=2))
+    @settings(max_examples=40, deadline=None)
+    def test_self_diff_is_empty(self, root):
+        document = Document(root)
+        assert diff(document, Document(root.copy())) == []

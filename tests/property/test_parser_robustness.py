@@ -1,0 +1,46 @@
+"""Property: the XML parser fails only with XmlParseError, never crashes."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DtdError, XmlParseError
+from repro.xmlmodel import parse
+from repro.xquery import tokenize_xquery
+from repro.errors import XPathError, XQueryError
+from repro.xquery.parser import parse_query
+
+
+class TestParserTotality:
+    @given(st.text(max_size=60))
+    @settings(max_examples=150, deadline=None)
+    def test_arbitrary_text_never_crashes(self, text):
+        try:
+            parse(text)
+        except (XmlParseError, DtdError):
+            pass
+
+    @given(st.text(alphabet="<>/ab& ;\"'=!-[]", max_size=40))
+    @settings(max_examples=150, deadline=None)
+    def test_markup_soup_never_crashes(self, text):
+        try:
+            parse(text)
+        except (XmlParseError, DtdError):
+            pass
+
+
+class TestXQueryParserTotality:
+    @given(st.text(alphabet="FORINUPDATE$abc{}()<>/\"' =,", max_size=50))
+    @settings(max_examples=150, deadline=None)
+    def test_statement_soup_never_crashes(self, text):
+        try:
+            parse_query(text)
+        except (XQueryError, XPathError, XmlParseError):
+            pass
+
+    @given(st.text(max_size=50))
+    @settings(max_examples=100, deadline=None)
+    def test_lexer_never_crashes(self, text):
+        try:
+            tokenize_xquery(text)
+        except (XQueryError, XPathError):
+            pass

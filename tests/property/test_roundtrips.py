@@ -1,0 +1,67 @@
+"""Property-based round-trip tests on the core data structures."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.edge import EdgeMapping
+from repro.xmlmodel import parse, serialize
+from repro.xmlmodel.model import Document
+
+from tests.property.strategies import documents, elements
+
+
+class TestParseSerializeRoundTrip:
+    @given(documents())
+    @settings(max_examples=60, deadline=None)
+    def test_serialize_then_parse_is_identity(self, document):
+        text = serialize(document, indent=0)
+        reparsed = parse(text, preserve_space=True)
+        assert serialize(reparsed, indent=0) == text
+
+    @given(documents())
+    @settings(max_examples=40, deadline=None)
+    def test_pretty_and_compact_forms_agree(self, document):
+        pretty = parse(serialize(document, indent=2))
+        compact = parse(serialize(document, indent=0))
+        assert serialize(pretty, indent=0) == serialize(compact, indent=0)
+
+
+class TestCopyProperties:
+    @given(elements())
+    @settings(max_examples=60, deadline=None)
+    def test_copy_serializes_identically(self, element):
+        clone = element.copy()
+        assert serialize(clone, indent=0) == serialize(element, indent=0)
+
+    @given(elements())
+    @settings(max_examples=60, deadline=None)
+    def test_copy_has_disjoint_identity(self, element):
+        clone = element.copy()
+        original_ids = {node.node_id for node in element.iter_descendants(True)}
+        clone_ids = {node.node_id for node in clone.iter_descendants(True)}
+        assert original_ids.isdisjoint(clone_ids)
+
+
+class TestParentPointerInvariant:
+    @given(elements())
+    @settings(max_examples=60, deadline=None)
+    def test_every_child_points_back_to_its_parent(self, element):
+        for descendant in element.iter_descendants(include_self=True):
+            for child in descendant.children:
+                assert child.parent is descendant
+            for attribute in descendant.attributes.values():
+                assert attribute.parent is descendant
+            for reference in descendant.references.values():
+                assert reference.parent is descendant
+                for entry in reference.entries:
+                    assert entry.parent is reference
+
+
+class TestEdgeMappingRoundTrip:
+    @given(documents())
+    @settings(max_examples=25, deadline=None)
+    def test_edge_store_round_trip(self, document):
+        mapping = EdgeMapping()
+        root_id = mapping.load(document)
+        rebuilt = mapping.reconstruct(root_id)
+        assert serialize(rebuilt, indent=0) == serialize(document.root, indent=0)

@@ -1,0 +1,133 @@
+"""Property: every delete strategy and every insert strategy computes the
+same final database state on randomly shaped documents."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.database import Database
+from repro.relational.delete_methods import DELETE_METHODS
+from repro.relational.idgen import IdAllocator
+from repro.relational.insert_methods import INSERT_METHODS
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.shredder import create_schema, shred_document
+from repro.workloads.tpcw import CUSTOMER_DTD, CustomerParams, generate_customers
+from repro.xmlmodel import parse_dtd
+
+RELATIONS = ("CustDB", "Customer", "Order", "OrderLine")
+
+
+def build(seed: int, customers: int):
+    db = Database()
+    schema = derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+    create_schema(db, schema)
+    document = generate_customers(CustomerParams(customers=customers, seed=seed))
+    shred_document(db, schema, document)
+    return db, schema
+
+
+def state(db):
+    """Canonical content of every relation, ignoring tuple ids.
+
+    Different strategies may assign different ids to copies, so we
+    compare the data columns plus the parent linkage expressed through
+    data (each tuple paired with its parent's data)."""
+    snapshot = {}
+    snapshot["Customer"] = sorted(
+        db.query("SELECT Name, Address_City, Address_State FROM Customer")
+    )
+    snapshot["Order"] = sorted(
+        db.query(
+            'SELECT o.Date, o.Status, c.Name FROM "Order" o '
+            "JOIN Customer c ON o.parentId = c.id"
+        )
+    )
+    snapshot["OrderLine"] = sorted(
+        db.query(
+            "SELECT l.ItemName, l.Qty, o.Date, c.Name FROM OrderLine l "
+            'JOIN "Order" o ON l.parentId = o.id '
+            "JOIN Customer c ON o.parentId = c.id"
+        )
+    )
+    return snapshot
+
+
+class TestDeleteEquivalence:
+    @given(
+        seed=st.integers(0, 1000),
+        customers=st.integers(2, 15),
+        state_choice=st.sampled_from(["ready", "shipped", "suspended", "WA", "OR"]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_all_strategies_agree(self, seed, customers, state_choice):
+        if state_choice in ("WA", "OR"):
+            relation, where = "Customer", f"\"Customer\".\"Address_State\" = '{state_choice}'"
+        else:
+            relation, where = "Order", f"\"Order\".\"Status\" = '{state_choice}'"
+        states = []
+        for name, method_class in sorted(DELETE_METHODS.items()):
+            db, schema = build(seed, customers)
+            method = method_class()
+            method.install(db, schema)
+            method.delete(db, schema, relation, where)
+            states.append((name, state(db)))
+            db.close()
+        reference_name, reference = states[0]
+        for name, other in states[1:]:
+            assert other == reference, f"{name} disagrees with {reference_name}"
+
+    @given(seed=st.integers(0, 1000), customers=st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_no_orphans_after_any_strategy(self, seed, customers):
+        for name, method_class in sorted(DELETE_METHODS.items()):
+            db, schema = build(seed, customers)
+            method = method_class()
+            method.install(db, schema)
+            method.delete(db, schema, "Customer", '"Customer".id % 2 = 0')
+            for child, parent in (("Order", "Customer"), ("OrderLine", '"Order"')):
+                orphans = db.query_one(
+                    f'SELECT COUNT(*) FROM "{child}" WHERE parentId NOT IN '
+                    f"(SELECT id FROM {parent})"
+                )[0]
+                assert orphans == 0, name
+            db.close()
+
+
+class TestInsertEquivalence:
+    @given(seed=st.integers(0, 1000), customers=st.integers(2, 10))
+    @settings(max_examples=15, deadline=None)
+    def test_all_strategies_agree(self, seed, customers):
+        states = []
+        for name, method_class in sorted(INSERT_METHODS.items()):
+            db, schema = build(seed, customers)
+            allocator = IdAllocator(db)
+            root_id = db.query_one("SELECT id FROM CustDB")[0]
+            method = method_class()
+            method.install(db, schema)
+            method.insert_copy(
+                db, schema, allocator, "Customer",
+                '"Customer".id % 2 = 1', (), root_id,
+            )
+            states.append((name, state(db)))
+            db.close()
+        reference_name, reference = states[0]
+        for name, other in states[1:]:
+            assert other == reference, f"{name} disagrees with {reference_name}"
+
+    @given(seed=st.integers(0, 500), customers=st.integers(2, 8), copies=st.integers(1, 3))
+    @settings(max_examples=10, deadline=None)
+    def test_repeated_copies_keep_ids_unique(self, seed, customers, copies):
+        for name, method_class in sorted(INSERT_METHODS.items()):
+            db, schema = build(seed, customers)
+            allocator = IdAllocator(db)
+            root_id = db.query_one("SELECT id FROM CustDB")[0]
+            method = method_class()
+            method.install(db, schema)
+            for _ in range(copies):
+                method.insert_copy(
+                    db, schema, allocator, "Customer", "", (), root_id
+                )
+            all_ids = []
+            for relation in RELATIONS:
+                all_ids += [r[0] for r in db.query(f'SELECT id FROM "{relation}"')]
+            assert len(all_ids) == len(set(all_ids)), name
+            db.close()

@@ -1,0 +1,142 @@
+"""Direct unit tests for Access Support Relations (§5.3)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.asr import AsrManager, _leaf_chains
+from repro.relational.database import Database
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.shredder import create_schema, shred_document
+from repro.workloads.dblp import dblp_dtd
+from repro.xmlmodel import parse, parse_dtd
+
+from tests.conftest import CUSTOMER_DTD
+
+
+@pytest.fixture
+def loaded(customer_document):
+    db = Database()
+    schema = derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+    create_schema(db, schema)
+    shred_document(db, schema, customer_document)
+    manager = AsrManager(db, schema)
+    manager.create_all()
+    return db, schema, manager
+
+
+class TestChains:
+    def test_customer_schema_has_one_chain(self, loaded):
+        _db, _schema, manager = loaded
+        assert len(manager.chains) == 1
+        assert manager.chains[0].relations == ["CustDB", "Customer", "Order", "OrderLine"]
+
+    def test_dblp_schema_has_two_chains(self):
+        schema = derive_inlining_schema(parse_dtd(dblp_dtd()))
+        chains = _leaf_chains(schema)
+        assert sorted(chain[-1] for chain in chains) == ["author", "citation"]
+
+    def test_recursive_schema_rejected(self):
+        schema = derive_inlining_schema(
+            parse_dtd("<!ELEMENT part (name, part?)><!ELEMENT name (#PCDATA)>"),
+            root="part",
+        )
+        with pytest.raises(StorageError, match="recursive"):
+            _leaf_chains(schema)
+
+    def test_chain_through_picks_deepest(self, loaded):
+        _db, _schema, manager = loaded
+        chain = manager.chain_through("Order")
+        assert chain.relations[-1] == "OrderLine"
+
+    def test_chain_through_unknown_relation(self, loaded):
+        _db, _schema, manager = loaded
+        with pytest.raises(StorageError, match="no ASR chain"):
+            manager.chain_through("Nothing")
+
+
+class TestLeftCompleteness:
+    def test_one_row_per_full_path(self, loaded):
+        db, _schema, manager = loaded
+        chain = manager.chains[0]
+        # 4 order lines + Mary's orderless... every OrderLine terminates a
+        # path; parents with no children still contribute a row.
+        rows = db.query(f'SELECT * FROM "{chain.table}"')
+        line_level = chain.level_of("OrderLine")
+        full_paths = [r for r in rows if r[line_level] is not None]
+        assert len(full_paths) == 4
+
+    def test_nulls_only_at_bottom(self, loaded):
+        db, _schema, manager = loaded
+        chain = manager.chains[0]
+        for row in db.query(f'SELECT * FROM "{chain.table}"'):
+            ids = list(row[: chain.depth])
+            seen_null = False
+            for value in ids:
+                if value is None:
+                    seen_null = True
+                elif seen_null:
+                    pytest.fail(f"non-left-complete ASR row: {row}")
+
+    def test_childless_parent_has_stub_row(self):
+        db = Database()
+        schema = derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+        create_schema(db, schema)
+        document = parse(
+            "<CustDB><Customer><Name>Solo</Name>"
+            "<Address><City>X</City><State>Y</State></Address>"
+            "</Customer></CustDB>"
+        )
+        shred_document(db, schema, document)
+        manager = AsrManager(db, schema)
+        manager.create_all()
+        chain = manager.chains[0]
+        rows = db.query(f'SELECT * FROM "{chain.table}"')
+        assert len(rows) == 1
+        customer_level = chain.level_of("Customer")
+        assert rows[0][customer_level] is not None
+        assert rows[0][chain.level_of("Order")] is None
+
+
+class TestPathQuery:
+    def test_two_join_plan_matches_multiway_join(self, loaded):
+        db, _schema, manager = loaded
+        asr_sql = manager.path_query_sql(
+            "Customer", "OrderLine", "t.ItemName = 'tire'"
+        )
+        asr_ids = {row[0] for row in db.query(asr_sql)}
+        join_ids = {
+            row[0]
+            for row in db.query(
+                'SELECT DISTINCT c.id FROM Customer c JOIN "Order" o ON '
+                "o.parentId = c.id JOIN OrderLine l ON l.parentId = o.id "
+                "WHERE l.ItemName = 'tire'"
+            )
+        }
+        assert asr_ids == join_ids
+
+    def test_invalid_direction_rejected(self, loaded):
+        _db, _schema, manager = loaded
+        with pytest.raises(StorageError, match="path"):
+            manager.path_query_sql("OrderLine", "Customer", "1")
+
+
+class TestMarking:
+    def test_mark_and_unmark(self, loaded):
+        db, _schema, manager = loaded
+        manager.mark_subtrees("Customer", "SELECT id FROM Customer WHERE Name='John'")
+        chain = manager.chains[0]
+        marked = db.query_one(
+            f'SELECT COUNT(*) FROM "{chain.table}" WHERE mark = 1'
+        )[0]
+        assert marked == 3  # John's three full paths
+        manager.unmark_all()
+        assert db.query_one(
+            f'SELECT COUNT(*) FROM "{chain.table}" WHERE mark = 1'
+        )[0] == 0
+
+    def test_marked_descendant_ids(self, loaded):
+        db, _schema, manager = loaded
+        manager.mark_subtrees("Customer", "SELECT id FROM Customer WHERE Name='John'")
+        sql = manager.marked_descendant_ids_sql("Customer", "OrderLine")
+        line_ids = {row[0] for row in db.query(sql)}
+        assert len(line_ids) == 3

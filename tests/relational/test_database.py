@@ -1,0 +1,146 @@
+"""Unit tests for the Database wrapper (counting, trigger emulation, clone)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.database import Database, _delete_target
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE parent (id INTEGER, name TEXT)")
+    database.execute("CREATE TABLE child (id INTEGER, parentId INTEGER)")
+    database.executemany(
+        "INSERT INTO parent VALUES (?, ?)", [(1, "a"), (2, "b")]
+    )
+    database.executemany(
+        "INSERT INTO child VALUES (?, ?)", [(10, 1), (11, 1), (12, 2)]
+    )
+    return database
+
+
+class TestCounting:
+    def test_execute_counts_client_statements(self, db):
+        db.counts.reset()
+        db.execute("SELECT 1")
+        db.execute("SELECT 2")
+        assert db.counts.client == 2
+        assert db.counts.total == 2
+
+    def test_executemany_counts_per_row(self, db):
+        db.counts.reset()
+        db.executemany("INSERT INTO parent VALUES (?, ?)", [(3, "c"), (4, "d")])
+        assert db.counts.client == 2
+
+    def test_reset(self, db):
+        db.execute("SELECT 1")
+        db.counts.reset()
+        assert db.counts.client == 0
+
+
+class TestErrors:
+    def test_sql_error_wrapped(self, db):
+        with pytest.raises(StorageError, match="no such table"):
+            db.execute("SELECT * FROM missing")
+
+    def test_query_one_rejects_multiple_rows(self, db):
+        with pytest.raises(StorageError, match="at most one"):
+            db.query_one("SELECT * FROM parent")
+
+    def test_query_one_none_on_empty(self, db):
+        assert db.query_one("SELECT * FROM parent WHERE id = 99") is None
+
+
+class TestStatementTriggerEmulation:
+    def test_delete_fires_registered_sweep(self, db):
+        db.register_statement_trigger(
+            "parent",
+            ["DELETE FROM child WHERE parentId NOT IN (SELECT id FROM parent)"],
+        )
+        db.counts.reset()
+        db.execute("DELETE FROM parent WHERE id = 1")
+        assert db.counts.client == 1
+        assert db.counts.trigger_emulation == 1
+        assert db.query_one("SELECT COUNT(*) FROM child")[0] == 1
+
+    def test_chained_triggers(self, db):
+        db.execute("CREATE TABLE grandchild (id INTEGER, parentId INTEGER)")
+        db.execute("INSERT INTO grandchild VALUES (100, 10)")
+        db.register_statement_trigger(
+            "parent",
+            ["DELETE FROM child WHERE parentId NOT IN (SELECT id FROM parent)"],
+        )
+        db.register_statement_trigger(
+            "child",
+            ["DELETE FROM grandchild WHERE parentId NOT IN (SELECT id FROM child)"],
+        )
+        db.execute("DELETE FROM parent WHERE id = 1")
+        assert db.query_one("SELECT COUNT(*) FROM grandchild")[0] == 0
+        assert db.counts.trigger_emulation == 2
+
+    def test_chain_stops_when_sweep_removes_nothing(self, db):
+        db.register_statement_trigger(
+            "parent",
+            ["DELETE FROM child WHERE parentId NOT IN (SELECT id FROM parent)"],
+        )
+        db.register_statement_trigger("child", ["DELETE FROM child WHERE 0"])
+        db.execute("DELETE FROM parent WHERE id = 99")  # deletes nothing
+        # The parent sweep runs (per-statement triggers fire regardless),
+        # but removed nothing, so the chained child trigger does not fire.
+        assert db.counts.trigger_emulation == 1
+
+    def test_non_delete_statements_do_not_fire(self, db):
+        db.register_statement_trigger("parent", ["DELETE FROM child"])
+        db.execute("UPDATE parent SET name = 'x' WHERE id = 1")
+        assert db.counts.trigger_emulation == 0
+
+    def test_clear(self, db):
+        db.register_statement_trigger("parent", ["DELETE FROM child"])
+        db.clear_statement_triggers()
+        db.execute("DELETE FROM parent WHERE id = 1")
+        assert db.counts.trigger_emulation == 0
+
+
+class TestDeleteTargetParsing:
+    @pytest.mark.parametrize(
+        "sql,expected",
+        [
+            ("DELETE FROM parent WHERE id=1", "parent"),
+            ("  delete   from   \"Quoted\" where 1", "quoted"),
+            ("SELECT * FROM parent", None),
+            ("DELETE", None),
+            ("UPDATE t SET x=1", None),
+        ],
+    )
+    def test_parse(self, sql, expected):
+        assert _delete_target(sql) == expected
+
+
+class TestClone:
+    def test_clone_copies_data_and_schema(self, db):
+        clone = db.clone()
+        assert clone.query_one("SELECT COUNT(*) FROM parent")[0] == 2
+        clone.execute("DELETE FROM parent")
+        # The original is untouched.
+        assert db.query_one("SELECT COUNT(*) FROM parent")[0] == 2
+
+    def test_clone_copies_sqlite_triggers(self, db):
+        db.execute(
+            "CREATE TRIGGER trg AFTER DELETE ON parent FOR EACH ROW BEGIN "
+            "DELETE FROM child WHERE parentId = OLD.id; END"
+        )
+        clone = db.clone()
+        clone.execute("DELETE FROM parent WHERE id = 1")
+        assert clone.query_one("SELECT COUNT(*) FROM child")[0] == 1
+
+    def test_clone_copies_emulated_registrations(self, db):
+        db.register_statement_trigger("parent", ["DELETE FROM child"])
+        clone = db.clone()
+        clone.execute("DELETE FROM parent WHERE id = 1")
+        assert clone.counts.trigger_emulation == 1
+
+    def test_clone_counters_start_fresh(self, db):
+        db.execute("SELECT 1")
+        clone = db.clone()
+        assert clone.counts.client == 0

@@ -1,0 +1,157 @@
+"""Unit tests: all four delete strategies produce identical final states."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.delete_methods import (
+    AsrDelete,
+    CascadingDelete,
+    PerStatementTriggerDelete,
+    PerTupleTriggerDelete,
+)
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.shredder import create_schema, shred_document
+from repro.xmlmodel import parse_dtd
+
+from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+
+METHODS = [
+    PerTupleTriggerDelete,
+    PerStatementTriggerDelete,
+    CascadingDelete,
+    AsrDelete,
+]
+
+
+def build_store(customer_document):
+    db = Database()
+    schema = derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+    create_schema(db, schema)
+    shred_document(db, schema, customer_document)
+    return db, schema
+
+
+def counts(db):
+    return {
+        "Customer": db.query_one("SELECT COUNT(*) FROM Customer")[0],
+        "Order": db.query_one('SELECT COUNT(*) FROM "Order"')[0],
+        "OrderLine": db.query_one("SELECT COUNT(*) FROM OrderLine")[0],
+    }
+
+
+@pytest.mark.parametrize("method_class", METHODS)
+class TestDeleteJohn:
+    """The paper's Example 9: delete customers named John."""
+
+    def run_delete(self, customer_document, method_class):
+        db, schema = build_store(customer_document)
+        method = method_class()
+        method.install(db, schema)
+        method.delete(db, schema, "Customer", '"Customer"."Name" = ?', ("John",))
+        return db
+
+    def test_customer_gone(self, customer_document, method_class):
+        db = self.run_delete(customer_document, method_class)
+        assert counts(db) == {"Customer": 1, "Order": 1, "OrderLine": 1}
+
+    def test_remaining_customer_untouched(self, customer_document, method_class):
+        db = self.run_delete(customer_document, method_class)
+        assert db.query_one("SELECT Name FROM Customer") == ("Mary",)
+        assert db.query_one("SELECT ItemName FROM OrderLine") == ("seat",)
+
+    def test_no_orphans_left(self, customer_document, method_class):
+        db = self.run_delete(customer_document, method_class)
+        orphans = db.query_one(
+            'SELECT COUNT(*) FROM "Order" WHERE parentId NOT IN '
+            "(SELECT id FROM Customer)"
+        )[0]
+        assert orphans == 0
+        line_orphans = db.query_one(
+            "SELECT COUNT(*) FROM OrderLine WHERE parentId NOT IN "
+            '(SELECT id FROM "Order")'
+        )[0]
+        assert line_orphans == 0
+
+
+@pytest.mark.parametrize("method_class", METHODS)
+class TestBulkDelete:
+    def test_delete_everything_below_root(self, customer_document, method_class):
+        db, schema = build_store(customer_document)
+        method = method_class()
+        method.install(db, schema)
+        method.delete(db, schema, "Customer", "", ())
+        assert counts(db) == {"Customer": 0, "Order": 0, "OrderLine": 0}
+        assert db.query_one("SELECT COUNT(*) FROM CustDB")[0] == 1
+
+
+class TestStatementCounts:
+    """The paper attributes performance to statement counts; check them."""
+
+    def test_per_tuple_trigger_issues_one_statement(self, customer_document):
+        db, schema = build_store(customer_document)
+        method = PerTupleTriggerDelete()
+        method.install(db, schema)
+        db.counts.reset()
+        method.delete(db, schema, "Customer", '"Customer"."Name" = ?', ("John",))
+        assert db.counts.client == 1
+        assert db.counts.trigger_emulation == 0
+
+    def test_per_statement_trigger_one_client_statement(self, customer_document):
+        db, schema = build_store(customer_document)
+        method = PerStatementTriggerDelete()
+        method.install(db, schema)
+        db.counts.reset()
+        method.delete(db, schema, "Customer", '"Customer"."Name" = ?', ("John",))
+        assert db.counts.client == 1
+        # The emulation swept Order and OrderLine inside the engine.
+        assert db.counts.trigger_emulation >= 2
+
+    def test_cascade_issues_per_level_statements(self, customer_document):
+        db, schema = build_store(customer_document)
+        method = CascadingDelete()
+        db.counts.reset()
+        method.delete(db, schema, "Customer", '"Customer"."Name" = ?', ("John",))
+        # 1 target delete + 1 sweep per level below (Order, OrderLine).
+        assert db.counts.client == 3
+        assert db.counts.trigger_emulation == 0
+
+    def test_asr_issues_more_statements(self, customer_document):
+        db, schema = build_store(customer_document)
+        method = AsrDelete()
+        method.install(db, schema)
+        db.counts.reset()
+        method.delete(db, schema, "Customer", '"Customer"."Name" = ?', ("John",))
+        assert db.counts.client > 3
+
+
+class TestAsrMaintenance:
+    def test_asr_reflects_state_after_delete(self, customer_document):
+        db, schema = build_store(customer_document)
+        method = AsrDelete()
+        method.install(db, schema)
+        method.delete(db, schema, "Customer", '"Customer"."Name" = ?', ("John",))
+        chain = method.asr.chains[0]
+        rows = db.query(f'SELECT * FROM "{chain.table}"')
+        # No marked rows remain, no path references a deleted tuple.
+        assert all(row[-1] == 0 or row[-1] is None for row in rows)
+        customer_level = chain.level_of("Customer")
+        remaining_customers = {r[0] for r in db.query("SELECT id FROM Customer")}
+        for row in rows:
+            if row[customer_level] is not None:
+                assert row[customer_level] in remaining_customers
+
+    def test_left_completeness_preserved(self, customer_document):
+        db, schema = build_store(customer_document)
+        method = AsrDelete()
+        method.install(db, schema)
+        # Delete all orders of all customers: customers become path leaves.
+        method.delete(db, schema, "Order", "", ())
+        chain = method.asr.chains[0]
+        customer_level = chain.level_of("Customer")
+        customer_ids = {r[0] for r in db.query("SELECT id FROM Customer")}
+        covered = {
+            row[customer_level]
+            for row in db.query(f'SELECT * FROM "{chain.table}"')
+            if row[customer_level] is not None
+        }
+        assert customer_ids <= covered

@@ -1,0 +1,123 @@
+"""Unit tests for the Edge and Attribute storage mappings (§5.1)."""
+
+import pytest
+
+from repro.relational.attribute_map import AttributeMapping
+from repro.relational.edge import EdgeMapping
+from repro.xmlmodel import parse
+from repro.xmlmodel.policy import BIO_POLICY
+from repro.xmlmodel.serializer import serialize
+
+from tests.conftest import BIO_XML, CUSTOMER_XML
+
+
+class TestEdgeMapping:
+    def test_load_counts_every_object(self, customer_document):
+        mapping = EdgeMapping()
+        mapping.load(customer_document)
+        # 32 elements + 14 text leaves... count exactly via the model.
+        from repro.relational.edge import _count_objects
+
+        assert mapping.count() == _count_objects(customer_document.root)
+
+    def test_works_without_dtd(self):
+        # The Edge mapping's advantage (§5.1): no DTD required.
+        document = parse("<anything><goes deep='1'><here/></goes></anything>")
+        mapping = EdgeMapping()
+        root_id = mapping.load(document)
+        rebuilt = mapping.reconstruct(root_id)
+        assert serialize(rebuilt, indent=0) == serialize(document.root, indent=0)
+
+    def test_reconstruct_round_trip(self, customer_document):
+        mapping = EdgeMapping()
+        root_id = mapping.load(customer_document)
+        rebuilt = mapping.reconstruct(root_id)
+        assert serialize(rebuilt, indent=0) == serialize(customer_document.root, indent=0)
+
+    def test_references_preserved(self):
+        document = parse(BIO_XML, policy=BIO_POLICY)
+        mapping = EdgeMapping()
+        root_id = mapping.load(document)
+        rebuilt = mapping.reconstruct(root_id)
+        lalab = [
+            e for e in rebuilt.iter_descendants()
+            if e.attributes.get("ID") and e.attributes["ID"].value == "lalab"
+        ][0]
+        assert lalab.references["managers"].targets == ["smith1", "jones1"]
+
+    def test_element_ids_by_name(self, customer_document):
+        mapping = EdgeMapping()
+        mapping.load(customer_document)
+        assert len(mapping.element_ids("Customer")) == 2
+        assert len(mapping.element_ids("OrderLine")) == 4
+
+    def test_element_ids_with_child_filter(self, customer_document):
+        mapping = EdgeMapping()
+        mapping.load(customer_document)
+        johns = mapping.element_ids("Customer", child_text=("Name", "John"))
+        assert len(johns) == 1
+
+    def test_delete_subtree_removes_descendants(self, customer_document):
+        mapping = EdgeMapping()
+        mapping.load(customer_document)
+        johns = mapping.element_ids("Customer", child_text=("Name", "John"))
+        before = mapping.count()
+        mapping.delete_subtrees(johns)
+        assert len(mapping.element_ids("Customer")) == 1
+        # No orphans.
+        orphans = mapping.db.query_one(
+            "SELECT COUNT(*) FROM edge WHERE parentId IS NOT NULL "
+            "AND parentId NOT IN (SELECT id FROM edge)"
+        )[0]
+        assert orphans == 0
+        assert mapping.count() < before
+
+    def test_copy_subtree(self, customer_document):
+        mapping = EdgeMapping()
+        root_id = mapping.load(customer_document)
+        johns = mapping.element_ids("Customer", child_text=("Name", "John"))
+        new_id = mapping.copy_subtree(johns[0], root_id)
+        assert len(mapping.element_ids("Customer")) == 3
+        rebuilt = mapping.reconstruct(new_id)
+        assert rebuilt.child_elements("Name")[0].text() == "John"
+        assert len(rebuilt.child_elements("Order")) == 2
+
+
+class TestAttributeMapping:
+    def test_one_table_per_name(self, customer_document):
+        mapping = AttributeMapping()
+        mapping.load(customer_document)
+        assert "att_Customer" in mapping.tables
+        assert "att_OrderLine" in mapping.tables
+        assert "att_pcdata" in mapping.tables
+
+    def test_counts_match_edge(self, customer_document):
+        edge = EdgeMapping()
+        edge.load(customer_document)
+        attribute = AttributeMapping()
+        attribute.load(customer_document)
+        assert attribute.count() == edge.count()
+
+    def test_element_ids(self, customer_document):
+        mapping = AttributeMapping()
+        mapping.load(customer_document)
+        assert len(mapping.element_ids("Order")) == 3
+        assert mapping.element_ids("NoSuchTag") == []
+
+    def test_delete_sweeps_all_tables(self, customer_document):
+        mapping = AttributeMapping()
+        mapping.load(customer_document)
+        customers = mapping.element_ids("Customer")
+        mapping.delete_subtrees(customers[:1])
+        assert len(mapping.element_ids("Customer")) == 1
+        # Statement count reflects per-table sweeps (the fragmentation cost).
+        mapping.db.counts.reset()
+        mapping.delete_subtrees(mapping.element_ids("Customer"))
+        assert mapping.db.counts.client > len(mapping.tables)
+
+    def test_illegal_name_rejected(self):
+        from repro.errors import MappingError
+        from repro.relational.attribute_map import _table_for
+
+        with pytest.raises(MappingError):
+            _table_for("bad name; DROP TABLE x")

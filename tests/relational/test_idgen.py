@@ -1,0 +1,51 @@
+"""Unit tests for system-wide id allocation."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+
+
+@pytest.fixture
+def allocator():
+    return IdAllocator(Database())
+
+
+class TestAllocation:
+    def test_starts_at_one(self, allocator):
+        assert allocator.peek() == 1
+
+    def test_reserve_advances(self, allocator):
+        first = allocator.reserve(10)
+        assert first == 1
+        assert allocator.peek() == 11
+
+    def test_consecutive_reserves_never_overlap(self, allocator):
+        ranges = [allocator.next_batch(n) for n in (3, 5, 1, 7)]
+        seen = set()
+        for id_range in ranges:
+            for value in id_range:
+                assert value not in seen
+                seen.add(value)
+
+    def test_zero_reserve_allowed(self, allocator):
+        before = allocator.peek()
+        allocator.reserve(0)
+        assert allocator.peek() == before
+
+    def test_negative_reserve_rejected(self, allocator):
+        with pytest.raises(ValueError):
+            allocator.reserve(-1)
+
+    def test_counter_persists_in_database(self):
+        db = Database()
+        IdAllocator(db).reserve(42)
+        # A second allocator over the same database continues the sequence.
+        assert IdAllocator(db).peek() == 43
+
+    def test_reserve_counts_statements(self, allocator):
+        db = allocator._db
+        db.counts.reset()
+        allocator.reserve(5)
+        # One read (peek) + one counter update.
+        assert db.counts.client == 2

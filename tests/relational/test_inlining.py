@@ -1,0 +1,128 @@
+"""Unit tests for the Shared Inlining schema derivation."""
+
+import pytest
+
+from repro.errors import MappingError
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.schema import FIELD_PCDATA, FIELD_PRESENCE, FIELD_REFS
+from repro.xmlmodel import parse_dtd
+
+from tests.conftest import CUSTOMER_DTD
+
+
+@pytest.fixture
+def customer_schema():
+    return derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+
+
+class TestCustomerSchema:
+    def test_four_relations_like_the_paper(self, customer_schema):
+        # §5.1: "Shared Inlining will create 4 relations for our example:
+        # CustDB, Customer, Order, and OrderLine."
+        assert set(customer_schema.relations) == {"CustDB", "Customer", "Order", "OrderLine"}
+
+    def test_relation_tree_shape(self, customer_schema):
+        assert customer_schema.root == "CustDB"
+        assert customer_schema.relation("CustDB").children == ["Customer"]
+        assert customer_schema.relation("Customer").children == ["Order"]
+        assert customer_schema.relation("Order").children == ["OrderLine"]
+
+    def test_customer_columns_match_figure_5(self, customer_schema):
+        columns = customer_schema.relation("Customer").data_columns
+        assert columns == ["Name", "Address_City", "Address_State"]
+
+    def test_order_inlines_date_and_status(self, customer_schema):
+        columns = customer_schema.relation("Order").data_columns
+        assert columns == ["Date", "Status"]
+
+    def test_orderline_columns(self, customer_schema):
+        columns = customer_schema.relation("OrderLine").data_columns
+        assert columns == ["ItemName", "Qty"]
+
+    def test_every_relation_has_id_and_parent(self, customer_schema):
+        for relation in customer_schema.relations.values():
+            assert relation.all_columns[:2] == ["id", "parentId"]
+
+    def test_depths(self, customer_schema):
+        assert customer_schema.depth_of("CustDB") == 0
+        assert customer_schema.depth_of("OrderLine") == 3
+        assert customer_schema.max_depth() == 3
+
+
+class TestInliningRules:
+    def test_optional_nonleaf_gets_presence_flag(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (b?)><!ELEMENT b (c)><!ELEMENT c (#PCDATA)>"
+        )
+        schema = derive_inlining_schema(dtd)
+        relation = schema.relation("a")
+        kinds = {f.column: f.kind for f in relation.fields}
+        assert kinds.get("b_present") == FIELD_PRESENCE
+        assert kinds.get("b_c") == FIELD_PCDATA
+
+    def test_optional_leaf_has_no_flag(self):
+        dtd = parse_dtd("<!ELEMENT a (b?)><!ELEMENT b (#PCDATA)>")
+        schema = derive_inlining_schema(dtd)
+        columns = schema.relation("a").data_columns
+        assert columns == ["b"]
+
+    def test_recursive_type_self_loops(self):
+        dtd = parse_dtd("<!ELEMENT part (name, part?)><!ELEMENT name (#PCDATA)>")
+        schema = derive_inlining_schema(dtd, root="part")
+        # Recursion folds into one relation whose parentId references itself.
+        assert set(schema.relations) == {"part"}
+        assert schema.relation("part").children == ["part"]
+        # Traversal terminates despite the self-loop.
+        assert [r.name for r in schema.iter_top_down()] == ["part"]
+
+    def test_mutually_recursive_types(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a (b?)><!ELEMENT b (a?)>"
+        )
+        schema = derive_inlining_schema(dtd, root="a")
+        assert set(schema.relations) == {"a", "b"}
+        assert schema.relation("b").children == ["a"]
+
+    def test_idrefs_attribute_becomes_refs_field(self):
+        dtd = parse_dtd(
+            "<!ELEMENT db (lab*)><!ELEMENT lab (#PCDATA)>"
+            "<!ATTLIST lab ID ID #REQUIRED managers IDREFS #IMPLIED>"
+        )
+        schema = derive_inlining_schema(dtd)
+        fields = {f.name: f.kind for f in schema.relation("lab").fields if f.name}
+        assert fields["managers"] == FIELD_REFS
+
+    def test_shared_type_duplicated_per_parent(self):
+        dtd = parse_dtd(
+            "<!ELEMENT db (a*, b*)><!ELEMENT a (x*)><!ELEMENT b (x*)>"
+            "<!ELEMENT x (#PCDATA)>"
+        )
+        schema = derive_inlining_schema(dtd)
+        x_relations = [r for r in schema.relations.values() if r.tag == "x"]
+        assert len(x_relations) == 2
+        assert {r.parent for r in x_relations} == {"a", "b"}
+
+    def test_any_content_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a ANY>")
+        with pytest.raises(MappingError, match="ANY"):
+            derive_inlining_schema(dtd, root="a")
+
+    def test_ambiguous_root_rejected(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        with pytest.raises(MappingError, match="root"):
+            derive_inlining_schema(dtd)
+
+    def test_create_table_sql_valid(self, customer_schema=None):
+        import sqlite3
+
+        schema = derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+        connection = sqlite3.connect(":memory:")
+        for statement in schema.create_all_sql():
+            connection.execute(statement)
+        tables = {
+            row[0]
+            for row in connection.execute(
+                "SELECT name FROM sqlite_master WHERE type='table'"
+            )
+        }
+        assert tables == {"CustDB", "Customer", "Order", "OrderLine"}

@@ -1,0 +1,177 @@
+"""Unit tests: all three insert (subtree copy) strategies agree."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.insert_methods import AsrInsert, TableInsert, TupleInsert
+from repro.relational.shredder import create_schema, shred_document
+from repro.xmlmodel import parse_dtd
+
+from tests.conftest import CUSTOMER_DTD
+
+METHODS = [TupleInsert, TableInsert, AsrInsert]
+
+
+def build_store(customer_document):
+    db = Database()
+    schema = derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+    create_schema(db, schema)
+    root_id = shred_document(db, schema, customer_document)
+    return db, schema, root_id, IdAllocator(db)
+
+
+@pytest.mark.parametrize("method_class", METHODS)
+class TestCopyJohn:
+    """Copy customer John's subtree so it appears twice under the root."""
+
+    def run_copy(self, customer_document, method_class):
+        db, schema, root_id, allocator = build_store(customer_document)
+        method = method_class()
+        method.install(db, schema)
+        method.insert_copy(
+            db, schema, allocator, "Customer",
+            '"Customer"."Name" = ?', ("John",), root_id,
+        )
+        return db, root_id
+
+    def test_tuple_counts_doubled_for_john(self, customer_document, method_class):
+        db, _root = self.run_copy(customer_document, method_class)
+        assert db.query_one("SELECT COUNT(*) FROM Customer WHERE Name='John'")[0] == 2
+        assert db.query_one('SELECT COUNT(*) FROM "Order"')[0] == 5
+        assert db.query_one("SELECT COUNT(*) FROM OrderLine")[0] == 7
+
+    def test_copy_has_fresh_ids(self, customer_document, method_class):
+        db, _root = self.run_copy(customer_document, method_class)
+        ids = [r[0] for r in db.query("SELECT id FROM Customer WHERE Name='John'")]
+        assert len(set(ids)) == 2
+
+    def test_copy_linked_to_new_parent(self, customer_document, method_class):
+        db, root_id = self.run_copy(customer_document, method_class)
+        parents = {
+            r[0]
+            for r in db.query("SELECT parentId FROM Customer WHERE Name='John'")
+        }
+        assert parents == {root_id}
+
+    def test_copy_preserves_connectivity(self, customer_document, method_class):
+        db, _root = self.run_copy(customer_document, method_class)
+        # Every Order's parent is a Customer; every OrderLine's an Order.
+        assert db.query_one(
+            'SELECT COUNT(*) FROM "Order" WHERE parentId NOT IN '
+            "(SELECT id FROM Customer)"
+        )[0] == 0
+        assert db.query_one(
+            "SELECT COUNT(*) FROM OrderLine WHERE parentId NOT IN "
+            '(SELECT id FROM "Order")'
+        )[0] == 0
+
+    def test_copy_preserves_data(self, customer_document, method_class):
+        db, _root = self.run_copy(customer_document, method_class)
+        tire_lines = db.query("SELECT Qty FROM OrderLine WHERE ItemName='tire'")
+        assert tire_lines == [("4",), ("4",)]
+
+    def test_source_untouched(self, customer_document, method_class):
+        db, _root = self.run_copy(customer_document, method_class)
+        # Original ids 1..10 still present.
+        assert db.query_one("SELECT COUNT(*) FROM Customer WHERE id <= 10")[0] == 2
+
+
+@pytest.mark.parametrize("method_class", METHODS)
+class TestBulkCopy:
+    def test_copy_all_customers(self, customer_document, method_class):
+        db, schema, root_id, allocator = build_store(customer_document)
+        method = method_class()
+        method.install(db, schema)
+        method.insert_copy(db, schema, allocator, "Customer", "", (), root_id)
+        assert db.query_one("SELECT COUNT(*) FROM Customer")[0] == 4
+        assert db.query_one('SELECT COUNT(*) FROM "Order"')[0] == 6
+        assert db.query_one("SELECT COUNT(*) FROM OrderLine")[0] == 8
+
+
+class TestStatementEconomy:
+    def test_tuple_method_statement_count_grows_with_data(self, customer_document):
+        db, schema, root_id, allocator = build_store(customer_document)
+        method = TupleInsert()
+        db.counts.reset()
+        method.insert_copy(
+            db, schema, allocator, "Customer", '"Customer"."Name"=?', ("John",), root_id
+        )
+        # 1 counter read + 1 outer-union read + 6 inserts (1 customer +
+        # 2 orders + 3 lines) + 1 counter write.
+        assert db.counts.client == 9
+
+    def test_table_method_statement_count_constant_per_relation(self, customer_document):
+        db, schema, root_id, allocator = build_store(customer_document)
+        method = TableInsert()
+        db.counts.reset()
+        method.insert_copy(
+            db, schema, allocator, "Customer", '"Customer"."Name"=?', ("John",), root_id
+        )
+        # 3 temp creates + 1 minmax + 2 reserve + 3 inserts + 3 drops = 12,
+        # independent of how many tuples are copied.
+        assert db.counts.client == 12
+
+    def test_tuple_method_ids_gap_free(self, customer_document):
+        db, schema, root_id, allocator = build_store(customer_document)
+        before = allocator.peek()
+        TupleInsert().insert_copy(
+            db, schema, allocator, "Customer", '"Customer"."Name"=?', ("John",), root_id
+        )
+        new_ids = [
+            r[0]
+            for r in db.query(
+                "SELECT id FROM Customer WHERE id >= ? UNION ALL "
+                'SELECT id FROM "Order" WHERE id >= ? UNION ALL '
+                "SELECT id FROM OrderLine WHERE id >= ?",
+                (before, before, before),
+            )
+        ]
+        assert sorted(new_ids) == list(range(before, before + 6))
+
+    def test_table_method_may_leave_gaps(self, customer_document):
+        db, schema, root_id, allocator = build_store(customer_document)
+        # Delete Mary first so John's ids are not contiguous from 1.
+        db.execute("DELETE FROM OrderLine WHERE ItemName='seat'")
+        TableInsert().insert_copy(
+            db, schema, allocator, "Customer", '"Customer"."Name"=?', ("John",), root_id
+        )
+        # The offset heuristic reserved maxId-minId+1 ids even though the
+        # John subtree has fewer tuples; the copy is still consistent.
+        assert db.query_one(
+            'SELECT COUNT(*) FROM "Order" WHERE parentId NOT IN '
+            "(SELECT id FROM Customer)"
+        )[0] == 0
+
+
+class TestAsrInsertMaintenance:
+    def test_asr_updated_with_new_paths(self, customer_document):
+        db, schema, root_id, allocator = build_store(customer_document)
+        method = AsrInsert()
+        method.install(db, schema)
+        chain = method.asr.chains[0]
+        before = db.query_one(f'SELECT COUNT(*) FROM "{chain.table}"')[0]
+        method.insert_copy(
+            db, schema, allocator, "Customer", '"Customer"."Name"=?', ("John",), root_id
+        )
+        after = db.query_one(f'SELECT COUNT(*) FROM "{chain.table}"')[0]
+        assert after > before
+        # All marks cleared.
+        assert db.query_one(
+            f'SELECT COUNT(*) FROM "{chain.table}" WHERE mark = 1'
+        )[0] == 0
+
+    def test_asr_paths_reference_real_tuples(self, customer_document):
+        db, schema, root_id, allocator = build_store(customer_document)
+        method = AsrInsert()
+        method.install(db, schema)
+        method.insert_copy(
+            db, schema, allocator, "Customer", '"Customer"."Name"=?', ("John",), root_id
+        )
+        chain = method.asr.chains[0]
+        level = chain.level_of("OrderLine")
+        line_ids = {r[0] for r in db.query("SELECT id FROM OrderLine")}
+        for row in db.query(f'SELECT * FROM "{chain.table}"'):
+            if row[level] is not None:
+                assert row[level] in line_ids

@@ -1,0 +1,137 @@
+"""Unit tests for the order-preserving extension (§8 future work)."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.ordered import GapPolicy, OrderedStore, RenumberPolicy
+from repro.relational.store import XmlStore
+from repro.workloads.tpcw import CUSTOMER_DTD
+from repro.xmlmodel import parse
+
+from tests.conftest import CUSTOMER_XML
+
+
+@pytest.fixture
+def ordered_store(customer_document):
+    store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+    store.load(customer_document)
+    ordered = OrderedStore(store)
+    ordered.index_existing()
+    return ordered
+
+
+def john_orders(ordered):
+    john = ordered.db.query_one("SELECT id FROM Customer WHERE Name='John'")[0]
+    return john, ordered.ordered_child_ids(john)
+
+
+class TestIndexing:
+    def test_positions_follow_document_order(self, ordered_store):
+        john, orders = john_orders(ordered_store)
+        dates = [
+            ordered_store.db.query_one('SELECT Date FROM "Order" WHERE id=?', (o,))[0]
+            for o in orders
+        ]
+        assert dates == ["2000-05-01", "2000-06-12"]
+
+    def test_every_nonroot_tuple_has_a_position(self, ordered_store):
+        total = 0
+        for relation in ordered_store.store.schema.iter_top_down():
+            if relation.parent is not None:
+                total += ordered_store.store.tuple_count(relation.name)
+        indexed = ordered_store.db.query_one(
+            "SELECT COUNT(*) FROM doc_order"
+        )[0]
+        assert indexed == total
+
+
+class TestRenumberPolicy:
+    def test_insert_at_front_shifts_everyone(self, ordered_store):
+        john, orders = john_orders(ordered_store)
+        position = ordered_store.policy.insert_at(ordered_store, john, 0)
+        assert position == 0
+        # The old children moved up.
+        shifted = ordered_store.child_positions(john)
+        assert [pos for _id, pos in shifted] == [1, 2]
+
+    def test_register_insert_lands_in_order(self, ordered_store):
+        john, orders = john_orders(ordered_store)
+        ordered_store.register_insert(999001, john, 1)
+        assert ordered_store.ordered_child_ids(john) == [orders[0], 999001, orders[1]]
+
+    def test_append(self, ordered_store):
+        john, orders = john_orders(ordered_store)
+        ordered_store.register_append(999002, john)
+        assert ordered_store.ordered_child_ids(john)[-1] == 999002
+
+    def test_out_of_range_rejected(self, ordered_store):
+        john, orders = john_orders(ordered_store)
+        with pytest.raises(StorageError):
+            ordered_store.policy.insert_at(ordered_store, john, 99)
+
+
+class TestGapPolicy:
+    def make(self, customer_document, gap=8):
+        store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+        store.load(customer_document)
+        ordered = OrderedStore(store, policy=GapPolicy(gap=gap))
+        ordered.index_existing()
+        return ordered
+
+    def test_initial_positions_spaced(self, customer_document):
+        ordered = self.make(customer_document)
+        john, _ = john_orders(ordered)
+        positions = [pos for _id, pos in ordered.child_positions(john)]
+        assert positions == [8, 16]
+
+    def test_midpoint_insert_without_push(self, customer_document):
+        ordered = self.make(customer_document)
+        john, orders = john_orders(ordered)
+        ordered.db.counts.reset()
+        ordered.register_insert(999003, john, 1)
+        positions = [pos for _id, pos in ordered.child_positions(john)]
+        assert positions == [8, 12, 16]
+        assert ordered.policy.rebalances == 0
+
+    def test_exhausted_gap_triggers_rebalance(self, customer_document):
+        ordered = self.make(customer_document, gap=2)
+        john, _ = john_orders(ordered)
+        for i in range(6):
+            ordered.register_insert(999100 + i, john, 1)
+        assert ordered.policy.rebalances >= 1
+        # Order is still strictly increasing and consistent.
+        positions = [pos for _id, pos in ordered.child_positions(john)]
+        assert positions == sorted(positions)
+        assert len(positions) == len(set(positions)) == 8
+
+    def test_front_inserts_keep_order(self, customer_document):
+        ordered = self.make(customer_document)
+        john, orders = john_orders(ordered)
+        new_ids = []
+        for i in range(10):
+            new_id = 999200 + i
+            ordered.register_insert(new_id, john, 0)
+            new_ids.append(new_id)
+        assert ordered.ordered_child_ids(john) == list(reversed(new_ids)) + orders
+
+    def test_tiny_gap_rejected(self):
+        with pytest.raises(ValueError):
+            GapPolicy(gap=1)
+
+
+class TestDeleteBookkeeping:
+    def test_register_delete(self, ordered_store):
+        john, orders = john_orders(ordered_store)
+        ordered_store.register_delete(orders[:1])
+        assert ordered_store.ordered_child_ids(john) == orders[1:]
+
+    def test_sweep_after_strategy_delete(self, ordered_store):
+        store = ordered_store.store
+        store.delete_subtrees("Customer", "\"Customer\".\"Name\" = 'John'")
+        ordered_store.sweep_deleted()
+        remaining = ordered_store.db.query_one("SELECT COUNT(*) FROM doc_order")[0]
+        live = 0
+        for relation in store.schema.iter_top_down():
+            if relation.parent is not None:
+                live += store.tuple_count(relation.name)
+        assert remaining == live

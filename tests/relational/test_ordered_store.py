@@ -1,0 +1,155 @@
+"""End-to-end tests for the order-preserving store (§8 future work)."""
+
+import pytest
+
+from repro.relational.ordered import RenumberPolicy
+from repro.relational.ordered_store import OrderedXmlStore
+from repro.workloads.tpcw import CUSTOMER_DTD
+from repro.xmlmodel import parse
+from repro.xmlmodel.serializer import serialize
+
+from tests.conftest import CUSTOMER_XML
+
+
+@pytest.fixture
+def store(customer_document):
+    store = OrderedXmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+    store.load(customer_document)
+    return store
+
+
+def john_order_dates(store):
+    results = store.query(
+        'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c'
+    )
+    return [
+        order.child_elements("Date")[0].text()
+        for order in results[0].child_elements("Order")
+    ]
+
+
+class TestOrderPreservingReads:
+    def test_reconstruction_in_document_order(self, store, customer_document):
+        results = store.query(
+            'FOR $d IN document("custdb.xml")/CustDB RETURN $d'
+        )
+        assert serialize(results[0], indent=0) == serialize(
+            customer_document.root, indent=0
+        )
+
+    def test_order_dates_in_original_order(self, store):
+        assert john_order_dates(store) == ["2000-05-01", "2000-06-12"]
+
+
+class TestPositionalInserts:
+    def test_insert_before_honoured(self, store):
+        store.execute(
+            """
+            FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"],
+                $o IN $c/Order[Date="2000-06-12"]
+            UPDATE $c {
+                INSERT <Order><Date>2000-06-01</Date><Status>new</Status>
+                </Order> BEFORE $o
+            }
+            """
+        )
+        assert john_order_dates(store) == ["2000-05-01", "2000-06-01", "2000-06-12"]
+        # No degradation warning: the insert really was positional.
+        assert not any("degraded" in w for w in store.warnings)
+
+    def test_insert_after_honoured(self, store):
+        store.execute(
+            """
+            FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"],
+                $o IN $c/Order[Date="2000-05-01"]
+            UPDATE $c {
+                INSERT <Order><Date>2000-05-15</Date><Status>new</Status>
+                </Order> AFTER $o
+            }
+            """
+        )
+        assert john_order_dates(store) == ["2000-05-01", "2000-05-15", "2000-06-12"]
+
+    def test_insert_at_front(self, store):
+        store.execute(
+            """
+            FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"],
+                $o IN $c/Order[Date="2000-05-01"]
+            UPDATE $c {
+                INSERT <Order><Date>1999-01-01</Date><Status>old</Status>
+                </Order> BEFORE $o
+            }
+            """
+        )
+        assert john_order_dates(store)[0] == "1999-01-01"
+
+    def test_renumber_policy_works_too(self, customer_document):
+        store = OrderedXmlStore.from_dtd(
+            CUSTOMER_DTD, document_name="custdb.xml",
+            order_policy=RenumberPolicy(),
+        )
+        store.load(customer_document)
+        store.execute(
+            """
+            FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"],
+                $o IN $c/Order[Date="2000-06-12"]
+            UPDATE $c {
+                INSERT <Order><Date>2000-06-01</Date><Status>new</Status>
+                </Order> BEFORE $o
+            }
+            """
+        )
+        assert john_order_dates(store) == ["2000-05-01", "2000-06-01", "2000-06-12"]
+
+
+class TestBranchingSchemas:
+    def test_dblp_sibling_order_preserved(self):
+        """The unordered mapping loses order across sibling relations
+        (publication branches into author* and citation*); the ordered
+        store restores the exact document."""
+        from repro.workloads.dblp import DblpParams, dblp_dtd, generate_dblp
+
+        document = generate_dblp(DblpParams(conferences=3, seed=9))
+        ordered = OrderedXmlStore.from_dtd(dblp_dtd(), document_name="dblp.xml")
+        ordered.load(document)
+        rebuilt = ordered.to_document()
+        assert serialize(rebuilt, indent=0) == serialize(document, indent=0)
+
+
+class TestPlainUpdatesKeepWorking:
+    def test_plain_insert_appends(self, store):
+        store.execute(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] '
+            "UPDATE $c { INSERT <Order><Date>2001-01-01</Date>"
+            "<Status>new</Status></Order> }"
+        )
+        assert john_order_dates(store) == ["2000-05-01", "2000-06-12", "2001-01-01"]
+
+    def test_delete_keeps_remaining_order(self, store):
+        store.execute(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"], '
+            '$o IN $c/Order[Date="2000-05-01"] UPDATE $c { DELETE $o }'
+        )
+        assert john_order_dates(store) == ["2000-06-12"]
+        # Order bookkeeping swept the deleted tuples.
+        dangling = store.db.query_one(
+            "SELECT COUNT(*) FROM doc_order WHERE id NOT IN ("
+            "SELECT id FROM CustDB UNION ALL SELECT id FROM Customer "
+            'UNION ALL SELECT id FROM "Order" UNION ALL SELECT id FROM OrderLine)'
+        )[0]
+        assert dangling == 0
+
+    def test_copy_insert_lands_at_end(self, store):
+        store.execute(
+            'FOR $source IN document("custdb.xml")/CustDB/Customer[Name="John"], '
+            '$target IN document("custdb.xml")/CustDB '
+            "UPDATE $target { INSERT $source }"
+        )
+        results = store.query(
+            'FOR $d IN document("custdb.xml")/CustDB RETURN $d'
+        )
+        names = [
+            c.child_elements("Name")[0].text()
+            for c in results[0].child_elements("Customer")
+        ]
+        assert names == ["John", "Mary", "John"]

@@ -1,0 +1,186 @@
+"""Direct unit tests for the XPath-to-SQL translator."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.relational.database import Database
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.query_translate import (
+    TargetSelection,
+    translate_predicate,
+    translate_relative_path,
+    translate_target_path,
+)
+from repro.relational.shredder import create_schema, shred_document
+from repro.xmlmodel import parse_dtd
+from repro.xpath import parse_expr, parse_path
+
+from tests.conftest import CUSTOMER_DTD
+
+
+@pytest.fixture
+def schema():
+    return derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+
+
+@pytest.fixture
+def loaded(schema, customer_document):
+    db = Database()
+    create_schema(db, schema)
+    shred_document(db, schema, customer_document)
+    return db
+
+
+def ids(db, selection: TargetSelection):
+    where = f" WHERE {selection.where_sql}" if selection.where_sql else ""
+    return [
+        row[0]
+        for row in db.query(
+            f'SELECT id FROM "{selection.relation}"{where}', selection.params
+        )
+    ]
+
+
+class TestTargetPaths:
+    def test_root_path(self, schema, loaded):
+        selection = translate_target_path(schema, parse_path('document("c")/CustDB'))
+        assert selection.relation == "CustDB"
+        assert selection.where_sql == ""
+
+    def test_child_relation_path(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer')
+        )
+        assert selection.relation == "Customer"
+        assert len(ids(loaded, selection)) == 2
+
+    def test_predicate_on_inlined_column(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer[Name="John"]')
+        )
+        assert len(ids(loaded, selection)) == 1
+
+    def test_predicate_on_nested_inlined_path(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer[Address/State="WA"]')
+        )
+        assert len(ids(loaded, selection)) == 1
+
+    def test_predicate_into_child_relation(self, schema, loaded):
+        selection = translate_target_path(
+            schema,
+            parse_path('document("c")/CustDB/Customer[Order/Status="shipped"]'),
+        )
+        assert len(ids(loaded, selection)) == 1
+
+    def test_two_level_child_predicate(self, schema, loaded):
+        selection = translate_target_path(
+            schema,
+            parse_path(
+                'document("c")/CustDB/Customer[Order/OrderLine/ItemName="pump"]'
+            ),
+        )
+        assert len(ids(loaded, selection)) == 1
+
+    def test_descendant_step(self, schema, loaded):
+        selection = translate_target_path(schema, parse_path('document("c")//OrderLine'))
+        assert selection.relation == "OrderLine"
+        assert len(ids(loaded, selection)) == 4
+
+    def test_descendant_with_predicate(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")//Order[Status="ready"]')
+        )
+        assert len(ids(loaded, selection)) == 2
+
+    def test_path_through_filtered_ancestor(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer[Name="John"]/Order')
+        )
+        assert selection.relation == "Order"
+        assert len(ids(loaded, selection)) == 2
+
+    def test_inlined_target(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer/Address')
+        )
+        assert selection.relation == "Customer"
+        assert selection.inlined_path == ("Address",)
+        assert selection.is_inlined
+
+    def test_numeric_comparison(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")//OrderLine[Qty > 1]')
+        )
+        assert len(ids(loaded, selection)) == 3
+
+    def test_and_or_predicates(self, schema, loaded):
+        selection = translate_target_path(
+            schema,
+            parse_path(
+                'document("c")//Order[Status="ready" and OrderLine/ItemName="tire"]'
+            ),
+        )
+        assert len(ids(loaded, selection)) == 1
+        selection = translate_target_path(
+            schema,
+            parse_path('document("c")/CustDB/Customer[Name="John" or Name="Mary"]'),
+        )
+        assert len(ids(loaded, selection)) == 2
+
+    def test_existence_predicate_on_child_relation(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer[Order]')
+        )
+        assert len(ids(loaded, selection)) == 2
+
+    def test_unknown_tag_rejected(self, schema):
+        with pytest.raises(TranslationError, match="Widget"):
+            translate_target_path(
+                schema, parse_path('document("c")/CustDB/Customer[Widget="x"]')
+            )
+
+    def test_relative_start_rejected(self, schema):
+        with pytest.raises(TranslationError, match="absolute"):
+            translate_target_path(schema, parse_path("Customer/Order"))
+
+    def test_wrong_root_rejected(self, schema):
+        with pytest.raises(TranslationError, match="root"):
+            translate_target_path(schema, parse_path('document("c")/Wrong/Customer'))
+
+
+class TestRelativePaths:
+    def test_navigate_down_from_selection(self, schema, loaded):
+        base = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer[Name="John"]')
+        )
+        selection = translate_relative_path(schema, base, parse_path("$c/Order"))
+        assert selection.relation == "Order"
+        assert len(ids(loaded, selection)) == 2
+
+    def test_relative_with_predicate(self, schema, loaded):
+        base = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer[Name="John"]')
+        )
+        selection = translate_relative_path(
+            schema, base, parse_path('$c/Order[Status="ready"]')
+        )
+        assert len(ids(loaded, selection)) == 1
+
+    def test_relative_to_inlined_element(self, schema, loaded):
+        base = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer')
+        )
+        selection = translate_relative_path(schema, base, parse_path("$c/Address"))
+        assert selection.is_inlined
+
+
+class TestAddPredicate:
+    def test_where_clause_predicate_added(self, schema, loaded):
+        selection = translate_target_path(
+            schema, parse_path('document("c")/CustDB/Customer')
+        )
+        refined = translate_predicate(
+            schema, selection, parse_expr('Address/State = "OR"')
+        )
+        assert len(ids(loaded, refined)) == 1

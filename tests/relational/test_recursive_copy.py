@@ -1,0 +1,96 @@
+"""Recursive (fix-point) subtree copies on self-referencing relations."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+from repro.relational.insert_methods import TableInsert
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.shredder import create_schema, shred_document
+from repro.xmlmodel import parse, parse_dtd
+
+PARTS_DTD = """\
+<!ELEMENT assembly (part*)>
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+PARTS_XML = """\
+<assembly>
+  <part><name>engine</name>
+    <part><name>piston</name>
+      <part><name>ring</name></part>
+    </part>
+  </part>
+</assembly>
+"""
+
+
+@pytest.fixture
+def loaded():
+    db = Database()
+    schema = derive_inlining_schema(parse_dtd(PARTS_DTD))
+    create_schema(db, schema)
+    shred_document(db, schema, parse(PARTS_XML))
+    return db, schema, IdAllocator(db)
+
+
+class TestRecursiveTableInsert:
+    def test_copy_whole_recursive_subtree(self, loaded):
+        db, schema, allocator = loaded
+        root_id = db.query_one("SELECT id FROM assembly")[0]
+        TableInsert().insert_copy(
+            db, schema, allocator, "part",
+            '"part"."name" = ?', ("engine",), root_id,
+        )
+        names = sorted(row[0] for row in db.query('SELECT "name" FROM part'))
+        assert names == ["engine", "engine", "piston", "piston", "ring", "ring"]
+
+    def test_copy_preserves_nesting(self, loaded):
+        db, schema, allocator = loaded
+        root_id = db.query_one("SELECT id FROM assembly")[0]
+        TableInsert().insert_copy(
+            db, schema, allocator, "part",
+            '"part"."name" = ?', ("engine",), root_id,
+        )
+        # Both rings hang under a piston, both pistons under an engine.
+        ring_parents = {
+            db.query_one('SELECT "name" FROM part WHERE id = ?', (parent,))[0]
+            for (parent,) in db.query(
+                "SELECT parentId FROM part WHERE \"name\"='ring'"
+            )
+        }
+        assert ring_parents == {"piston"}
+
+    def test_copy_inner_subtree(self, loaded):
+        db, schema, allocator = loaded
+        engine_id = db.query_one("SELECT id FROM part WHERE \"name\"='engine'")[0]
+        TableInsert().insert_copy(
+            db, schema, allocator, "part",
+            '"part"."name" = ?', ("ring",), engine_id,
+        )
+        rings = db.query("SELECT parentId FROM part WHERE \"name\"='ring'")
+        assert len(rings) == 2
+        assert {row[0] for row in rings} >= {engine_id}
+
+    def test_ids_stay_unique(self, loaded):
+        db, schema, allocator = loaded
+        root_id = db.query_one("SELECT id FROM assembly")[0]
+        for _ in range(3):
+            TableInsert().insert_copy(
+                db, schema, allocator, "part",
+                '"part"."name" = ?', ("engine",), root_id,
+            )
+        ids = [row[0] for row in db.query("SELECT id FROM part")]
+        assert len(ids) == len(set(ids))
+
+    def test_empty_selection_is_noop(self, loaded):
+        db, schema, allocator = loaded
+        root_id = db.query_one("SELECT id FROM assembly")[0]
+        before = db.query_one("SELECT COUNT(*) FROM part")[0]
+        TableInsert().insert_copy(
+            db, schema, allocator, "part",
+            '"part"."name" = ?', ("nonexistent",), root_id,
+        )
+        assert db.query_one("SELECT COUNT(*) FROM part")[0] == before

@@ -1,0 +1,113 @@
+"""Recursive DTDs: storage and deletes over a self-referencing relation.
+
+The inlining mapping folds recursion into a relation whose parentId
+points into its own table.  Cascading deletes (and the emulated
+per-statement triggers) handle this — the paper notes cascade "can
+apply ... even if the schema is recursive" (§6.1.2).  The Sorted Outer
+Union and ASRs reject recursion explicitly (unbounded width).
+"""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.relational.database import Database
+from repro.relational.delete_methods import CascadingDelete, PerStatementTriggerDelete
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.outer_union import build_outer_union
+from repro.relational.shredder import create_schema, shred_document
+from repro.relational.store import XmlStore
+from repro.xmlmodel import parse, parse_dtd
+
+PARTS_DTD = """\
+<!ELEMENT assembly (part*)>
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+PARTS_XML = """\
+<assembly>
+  <part><name>engine</name>
+    <part><name>piston</name>
+      <part><name>ring</name></part>
+    </part>
+    <part><name>crankshaft</name></part>
+  </part>
+  <part><name>wheel</name>
+    <part><name>rim</name></part>
+  </part>
+</assembly>
+"""
+
+
+@pytest.fixture
+def loaded():
+    db = Database()
+    schema = derive_inlining_schema(parse_dtd(PARTS_DTD))
+    create_schema(db, schema)
+    shred_document(db, schema, parse(PARTS_XML))
+    return db, schema
+
+
+class TestRecursiveStorage:
+    def test_all_parts_in_one_relation(self, loaded):
+        db, schema = loaded
+        assert set(schema.relations) == {"assembly", "part"}
+        assert schema.relation("part").children == ["part"]
+        assert db.query_one("SELECT COUNT(*) FROM part")[0] == 6
+
+    def test_self_referencing_parent_ids(self, loaded):
+        db, _schema = loaded
+        nested = db.query_one(
+            "SELECT COUNT(*) FROM part WHERE parentId IN (SELECT id FROM part)"
+        )[0]
+        assert nested == 4  # piston, ring, crankshaft, rim
+
+
+class TestRecursiveDeletes:
+    @pytest.mark.parametrize(
+        "method_class", [CascadingDelete, PerStatementTriggerDelete]
+    )
+    def test_deep_subtree_delete(self, loaded, method_class):
+        db, schema = loaded
+        method = method_class()
+        method.install(db, schema)
+        method.delete(db, schema, "part", "\"part\".\"name\" = 'engine'")
+        names = sorted(row[0] for row in db.query('SELECT "name" FROM part'))
+        assert names == ["rim", "wheel"]
+        orphans = db.query_one(
+            "SELECT COUNT(*) FROM part WHERE parentId IS NOT NULL AND "
+            "parentId NOT IN (SELECT id FROM part UNION ALL SELECT id FROM assembly)"
+        )[0]
+        assert orphans == 0
+
+    def test_store_level_recursive_delete(self):
+        store = XmlStore.from_dtd(PARTS_DTD, document_name="parts.xml")
+        store.load(parse(PARTS_XML))
+        store.set_delete_method("cascade")
+        store.execute(
+            'FOR $a IN document("parts.xml")/assembly, '
+            '$p IN $a/part[name="wheel"] '
+            "UPDATE $a { DELETE $p }"
+        )
+        names = sorted(row[0] for row in store.db.query('SELECT "name" FROM part'))
+        assert names == ["crankshaft", "engine", "piston", "ring"]
+
+    def test_nested_child_step_on_self_loop(self):
+        store = XmlStore.from_dtd(PARTS_DTD, document_name="parts.xml")
+        store.load(parse(PARTS_XML))
+        store.set_delete_method("cascade")
+        # part/part: one level down inside the recursive relation.
+        store.execute(
+            'FOR $p IN document("parts.xml")/assembly/part[name="engine"], '
+            '$sub IN $p/part[name="piston"] '
+            "UPDATE $p { DELETE $sub }"
+        )
+        names = sorted(row[0] for row in store.db.query('SELECT "name" FROM part'))
+        assert names == ["crankshaft", "engine", "rim", "wheel"]
+
+
+class TestRecursionLimits:
+    def test_outer_union_rejects_recursion(self, loaded):
+        _db, schema = loaded
+        with pytest.raises(StorageError, match="recursive"):
+            build_outer_union(schema, "part")

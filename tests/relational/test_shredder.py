@@ -1,0 +1,107 @@
+"""Unit tests for shredding documents into the inlining schema."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.shredder import create_schema, shred_document
+from repro.xmlmodel import parse_dtd
+
+from tests.conftest import CUSTOMER_DTD
+
+
+@pytest.fixture
+def loaded_store(customer_document):
+    db = Database()
+    schema = derive_inlining_schema(parse_dtd(CUSTOMER_DTD))
+    create_schema(db, schema)
+    root_id = shred_document(db, schema, customer_document)
+    return db, schema, root_id
+
+
+class TestShredding:
+    def test_tuple_counts(self, loaded_store):
+        db, _schema, _root = loaded_store
+        assert db.query_one("SELECT COUNT(*) FROM CustDB")[0] == 1
+        assert db.query_one("SELECT COUNT(*) FROM Customer")[0] == 2
+        assert db.query_one('SELECT COUNT(*) FROM "Order"')[0] == 3
+        assert db.query_one("SELECT COUNT(*) FROM OrderLine")[0] == 4
+
+    def test_inlined_values(self, loaded_store):
+        db, _schema, _root = loaded_store
+        row = db.query_one(
+            'SELECT Name, Address_City, Address_State FROM Customer WHERE Name = ?',
+            ("John",),
+        )
+        assert row == ("John", "Seattle", "WA")
+
+    def test_parent_child_linkage(self, loaded_store):
+        db, _schema, _root = loaded_store
+        john_id = db.query_one("SELECT id FROM Customer WHERE Name='John'")[0]
+        orders = db.query(
+            'SELECT id FROM "Order" WHERE parentId = ? ORDER BY id', (john_id,)
+        )
+        assert len(orders) == 2
+        line_count = db.query_one(
+            "SELECT COUNT(*) FROM OrderLine WHERE parentId IN "
+            '(SELECT id FROM "Order" WHERE parentId = ?)',
+            (john_id,),
+        )[0]
+        assert line_count == 3
+
+    def test_root_tuple_has_null_parent(self, loaded_store):
+        db, _schema, root_id = loaded_store
+        row = db.query_one("SELECT parentId FROM CustDB WHERE id = ?", (root_id,))
+        assert row == (None,)
+
+    def test_subtree_ids_contiguous(self, loaded_store):
+        """DFS id assignment: each Customer subtree occupies a contiguous
+        id range (the table-insert offset heuristic relies on this)."""
+        db, _schema, _root = loaded_store
+        for (customer_id,) in db.query("SELECT id FROM Customer"):
+            ids = [customer_id]
+            ids += [r[0] for r in db.query('SELECT id FROM "Order" WHERE parentId=?', (customer_id,))]
+            ids += [
+                r[0]
+                for r in db.query(
+                    "SELECT id FROM OrderLine WHERE parentId IN "
+                    '(SELECT id FROM "Order" WHERE parentId=?)',
+                    (customer_id,),
+                )
+            ]
+            assert sorted(ids) == list(range(min(ids), max(ids) + 1))
+
+    def test_id_allocator_advanced(self, loaded_store):
+        from repro.relational.idgen import IdAllocator
+
+        db, _schema, _root = loaded_store
+        allocator = IdAllocator(db)
+        total_tuples = 1 + 2 + 3 + 4
+        assert allocator.peek() == total_tuples + 1
+
+    def test_wrong_root_rejected(self, customer_document):
+        from repro.errors import MappingError
+
+        db = Database()
+        dtd = parse_dtd("<!ELEMENT Other (#PCDATA)>")
+        schema = derive_inlining_schema(dtd, root="Other")
+        create_schema(db, schema)
+        with pytest.raises(MappingError, match="root"):
+            shred_document(db, schema, customer_document)
+
+
+class TestPresenceFlag:
+    def test_presence_flag_round_trip(self):
+        dtd = parse_dtd(
+            "<!ELEMENT db (item*)><!ELEMENT item (wrap?)>"
+            "<!ELEMENT wrap (note?)><!ELEMENT note (#PCDATA)>"
+        )
+        schema = derive_inlining_schema(dtd)
+        db = Database()
+        create_schema(db, schema)
+        from repro.xmlmodel import parse
+
+        document = parse("<db><item><wrap/></item><item/></db>")
+        shred_document(db, schema, document)
+        rows = db.query("SELECT wrap_present FROM item ORDER BY id")
+        assert rows == [(1,), (None,)]

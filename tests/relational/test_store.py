@@ -1,0 +1,297 @@
+"""End-to-end tests for XmlStore: XQuery in, SQL out, XML back."""
+
+import pytest
+
+from repro.errors import StorageError, TranslationError
+from repro.relational.store import XmlStore
+from repro.xmlmodel import parse
+from repro.xmlmodel.serializer import serialize
+
+from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+
+
+@pytest.fixture
+def store(customer_document):
+    store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+    store.load(customer_document)
+    return store
+
+
+class TestQueries:
+    def test_example_6_customer_john(self, store):
+        results = store.query(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c'
+        )
+        assert len(results) == 1
+        john = results[0]
+        assert john.child_elements("Name")[0].text() == "John"
+        assert len(john.child_elements("Order")) == 2
+
+    def test_descendant_query(self, store):
+        results = store.query(
+            'FOR $o IN document("custdb.xml")//Order[Status="ready"] RETURN $o'
+        )
+        assert len(results) == 2
+
+    def test_predicate_on_child_relation(self, store):
+        results = store.query(
+            'FOR $o IN document("custdb.xml")//Order'
+            '[Status="ready" and OrderLine/ItemName="tire"] RETURN $o'
+        )
+        assert len(results) == 1
+
+    def test_where_clause_predicate(self, store):
+        results = store.query(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            'WHERE $c/Address/State = "OR" RETURN $c'
+        )
+        assert len(results) == 1
+        assert results[0].child_elements("Name")[0].text() == "Mary"
+
+    def test_return_relative_path(self, store):
+        results = store.query(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] '
+            "RETURN $c/Order"
+        )
+        assert len(results) == 2
+
+    def test_full_round_trip(self, store, customer_document):
+        results = store.query(
+            'FOR $d IN document("custdb.xml")/CustDB RETURN $d'
+        )
+        assert serialize(results[0], indent=0) == serialize(
+            customer_document.root, indent=0
+        )
+
+    def test_numeric_predicate(self, store):
+        results = store.query(
+            'FOR $l IN document("custdb.xml")//OrderLine WHERE $l/Qty > 1 RETURN $l'
+        )
+        assert len(results) == 3
+
+
+class TestDeleteStatements:
+    def test_example_9_delete_johns(self, store):
+        store.execute(
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="John"] '
+            "UPDATE $d { DELETE $c }"
+        )
+        assert store.tuple_count("Customer") == 1
+        assert store.tuple_count("Order") == 1
+        assert store.tuple_count("OrderLine") == 1
+
+    @pytest.mark.parametrize(
+        "method", ["per_tuple_trigger", "per_statement_trigger", "cascade", "asr"]
+    )
+    def test_delete_with_every_strategy(self, customer_document, method):
+        store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+        store.load(customer_document)
+        store.set_delete_method(method)
+        store.execute(
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="John"] '
+            "UPDATE $d { DELETE $c }"
+        )
+        assert store.tuple_count("Customer") == 1
+        assert store.tuple_count("OrderLine") == 1
+
+    def test_simple_delete_inlined_element(self, store):
+        # Address is inlined into Customer: deleting it is a SQL UPDATE.
+        store.execute(
+            'FOR $c IN document("custdb.xml")//Customer[Name="John"], '
+            "$a IN $c/Address "
+            "UPDATE $c { DELETE $a }"
+        )
+        row = store.db.query_one(
+            "SELECT Address_City, Address_State FROM Customer WHERE Name='John'"
+        )
+        assert row == (None, None)
+
+    def test_simple_delete_statement_count(self, store):
+        store.db.counts.reset()
+        store.execute(
+            'FOR $c IN document("custdb.xml")//Customer[Name="John"], '
+            "$a IN $c/Address "
+            "UPDATE $c { DELETE $a }"
+        )
+        # One UPDATE statement (single-op fast path pushes the predicate).
+        assert store.db.counts.client == 1
+
+
+class TestInsertStatements:
+    def test_insert_constructed_subtree(self, store):
+        store.execute(
+            'FOR $c IN document("custdb.xml")//Customer[Name="Mary"] '
+            "UPDATE $c { INSERT <Order><Date>2000-08-01</Date>"
+            "<Status>new</Status>"
+            "<OrderLine><ItemName>bell</ItemName><Qty>1</Qty></OrderLine>"
+            "</Order> }"
+        )
+        assert store.tuple_count("Order") == 4
+        results = store.query(
+            'FOR $o IN document("custdb.xml")//Order[Status="new"] RETURN $o'
+        )
+        assert results[0].child_elements("OrderLine")[0].child_elements("ItemName")[0].text() == "bell"
+
+    def test_example_10_copy_customers(self, store, customer_document):
+        """Copy WA customers so they appear twice (single-document variant)."""
+        store.execute(
+            'FOR $source IN document("custdb.xml")/CustDB/Customer'
+            '[Address/State="WA"], '
+            '$target IN document("custdb.xml")/CustDB '
+            "UPDATE $target { INSERT $source }"
+        )
+        assert store.tuple_count("Customer") == 3
+        johns = store.query(
+            'FOR $c IN document("custdb.xml")//Customer[Name="John"] RETURN $c'
+        )
+        assert len(johns) == 2
+        # Deep copy: both have full order subtrees.
+        for john in johns:
+            assert len(john.child_elements("Order")) == 2
+
+    @pytest.mark.parametrize("method", ["tuple", "table", "asr"])
+    def test_copy_with_every_strategy(self, customer_document, method):
+        store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+        store.load(customer_document)
+        store.set_insert_method(method)
+        store.execute(
+            'FOR $source IN document("custdb.xml")/CustDB/Customer'
+            '[Address/State="WA"], '
+            '$target IN document("custdb.xml")/CustDB '
+            "UPDATE $target { INSERT $source }"
+        )
+        assert store.tuple_count("Customer") == 3
+        assert store.tuple_count("OrderLine") == 7
+
+    def test_simple_insert_inlined_with_warning(self, store):
+        # Status already exists: the paper's "insert over" warning case.
+        store.execute(
+            'FOR $o IN document("custdb.xml")//Order[Status="shipped"] '
+            "UPDATE $o { INSERT <Status>suspended</Status> }"
+        )
+        assert any("occupied" in w for w in store.warnings)
+        row = store.db.query_one('SELECT COUNT(*) FROM "Order" WHERE Status=?', ("suspended",))
+        assert row[0] == 1
+
+
+class TestExample8Nested:
+    STATEMENT = """
+        FOR $o IN document("custdb.xml")//Order
+            [Status="ready" and OrderLine/ItemName="tire"]
+        UPDATE $o {
+            INSERT <Status>suspended</Status>,
+            FOR $i IN $o/OrderLine,
+                $n IN $i/ItemName
+            WHERE $i/ItemName="tire"
+            UPDATE $i {
+                REPLACE $n WITH <ItemName>recalled</ItemName>
+            }
+        }
+    """
+
+    def test_nested_update_not_confused_by_first_insert(self, store):
+        """The paper's ordering pitfall: bindings are materialised first,
+        so changing Status does not hide the order from the nested op."""
+        store.execute(self.STATEMENT)
+        assert store.db.query_one(
+            "SELECT COUNT(*) FROM OrderLine WHERE ItemName = 'recalled'"
+        )[0] == 1
+        assert store.db.query_one(
+            'SELECT COUNT(*) FROM "Order" WHERE Status=?', ("suspended",)
+        )[0] == 1
+        # Only the tire line was touched.
+        assert store.db.query_one(
+            "SELECT COUNT(*) FROM OrderLine WHERE ItemName = 'rim'"
+        )[0] == 1
+
+
+class TestReplaceAndRename:
+    def test_replace_inlined_pcdata_element(self, store):
+        store.execute(
+            'FOR $c IN document("custdb.xml")//Customer[Name="John"], '
+            "$n IN $c/Name "
+            "UPDATE $c { REPLACE $n WITH <Name>Johnny</Name> }"
+        )
+        assert store.db.query_one(
+            "SELECT COUNT(*) FROM Customer WHERE Name='Johnny'"
+        )[0] == 1
+
+    def test_replace_whole_subtree_with_literal(self, store):
+        store.execute(
+            'FOR $c IN document("custdb.xml")/CustDB, '
+            '$o IN $c/Customer[Name="Mary"]/Order '
+            "UPDATE $c { REPLACE $o WITH <Order><Date>x</Date><Status>void</Status>"
+            "</Order> }"
+        )
+        assert store.tuple_count("Order") == 3
+        assert store.db.query_one(
+            'SELECT COUNT(*) FROM "Order" WHERE Status=?', ("void",)
+        )[0] == 1
+        # Mary's old order line is gone.
+        assert store.tuple_count("OrderLine") == 3
+
+
+class TestStrictOrder:
+    def test_positional_insert_degrades_with_warning(self, store):
+        store.execute(
+            'FOR $o IN document("custdb.xml")//Order[Status="shipped"], '
+            "$l IN $o/OrderLine "
+            "UPDATE $o { INSERT <OrderLine><ItemName>x</ItemName><Qty>1</Qty>"
+            "</OrderLine> BEFORE $l }"
+        )
+        assert any("order" in w for w in store.warnings)
+        assert store.tuple_count("OrderLine") == 5
+
+    def test_strict_order_raises(self, customer_document):
+        store = XmlStore.from_dtd(
+            CUSTOMER_DTD, document_name="custdb.xml", strict_order=True
+        )
+        store.load(customer_document)
+        with pytest.raises(TranslationError, match="order"):
+            store.execute(
+                'FOR $o IN document("custdb.xml")//Order[Status="shipped"], '
+                "$l IN $o/OrderLine "
+                "UPDATE $o { INSERT <OrderLine><ItemName>x</ItemName><Qty>1</Qty>"
+                "</OrderLine> BEFORE $l }"
+            )
+
+
+class TestStrategySwitching:
+    def test_unknown_methods_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.set_delete_method("nope")
+        with pytest.raises(StorageError):
+            store.set_insert_method("nope")
+
+    def test_switching_back_and_forth(self, store):
+        store.set_delete_method("asr")
+        store.set_delete_method("cascade")
+        store.set_delete_method("per_tuple_trigger")
+        store.execute(
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="John"] UPDATE $d { DELETE $c }'
+        )
+        assert store.tuple_count("Customer") == 1
+
+
+class TestDocumentNameValidation:
+    def test_wrong_document_name_rejected_in_update(self, store):
+        with pytest.raises(TranslationError, match="unknown document"):
+            store.execute(
+                'FOR $c IN document("other.xml")/CustDB/Customer '
+                "UPDATE $c { DELETE $c }"
+            )
+
+    def test_wrong_document_name_rejected_in_query(self, store):
+        with pytest.raises(TranslationError, match="unknown document"):
+            store.query(
+                'FOR $c IN document("other.xml")/CustDB/Customer RETURN $c'
+            )
+
+    def test_right_name_accepted(self, store):
+        results = store.query(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer RETURN $c'
+        )
+        assert len(results) == 2

@@ -1,0 +1,75 @@
+"""Statement atomicity and whole-document reconstruction."""
+
+import pytest
+
+from repro.errors import StorageError, TranslationError
+from repro.relational.store import XmlStore
+from repro.xmlmodel.serializer import serialize
+
+from tests.conftest import CUSTOMER_DTD
+
+
+@pytest.fixture
+def store(customer_document):
+    store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+    store.load(customer_document)
+    return store
+
+
+class TestAtomicity:
+    def test_failing_second_op_rolls_back_first(self, store):
+        # Op 1 (a valid delete) executes, then op 2 fails to translate;
+        # the whole statement must leave no trace.
+        before = store.tuple_count("Order")
+        with pytest.raises(TranslationError):
+            store.execute(
+                'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"], '
+                '$o IN $c/Order[Status="ready"] '
+                "UPDATE $c { DELETE $o, INSERT <Widget>boom</Widget> }"
+            )
+        assert store.tuple_count("Order") == before
+
+    def test_successful_statement_commits(self, store):
+        store.execute(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"], '
+            '$o IN $c/Order[Status="ready"] UPDATE $c { DELETE $o }'
+        )
+        # Rollback after the fact must not resurrect the order.
+        store.db.rollback()
+        assert store.tuple_count("Order") == 2
+
+    def test_failed_statement_then_valid_one(self, store):
+        with pytest.raises(TranslationError):
+            store.execute(
+                'FOR $c IN document("custdb.xml")/CustDB/Customer '
+                "UPDATE $c { INSERT <Widget>x</Widget> }"
+            )
+        store.execute(
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="Mary"] UPDATE $d { DELETE $c }'
+        )
+        assert store.tuple_count("Customer") == 1
+
+
+class TestToDocument:
+    def test_round_trip(self, store, customer_document):
+        rebuilt = store.to_document()
+        assert serialize(rebuilt, indent=0) == serialize(
+            customer_document.root, indent=0
+        )
+
+    def test_reflects_updates(self, store):
+        store.execute(
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="John"] UPDATE $d { DELETE $c }'
+        )
+        rebuilt = store.to_document()
+        names = [
+            c.child_elements("Name")[0].text()
+            for c in rebuilt.root.child_elements("Customer")
+        ]
+        assert names == ["Mary"]
+
+    def test_document_index_works(self, store):
+        rebuilt = store.to_document()
+        assert rebuilt.count_elements() > 1

@@ -1,0 +1,328 @@
+"""Relational store on the paper's biology-labs document (Figure 1).
+
+Exercises the parts of the SQL translator that the customer DTD cannot:
+attribute columns, IDREF/IDREFS columns with string surgery for
+individual entries, attribute renames, and reference replaces.
+"""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.relational.store import XmlStore
+from repro.xmlmodel import parse
+
+# A DTD for Figure 1's document.  `topic` is declared (but unused) so the
+# attribute-rename test has a stored destination column.
+BIO_DTD = """\
+<!ELEMENT db (university*, lab*, paper*, biologist*)>
+<!ELEMENT university (lab*)>
+<!ELEMENT lab (name, city?, country?, location?)>
+<!ELEMENT location (city, country)>
+<!ELEMENT paper (title)>
+<!ELEMENT biologist (lastname, firstname?)>
+<!ELEMENT name (#PCDATA)>
+<!ELEMENT city (#PCDATA)>
+<!ELEMENT country (#PCDATA)>
+<!ELEMENT title (#PCDATA)>
+<!ELEMENT lastname (#PCDATA)>
+<!ELEMENT firstname (#PCDATA)>
+<!ATTLIST db lab IDREF #IMPLIED>
+<!ATTLIST university ID ID #REQUIRED>
+<!ATTLIST lab ID ID #REQUIRED managers IDREFS #IMPLIED>
+<!ATTLIST paper ID ID #REQUIRED source IDREF #IMPLIED
+          category CDATA #IMPLIED topic CDATA #IMPLIED
+          biologist IDREF #IMPLIED>
+<!ATTLIST biologist ID ID #REQUIRED age CDATA #IMPLIED
+          years CDATA #IMPLIED worksAt IDREFS #IMPLIED>
+"""
+
+
+@pytest.fixture
+def bio_store():
+    from tests.conftest import BIO_XML
+
+    store = XmlStore.from_dtd(BIO_DTD, document_name="bio.xml")
+    store.load(parse(BIO_XML, policy=store.policy))
+    return store
+
+
+class TestSchemaShape:
+    def test_lab_relations_split_per_parent(self, bio_store):
+        labs = [r for r in bio_store.schema.relations.values() if r.tag == "lab"]
+        assert len(labs) == 2
+        assert {r.parent for r in labs} == {"db", "university"}
+
+    def test_reference_columns_present(self, bio_store):
+        paper = bio_store.schema.relation("paper")
+        names = {f.name for f in paper.fields if f.name}
+        assert {"source", "biologist", "category", "ID"} <= names
+
+    def test_loaded_reference_values(self, bio_store):
+        relation = _lab_relation_under_university(bio_store)
+        row = bio_store.db.query_one(f'SELECT "managers" FROM "{relation}"')
+        assert row == ("smith1 jones1",)
+
+
+class TestExample1Relational:
+    STATEMENT = """
+        FOR $p IN document("bio.xml")/db/paper,
+            $cat IN $p/@category,
+            $bio IN $p/ref(biologist,"smith1"),
+            $ti IN $p/title
+        UPDATE $p {
+            DELETE $cat,
+            DELETE $bio,
+            DELETE $ti
+        }
+    """
+
+    def test_deletes(self, bio_store):
+        bio_store.execute(self.STATEMENT)
+        row = bio_store.db.query_one(
+            'SELECT "category", "biologist", "title", "source" FROM paper'
+        )
+        category, biologist, title, source = row
+        assert category is None
+        assert biologist is None
+        assert title is None
+        assert source == "lab2"  # untouched
+
+
+class TestExample2Relational:
+    STATEMENT = """
+        FOR $bio IN document("bio.xml")/db/biologist[@ID="smith1"]
+        UPDATE $bio {
+            INSERT new_attribute(age,"29"),
+            INSERT new_ref(worksAt,"ucla"),
+            INSERT new_ref(worksAt,"baselab"),
+            INSERT <firstname>Jeff</firstname>
+        }
+    """
+
+    def test_inserts(self, bio_store):
+        bio_store.execute(self.STATEMENT)
+        id_col = _id_column(bio_store, "biologist")
+        row = bio_store.db.query_one(
+            f'SELECT "age", "worksAt", "firstname" FROM biologist WHERE "{id_col}"=?',
+            ("smith1",),
+        )
+        assert row == ("29", "ucla baselab", "Jeff")
+
+
+class TestExample3Relational:
+    def test_reference_positional_insert_is_honoured(self, bio_store):
+        # IDREFS order lives in one column, so BEFORE works relationally.
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/lab[@ID="baselab"],
+                $sref IN $lab/ref(managers,"smith1")
+            UPDATE $lab { INSERT "jones1" BEFORE $sref }
+            """
+        )
+        relation = _lab_relation_under_db(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "managers" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("baselab",)
+        )
+        assert row == ("jones1 smith1",)
+
+    def test_element_positional_insert_degrades(self, bio_store):
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/lab[@ID="lab2"],
+                $n IN $lab/name,
+                $c IN $lab/city
+            UPDATE $lab { REPLACE $n WITH <name>Penn Lab</name> }
+            """
+        )
+        relation = _lab_relation_under_db(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "name" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("lab2",)
+        )
+        assert row == ("Penn Lab",)
+
+
+class TestExample4Relational:
+    def test_replace_reference_same_label(self, bio_store):
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/lab[@ID="baselab"],
+                $mgr IN $lab/ref(managers, "smith1")
+            UPDATE $lab { REPLACE $mgr WITH new_attribute(managers,"jones1") }
+            """
+        )
+        relation = _lab_relation_under_db(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "managers" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("baselab",)
+        )
+        assert row == ("jones1",)
+
+    def test_replace_reference_other_label_rejected(self, bio_store):
+        with pytest.raises(TranslationError, match="label"):
+            bio_store.execute(
+                """
+                FOR $lab IN document("bio.xml")/db/lab[@ID="baselab"],
+                    $mgr IN $lab/ref(managers, "smith1")
+                UPDATE $lab { REPLACE $mgr WITH new_ref(owners,"jones1") }
+                """
+            )
+
+    def test_replace_keeps_list_order(self, bio_store):
+        # lalab has managers="smith1 jones1"; replacing smith1 keeps front spot.
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/university/lab[@ID="lalab"],
+                $mgr IN $lab/ref(managers, "smith1")
+            UPDATE $lab { REPLACE $mgr WITH new_ref(managers,"brown2") }
+            """
+        )
+        relation = _lab_relation_under_university(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "managers" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("lalab",)
+        )
+        assert row == ("brown2 jones1",)
+
+
+class TestRefEntrySurgery:
+    def test_delete_single_entry_preserves_rest(self, bio_store):
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/university/lab[@ID="lalab"],
+                $mgr IN $lab/ref(managers, "smith1")
+            UPDATE $lab { DELETE $mgr }
+            """
+        )
+        relation = _lab_relation_under_university(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "managers" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("lalab",)
+        )
+        assert row == ("jones1",)
+
+    def test_delete_last_entry_nulls_column(self, bio_store):
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/lab[@ID="baselab"],
+                $mgr IN $lab/ref(managers, "smith1")
+            UPDATE $lab { DELETE $mgr }
+            """
+        )
+        relation = _lab_relation_under_db(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "managers" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("baselab",)
+        )
+        assert row == (None,)
+
+    def test_delete_whole_list_via_attribute_binding(self, bio_store):
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/university/lab[@ID="lalab"],
+                $refs IN $lab/@managers
+            UPDATE $lab { DELETE $refs }
+            """
+        )
+        relation = _lab_relation_under_university(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "managers" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("lalab",)
+        )
+        assert row == (None,)
+
+
+class TestCrossTagReplace:
+    def test_replace_city_with_country(self, bio_store):
+        # city? and country? are both stored on lab: the cross-tag replace
+        # moves the value between columns (rename + set).
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/lab[@ID="lab2"],
+                $ci IN $lab/city
+            UPDATE $lab { REPLACE $ci WITH <country>Germany</country> }
+            """
+        )
+        relation = _lab_relation_under_db(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "city", "country" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("lab2",)
+        )
+        assert row == (None, "Germany")
+
+    def test_replace_with_undeclared_tag_rejected(self, bio_store):
+        from repro.errors import TranslationError
+
+        with pytest.raises(TranslationError, match="counterpart"):
+            bio_store.execute(
+                """
+                FOR $lab IN document("bio.xml")/db/lab[@ID="lab2"],
+                    $n IN $lab/name
+                UPDATE $lab { REPLACE $n WITH <appellation>Fancy</appellation> }
+                """
+            )
+
+
+class TestRenameRelational:
+    def test_attribute_rename_moves_column(self, bio_store):
+        bio_store.execute(
+            """
+            FOR $b IN document("bio.xml")/db/biologist[@ID="jones1"],
+                $age IN $b/@age
+            UPDATE $b { RENAME $age TO years }
+            """
+        )
+        id_col = _id_column(bio_store, "biologist")
+        row = bio_store.db.query_one(
+            f'SELECT "age", "years" FROM biologist WHERE "{id_col}"=?', ("jones1",)
+        )
+        assert row == (None, "32")
+
+    def test_attribute_rename_to_undeclared_rejected(self, bio_store):
+        with pytest.raises(TranslationError):
+            bio_store.execute(
+                """
+                FOR $b IN document("bio.xml")/db/biologist[@ID="jones1"],
+                    $age IN $b/@age
+                UPDATE $b { RENAME $age TO shoeSize }
+                """
+            )
+
+    def test_inlined_element_rename_via_counterpart(self, bio_store):
+        # lab allows city? and country?: both stored, so a city->country
+        # rename has a stored counterpart column.
+        bio_store.execute(
+            """
+            FOR $lab IN document("bio.xml")/db/lab[@ID="lab2"],
+                $c IN $lab/city
+            UPDATE $lab { RENAME $c TO country }
+            """
+        )
+        relation = _lab_relation_under_db(bio_store)
+        row = bio_store.db.query_one(
+            f'SELECT "city", "country" FROM "{relation}" '
+            f'WHERE "{_id_column(bio_store, relation)}"=?', ("lab2",)
+        )
+        # lab2's country column previously held "USA"; the rename moved the
+        # city's value over it (the DTD allows at most one country).
+        assert row[0] is None
+        assert row[1] == "Philadelphia"
+
+
+def _id_column(store, relation_name: str) -> str:
+    return store.schema.relation(relation_name).attribute_column("ID")
+
+
+def _lab_relation_under_db(store) -> str:
+    for relation in store.schema.relations.values():
+        if relation.tag == "lab" and relation.parent == "db":
+            return relation.name
+    raise AssertionError("no lab relation under db")
+
+
+def _lab_relation_under_university(store) -> str:
+    for relation in store.schema.relations.values():
+        if relation.tag == "lab" and relation.parent == "university":
+            return relation.name
+    raise AssertionError("no lab relation under university")

@@ -1,0 +1,92 @@
+"""§6.3's replace special case: promote a subtree instead of copying.
+
+"it is possible to replace a tree with the value of one of its
+subtrees. In such cases, a special-case operation can be performed: the
+new subtree is linked to its new parent, and the remainder of the 'old'
+subtree is deleted."
+"""
+
+import pytest
+
+from repro.relational.store import XmlStore
+from repro.xmlmodel import parse
+
+PARTS_DTD = """\
+<!ELEMENT assembly (part*)>
+<!ELEMENT part (name, part*)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+PARTS_XML = """\
+<assembly>
+  <part><name>engine</name>
+    <part><name>piston</name>
+      <part><name>ring</name></part>
+    </part>
+    <part><name>crankshaft</name></part>
+  </part>
+</assembly>
+"""
+
+PROMOTE = """
+    FOR $a IN document("parts.xml")/assembly,
+        $old IN $a/part[name="engine"],
+        $sub IN $old/part[name="piston"]
+    UPDATE $a { REPLACE $old WITH $sub }
+"""
+
+
+@pytest.fixture
+def store():
+    store = XmlStore.from_dtd(PARTS_DTD, document_name="parts.xml")
+    store.load(parse(PARTS_XML))
+    store.set_delete_method("cascade")
+    return store
+
+
+class TestPromotion:
+    def test_subtree_promoted_in_place(self, store):
+        store.execute(PROMOTE)
+        names = sorted(row[0] for row in store.db.query('SELECT "name" FROM part'))
+        # piston and its ring survive; engine and crankshaft are gone.
+        assert names == ["piston", "ring"]
+
+    def test_promoted_subtree_keeps_its_ids(self, store):
+        before = store.db.query_one("SELECT id FROM part WHERE \"name\"='piston'")[0]
+        store.execute(PROMOTE)
+        after = store.db.query_one("SELECT id FROM part WHERE \"name\"='piston'")[0]
+        assert after == before  # linked, not copied
+
+    def test_promoted_subtree_linked_to_new_parent(self, store):
+        root_id = store.db.query_one("SELECT id FROM assembly")[0]
+        store.execute(PROMOTE)
+        parent = store.db.query_one(
+            "SELECT parentId FROM part WHERE \"name\"='piston'"
+        )[0]
+        assert parent == root_id
+
+    def test_no_new_ids_allocated(self, store):
+        peek_before = store.allocator.peek()
+        store.execute(PROMOTE)
+        assert store.allocator.peek() == peek_before
+
+    def test_fallback_when_source_outside_tree(self, store):
+        # Replacing engine with a sibling (not a descendant) must fall back
+        # to delete + copy-insert semantics.
+        store.execute(
+            """
+            FOR $a IN document("parts.xml")/assembly
+            UPDATE $a { INSERT <part><name>spare</name></part> }
+            """
+        )
+        store.execute(
+            """
+            FOR $a IN document("parts.xml")/assembly,
+                $old IN $a/part[name="engine"],
+                $src IN $a/part[name="spare"]
+            UPDATE $a { REPLACE $old WITH $src }
+            """
+        )
+        names = sorted(row[0] for row in store.db.query('SELECT "name" FROM part'))
+        # Copy semantics: the spare appears twice (original + replacement).
+        assert names == ["spare", "spare"]

@@ -1,0 +1,162 @@
+"""Edge cases and error paths of the SQL update translator."""
+
+import pytest
+
+from repro.errors import TranslationError
+from repro.relational.store import XmlStore
+from repro.xmlmodel import parse
+
+from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+
+NOTES_DTD = """\
+<!ELEMENT journal ((note | memo)*)>
+<!ELEMENT note (#PCDATA)>
+<!ELEMENT memo (#PCDATA)>
+"""
+
+NOTES_XML = """\
+<journal>
+  <note>first</note>
+  <memo>second</memo>
+  <note>third</note>
+</journal>
+"""
+
+
+@pytest.fixture
+def store(customer_document):
+    store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+    store.load(customer_document)
+    return store
+
+
+@pytest.fixture
+def notes_store():
+    store = XmlStore.from_dtd(NOTES_DTD, document_name="journal.xml")
+    store.load(parse(NOTES_XML))
+    return store
+
+
+class TestTupleLevelRename:
+    def test_rename_between_same_shaped_leaf_relations(self, notes_store):
+        notes_store.execute(
+            """
+            FOR $j IN document("journal.xml")/journal,
+                $n IN $j/note
+            UPDATE $j { RENAME $n TO memo }
+            """
+        )
+        assert notes_store.tuple_count("note") == 0
+        assert notes_store.tuple_count("memo") == 3
+        memos = sorted(
+            row[0] for row in notes_store.db.query('SELECT "memo" FROM memo')
+        )
+        assert memos == ["first", "second", "third"]
+
+    def test_rename_preserves_ids_and_parents(self, notes_store):
+        before = notes_store.db.query("SELECT id, parentId FROM note ORDER BY id")
+        notes_store.execute(
+            'FOR $j IN document("journal.xml")/journal, $n IN $j/note '
+            "UPDATE $j { RENAME $n TO memo }"
+        )
+        moved = notes_store.db.query(
+            "SELECT id, parentId FROM memo ORDER BY id"
+        )
+        assert set(before) <= set(moved)
+
+    def test_rename_to_unknown_sibling_rejected(self, notes_store):
+        with pytest.raises(TranslationError, match="sibling"):
+            notes_store.execute(
+                'FOR $j IN document("journal.xml")/journal, $n IN $j/note '
+                "UPDATE $j { RENAME $n TO letter }"
+            )
+
+    def test_rename_between_different_shapes_rejected(self, store):
+        # Customer and Order store different content.
+        with pytest.raises(TranslationError):
+            store.execute(
+                'FOR $d IN document("custdb.xml")/CustDB, $c IN $d/Customer '
+                "UPDATE $d { RENAME $c TO Order }"
+            )
+
+
+class TestErrorPaths:
+    def test_let_clause_rejected(self, store):
+        with pytest.raises(TranslationError, match="LET"):
+            store.execute(
+                'LET $c := document("custdb.xml")/CustDB/Customer '
+                "UPDATE $c { DELETE $c }"
+            )
+
+    def test_index_predicate_rejected(self, store):
+        with pytest.raises(TranslationError, match="index"):
+            store.execute(
+                'FOR $c IN document("custdb.xml")/CustDB/Customer '
+                "WHERE $c.index() = 0 UPDATE $c { DELETE $c }"
+            )
+
+    def test_unbound_update_target_rejected(self, store):
+        with pytest.raises(TranslationError, match="not bound"):
+            store.execute(
+                'FOR $c IN document("custdb.xml")/CustDB/Customer '
+                "UPDATE $zzz { DELETE $c }"
+            )
+
+    def test_unbound_operand_rejected(self, store):
+        with pytest.raises(TranslationError, match="unbound"):
+            store.execute(
+                'FOR $c IN document("custdb.xml")/CustDB/Customer '
+                "UPDATE $c { DELETE $ghost }"
+            )
+
+    def test_undeclared_element_insert_rejected(self, store):
+        with pytest.raises(TranslationError, match="Widget"):
+            store.execute(
+                'FOR $c IN document("custdb.xml")/CustDB/Customer '
+                "UPDATE $c { INSERT <Widget>x</Widget> }"
+            )
+
+    def test_predicate_with_two_variables_rejected(self, store):
+        with pytest.raises(TranslationError):
+            store.execute(
+                'FOR $a IN document("custdb.xml")/CustDB/Customer, '
+                '$b IN document("custdb.xml")/CustDB/Customer '
+                "WHERE $a/Name = $b/Name UPDATE $a { DELETE $a }"
+            )
+
+    def test_cross_shape_copy_rejected(self, store):
+        # Copying Order subtrees under the root: CustDB has no Order child.
+        with pytest.raises(TranslationError, match="child relation"):
+            store.execute(
+                'FOR $source IN document("custdb.xml")//Order, '
+                '$target IN document("custdb.xml")/CustDB '
+                "UPDATE $target { INSERT $source }"
+            )
+
+
+class TestSimpleOps:
+    def test_pcdata_append_to_own_text(self, notes_store):
+        notes_store.execute(
+            'FOR $j IN document("journal.xml")/journal, '
+            '$n IN $j/note UPDATE $n { INSERT " (appended)" }'
+        )
+        values = {row[0] for row in notes_store.db.query('SELECT "note" FROM note')}
+        assert values == {"first (appended)", "third (appended)"}
+
+    def test_replace_own_pcdata(self, notes_store):
+        notes_store.execute(
+            'FOR $j IN document("journal.xml")/journal, '
+            "$n IN $j/note, $t IN $n/text() "
+            'UPDATE $n { REPLACE $t WITH "rewritten" }'
+        )
+        values = {row[0] for row in notes_store.db.query('SELECT "note" FROM note')}
+        assert values == {"rewritten"}
+
+    def test_delete_own_pcdata(self, notes_store):
+        notes_store.execute(
+            'FOR $j IN document("journal.xml")/journal, '
+            "$n IN $j/note, $t IN $n/text() "
+            "UPDATE $n { DELETE $t }"
+        )
+        values = {row[0] for row in notes_store.db.query('SELECT "note" FROM note')}
+        assert values == {None}

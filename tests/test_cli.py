@@ -1,0 +1,124 @@
+"""Unit tests for the command-line interface."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+
+
+@pytest.fixture
+def files(tmp_path):
+    xml = tmp_path / "custdb.xml"
+    xml.write_text(CUSTOMER_XML)
+    dtd = tmp_path / "custdb.dtd"
+    dtd.write_text(CUSTOMER_DTD)
+    return str(xml), str(dtd)
+
+
+class TestQueryCommand:
+    def test_query_prints_results(self, files, capsys):
+        xml, _dtd = files
+        code = main([
+            "query", "--xml", xml,
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c',
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "<Name>John</Name>" in out
+
+    def test_update_statement_rejected_by_query(self, files, capsys):
+        xml, _dtd = files
+        code = main([
+            "query", "--xml", xml,
+            'FOR $c IN document("custdb.xml")/CustDB/Customer UPDATE $c { DELETE $c }',
+        ])
+        assert code == 2
+
+    def test_custom_document_name(self, files, capsys):
+        xml, _dtd = files
+        code = main([
+            "query", "--xml", xml, "--name", "db.xml",
+            'FOR $c IN document("db.xml")/CustDB/Customer RETURN $c/Name',
+        ])
+        assert code == 0
+        assert "John" in capsys.readouterr().out
+
+
+class TestUpdateCommand:
+    DELETE = (
+        'FOR $d IN document("custdb.xml")/CustDB, '
+        '$c IN $d/Customer[Name="John"] UPDATE $d { DELETE $c }'
+    )
+
+    def test_memory_backend(self, files, capsys):
+        xml, _dtd = files
+        code = main(["update", "--xml", xml, self.DELETE])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "John" not in out
+        assert "Mary" in out
+
+    def test_sqlite_backend(self, files, capsys):
+        xml, dtd = files
+        code = main([
+            "update", "--xml", xml, "--dtd", dtd, "--backend", "sqlite",
+            "--delete-method", "cascade", self.DELETE,
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "John" not in out
+        assert "Mary" in out
+
+    def test_sqlite_backend_requires_dtd(self, files, capsys):
+        xml, _dtd = files
+        code = main(["update", "--xml", xml, "--backend", "sqlite", self.DELETE])
+        assert code == 2
+
+    def test_output_file(self, files, tmp_path, capsys):
+        xml, _dtd = files
+        out_path = tmp_path / "updated.xml"
+        code = main(["update", "--xml", xml, "--output", str(out_path), self.DELETE])
+        assert code == 0
+        assert "Mary" in out_path.read_text()
+
+    def test_typecheck_blocks_invalid_update(self, files, capsys):
+        xml, dtd = files
+        code = main([
+            "update", "--xml", xml, "--dtd", dtd, "--typecheck",
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"], '
+            "$n IN $c/Name UPDATE $c { DELETE $n }",
+        ])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "typecheck failed" in err
+
+    def test_typecheck_allows_valid_update(self, files, capsys):
+        xml, dtd = files
+        code = main(["update", "--xml", xml, "--dtd", dtd, "--typecheck", self.DELETE])
+        assert code == 0
+
+
+class TestValidateCommand:
+    def test_valid_document(self, files, capsys):
+        xml, dtd = files
+        assert main(["validate", "--xml", xml, "--dtd", dtd]) == 0
+        assert "valid" in capsys.readouterr().out
+
+    def test_invalid_document(self, tmp_path, capsys):
+        xml = tmp_path / "bad.xml"
+        xml.write_text("<CustDB><Oops/></CustDB>")
+        dtd = tmp_path / "c.dtd"
+        dtd.write_text(CUSTOMER_DTD)
+        assert main(["validate", "--xml", str(xml), "--dtd", str(dtd)]) == 1
+        assert "INVALID" in capsys.readouterr().out
+
+
+class TestErrors:
+    def test_bad_statement_reports_error(self, files, capsys):
+        xml, _dtd = files
+        code = main(["query", "--xml", xml, "FOR $"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err

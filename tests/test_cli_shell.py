@@ -1,0 +1,84 @@
+"""Tests for the interactive shell command (scripted stdin)."""
+
+import pytest
+
+from repro.cli import main
+
+from tests.conftest import CUSTOMER_XML
+
+
+@pytest.fixture
+def xml_file(tmp_path):
+    path = tmp_path / "custdb.xml"
+    path.write_text(CUSTOMER_XML)
+    return str(path)
+
+
+def run_shell(monkeypatch, xml_file, lines):
+    iterator = iter(lines)
+
+    def fake_input(prompt=""):
+        try:
+            return next(iterator)
+        except StopIteration:
+            raise EOFError
+
+    monkeypatch.setattr("builtins.input", fake_input)
+    return main(["shell", "--xml", xml_file])
+
+
+class TestShell:
+    def test_quit(self, monkeypatch, xml_file, capsys):
+        assert run_shell(monkeypatch, xml_file, [":quit"]) == 0
+
+    def test_eof_exits_cleanly(self, monkeypatch, xml_file):
+        assert run_shell(monkeypatch, xml_file, []) == 0
+
+    def test_query_statement(self, monkeypatch, xml_file, capsys):
+        run_shell(
+            monkeypatch,
+            xml_file,
+            [
+                'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"]',
+                "RETURN $c/Name",
+                "",
+                ":quit",
+            ],
+        )
+        out = capsys.readouterr().out
+        assert "<Name>John</Name>" in out
+        assert "1 result(s)" in out
+
+    def test_update_statement_and_print(self, monkeypatch, xml_file, capsys):
+        run_shell(
+            monkeypatch,
+            xml_file,
+            [
+                'FOR $d IN document("custdb.xml")/CustDB,',
+                '    $c IN $d/Customer[Name="John"]',
+                "UPDATE $d { DELETE $c }",
+                "",
+                ":print",
+                ":quit",
+            ],
+        )
+        out = capsys.readouterr().out
+        assert "updated: 1 binding(s)" in out
+        assert "Mary" in out
+        assert "John" not in out.split(":print")[-1] if ":print" in out else True
+
+    def test_error_does_not_kill_shell(self, monkeypatch, xml_file, capsys):
+        run_shell(
+            monkeypatch,
+            xml_file,
+            [
+                "FOR $broken",
+                "",
+                'FOR $c IN document("custdb.xml")/CustDB/Customer RETURN $c/Name',
+                "",
+                ":quit",
+            ],
+        )
+        out = capsys.readouterr().out
+        assert "error:" in out
+        assert "2 result(s)" in out

@@ -1,0 +1,57 @@
+"""Smoke tests: every example script runs cleanly end to end."""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+EXAMPLES = sorted(
+    name for name in os.listdir(EXAMPLES_DIR) if name.endswith(".py")
+)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script):
+    result = subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, script)],
+        capture_output=True,
+        text=True,
+        timeout=300,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "example produced no output"
+
+
+def test_expected_examples_present():
+    assert {
+        "quickstart.py",
+        "biology_labs.py",
+        "customer_orders.py",
+        "dblp_updates.py",
+        "ordered_documents.py",
+        "replication_deltas.py",
+    } <= set(EXAMPLES)
+
+
+class TestExampleContent:
+    def test_biology_labs_reaches_figure_3(self):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "biology_labs.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert 'labs="2"' in result.stdout
+        assert "UCLA Primary Lab" in result.stdout
+        assert "UCLA Secondary Lab" in result.stdout
+
+    def test_replication_reaches_sync(self):
+        result = subprocess.run(
+            [sys.executable, os.path.join(EXAMPLES_DIR, "replication_deltas.py")],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert "in sync after replay: True" in result.stdout

@@ -1,0 +1,294 @@
+"""Unit tests for the primitive update executor (Section 3.2 semantics)."""
+
+import pytest
+
+from repro.errors import DeletedBindingError, UpdateError
+from repro.updates import (
+    Delete,
+    Insert,
+    InsertAfter,
+    InsertBefore,
+    Rename,
+    Replace,
+    UpdateExecutor,
+    new_attribute,
+    new_element,
+    new_ref,
+)
+from repro.xmlmodel.model import Element, Text
+from repro.xpath import XPathContext
+
+
+@pytest.fixture
+def executor(bio_document):
+    return UpdateExecutor(XPathContext(documents={"bio.xml": bio_document}))
+
+
+@pytest.fixture
+def unordered_executor(bio_document):
+    return UpdateExecutor(
+        XPathContext(documents={"bio.xml": bio_document}), ordered=False
+    )
+
+
+class TestDelete:
+    def test_delete_attribute(self, bio_document, executor):
+        paper = bio_document.element_by_id("Smith991231")
+        category = paper.attributes["category"]
+        executor.apply(paper, [Delete(category)])
+        assert "category" not in paper.attributes
+
+    def test_delete_ref_entry_preserves_rest(self, bio_document, executor):
+        lalab = bio_document.element_by_id("lalab")
+        smith_ref = lalab.references["managers"].entries[0]
+        executor.apply(lalab, [Delete(smith_ref)])
+        assert lalab.references["managers"].targets == ["jones1"]
+
+    def test_delete_subelement(self, bio_document, executor):
+        paper = bio_document.element_by_id("Smith991231")
+        title = paper.child_elements("title")[0]
+        executor.apply(paper, [Delete(title)])
+        assert paper.child_elements("title") == []
+
+    def test_delete_whole_reference_list(self, bio_document, executor):
+        lalab = bio_document.element_by_id("lalab")
+        executor.apply(lalab, [Delete(lalab.references["managers"])])
+        assert "managers" not in lalab.references
+
+    def test_delete_pcdata(self, bio_document, executor):
+        name = bio_document.element_by_id("lalab").child_elements("name")[0]
+        text = name.children[0]
+        executor.apply(name, [Delete(text)])
+        assert name.children == []
+
+    def test_dangling_references_allowed(self, bio_document, executor):
+        # Deleting biologist smith1 leaves references to it dangling (§4.2.1).
+        smith = bio_document.element_by_id("smith1")
+        executor.apply(bio_document.root, [Delete(smith)])
+        paper = bio_document.element_by_id("Smith991231")
+        assert paper.references["biologist"].targets == ["smith1"]
+
+    def test_delete_nonmember_rejected(self, bio_document, executor):
+        paper = bio_document.element_by_id("Smith991231")
+        other_title = bio_document.element_by_id("lalab").child_elements("name")[0]
+        with pytest.raises(UpdateError, match="not a member"):
+            executor.apply(paper, [Delete(other_title)])
+
+    def test_example_1_combined_deletes(self, bio_document, executor):
+        """Paper Example 1: delete an attribute, an IDREF, and a subelement."""
+        paper = bio_document.element_by_id("Smith991231")
+        ops = [
+            Delete(paper.attributes["category"]),
+            Delete(paper.references["biologist"].entries[0]),
+            Delete(paper.child_elements("title")[0]),
+        ]
+        executor.apply(paper, ops)
+        assert "category" not in paper.attributes
+        assert "biologist" not in paper.references
+        assert paper.child_elements("title") == []
+        # source reference untouched
+        assert paper.references["source"].targets == ["lab2"]
+
+
+class TestInsert:
+    def test_example_2_inserts(self, bio_document, executor):
+        """Paper Example 2: attribute, two references, and a subelement."""
+        smith = bio_document.element_by_id("smith1")
+        ops = [
+            Insert(new_attribute("age", "29")),
+            Insert(new_ref("worksAt", "ucla")),
+            Insert(new_ref("worksAt", "baselab")),
+            Insert(new_element("firstname", "Jeff")),
+        ]
+        executor.apply(smith, ops)
+        assert smith.attributes["age"].value == "29"
+        assert smith.references["worksAt"].targets == ["ucla", "baselab"]
+        # Ordered model: firstname appended after existing lastname.
+        assert [c.name for c in smith.child_elements()] == ["lastname", "firstname"]
+
+    def test_duplicate_attribute_insert_fails(self, bio_document, executor):
+        jones = bio_document.element_by_id("jones1")
+        with pytest.raises(Exception):
+            executor.apply(jones, [Insert(new_attribute("age", "33"))])
+
+    def test_insert_string_becomes_pcdata(self, bio_document, executor):
+        name = bio_document.element_by_id("lab2").child_elements("name")[0]
+        executor.apply(name, [Insert(" Labs")])
+        assert name.text() == "PMBL Labs"
+
+    def test_insert_copies_literal_content(self, bio_document, executor):
+        # The same literal inserted twice must produce two distinct nodes.
+        element = new_element("street", "Oak")
+        lab2 = bio_document.element_by_id("lab2")
+        baselab = bio_document.element_by_id("baselab")
+        executor.apply(lab2, [Insert(element)])
+        executor.apply(baselab, [Insert(element)])
+        first = lab2.child_elements("street")[0]
+        second = baselab.child_elements("street")[0]
+        assert first is not second
+        assert first.node_id != second.node_id
+
+
+class TestPositionalInsert:
+    def test_example_3_insert_before_ref_and_after_element(self, bio_document, executor):
+        """Paper Example 3: positional reference and subelement inserts."""
+        baselab = bio_document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        smith_ref = baselab.references["managers"].entries[0]
+        ops = [
+            InsertBefore(smith_ref, "jones1"),
+            InsertAfter(name, new_element("street", "Oak")),
+        ]
+        executor.apply(baselab, ops)
+        assert baselab.references["managers"].targets == ["jones1", "smith1"]
+        children = [c.name for c in baselab.child_elements()]
+        assert children == ["name", "street", "location"]
+
+    def test_insert_before_element(self, bio_document, executor):
+        baselab = bio_document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        executor.apply(baselab, [InsertBefore(name, new_element("id", "x"))])
+        assert baselab.child_elements()[0].name == "id"
+
+    def test_positional_rejected_in_unordered_model(self, bio_document, unordered_executor):
+        baselab = bio_document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        with pytest.raises(UpdateError, match="ordered"):
+            unordered_executor.apply(
+                baselab, [InsertBefore(name, new_element("street", "Oak"))]
+            )
+
+    def test_ref_anchor_requires_id_content(self, bio_document, executor):
+        baselab = bio_document.element_by_id("baselab")
+        smith_ref = baselab.references["managers"].entries[0]
+        with pytest.raises(UpdateError):
+            executor.apply(
+                baselab, [InsertBefore(smith_ref, new_element("street", "Oak"))]
+            )
+
+    def test_mismatched_ref_label_rejected(self, bio_document, executor):
+        baselab = bio_document.element_by_id("baselab")
+        smith_ref = baselab.references["managers"].entries[0]
+        with pytest.raises(UpdateError, match="managers"):
+            executor.apply(
+                baselab, [InsertBefore(smith_ref, new_ref("owners", "jones1"))]
+            )
+
+
+class TestReplace:
+    def test_replace_element_preserves_position(self, bio_document, executor):
+        """Paper Example 4 (first op): replace the name element."""
+        baselab = bio_document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        executor.apply(
+            baselab, [Replace(name, new_element("appellation", "Fancy Lab"))]
+        )
+        children = [c.name for c in baselab.child_elements()]
+        assert children == ["appellation", "location"]
+        assert name.is_deleted
+
+    def test_replace_ref_with_same_label_attribute(self, bio_document, executor):
+        """Paper Example 4 (second op): new_attribute(managers, ...) content."""
+        baselab = bio_document.element_by_id("baselab")
+        manager = baselab.references["managers"].entries[0]
+        executor.apply(
+            baselab, [Replace(manager, new_attribute("managers", "jones1"))]
+        )
+        assert baselab.references["managers"].targets == ["jones1"]
+
+    def test_replace_ref_with_other_label_rejected(self, bio_document, executor):
+        baselab = bio_document.element_by_id("baselab")
+        manager = baselab.references["managers"].entries[0]
+        with pytest.raises(UpdateError, match="same label"):
+            executor.apply(baselab, [Replace(manager, new_ref("owners", "jones1"))])
+
+    def test_replace_attribute(self, bio_document, executor):
+        jones = bio_document.element_by_id("jones1")
+        age = jones.attributes["age"]
+        executor.apply(jones, [Replace(age, new_attribute("age", "33"))])
+        assert jones.attributes["age"].value == "33"
+
+    def test_replace_preserves_list_position(self, bio_document, executor):
+        lalab = bio_document.element_by_id("lalab")
+        smith_ref = lalab.references["managers"].entries[0]
+        executor.apply(lalab, [Replace(smith_ref, new_ref("managers", "brown2"))])
+        assert lalab.references["managers"].targets == ["brown2", "jones1"]
+
+    def test_replace_pcdata(self, bio_document, executor):
+        name = bio_document.element_by_id("lab2").child_elements("name")[0]
+        text = name.children[0]
+        executor.apply(name, [Replace(text, "Penn Molecular Biology Lab")])
+        assert name.text() == "Penn Molecular Biology Lab"
+
+
+class TestRename:
+    def test_rename_element(self, bio_document, executor):
+        baselab = bio_document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        executor.apply(baselab, [Rename(name, "title")])
+        assert name.name == "title"
+
+    def test_rename_attribute(self, bio_document, executor):
+        jones = bio_document.element_by_id("jones1")
+        executor.apply(jones, [Rename(jones.attributes["age"], "years")])
+        assert "years" in jones.attributes
+
+    def test_rename_ref_entry_renames_whole_list(self, bio_document, executor):
+        """Per §3.2: renaming one IDREF renames the entire IDREFS."""
+        lalab = bio_document.element_by_id("lalab")
+        smith_ref = lalab.references["managers"].entries[0]
+        executor.apply(lalab, [Rename(smith_ref, "bosses")])
+        assert lalab.references["bosses"].targets == ["smith1", "jones1"]
+        assert "managers" not in lalab.references
+
+    def test_rename_pcdata_rejected(self, bio_document, executor):
+        name = bio_document.element_by_id("lab2").child_elements("name")[0]
+        with pytest.raises(UpdateError, match="PCDATA"):
+            executor.apply(name, [Rename(name.children[0], "x")])
+
+
+class TestSequenceSemantics:
+    def test_deleted_binding_unusable_later(self, bio_document, executor):
+        paper = bio_document.element_by_id("Smith991231")
+        title = paper.child_elements("title")[0]
+        with pytest.raises(DeletedBindingError):
+            executor.apply(paper, [Delete(title), Rename(title, "heading")])
+
+    def test_deleted_binding_usable_as_content(self, bio_document, executor):
+        paper = bio_document.element_by_id("Smith991231")
+        title = paper.child_elements("title")[0]
+        from repro.updates import VarOperand
+
+        bound = executor.bind(
+            paper,
+            [Delete(title), Insert(VarOperand("t"))],
+            {"t": title},
+        )
+        executor.execute(bound)
+        titles = paper.child_elements("title")
+        assert len(titles) == 1
+        assert titles[0] is not title  # copy semantics
+
+    def test_operations_execute_in_sequence(self, bio_document, executor):
+        smith = bio_document.element_by_id("smith1")
+        executor.apply(
+            smith,
+            [Insert(new_element("a")), Insert(new_element("b"))],
+        )
+        assert [c.name for c in smith.child_elements()][-2:] == ["a", "b"]
+
+    def test_content_from_variable_is_copied(self, bio_document, executor):
+        from repro.updates import VarOperand
+
+        source = bio_document.element_by_id("lab2")
+        target = bio_document.root.child_elements("university")[0]
+        bound = executor.bind(target, [Insert(VarOperand("src"))], {"src": source})
+        executor.execute(bound)
+        copies = target.child_elements("lab")
+        assert len(copies) == 2  # original lalab + inserted copy
+        inserted = copies[-1]
+        assert inserted is not source
+        assert inserted.attributes["ID"].value == "lab2"
+        # Mutating the copy leaves the source untouched.
+        inserted.set_attribute("ID", "lab2copy")
+        assert source.attributes["ID"].value == "lab2"

@@ -1,0 +1,155 @@
+"""Unit tests for update typechecking (§8 future work)."""
+
+import pytest
+
+from repro.updates.typecheck import (
+    SEVERITY_ERROR,
+    SEVERITY_WARNING,
+    static_issues,
+    typecheck,
+)
+from repro.xmlmodel import parse, parse_dtd
+from repro.xmlmodel.serializer import serialize
+
+from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+
+
+@pytest.fixture
+def dtd():
+    return parse_dtd(CUSTOMER_DTD)
+
+
+@pytest.fixture
+def documents(customer_document):
+    return {"custdb.xml": customer_document}
+
+
+class TestStaticIssues:
+    def test_clean_statement_has_no_issues(self, dtd):
+        issues = static_issues(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            "UPDATE $c { INSERT <Order><Date>x</Date><Status>s</Status></Order> }",
+            dtd,
+        )
+        assert issues == []
+
+    def test_undeclared_element_flagged(self, dtd):
+        issues = static_issues(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            "UPDATE $c { INSERT <Widget>x</Widget> }",
+            dtd,
+        )
+        assert any(i.severity == SEVERITY_ERROR and "Widget" in i.message for i in issues)
+
+    def test_undeclared_nested_element_flagged(self, dtd):
+        issues = static_issues(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            "UPDATE $c { INSERT <Order><Bogus>1</Bogus></Order> }",
+            dtd,
+        )
+        assert any("Bogus" in i.message for i in issues)
+
+    def test_undeclared_attribute_warns(self, dtd):
+        issues = static_issues(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            'UPDATE $c { INSERT new_attribute(vip,"yes") }',
+            dtd,
+        )
+        # The customer DTD declares no attributes at all -> no baseline to
+        # warn against; use a DTD with ATTLISTs instead.
+        attr_dtd = parse_dtd(
+            "<!ELEMENT a EMPTY><!ATTLIST a ID ID #REQUIRED>"
+        )
+        issues = static_issues(
+            'FOR $x IN document("d.xml")/a UPDATE $x { INSERT new_attribute(vip,"y") }',
+            attr_dtd,
+        )
+        assert any(i.severity == SEVERITY_WARNING and "vip" in i.message for i in issues)
+
+    def test_rename_to_undeclared_warns(self, dtd):
+        issues = static_issues(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer, $n IN $c/Name '
+            "UPDATE $c { RENAME $n TO Nickname }",
+            dtd,
+        )
+        assert any("Nickname" in i.message for i in issues)
+
+    def test_nested_operations_checked(self, dtd):
+        issues = static_issues(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            "UPDATE $c { FOR $o IN $c/Order UPDATE $o { INSERT <Zap>1</Zap> } }",
+            dtd,
+        )
+        assert any("Zap" in i.message for i in issues)
+
+
+class TestTrialExecution:
+    def test_valid_update_passes(self, documents, dtd):
+        issues = typecheck(
+            documents,
+            {"custdb.xml": dtd},
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="John"] UPDATE $d { DELETE $c }',
+        )
+        assert issues == []
+
+    def test_original_untouched(self, documents, dtd, customer_document):
+        before = serialize(customer_document, indent=0)
+        typecheck(
+            documents,
+            {"custdb.xml": dtd},
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            "$c IN $d/Customer UPDATE $d { DELETE $c }",
+        )
+        assert serialize(customer_document, indent=0) == before
+
+    def test_deleting_required_child_fails(self, documents, dtd):
+        # Customer requires a Name: deleting it breaks the content model.
+        issues = typecheck(
+            documents,
+            {"custdb.xml": dtd},
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"], '
+            "$n IN $c/Name UPDATE $c { DELETE $n }",
+        )
+        assert len(issues) == 1
+        assert issues[0].severity == SEVERITY_ERROR
+        assert "content model" in issues[0].message
+
+    def test_inserting_second_singleton_fails(self, documents, dtd):
+        # Order allows exactly one Status; Example 8's insert violates it.
+        issues = typecheck(
+            documents,
+            {"custdb.xml": dtd},
+            'FOR $o IN document("custdb.xml")//Order[Status="ready"] '
+            "UPDATE $o { INSERT <Status>suspended</Status> }",
+        )
+        assert issues and issues[0].severity == SEVERITY_ERROR
+
+    def test_undeclared_insert_fails_precisely(self, documents, dtd):
+        issues = typecheck(
+            documents,
+            {"custdb.xml": dtd},
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            "UPDATE $c { INSERT <Widget>x</Widget> }",
+        )
+        assert any("Widget" in issue.message for issue in issues)
+
+    def test_broken_statement_reports_execution_error(self, documents, dtd):
+        issues = typecheck(
+            documents,
+            {"custdb.xml": dtd},
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            "UPDATE $c { DELETE $unbound }",
+        )
+        assert issues[0].severity == SEVERITY_ERROR
+        assert "fails to execute" in issues[0].message
+
+    def test_issue_string_format(self, documents, dtd):
+        issues = typecheck(
+            documents,
+            {"custdb.xml": dtd},
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"], '
+            "$n IN $c/Name UPDATE $c { DELETE $n }",
+        )
+        text = str(issues[0])
+        assert text.startswith("error [custdb.xml]:")

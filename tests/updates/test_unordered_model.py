@@ -1,0 +1,103 @@
+"""The unordered execution model (§3.2): what changes without order."""
+
+import pytest
+
+from repro.errors import UpdateError
+from repro.updates import (
+    Delete,
+    Insert,
+    InsertAfter,
+    InsertBefore,
+    Replace,
+    UpdateExecutor,
+    new_attribute,
+    new_element,
+    new_ref,
+)
+from repro.xmlmodel import parse
+from repro.xmlmodel.policy import BIO_POLICY
+from repro.xpath import XPathContext
+from repro.xquery import XQueryEngine
+
+from tests.conftest import BIO_XML
+
+
+@pytest.fixture
+def setup():
+    document = parse(BIO_XML, policy=BIO_POLICY)
+    executor = UpdateExecutor(
+        XPathContext(documents={"bio.xml": document}), ordered=False
+    )
+    return document, executor
+
+
+class TestUnorderedExecutor:
+    def test_plain_insert_allowed(self, setup):
+        document, executor = setup
+        smith = document.element_by_id("smith1")
+        executor.apply(smith, [Insert(new_element("firstname", "Jeff"))])
+        assert smith.child_elements("firstname")
+
+    def test_insert_before_rejected(self, setup):
+        document, executor = setup
+        baselab = document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        with pytest.raises(UpdateError, match="ordered"):
+            executor.apply(baselab, [InsertBefore(name, new_element("street", "Oak"))])
+
+    def test_insert_after_rejected(self, setup):
+        document, executor = setup
+        baselab = document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        with pytest.raises(UpdateError, match="ordered"):
+            executor.apply(baselab, [InsertAfter(name, new_element("street", "Oak"))])
+
+    def test_replace_still_works(self, setup):
+        """§3.2: Replace is (Insert, Delete) under unordered execution."""
+        document, executor = setup
+        baselab = document.element_by_id("baselab")
+        name = baselab.child_elements("name")[0]
+        executor.apply(baselab, [Replace(name, new_element("name", "New Name"))])
+        assert baselab.child_elements("name")[0].text() == "New Name"
+
+    def test_reference_insert_appends(self, setup):
+        document, executor = setup
+        lalab = document.element_by_id("lalab")
+        executor.apply(lalab, [Insert(new_ref("managers", "brown2"))])
+        assert "brown2" in lalab.references["managers"].targets
+
+    def test_attribute_ops_unaffected(self, setup):
+        document, executor = setup
+        paper = document.element_by_id("Smith991231")
+        executor.apply(paper, [Delete(paper.attributes["category"]),
+                               Insert(new_attribute("status", "final"))])
+        assert "category" not in paper.attributes
+        assert paper.attributes["status"].value == "final"
+
+
+class TestUnorderedEngine:
+    def test_engine_flag_propagates(self, bio_document):
+        engine = XQueryEngine(
+            {"bio.xml": bio_document}, ordered=False, policy=BIO_POLICY
+        )
+        from repro.errors import UpdateError
+
+        with pytest.raises(UpdateError, match="ordered"):
+            engine.execute(
+                """
+                FOR $lab IN document("bio.xml")/db/lab[@ID="baselab"],
+                    $n IN $lab/name
+                UPDATE $lab { INSERT <street>Oak</street> AFTER $n }
+                """
+            )
+
+    def test_plain_statement_runs_unordered(self, bio_document):
+        engine = XQueryEngine(
+            {"bio.xml": bio_document}, ordered=False, policy=BIO_POLICY
+        )
+        engine.execute(
+            'FOR $p IN document("bio.xml")/db/paper, $cat IN $p/@category '
+            "UPDATE $p { DELETE $cat }"
+        )
+        paper = bio_document.element_by_id("Smith991231")
+        assert "category" not in paper.attributes

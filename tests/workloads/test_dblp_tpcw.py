@@ -1,0 +1,121 @@
+"""Unit tests for the DBLP-shaped and TPC/W-style generators."""
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.shredder import create_schema, shred_document
+from repro.relational.store import XmlStore
+from repro.workloads import (
+    CustomerParams,
+    DblpParams,
+    dblp_dtd,
+    generate_customers,
+    generate_dblp,
+    load_dblp_directly,
+)
+from repro.xmlmodel import parse_dtd
+from repro.xmlmodel.dtd import validate
+from repro.workloads.tpcw import CUSTOMER_DTD
+
+
+class TestDblpSchema:
+    def test_relations(self):
+        schema = derive_inlining_schema(parse_dtd(dblp_dtd()))
+        assert set(schema.relations) == {
+            "dblp", "conference", "publication", "author", "citation",
+        }
+        assert schema.relation("publication").parent == "conference"
+        assert set(schema.relation("publication").children) == {"author", "citation"}
+
+    def test_publication_inlines_scalars(self):
+        schema = derive_inlining_schema(parse_dtd(dblp_dtd()))
+        columns = schema.relation("publication").data_columns
+        assert columns == ["title", "year", "booktitle", "pages"]
+
+    def test_author_value_column_named_after_tag(self):
+        schema = derive_inlining_schema(parse_dtd(dblp_dtd()))
+        assert schema.relation("author").data_columns == ["author"]
+
+
+class TestDblpGenerator:
+    def test_document_validates_against_dtd(self):
+        params = DblpParams(conferences=5, publications_per_conference=6, seed=1)
+        document = generate_dblp(params)
+        validate(document, parse_dtd(dblp_dtd()))
+
+    def test_bushy_shape(self):
+        params = DblpParams(conferences=10, publications_per_conference=10, seed=2)
+        document = generate_dblp(params)
+        conferences = document.root.child_elements("conference")
+        assert len(conferences) == 10
+        publication_counts = [
+            len(c.child_elements("publication")) for c in conferences
+        ]
+        assert min(publication_counts) >= 5
+        assert max(publication_counts) <= 15
+
+    def test_year_spread_makes_small_fraction(self):
+        params = DblpParams(conferences=10, publications_per_conference=20, seed=3)
+        document = generate_dblp(params)
+        publications = [
+            pub
+            for conference in document.root.child_elements("conference")
+            for pub in conference.child_elements("publication")
+        ]
+        year_2000 = [
+            p
+            for p in publications
+            if p.child_elements("year")[0].text() == "2000"
+        ]
+        fraction = len(year_2000) / len(publications)
+        assert 0 < fraction < 0.2  # "small portion of the document" (§7.3)
+
+    def test_direct_loader_counts(self):
+        params = DblpParams(conferences=8, publications_per_conference=10, seed=4)
+        schema = derive_inlining_schema(parse_dtd(dblp_dtd()))
+        db = Database()
+        create_schema(db, schema)
+        load_dblp_directly(db, schema, params)
+        assert db.query_one("SELECT COUNT(*) FROM conference")[0] == 8
+        pubs = db.query_one("SELECT COUNT(*) FROM publication")[0]
+        assert 8 * 5 <= pubs <= 8 * 15
+        authors = db.query_one("SELECT COUNT(*) FROM author")[0]
+        assert authors >= pubs  # at least one author per publication
+        orphans = db.query_one(
+            "SELECT COUNT(*) FROM author WHERE parentId NOT IN "
+            "(SELECT id FROM publication)"
+        )[0]
+        assert orphans == 0
+
+    def test_direct_loader_usable_by_store(self):
+        store = XmlStore.from_dtd(dblp_dtd(), document_name="dblp.xml")
+        load_dblp_directly(store.db, store.schema, DblpParams(conferences=4, seed=5),
+                           allocator=store.allocator)
+        results = store.query(
+            'FOR $p IN document("dblp.xml")//publication[year="2000"] RETURN $p'
+        )
+        for publication in results:
+            assert publication.child_elements("year")[0].text() == "2000"
+
+
+class TestCustomerGenerator:
+    def test_document_validates(self):
+        document = generate_customers(CustomerParams(customers=20, seed=1))
+        validate(document, parse_dtd(CUSTOMER_DTD))
+
+    def test_shape_parameters_respected(self):
+        params = CustomerParams(customers=15, max_orders=2, max_lines=3, seed=2)
+        document = generate_customers(params)
+        customers = document.root.child_elements("Customer")
+        assert len(customers) == 15
+        for customer in customers:
+            orders = customer.child_elements("Order")
+            assert len(orders) <= 2
+            for order in orders:
+                assert 1 <= len(order.child_elements("OrderLine")) <= 3
+
+    def test_loads_into_store(self):
+        store = XmlStore.from_dtd(CUSTOMER_DTD, document_name="custdb.xml")
+        store.load(generate_customers(CustomerParams(customers=10, seed=3)))
+        assert store.tuple_count("Customer") == 10

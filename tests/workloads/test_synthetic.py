@@ -1,0 +1,155 @@
+"""Unit tests for the synthetic workload generators (Section 7.1)."""
+
+import re
+
+import pytest
+
+from repro.relational.database import Database
+from repro.relational.inlining import derive_inlining_schema
+from repro.relational.shredder import create_schema, shred_document
+from repro.workloads import (
+    SyntheticParams,
+    generate_fixed,
+    generate_randomized,
+    load_fixed_directly,
+    load_randomized_directly,
+    subtree_tuple_count,
+    synthetic_dtd,
+)
+from repro.xmlmodel import parse_dtd
+
+
+class TestParameters:
+    @pytest.mark.parametrize(
+        "depth,fanout,expected",
+        [
+            (8, 1, 8),  # Table 1 fixed-fanout row: chains of 8
+            (2, 8, 9),  # fixed-depth row: 1 + 8
+            (4, 8, 585),  # 585 * sf 100 = 58 500, Table 1's max
+            (5, 4, 341),
+            (1, 4, 1),
+        ],
+    )
+    def test_subtree_tuple_counts_match_table_1(self, depth, fanout, expected):
+        assert subtree_tuple_count(depth, fanout) == expected
+
+    def test_table_1_max_sizes(self):
+        # fixed fanout=1: d=8, sf=800 -> 6400 tuples
+        assert SyntheticParams(800, 8, 1).total_tuples == 6400
+        # fixed depth=2: f=8, sf=800 -> 7200 tuples
+        assert SyntheticParams(800, 2, 8).total_tuples == 7200
+        # fixed sf=100: d=4, f=8 -> 58500 tuples
+        assert SyntheticParams(100, 4, 8).total_tuples == 58500
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            SyntheticParams(0, 2, 2)
+
+
+class TestDtd:
+    def test_dtd_parses_and_produces_level_relations(self):
+        schema = derive_inlining_schema(parse_dtd(synthetic_dtd(3)))
+        assert set(schema.relations) == {"root", "n1", "n2", "n3"}
+        assert schema.relation("n2").parent == "n1"
+        assert schema.relation("n1").data_columns == ["str", "num"]
+
+
+class TestFixedGenerator:
+    def test_document_structure(self):
+        params = SyntheticParams(scaling_factor=3, depth=2, fanout=2)
+        document = generate_fixed(params)
+        subtrees = document.root.child_elements("n1")
+        assert len(subtrees) == 3
+        for subtree in subtrees:
+            assert len(subtree.child_elements("n2")) == 2
+            assert len(subtree.child_elements("str")[0].text()) == 50
+            int(subtree.child_elements("num")[0].text())  # parses
+
+    def test_deterministic_by_seed(self):
+        params = SyntheticParams(2, 2, 2, seed=7)
+        first = generate_fixed(params)
+        second = generate_fixed(params)
+        from repro.xmlmodel.serializer import serialize
+
+        assert serialize(first) == serialize(second)
+
+    def test_direct_loader_matches_shredder(self):
+        params = SyntheticParams(scaling_factor=4, depth=3, fanout=2, seed=3)
+        schema = derive_inlining_schema(parse_dtd(synthetic_dtd(3)))
+
+        shredded = Database()
+        create_schema(shredded, schema)
+        shred_document(shredded, schema, generate_fixed(params))
+
+        direct = Database()
+        create_schema(direct, schema)
+        load_fixed_directly(direct, schema, params)
+
+        for relation in ("root", "n1", "n2", "n3"):
+            left = shredded.query_one(f"SELECT COUNT(*) FROM {relation}")[0]
+            right = direct.query_one(f"SELECT COUNT(*) FROM {relation}")[0]
+            assert left == right, relation
+        # Same linkage shape: identical (id, parentId) pairs.
+        for relation in ("n1", "n2", "n3"):
+            left = shredded.query(f"SELECT id, parentId FROM {relation} ORDER BY id")
+            right = direct.query(f"SELECT id, parentId FROM {relation} ORDER BY id")
+            assert left == right, relation
+
+    def test_total_tuples_loaded(self):
+        params = SyntheticParams(scaling_factor=10, depth=4, fanout=2)
+        schema = derive_inlining_schema(parse_dtd(synthetic_dtd(4)))
+        db = Database()
+        create_schema(db, schema)
+        load_fixed_directly(db, schema, params)
+        total = sum(
+            db.query_one(f'SELECT COUNT(*) FROM "{name}"')[0]
+            for name in ("n1", "n2", "n3", "n4")
+        )
+        assert total == params.total_tuples == 10 * 15
+
+
+class TestRandomizedGenerator:
+    def test_depths_vary_within_bounds(self):
+        params = SyntheticParams(scaling_factor=30, depth=5, fanout=3, seed=1)
+        document = generate_randomized(params)
+        depths = set()
+        for subtree in document.root.child_elements("n1"):
+            depths.add(_subtree_depth(subtree))
+        assert min(depths) >= 2
+        assert max(depths) <= 5
+        assert len(depths) > 1  # actually randomized
+
+    def test_fanout_within_bounds(self):
+        params = SyntheticParams(scaling_factor=20, depth=3, fanout=4, seed=2)
+        document = generate_randomized(params)
+        for element in document.root.iter_descendants():
+            if _is_level_tag(element.name):
+                level_children = [
+                    c for c in element.child_elements() if _is_level_tag(c.name)
+                ]
+                assert len(level_children) <= 4
+
+    def test_direct_loader_valid_linkage(self):
+        params = SyntheticParams(scaling_factor=25, depth=4, fanout=3, seed=5)
+        schema = derive_inlining_schema(parse_dtd(synthetic_dtd(4)))
+        db = Database()
+        create_schema(db, schema)
+        load_randomized_directly(db, schema, params)
+        assert db.query_one("SELECT COUNT(*) FROM n1")[0] == 25
+        for child, parent in (("n2", "n1"), ("n3", "n2"), ("n4", "n3")):
+            orphans = db.query_one(
+                f"SELECT COUNT(*) FROM {child} WHERE parentId NOT IN "
+                f"(SELECT id FROM {parent})"
+            )[0]
+            assert orphans == 0
+
+
+def _is_level_tag(name: str) -> bool:
+    return re.fullmatch(r"n\d+", name) is not None
+
+
+def _subtree_depth(element) -> int:
+    children = [c for c in element.child_elements() if _is_level_tag(c.name)]
+    if not children:
+        return 1
+    return 1 + max(_subtree_depth(child) for child in children)

@@ -1,0 +1,217 @@
+"""Unit tests for DTD parsing, cardinalities, and validation."""
+
+import pytest
+
+from repro.errors import DtdError, ValidationError
+from repro.xmlmodel import parse, parse_dtd
+from repro.xmlmodel.dtd import CARD_MANY, CARD_ONE, CARD_OPTIONAL, validate
+from repro.xmlmodel.policy import ATTR_ID, ATTR_IDREFS, RefPolicy
+
+from tests.conftest import CUSTOMER_DTD
+
+
+class TestDtdParsing:
+    def test_customer_dtd_elements(self):
+        dtd = parse_dtd(CUSTOMER_DTD)
+        assert set(dtd.elements) == {
+            "CustDB", "Customer", "Address", "Order", "OrderLine",
+            "Name", "City", "State", "Date", "Status", "ItemName", "Qty",
+        }
+
+    def test_pcdata_content(self):
+        dtd = parse_dtd("<!ELEMENT Name (#PCDATA)>")
+        assert dtd.element("Name").content.kind == "PCDATA"
+
+    def test_empty_and_any(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ELEMENT b ANY>")
+        assert dtd.element("a").content.kind == "EMPTY"
+        assert dtd.element("b").content.kind == "ANY"
+
+    def test_mixed_content(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em | strong)*>")
+        content = dtd.element("p").content
+        assert content.kind == "MIXED"
+        assert content.mixed_names == ("em", "strong")
+
+    def test_duplicate_element_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT a EMPTY><!ELEMENT a ANY>")
+
+    def test_mixing_combinators_rejected(self):
+        with pytest.raises(DtdError):
+            parse_dtd("<!ELEMENT a (b, c | d)>")
+
+    def test_attlist(self):
+        dtd = parse_dtd(
+            "<!ELEMENT lab EMPTY>"
+            '<!ATTLIST lab ID ID #REQUIRED managers IDREFS #IMPLIED kind CDATA "wet">'
+        )
+        attlist = dtd.attlist("lab")
+        assert attlist["ID"].attr_type == "ID"
+        assert attlist["managers"].attr_type == "IDREFS"
+        assert attlist["kind"].default_value == "wet"
+
+    def test_enumerated_attribute(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a size (s | m | l) "m">')
+        assert dtd.attlist("a")["size"].enum_values == ("s", "m", "l")
+
+    def test_root_candidates(self):
+        dtd = parse_dtd(CUSTOMER_DTD)
+        assert dtd.root_candidates() == ["CustDB"]
+
+    def test_id_attribute_name(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a ID ID #REQUIRED>")
+        assert dtd.id_attribute_name() == "ID"
+
+
+class TestCardinalities:
+    def test_customer_cardinalities(self):
+        dtd = parse_dtd(CUSTOMER_DTD)
+        cards = dtd.element("Customer").content.child_cardinalities()
+        assert cards == {"Name": CARD_ONE, "Address": CARD_ONE, "Order": CARD_MANY}
+
+    def test_optional_child(self):
+        dtd = parse_dtd("<!ELEMENT a (b?, c)>")
+        cards = dtd.element("a").content.child_cardinalities()
+        assert cards == {"b": CARD_OPTIONAL, "c": CARD_ONE}
+
+    def test_plus_is_many(self):
+        dtd = parse_dtd("<!ELEMENT a (b+)>")
+        assert dtd.element("a").content.child_cardinalities() == {"b": CARD_MANY}
+
+    def test_choice_children_optional(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)>")
+        cards = dtd.element("a").content.child_cardinalities()
+        assert cards == {"b": CARD_OPTIONAL, "c": CARD_OPTIONAL}
+
+    def test_starred_group_makes_all_many(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c)*>")
+        cards = dtd.element("a").content.child_cardinalities()
+        assert cards == {"b": CARD_MANY, "c": CARD_MANY}
+
+    def test_repeated_name_is_many(self):
+        dtd = parse_dtd("<!ELEMENT a (b, c, b)>")
+        assert dtd.element("a").content.child_cardinalities()["b"] == CARD_MANY
+
+    def test_mixed_children_are_many(self):
+        dtd = parse_dtd("<!ELEMENT p (#PCDATA | em)*>")
+        assert dtd.element("p").content.child_cardinalities() == {"em": CARD_MANY}
+
+
+class TestPolicyFromDtd:
+    def test_policy_reads_attlist_types(self):
+        dtd = parse_dtd(
+            "<!ELEMENT lab EMPTY>"
+            "<!ATTLIST lab ID ID #REQUIRED managers IDREFS #IMPLIED note CDATA #IMPLIED>"
+        )
+        policy = RefPolicy.from_dtd(dtd)
+        assert policy.classify("lab", "ID") == ATTR_ID
+        assert policy.classify("lab", "managers") == ATTR_IDREFS
+        assert policy.classify("lab", "note") == "cdata"
+
+    def test_internal_dtd_drives_parsing(self):
+        text = (
+            "<!DOCTYPE db [<!ELEMENT db (lab*)><!ELEMENT lab EMPTY>"
+            "<!ATTLIST lab ID ID #REQUIRED managers IDREFS #IMPLIED>]>"
+            '<db><lab ID="l1" managers="a b"/></db>'
+        )
+        document = parse("<?xml version='1.0'?>" + text)
+        lab = document.root.child_elements("lab")[0]
+        assert lab.references["managers"].targets == ["a", "b"]
+
+
+class TestValidation:
+    def make_doc(self, xml, dtd_text):
+        dtd = parse_dtd(dtd_text)
+        document = parse(xml, policy=RefPolicy.from_dtd(dtd))
+        return document, dtd
+
+    def test_valid_customer_document(self, customer_document):
+        validate(customer_document, parse_dtd(CUSTOMER_DTD))
+
+    def test_undeclared_element(self):
+        document, dtd = self.make_doc("<a><zzz/></a>", "<!ELEMENT a (b?)><!ELEMENT b EMPTY>")
+        with pytest.raises(ValidationError, match="zzz"):
+            validate(document, dtd)
+
+    def test_sequence_order_enforced(self):
+        document, dtd = self.make_doc(
+            "<a><c/><b/></a>",
+            "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>",
+        )
+        with pytest.raises(ValidationError, match="content model"):
+            validate(document, dtd)
+
+    def test_missing_required_child(self):
+        document, dtd = self.make_doc(
+            "<a><b/></a>", "<!ELEMENT a (b, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        )
+        with pytest.raises(ValidationError):
+            validate(document, dtd)
+
+    def test_star_allows_zero_and_many(self):
+        dtd_text = "<!ELEMENT a (b*)><!ELEMENT b EMPTY>"
+        for xml in ("<a/>", "<a><b/></a>", "<a><b/><b/><b/></a>"):
+            document, dtd = self.make_doc(xml, dtd_text)
+            validate(document, dtd)
+
+    def test_plus_requires_one(self):
+        document, dtd = self.make_doc("<a/>", "<!ELEMENT a (b+)><!ELEMENT b EMPTY>")
+        with pytest.raises(ValidationError):
+            validate(document, dtd)
+
+    def test_choice_accepts_either(self):
+        dtd_text = "<!ELEMENT a (b | c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        for xml in ("<a><b/></a>", "<a><c/></a>"):
+            document, dtd = self.make_doc(xml, dtd_text)
+            validate(document, dtd)
+
+    def test_required_attribute_missing(self):
+        document, dtd = self.make_doc(
+            "<a/>", "<!ELEMENT a EMPTY><!ATTLIST a ID ID #REQUIRED>"
+        )
+        with pytest.raises(ValidationError, match="required attribute"):
+            validate(document, dtd)
+
+    def test_duplicate_id_rejected(self):
+        document, dtd = self.make_doc(
+            '<a><b ID="x"/><b ID="x"/></a>',
+            "<!ELEMENT a (b*)><!ELEMENT b EMPTY><!ATTLIST b ID ID #REQUIRED>",
+        )
+        with pytest.raises(ValidationError, match="duplicate ID"):
+            validate(document, dtd)
+
+    def test_dangling_idref_rejected(self):
+        document, dtd = self.make_doc(
+            '<a><b ID="x" ref="nope"/></a>',
+            "<!ELEMENT a (b*)><!ELEMENT b EMPTY>"
+            "<!ATTLIST b ID ID #REQUIRED ref IDREF #IMPLIED>",
+        )
+        with pytest.raises(ValidationError, match="undeclared ID"):
+            validate(document, dtd)
+
+    def test_undeclared_attribute_rejected(self):
+        document, dtd = self.make_doc(
+            '<a extra="1"/>', "<!ELEMENT a EMPTY><!ATTLIST a ID ID #IMPLIED>"
+        )
+        with pytest.raises(ValidationError, match="not declared"):
+            validate(document, dtd)
+
+    def test_empty_element_with_content_rejected(self):
+        document, dtd = self.make_doc("<a><b/></a>", "<!ELEMENT a EMPTY><!ELEMENT b EMPTY>")
+        with pytest.raises(ValidationError, match="EMPTY"):
+            validate(document, dtd)
+
+    def test_pcdata_in_element_content_rejected(self):
+        document, dtd = self.make_doc(
+            "<a>text<b/></a>", "<!ELEMENT a (b)><!ELEMENT b EMPTY>"
+        )
+        with pytest.raises(ValidationError, match="PCDATA"):
+            validate(document, dtd)
+
+    def test_enumeration_enforced(self):
+        document, dtd = self.make_doc(
+            '<a size="xl"/>', '<!ELEMENT a EMPTY><!ATTLIST a size (s | m | l) "m">'
+        )
+        with pytest.raises(ValidationError, match="not one of"):
+            validate(document, dtd)

@@ -1,0 +1,113 @@
+"""Additional DTD parsing edge cases."""
+
+import pytest
+
+from repro.errors import DtdError
+from repro.xmlmodel import parse, parse_dtd
+from repro.xmlmodel.dtd import CARD_MANY, CARD_ONE, CARD_OPTIONAL, validate
+
+
+class TestDtdSyntax:
+    def test_comments_inside_dtd(self):
+        dtd = parse_dtd(
+            "<!-- the root --><!ELEMENT a (b*)>"
+            "<!-- a child --><!ELEMENT b EMPTY>"
+        )
+        assert set(dtd.elements) == {"a", "b"}
+
+    def test_fixed_default(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a version CDATA #FIXED "1.0">')
+        decl = dtd.attlist("a")["version"]
+        assert decl.default == "#FIXED"
+        assert decl.default_value == "1.0"
+
+    def test_literal_default(self):
+        dtd = parse_dtd('<!ELEMENT a EMPTY><!ATTLIST a kind CDATA "plain">')
+        decl = dtd.attlist("a")["kind"]
+        assert decl.default == "LITERAL"
+        assert decl.default_value == "plain"
+
+    def test_nmtoken_types_accepted(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a one NMTOKEN #IMPLIED many NMTOKENS #IMPLIED>"
+        )
+        assert dtd.attlist("a")["one"].attr_type == "NMTOKEN"
+        assert dtd.attlist("a")["many"].attr_type == "NMTOKENS"
+
+    def test_multiple_attlists_merge(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a x CDATA #IMPLIED>"
+            "<!ATTLIST a y CDATA #IMPLIED>"
+        )
+        assert set(dtd.attlist("a")) == {"x", "y"}
+
+    def test_entity_declarations_rejected(self):
+        with pytest.raises(DtdError, match="entity"):
+            parse_dtd('<!ENTITY x "y">')
+
+    def test_nested_groups(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a ((b, c) | (d, e))*>"
+            "<!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+            "<!ELEMENT d EMPTY><!ELEMENT e EMPTY>"
+        )
+        cards = dtd.element("a").content.child_cardinalities()
+        assert all(card == CARD_MANY for card in cards.values())
+
+    def test_deeply_nested_occurrences(self):
+        dtd = parse_dtd("<!ELEMENT a ((b?)+)><!ELEMENT b EMPTY>")
+        assert dtd.element("a").content.child_cardinalities()["b"] == CARD_MANY
+
+    def test_missing_declaration_lookup(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY>")
+        with pytest.raises(DtdError, match="no <!ELEMENT>"):
+            dtd.element("zzz")
+
+
+class TestValidationEdgeCases:
+    def test_nested_group_sequencing(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a ((b, c) | d)><!ELEMENT b EMPTY>"
+            "<!ELEMENT c EMPTY><!ELEMENT d EMPTY>"
+        )
+        validate(parse("<a><b/><c/></a>"), dtd)
+        validate(parse("<a><d/></a>"), dtd)
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            validate(parse("<a><b/><d/></a>"), dtd)
+
+    def test_star_of_choice(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a ((b | c)*)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>"
+        )
+        validate(parse("<a><c/><b/><c/><b/></a>"), dtd)
+        validate(parse("<a/>"), dtd)
+
+    def test_ambiguous_model_matches(self):
+        # b? b means one or two b's; set-based matching handles both.
+        dtd = parse_dtd("<!ELEMENT a (b?, b)><!ELEMENT b EMPTY>")
+        validate(parse("<a><b/></a>"), dtd)
+        validate(parse("<a><b/><b/></a>"), dtd)
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            validate(parse("<a><b/><b/><b/></a>"), dtd)
+
+    def test_plus_inside_sequence(self):
+        dtd = parse_dtd("<!ELEMENT a (b+, c)><!ELEMENT b EMPTY><!ELEMENT c EMPTY>")
+        validate(parse("<a><b/><b/><c/></a>"), dtd)
+        from repro.errors import ValidationError
+
+        with pytest.raises(ValidationError):
+            validate(parse("<a><c/></a>"), dtd)
+
+    def test_doctype_with_internal_subset_drives_validation(self):
+        text = (
+            "<!DOCTYPE a [<!ELEMENT a (b)><!ELEMENT b (#PCDATA)>]>"
+            "<a><b>ok</b></a>"
+        )
+        document = parse(text)
+        validate(document, document.dtd)

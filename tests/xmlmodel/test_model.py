@@ -1,0 +1,212 @@
+"""Unit tests for the in-memory data model's mutation API."""
+
+import pytest
+
+from repro.errors import ModelError
+from repro.xmlmodel.model import Attribute, Document, Element, Reference, Text
+
+
+def build_parent():
+    parent = Element("parent")
+    first = Element("first")
+    second = Element("second")
+    parent.append_child(first)
+    parent.append_child(second)
+    return parent, first, second
+
+
+class TestChildren:
+    def test_append_sets_parent(self):
+        parent, first, _second = build_parent()
+        assert first.parent is parent
+
+    def test_insert_before(self):
+        parent, first, _second = build_parent()
+        new = Element("new")
+        parent.insert_child_relative(first, new, before=True)
+        assert [c.name for c in parent.children] == ["new", "first", "second"]
+
+    def test_insert_after(self):
+        parent, first, _second = build_parent()
+        new = Element("new")
+        parent.insert_child_relative(first, new, before=False)
+        assert [c.name for c in parent.children] == ["first", "new", "second"]
+
+    def test_remove_child_tombstones(self):
+        parent, first, _second = build_parent()
+        parent.remove_child(first)
+        assert first.is_deleted
+        assert first.parent is None
+        assert [c.name for c in parent.children] == ["second"]
+
+    def test_remove_nonchild_fails(self):
+        parent, _f, _s = build_parent()
+        with pytest.raises(ModelError):
+            parent.remove_child(Element("stranger"))
+
+    def test_replace_child_preserves_position(self):
+        parent, first, _second = build_parent()
+        new = Element("new")
+        parent.replace_child(first, new)
+        assert [c.name for c in parent.children] == ["new", "second"]
+        assert first.is_deleted
+
+    def test_cannot_attach_node_twice(self):
+        parent, first, _second = build_parent()
+        other = Element("other")
+        with pytest.raises(ModelError):
+            other.append_child(first)
+
+    def test_child_index(self):
+        parent, first, second = build_parent()
+        assert parent.child_index(first) == 0
+        assert parent.child_index(second) == 1
+
+    def test_text_children_allowed(self):
+        parent = Element("p")
+        parent.append_child(Text("hello"))
+        assert parent.text() == "hello"
+
+    def test_mark_deleted_cascades(self):
+        parent, first, _second = build_parent()
+        grandchild = Element("g")
+        first.append_child(grandchild)
+        parent.mark_deleted()
+        assert grandchild.is_deleted
+
+
+class TestAttributes:
+    def test_add_attribute(self):
+        element = Element("e")
+        element.add_attribute(Attribute("x", "1"))
+        assert element.attributes["x"].value == "1"
+
+    def test_duplicate_attribute_insert_fails(self):
+        element = Element("e")
+        element.add_attribute(Attribute("x", "1"))
+        with pytest.raises(ModelError):
+            element.add_attribute(Attribute("x", "2"))
+
+    def test_remove_attribute(self):
+        element = Element("e")
+        attribute = element.set_attribute("x", "1")
+        element.remove_attribute(attribute)
+        assert "x" not in element.attributes
+        assert attribute.is_deleted
+
+    def test_rename_attribute(self):
+        element = Element("e")
+        attribute = element.set_attribute("x", "1")
+        element.rename_attribute(attribute, "y")
+        assert element.attributes["y"] is attribute
+        assert attribute.name == "y"
+
+    def test_rename_onto_existing_fails(self):
+        element = Element("e")
+        attribute = element.set_attribute("x", "1")
+        element.set_attribute("y", "2")
+        with pytest.raises(ModelError):
+            element.rename_attribute(attribute, "y")
+
+
+class TestReferences:
+    def test_add_reference_creates_list(self):
+        element = Element("e")
+        element.add_reference("managers", "a")
+        element.add_reference("managers", "b")
+        assert element.references["managers"].targets == ["a", "b"]
+
+    def test_remove_single_entry_preserves_rest(self):
+        element = Element("e")
+        first = element.add_reference("m", "a")
+        element.add_reference("m", "b")
+        element.remove_ref_entry(first)
+        assert element.references["m"].targets == ["b"]
+
+    def test_removing_last_entry_drops_list(self):
+        element = Element("e")
+        entry = element.add_reference("m", "a")
+        element.remove_ref_entry(entry)
+        assert "m" not in element.references
+
+    def test_insert_entry_before(self):
+        element = Element("e")
+        anchor = element.add_reference("m", "b")
+        element.references["m"].insert_relative(anchor, "a", before=True)
+        assert element.references["m"].targets == ["a", "b"]
+
+    def test_insert_entry_after(self):
+        element = Element("e")
+        anchor = element.add_reference("m", "a")
+        element.references["m"].insert_relative(anchor, "b", before=False)
+        assert element.references["m"].targets == ["a", "b"]
+
+    def test_rename_reference_list(self):
+        element = Element("e")
+        element.add_reference("m", "a")
+        element.rename_reference(element.references["m"], "bosses")
+        assert element.references["bosses"].targets == ["a"]
+        assert "m" not in element.references
+
+    def test_entry_label(self):
+        element = Element("e")
+        entry = element.add_reference("m", "a")
+        assert entry.label == "m"
+
+
+class TestCopy:
+    def test_deep_copy_fresh_identity(self):
+        element = Element("e")
+        element.set_attribute("x", "1")
+        element.add_reference("m", "a")
+        child = Element("c")
+        child.append_child(Text("t"))
+        element.append_child(child)
+        clone = element.copy()
+        assert clone.node_id != element.node_id
+        assert clone.attributes["x"] is not element.attributes["x"]
+        assert clone.references["m"].targets == ["a"]
+        assert clone.children[0].text() == "t"
+        assert clone.children[0] is not child
+
+    def test_copy_is_detached(self):
+        parent, first, _second = build_parent()
+        clone = first.copy()
+        assert clone.parent is None
+
+
+class TestDocument:
+    def test_root_must_be_element(self):
+        with pytest.raises(ModelError):
+            Document("not an element")
+
+    def test_reindex_after_mutation(self):
+        root = Element("db")
+        child = Element("item")
+        child.set_attribute("ID", "i1")
+        root.append_child(child)
+        document = Document(root)
+        assert document.element_by_id("i1") is child
+        new = Element("item")
+        new.set_attribute("ID", "i2")
+        root.append_child(new)
+        assert document.element_by_id("i2") is new  # triggers reindex
+
+    def test_deleted_element_not_returned(self):
+        root = Element("db")
+        child = Element("item")
+        child.set_attribute("ID", "i1")
+        root.append_child(child)
+        document = Document(root)
+        root.remove_child(child)
+        assert document.element_by_id("i1") is None
+
+    def test_count_elements(self, bio_document):
+        # db + university + 3 labs + location + paper + 2 biologists
+        # + 12 leaf elements (name/city/country/title/lastname)
+        assert bio_document.count_elements() == 20
+
+    def test_document_copy_independent(self, bio_document):
+        clone = bio_document.copy()
+        clone.root.remove_child(clone.root.child_elements("paper")[0])
+        assert bio_document.root.child_elements("paper")

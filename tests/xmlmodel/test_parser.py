@@ -1,0 +1,159 @@
+"""Unit tests for the from-scratch XML parser."""
+
+import pytest
+
+from repro.errors import XmlParseError
+from repro.xmlmodel import parse
+from repro.xmlmodel.model import Element, Text
+from repro.xmlmodel.policy import BIO_POLICY, RefPolicy
+
+
+class TestBasicParsing:
+    def test_single_empty_element(self):
+        document = parse("<a/>")
+        assert document.root.name == "a"
+        assert document.root.children == []
+
+    def test_element_with_text(self):
+        document = parse("<a>hello</a>")
+        assert document.root.text() == "hello"
+
+    def test_nested_elements_in_order(self):
+        document = parse("<a><b/><c/><b/></a>")
+        names = [child.name for child in document.root.children]
+        assert names == ["b", "c", "b"]
+
+    def test_attributes_parsed(self):
+        document = parse('<a x="1" y="two"/>')
+        assert document.root.attributes["x"].value == "1"
+        assert document.root.attributes["y"].value == "two"
+
+    def test_single_quoted_attribute(self):
+        document = parse("<a x='1'/>")
+        assert document.root.attributes["x"].value == "1"
+
+    def test_mixed_content_preserved(self):
+        document = parse("<a>one<b/>two</a>")
+        kinds = [type(child).__name__ for child in document.root.children]
+        assert kinds == ["Text", "Element", "Text"]
+
+    def test_whitespace_only_text_dropped_by_default(self):
+        document = parse("<a>\n  <b/>\n</a>")
+        assert all(isinstance(child, Element) for child in document.root.children)
+
+    def test_whitespace_preserved_on_request(self):
+        document = parse("<a>\n  <b/>\n</a>", preserve_space=True)
+        assert any(isinstance(child, Text) for child in document.root.children)
+
+    def test_xml_declaration_and_comments_skipped(self):
+        document = parse('<?xml version="1.0"?><!-- hi --><a/><!-- bye -->')
+        assert document.root.name == "a"
+
+    def test_comment_inside_element(self):
+        document = parse("<a><!-- note --><b/></a>")
+        assert [child.name for child in document.root.child_elements()] == ["b"]
+
+    def test_processing_instruction_skipped(self):
+        document = parse("<a><?target data?><b/></a>")
+        assert len(document.root.children) == 1
+
+    def test_cdata_section(self):
+        document = parse("<a><![CDATA[x < y & z]]></a>")
+        assert document.root.text() == "x < y & z"
+
+
+class TestEntities:
+    @pytest.mark.parametrize(
+        "entity,expected",
+        [("&amp;", "&"), ("&lt;", "<"), ("&gt;", ">"), ("&quot;", '"'), ("&apos;", "'")],
+    )
+    def test_predefined_entities(self, entity, expected):
+        document = parse(f"<a>{entity}</a>")
+        assert document.root.text() == expected
+
+    def test_decimal_character_reference(self):
+        assert parse("<a>&#65;</a>").root.text() == "A"
+
+    def test_hex_character_reference(self):
+        assert parse("<a>&#x41;</a>").root.text() == "A"
+
+    def test_entity_in_attribute_value(self):
+        document = parse('<a t="x&amp;y"/>')
+        assert document.root.attributes["t"].value == "x&y"
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XmlParseError):
+            parse("<a>&nope;</a>")
+
+
+class TestErrors:
+    def test_mismatched_closing_tag(self):
+        with pytest.raises(XmlParseError, match="mismatched"):
+            parse("<a></b>")
+
+    def test_unterminated_element(self):
+        with pytest.raises(XmlParseError):
+            parse("<a><b></b>")
+
+    def test_duplicate_attribute(self):
+        with pytest.raises(XmlParseError, match="duplicate"):
+            parse('<a x="1" x="2"/>')
+
+    def test_content_after_root(self):
+        with pytest.raises(XmlParseError, match="after the root"):
+            parse("<a/><b/>")
+
+    def test_angle_bracket_in_attribute(self):
+        with pytest.raises(XmlParseError):
+            parse('<a x="<"/>')
+
+    def test_error_carries_location(self):
+        with pytest.raises(XmlParseError) as excinfo:
+            parse("<a>\n<b></c></a>")
+        assert excinfo.value.line == 2
+
+
+class TestReferencePolicy:
+    def test_default_policy_makes_plain_attributes(self):
+        document = parse('<a ref="x y"/>')
+        assert document.root.attributes["ref"].value == "x y"
+        assert document.root.references == {}
+
+    def test_idrefs_policy_splits_targets(self):
+        policy = RefPolicy.explicit(references=("managers",))
+        document = parse('<lab managers="smith1 jones1"/>', policy=policy)
+        assert document.root.references["managers"].targets == ["smith1", "jones1"]
+
+    def test_idref_singleton(self):
+        policy = RefPolicy.explicit(singleton_references=("source",))
+        document = parse('<paper source="lab2"/>', policy=policy)
+        assert document.root.references["source"].targets == ["lab2"]
+
+    def test_id_attribute_indexed(self):
+        document = parse('<db><x ID="a1"/><x ID="a2"/></db>')
+        assert document.element_by_id("a1").attributes["ID"].value == "a1"
+        assert document.element_by_id("missing") is None
+
+
+class TestBioDocument:
+    def test_structure_matches_figure_1(self, bio_document):
+        root = bio_document.root
+        assert root.name == "db"
+        tags = [child.name for child in root.child_elements()]
+        assert tags == ["university", "lab", "lab", "paper", "biologist", "biologist"]
+
+    def test_root_reference(self, bio_document):
+        assert bio_document.root.references["lab"].targets == ["lalab"]
+
+    def test_managers_idrefs_ordered(self, bio_document):
+        lalab = bio_document.element_by_id("lalab")
+        assert lalab.references["managers"].targets == ["smith1", "jones1"]
+
+    def test_paper_references(self, bio_document):
+        paper = bio_document.element_by_id("Smith991231")
+        assert paper.references["source"].targets == ["lab2"]
+        assert paper.references["biologist"].targets == ["smith1"]
+        assert paper.attributes["category"].value == "spectral"
+
+    def test_id_lookup(self, bio_document):
+        assert bio_document.element_by_id("jones1").attributes["age"].value == "32"

@@ -1,0 +1,81 @@
+"""Unit tests for RefPolicy classification and precedence."""
+
+import pytest
+
+from repro.xmlmodel import parse_dtd
+from repro.xmlmodel.policy import (
+    ATTR_CDATA,
+    ATTR_ID,
+    ATTR_IDREF,
+    ATTR_IDREFS,
+    BIO_POLICY,
+    RefPolicy,
+)
+
+
+class TestDefaultPolicy:
+    def test_id_attribute_recognised(self):
+        policy = RefPolicy.default()
+        assert policy.classify("any", "ID") == ATTR_ID
+
+    def test_other_attributes_cdata(self):
+        policy = RefPolicy.default()
+        assert policy.classify("any", "name") == ATTR_CDATA
+
+    def test_custom_id_attribute(self):
+        policy = RefPolicy.default(id_attribute="key")
+        assert policy.classify("x", "key") == ATTR_ID
+        assert policy.classify("x", "ID") == ATTR_CDATA
+
+
+class TestExplicitPolicy:
+    def test_references_are_idrefs(self):
+        policy = RefPolicy.explicit(references=("managers",))
+        assert policy.classify("lab", "managers") == ATTR_IDREFS
+
+    def test_singletons_are_idref(self):
+        policy = RefPolicy.explicit(singleton_references=("source",))
+        assert policy.classify("paper", "source") == ATTR_IDREF
+
+    def test_is_reference_helper(self):
+        assert BIO_POLICY.is_reference("lab", "managers")
+        assert BIO_POLICY.is_reference("paper", "source")
+        assert not BIO_POLICY.is_reference("paper", "category")
+
+
+class TestPrecedence:
+    def test_exact_element_beats_wildcard(self):
+        policy = RefPolicy()
+        policy.add_rule("*", "ref", ATTR_IDREFS)
+        policy.add_rule("special", "ref", ATTR_CDATA)
+        assert policy.classify("other", "ref") == ATTR_IDREFS
+        assert policy.classify("special", "ref") == ATTR_CDATA
+
+    def test_rules_beat_id_heuristic(self):
+        policy = RefPolicy()
+        policy.add_rule("*", "ID", ATTR_CDATA)
+        assert policy.classify("x", "ID") == ATTR_CDATA
+
+    def test_unknown_kind_rejected(self):
+        policy = RefPolicy()
+        with pytest.raises(ValueError, match="unknown attribute kind"):
+            policy.add_rule("a", "b", "bogus")
+
+
+class TestFromDtd:
+    def test_types_carried_over(self):
+        dtd = parse_dtd(
+            "<!ELEMENT a EMPTY>"
+            "<!ATTLIST a ID ID #REQUIRED one IDREF #IMPLIED "
+            "many IDREFS #IMPLIED plain CDATA #IMPLIED>"
+        )
+        policy = RefPolicy.from_dtd(dtd)
+        assert policy.classify("a", "ID") == ATTR_ID
+        assert policy.classify("a", "one") == ATTR_IDREF
+        assert policy.classify("a", "many") == ATTR_IDREFS
+        assert policy.classify("a", "plain") == ATTR_CDATA
+
+    def test_id_attribute_name_inferred(self):
+        dtd = parse_dtd("<!ELEMENT a EMPTY><!ATTLIST a key ID #REQUIRED>")
+        policy = RefPolicy.from_dtd(dtd)
+        assert policy.id_attribute == "key"

@@ -1,0 +1,70 @@
+"""Serializer tests including parse/serialize round trips."""
+
+from repro.xmlmodel import parse, serialize
+from repro.xmlmodel.model import Element, Text
+from repro.xmlmodel.policy import BIO_POLICY
+
+from tests.conftest import BIO_XML
+
+
+class TestSerializer:
+    def test_empty_element(self):
+        assert serialize(Element("a")) == "<a/>"
+
+    def test_text_content_inline(self):
+        element = Element("a")
+        element.append_child(Text("hi"))
+        assert serialize(element) == "<a>hi</a>"
+
+    def test_attributes_rendered(self):
+        element = Element("a")
+        element.set_attribute("x", "1")
+        assert serialize(element) == '<a x="1"/>'
+
+    def test_references_rendered_space_separated(self):
+        element = Element("lab")
+        element.add_reference("managers", "smith1")
+        element.add_reference("managers", "jones1")
+        assert serialize(element) == '<lab managers="smith1 jones1"/>'
+
+    def test_special_characters_escaped_in_text(self):
+        element = Element("a")
+        element.append_child(Text("x < y & z"))
+        assert serialize(element) == "<a>x &lt; y &amp; z</a>"
+
+    def test_quote_escaped_in_attribute(self):
+        element = Element("a")
+        element.set_attribute("t", 'say "hi"')
+        assert serialize(element) == '<a t="say &quot;hi&quot;"/>'
+
+    def test_pretty_printing_indents(self):
+        document = parse("<a><b><c/></b></a>")
+        assert serialize(document, indent=2) == "<a>\n  <b>\n    <c/>\n  </b>\n</a>"
+
+    def test_compact_form_single_line(self):
+        document = parse("<a><b/><c>t</c></a>")
+        assert serialize(document, indent=0) == "<a><b/><c>t</c></a>"
+
+    def test_mixed_content_kept_inline(self):
+        document = parse("<p>one<em>two</em>three</p>")
+        assert serialize(document) == "<p>one<em>two</em>three</p>"
+
+
+class TestRoundTrip:
+    def test_bio_document_round_trip(self):
+        document = parse(BIO_XML, policy=BIO_POLICY)
+        text = serialize(document)
+        again = parse(text, policy=BIO_POLICY)
+        assert serialize(again, indent=0) == serialize(document, indent=0)
+
+    def test_round_trip_preserves_reference_order(self):
+        document = parse(BIO_XML, policy=BIO_POLICY)
+        text = serialize(document)
+        again = parse(text, policy=BIO_POLICY)
+        lalab = again.element_by_id("lalab")
+        assert lalab.references["managers"].targets == ["smith1", "jones1"]
+
+    def test_round_trip_entities(self):
+        document = parse("<a>&lt;tag&gt; &amp; more</a>")
+        again = parse(serialize(document))
+        assert again.root.text() == "<tag> & more"

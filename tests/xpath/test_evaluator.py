@@ -1,0 +1,180 @@
+"""Unit tests for XPath evaluation over the in-memory model."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlmodel.model import Attribute, RefEntry, Reference, Text
+from repro.xpath import XPathContext, evaluate_path, evaluate_predicate, parse_expr, parse_path, string_value
+
+
+@pytest.fixture
+def bio_context(bio_document):
+    return XPathContext(documents={"bio.xml": bio_document})
+
+
+@pytest.fixture
+def cust_context(customer_document):
+    return XPathContext(documents={"custdb.xml": customer_document})
+
+
+def run(path_text, context):
+    return evaluate_path(parse_path(path_text), context)
+
+
+class TestPathEvaluation:
+    def test_document_root(self, bio_context):
+        nodes = run('document("bio.xml")', bio_context)
+        assert len(nodes) == 1
+        assert nodes[0].name == "db"
+
+    def test_child_steps(self, bio_context):
+        labs = run('document("bio.xml")/db/lab', bio_context)
+        assert [lab.attributes["ID"].value for lab in labs] == ["baselab", "lab2"]
+
+    def test_descendant_step_finds_nested(self, bio_context):
+        labs = run('document("bio.xml")//lab', bio_context)
+        assert len(labs) == 3  # lalab (under university) + baselab + lab2
+
+    def test_descendant_from_inner_element(self, cust_context):
+        lines = run('document("custdb.xml")//OrderLine', cust_context)
+        assert len(lines) == 4
+
+    def test_wildcard_children(self, bio_context):
+        children = run('document("bio.xml")/db/*', bio_context)
+        assert len(children) == 6
+
+    def test_attribute_step_binds_attribute_object(self, bio_context):
+        nodes = run('document("bio.xml")/db/paper/@category', bio_context)
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], Attribute)
+        assert nodes[0].value == "spectral"
+
+    def test_attribute_step_on_reference_binds_list(self, bio_context):
+        nodes = run('document("bio.xml")/db/lab/@managers', bio_context)
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], Reference)
+
+    def test_ref_step_binds_entry(self, bio_context):
+        nodes = run('document("bio.xml")/db/paper/ref(biologist,"smith1")', bio_context)
+        assert len(nodes) == 1
+        assert isinstance(nodes[0], RefEntry)
+        assert nodes[0].target == "smith1"
+
+    def test_ref_step_wildcard_target(self, bio_document, bio_context):
+        lalab = bio_document.element_by_id("lalab")
+        context = bio_context.child(variables={"lab": lalab})
+        nodes = run("$lab/ref(managers, *)", context)
+        assert [entry.target for entry in nodes] == ["smith1", "jones1"]
+
+    def test_ref_step_wildcard_label(self, bio_context):
+        nodes = run('document("bio.xml")/db/paper/ref(*, *)', bio_context)
+        assert sorted(entry.target for entry in nodes) == ["lab2", "smith1"]
+
+    def test_deref_follows_reference(self, bio_context):
+        nodes = run('document("bio.xml")/db/paper/ref(source,*)->/name', bio_context)
+        assert [string_value(node) for node in nodes] == ["PMBL"]
+
+    def test_deref_whole_reference_list(self, bio_context):
+        nodes = run('document("bio.xml")//lab[@ID="lalab"]/@managers->', bio_context)
+        assert [node.name for node in nodes] == ["biologist", "biologist"]
+
+    def test_text_step(self, cust_context):
+        nodes = run('document("custdb.xml")/CustDB/Customer/Name/text()', cust_context)
+        assert isinstance(nodes[0], Text)
+        assert [node.value for node in nodes] == ["John", "Mary"]
+
+    def test_variable_start(self, bio_document, bio_context):
+        paper = bio_document.element_by_id("Smith991231")
+        context = bio_context.child(variables={"p": paper})
+        nodes = run("$p/title", context)
+        assert len(nodes) == 1
+
+    def test_unbound_variable_raises(self, bio_context):
+        with pytest.raises(XPathError, match="unbound"):
+            run("$nope/title", bio_context)
+
+    def test_unknown_document_raises(self, bio_context):
+        with pytest.raises(XPathError, match="unknown document"):
+            run('document("zzz.xml")/a', bio_context)
+
+    def test_relative_path_requires_context(self, bio_context):
+        with pytest.raises(XPathError, match="context"):
+            run("lab/name", bio_context)
+
+    def test_relative_path_with_context(self, bio_document, bio_context):
+        university = bio_document.root.child_elements("university")[0]
+        context = bio_context.child(context_node=university)
+        nodes = run("lab/name", context)
+        assert [string_value(node) for node in nodes] == ["UCLA Bio Lab"]
+
+    def test_results_deduplicated_in_document_order(self, cust_context):
+        nodes = run('document("custdb.xml")//Customer/Order', cust_context)
+        assert len(nodes) == 3
+
+
+class TestPredicates:
+    def test_attribute_predicate(self, bio_context):
+        nodes = run('document("bio.xml")/db/lab[@ID="baselab"]', bio_context)
+        assert len(nodes) == 1
+
+    def test_child_value_predicate(self, cust_context):
+        nodes = run('document("custdb.xml")/CustDB/Customer[Name="John"]', cust_context)
+        assert len(nodes) == 1
+
+    def test_nested_path_predicate(self, cust_context):
+        nodes = run(
+            'document("custdb.xml")//Order[Status="ready" and OrderLine/ItemName="tire"]',
+            cust_context,
+        )
+        assert len(nodes) == 1
+
+    def test_or_predicate(self, cust_context):
+        nodes = run(
+            'document("custdb.xml")/CustDB/Customer[Name="John" or Name="Mary"]', cust_context
+        )
+        assert len(nodes) == 2
+
+    def test_numeric_predicate(self, cust_context):
+        nodes = run('document("custdb.xml")//OrderLine[Qty > 1]', cust_context)
+        assert len(nodes) == 3
+
+    def test_existence_predicate(self, bio_context):
+        nodes = run('document("bio.xml")//lab[location]', bio_context)
+        assert [node.attributes["ID"].value for node in nodes] == ["baselab"]
+
+    def test_false_predicate_filters_all(self, cust_context):
+        nodes = run('document("custdb.xml")/CustDB/Customer[Name="Nobody"]', cust_context)
+        assert nodes == []
+
+
+class TestExpressions:
+    def test_index_call(self, bio_document, bio_context):
+        university = bio_document.root.child_elements("university")[0]
+        lab_name = university.child_elements("lab")[0].child_elements("name")[0]
+        context = bio_context.child(variables={"lab": lab_name})
+        assert evaluate_predicate(parse_expr("$lab.index() = 0"), context)
+
+    def test_index_call_nonzero(self, bio_document, bio_context):
+        baselab = bio_document.element_by_id("baselab")
+        context = bio_context.child(variables={"l": baselab})
+        # baselab is the second child of db
+        assert evaluate_predicate(parse_expr("$l.index() = 1"), context)
+
+    def test_comparison_between_paths(self, cust_context, customer_document):
+        john = customer_document.root.child_elements("Customer")[0]
+        context = cust_context.child(context_node=john)
+        assert evaluate_predicate(parse_expr('Address/State = "WA"'), context)
+
+    def test_string_value_of_element_recursive(self, bio_document):
+        location = bio_document.element_by_id("baselab").child_elements("location")[0]
+        assert string_value(location) == "SeattleUSA"
+
+    def test_string_value_of_reference(self, bio_document):
+        lalab = bio_document.element_by_id("lalab")
+        assert string_value(lalab.references["managers"]) == "smith1 jones1"
+
+    def test_numeric_inequality(self, cust_context, customer_document):
+        line = customer_document.root.child_elements("Customer")[0]
+        context = cust_context.child(context_node=line)
+        assert evaluate_predicate(parse_expr("Order/OrderLine/Qty >= 4"), context)
+        assert not evaluate_predicate(parse_expr("Order/OrderLine/Qty > 10"), context)

@@ -1,0 +1,158 @@
+"""Unit tests for the XPath lexer and parser."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xpath import (
+    AttributeStep,
+    ChildStep,
+    Comparison,
+    ContextStart,
+    DerefStep,
+    DocumentStart,
+    IndexCall,
+    Literal,
+    Number,
+    PathValue,
+    RefStep,
+    TextStep,
+    VariableStart,
+    parse_expr,
+    parse_path,
+    tokenize,
+)
+
+
+class TestLexer:
+    def test_basic_tokens(self):
+        tokens = tokenize('$p/title[@x="1"]')
+        types = [token.type for token in tokens]
+        assert types == ["VARIABLE", "/", "NAME", "[", "@", "NAME", "=", "STRING", "]", "EOF"]
+
+    def test_arrow_and_double_slash(self):
+        tokens = tokenize("a->b//c")
+        assert [t.type for t in tokens][:5] == ["NAME", "->", "NAME", "//", "NAME"]
+
+    def test_number_followed_by_dot_call(self):
+        tokens = tokenize("0 1.5")
+        assert [t.value for t in tokens[:2]] == ["0", "1.5"]
+
+    def test_unterminated_string(self):
+        with pytest.raises(XPathError, match="unterminated"):
+            tokenize('"oops')
+
+    def test_illegal_character(self):
+        with pytest.raises(XPathError, match="illegal"):
+            tokenize("a ~ b")
+
+
+class TestPathParsing:
+    def test_document_start(self):
+        path = parse_path('document("bio.xml")/db/lab')
+        assert path.start == DocumentStart("bio.xml")
+        assert [step.name for step in path.steps] == ["db", "lab"]
+
+    def test_variable_start(self):
+        path = parse_path("$p/title")
+        assert path.start == VariableStart("p")
+        assert path.steps == (ChildStep("title"),)
+
+    def test_relative_path(self):
+        path = parse_path("Order/OrderLine")
+        assert isinstance(path.start, ContextStart)
+        assert [step.name for step in path.steps] == ["Order", "OrderLine"]
+
+    def test_descendant_step(self):
+        path = parse_path('document("c.xml")//Order')
+        assert path.steps == (ChildStep("Order", descendant=True),)
+
+    def test_attribute_step(self):
+        path = parse_path("$p/@category")
+        assert path.steps == (AttributeStep("category"),)
+
+    def test_ref_step_with_string_target(self):
+        path = parse_path('$p/ref(biologist,"smith1")')
+        assert path.steps == (RefStep("biologist", "smith1"),)
+
+    def test_ref_step_with_wildcard(self):
+        path = parse_path("$lab/ref(managers, *)")
+        assert path.steps == (RefStep("managers", "*"),)
+
+    def test_standalone_ref_is_relative(self):
+        path = parse_path('ref(managers,"smith1")')
+        assert isinstance(path.start, ContextStart)
+        assert path.steps == (RefStep("managers", "smith1"),)
+
+    def test_deref_step(self):
+        path = parse_path("$p/@source->name")
+        assert path.steps == (AttributeStep("source"), DerefStep(), ChildStep("name"))
+
+    def test_text_step(self):
+        path = parse_path("$p/text()")
+        assert path.steps == (ChildStep("p", descendant=False),) or path.steps == (TextStep(),)
+        assert path.steps == (TextStep(),)
+
+    def test_dotted_path_notation(self):
+        # Example 7 in the paper uses dots as step separators.
+        path = parse_path('document("custdb.xml")/CustDb.Customer')
+        assert [step.name for step in path.steps] == ["CustDb", "Customer"]
+
+    def test_wildcard_name_test(self):
+        path = parse_path("$u/*")
+        assert path.steps == (ChildStep("*"),)
+
+    def test_predicate_attached_to_step(self):
+        path = parse_path('db/lab[@ID="baselab"]')
+        lab_step = path.steps[1]
+        assert len(lab_step.predicates) == 1
+
+    def test_multiple_predicates(self):
+        path = parse_path('Order[Status="ready"][Date="2000"]')
+        assert len(path.steps[0].predicates) == 2
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XPathError, match="unexpected"):
+            parse_path("$a/b )")
+
+
+class TestExprParsing:
+    def test_string_comparison(self):
+        expr = parse_expr('Name="John"')
+        assert isinstance(expr, Comparison)
+        assert expr.op == "="
+        assert isinstance(expr.left, PathValue)
+        assert expr.right == Literal("John")
+
+    def test_numeric_comparison(self):
+        expr = parse_expr("Qty > 3")
+        assert expr.op == ">"
+        assert expr.right == Number(3.0)
+
+    def test_and_combination(self):
+        expr = parse_expr('status="ready" and OrderLine/ItemName="tire"')
+        assert expr.op == "and"
+
+    def test_or_combination(self):
+        expr = parse_expr('a="1" or b="2"')
+        assert expr.op == "or"
+
+    def test_index_call(self):
+        expr = parse_expr("$lab.index() = 0")
+        assert isinstance(expr.left, IndexCall)
+        assert expr.left.path.start == VariableStart("lab")
+
+    def test_parenthesised_expression(self):
+        expr = parse_expr('(a="1" or b="2") and c="3"')
+        assert expr.op == "and"
+        assert expr.left.op == "or"
+
+    def test_bare_path_is_existence_test(self):
+        from repro.xpath import Exists
+
+        expr = parse_expr("Order/OrderLine")
+        assert isinstance(expr, Exists)
+
+    def test_nested_path_comparison(self):
+        expr = parse_expr("Order.OrderLine.Item.Part.Number=123")
+        assert isinstance(expr, Comparison)
+        assert len(expr.left.path.steps) == 5

@@ -1,0 +1,234 @@
+"""End-to-end tests: the paper's Examples 1-5 and 8 run through the engine."""
+
+import pytest
+
+from repro.xmlmodel.policy import BIO_POLICY
+from repro.xquery import QueryResult, UpdateResult, XQueryEngine
+
+
+@pytest.fixture
+def bio_engine(bio_document):
+    return XQueryEngine({"bio.xml": bio_document}, policy=BIO_POLICY)
+
+
+@pytest.fixture
+def cust_engine(customer_document):
+    return XQueryEngine({"custdb.xml": customer_document})
+
+
+class TestExample1Deletion:
+    STATEMENT = """
+        FOR $p IN document("bio.xml")/db/paper,
+            $cat IN $p/@category,
+            $bio IN $p/ref(biologist,"smith1"),
+            $ti IN $p/title
+        UPDATE $p {
+            DELETE $cat,
+            DELETE $bio,
+            DELETE $ti
+        }
+    """
+
+    def test_deletes_attribute_ref_and_subelement(self, bio_document, bio_engine):
+        result = bio_engine.execute(self.STATEMENT)
+        assert isinstance(result, UpdateResult)
+        assert result.bindings == 1
+        assert result.operations == 3
+        paper = bio_document.element_by_id("Smith991231")
+        assert "category" not in paper.attributes
+        assert "biologist" not in paper.references
+        assert paper.child_elements("title") == []
+        assert paper.references["source"].targets == ["lab2"]
+
+
+class TestExample2Insertion:
+    STATEMENT = """
+        FOR $bio in document("bio.xml")/db/biologist[@ID="smith1"]
+        UPDATE $bio {
+            INSERT new_attribute(age,"29"),
+            INSERT new_ref(worksAt,"ucla"),
+            INSERT new_ref(worksAt,"baselab"),
+            INSERT <firstname>Jeff</firstname>
+        }
+    """
+
+    def test_inserts(self, bio_document, bio_engine):
+        bio_engine.execute(self.STATEMENT)
+        smith = bio_document.element_by_id("smith1")
+        assert smith.attributes["age"].value == "29"
+        assert smith.references["worksAt"].targets == ["ucla", "baselab"]
+        assert smith.child_elements("firstname")[0].text() == "Jeff"
+
+
+class TestExample3PositionalInsertion:
+    STATEMENT = """
+        FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+            $n IN $lab/name,
+            $sref IN $lab/ref(managers,"smith1")
+        UPDATE $lab {
+            INSERT "jones1" BEFORE $sref,
+            INSERT <street>Oak</street> AFTER $n
+        }
+    """
+
+    def test_positional_inserts(self, bio_document, bio_engine):
+        bio_engine.execute(self.STATEMENT)
+        baselab = bio_document.element_by_id("baselab")
+        assert baselab.references["managers"].targets == ["jones1", "smith1"]
+        assert [c.name for c in baselab.child_elements()] == ["name", "street", "location"]
+
+
+class TestExample4Replacement:
+    STATEMENT = """
+        FOR $lab in document("bio.xml")/db/lab[@ID="baselab"],
+            $name IN $lab/name,
+            $mgr IN $lab/ref(managers, *)
+        UPDATE $lab {
+            REPLACE $name WITH <appellation>Fancy Lab</>,
+            REPLACE $mgr WITH new_attribute(managers,"jones1")
+        }
+    """
+
+    def test_replacements(self, bio_document, bio_engine):
+        bio_engine.execute(self.STATEMENT)
+        baselab = bio_document.element_by_id("baselab")
+        names = [c.name for c in baselab.child_elements()]
+        assert "appellation" in names and "name" not in names
+        appellation = baselab.child_elements("appellation")[0]
+        assert appellation.text() == "Fancy Lab"
+        assert baselab.references["managers"].targets == ["jones1"]
+
+
+class TestExample5NestedUpdate:
+    STATEMENT = """
+        FOR $u in document("bio.xml")/db/university[@ID="ucla"],
+            $lab IN $u/lab
+        WHERE $lab.index() = 0
+        UPDATE $u {
+            INSERT new_attribute(labs,"2"),
+            INSERT <lab ID="newlab">
+                       <name>UCLA Secondary Lab</name>
+                   </lab> BEFORE $lab,
+            FOR $l1 IN $u/lab,
+                $labname IN $l1/name,
+                $ci IN $l1/city
+            UPDATE $l1 {
+                REPLACE $labname WITH <name>UCLA Primary Lab</>,
+                DELETE $ci
+            }
+        }
+    """
+
+    def test_multi_level_update_matches_figure_3(self, bio_document, bio_engine):
+        bio_engine.execute(self.STATEMENT)
+        university = bio_document.root.child_elements("university")[0]
+        assert university.attributes["labs"].value == "2"
+        labs = university.child_elements("lab")
+        assert [lab.attributes["ID"].value for lab in labs] == ["newlab", "lalab"]
+        assert labs[0].child_elements("name")[0].text() == "UCLA Secondary Lab"
+        # The nested update renamed the original lab and dropped its city.
+        lalab = labs[1]
+        assert lalab.child_elements("name")[0].text() == "UCLA Primary Lab"
+        assert lalab.child_elements("city") == []
+        # Its IDREFS were untouched.
+        assert lalab.references["managers"].targets == ["smith1", "jones1"]
+
+    def test_nested_bindings_made_before_updates(self, bio_document, bio_engine):
+        # The inserted <lab ID="newlab"> must NOT be seen by the nested
+        # FOR $l1 IN $u/lab (bindings are made over the input document).
+        bio_engine.execute(self.STATEMENT)
+        university = bio_document.root.child_elements("university")[0]
+        newlab = university.child_elements("lab")[0]
+        # If the nested update had seen newlab, its name would have been
+        # replaced with "UCLA Primary Lab".
+        assert newlab.child_elements("name")[0].text() == "UCLA Secondary Lab"
+
+
+class TestExample8OrderSuspension:
+    STATEMENT = """
+        FOR $o IN document("custdb.xml")//Order
+            [Status="ready" and OrderLine/ItemName="tire"]
+        UPDATE $o {
+            INSERT <Status>suspended</Status>,
+            FOR $i IN $o/OrderLine
+            WHERE $i/ItemName="tire"
+            UPDATE $i {
+                INSERT <comment>recalled</comment>
+            }
+        }
+    """
+
+    def test_suspends_and_comments(self, customer_document, cust_engine):
+        cust_engine.execute(self.STATEMENT)
+        john = customer_document.root.child_elements("Customer")[0]
+        order = john.child_elements("Order")[0]
+        statuses = [s.text() for s in order.child_elements("Status")]
+        assert statuses == ["ready", "suspended"]
+        tire_line = order.child_elements("OrderLine")[0]
+        assert tire_line.child_elements("comment")[0].text() == "recalled"
+        rim_line = order.child_elements("OrderLine")[1]
+        assert rim_line.child_elements("comment") == []
+
+    def test_bindings_precede_updates(self, customer_document, cust_engine):
+        # Even though INSERT <Status>suspended</Status> executes before the
+        # nested update, the nested bindings were made over the input, so the
+        # tire order line still gets its comment (the paper's ordering pitfall).
+        cust_engine.execute(self.STATEMENT)
+        john = customer_document.root.child_elements("Customer")[0]
+        comments = [
+            line.child_elements("comment")
+            for line in john.child_elements("Order")[0].child_elements("OrderLine")
+        ]
+        assert len(comments[0]) == 1
+
+
+class TestQueries:
+    def test_example_6_return_customer(self, cust_engine):
+        result = cust_engine.execute(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c'
+        )
+        assert isinstance(result, QueryResult)
+        assert len(result) == 1
+        assert result.nodes[0].child_elements("Name")[0].text() == "John"
+
+    def test_return_path_from_binding(self, cust_engine):
+        result = cust_engine.execute(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer RETURN $c/Name'
+        )
+        assert [node.text() for node in result] == ["John", "Mary"]
+
+    def test_where_filters_bindings(self, cust_engine):
+        result = cust_engine.execute(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer '
+            'WHERE $c/Address/State = "OR" RETURN $c/Name'
+        )
+        assert [node.text() for node in result] == ["Mary"]
+
+    def test_let_binds_sequence(self, cust_engine):
+        result = cust_engine.execute(
+            'LET $lines := document("custdb.xml")//OrderLine RETURN $lines/ItemName'
+        )
+        assert len(result) == 4
+
+
+class TestUpdateAcrossDocuments:
+    def test_example_10_copy_between_documents(self, customer_document):
+        """Paper Example 10: copy Customer elements into another document."""
+        from repro.xmlmodel import parse
+
+        target_doc = parse("<CustDB/>")
+        engine = XQueryEngine(
+            {"custDB.xml": customer_document, "CA-customers.xml": target_doc}
+        )
+        engine.execute(
+            """
+            FOR $source IN document("custDB.xml")/CustDB/Customer[Address/State="WA"],
+                $target IN document("CA-customers.xml")
+            UPDATE $target { INSERT $source }
+            """
+        )
+        copied = target_doc.root.child_elements("Customer")
+        assert len(copied) == 1
+        assert copied[0].child_elements("Name")[0].text() == "John"
+        # Copy semantics: the source document still has its customer.
+        assert len(customer_document.root.child_elements("Customer")) == 2

@@ -1,0 +1,166 @@
+"""Unit tests for the XQuery lexer and parser."""
+
+import pytest
+
+from repro.errors import XQueryError
+from repro.updates.content import RefContent
+from repro.updates.operations import (
+    Delete,
+    Insert,
+    InsertAfter,
+    InsertBefore,
+    Rename,
+    Replace,
+    SubUpdate,
+    VarOperand,
+)
+from repro.xmlmodel.model import Attribute, Element
+from repro.xquery import parse_query, tokenize_xquery
+
+
+class TestLexer:
+    def test_keywords_and_variables(self):
+        tokens = tokenize_xquery("FOR $p IN document")
+        assert [t.type for t in tokens][:4] == ["NAME", "VARIABLE", "NAME", "NAME"]
+
+    def test_xml_literal_after_insert(self):
+        tokens = tokenize_xquery("INSERT <firstname>Jeff</firstname>")
+        assert tokens[1].type == "XML"
+        assert tokens[1].value == "<firstname>Jeff</firstname>"
+
+    def test_xml_literal_abbreviated_close(self):
+        tokens = tokenize_xquery("WITH <appellation>Fancy Lab</>")
+        assert tokens[1].value == "<appellation>Fancy Lab</appellation>"
+
+    def test_nested_xml_literal(self):
+        text = 'INSERT <lab ID="newlab"><name>UCLA Secondary Lab</name></lab> BEFORE $lab'
+        tokens = tokenize_xquery(text)
+        assert tokens[1].type == "XML"
+        assert tokens[1].value.endswith("</lab>")
+        assert tokens[2].value == "BEFORE"
+
+    def test_self_closing_literal(self):
+        tokens = tokenize_xquery("INSERT <flag/>")
+        assert tokens[1].value == "<flag/>"
+
+    def test_comparison_less_than_not_xml(self):
+        tokens = tokenize_xquery("WHERE $x < 5")
+        assert [t.type for t in tokens][:4] == ["NAME", "VARIABLE", "<", "NUMBER"]
+
+    def test_unterminated_literal_rejected(self):
+        with pytest.raises(XQueryError, match="unterminated"):
+            tokenize_xquery("INSERT <a><b></a>" + " ")
+        with pytest.raises(XQueryError):
+            tokenize_xquery("INSERT <a>")
+
+
+class TestStatementParsing:
+    def test_simple_delete_statement(self):
+        query = parse_query(
+            'FOR $p IN document("bio.xml")/paper, $cat IN $p/@category '
+            "UPDATE $p { DELETE $cat }"
+        )
+        assert len(query.clauses) == 2
+        assert query.updates[0].target_variable == "p"
+        assert query.updates[0].operations == (Delete(VarOperand("cat")),)
+
+    def test_lowercase_keywords_accepted(self):
+        query = parse_query(
+            'for $p in document("bio.xml")/paper update $p { delete $p }"'[:-1]
+        )
+        assert query.is_update
+
+    def test_let_clause(self):
+        query = parse_query(
+            'LET $labs := document("bio.xml")//lab RETURN $labs'
+        )
+        assert query.clauses[0].variable == "labs"
+        assert query.returns is not None
+
+    def test_where_with_multiple_predicates(self):
+        query = parse_query(
+            'FOR $l IN document("b.xml")/lab WHERE $l/@ID="x", $l/name="y" '
+            "UPDATE $l { DELETE $l }"
+        )
+        assert len(query.where) == 2
+
+    def test_insert_constructors(self):
+        query = parse_query(
+            'FOR $bio IN document("bio.xml")/db/biologist[@ID="smith1"] '
+            "UPDATE $bio { "
+            'INSERT new_attribute(age,"29"), '
+            'INSERT new_ref(worksAt,"ucla"), '
+            "INSERT <firstname>Jeff</firstname> }"
+        )
+        ops = query.updates[0].operations
+        assert isinstance(ops[0], Insert) and isinstance(ops[0].content, Attribute)
+        assert ops[1].content == RefContent("worksAt", "ucla")
+        assert isinstance(ops[2].content, Element)
+        assert ops[2].content.name == "firstname"
+
+    def test_positional_insert(self):
+        query = parse_query(
+            "FOR $lab IN document(\"bio.xml\")/db/lab, $n IN $lab/name, "
+            '$sref IN ref(managers,"smith1") '
+            'UPDATE $lab { INSERT "jones1" BEFORE $sref, '
+            "INSERT <street>Oak</street> AFTER $n }"
+        )
+        ops = query.updates[0].operations
+        assert isinstance(ops[0], InsertBefore)
+        assert ops[0].content == "jones1"
+        assert isinstance(ops[1], InsertAfter)
+
+    def test_replace_and_rename(self):
+        query = parse_query(
+            'FOR $lab IN document("b.xml")/db/lab, $name IN $lab/name '
+            "UPDATE $lab { REPLACE $name WITH <appellation>Fancy Lab</>, "
+            "RENAME $name TO title }"
+        )
+        ops = query.updates[0].operations
+        assert isinstance(ops[0], Replace)
+        assert ops[0].content.name == "appellation"
+        assert ops[1] == Rename(VarOperand("name"), "title")
+
+    def test_nested_update_parses_to_subupdate(self):
+        query = parse_query(
+            'FOR $u IN document("bio.xml")/db/university '
+            "UPDATE $u { "
+            "FOR $l1 IN $u/lab, $labname IN $l1/name "
+            "UPDATE $l1 { DELETE $labname } }"
+        )
+        sub = query.updates[0].operations[0]
+        assert isinstance(sub, SubUpdate)
+        assert sub.target_variable == "l1"
+        assert [clause.variable for clause in sub.clauses] == ["l1", "labname"]
+        assert sub.operations == (Delete(VarOperand("labname")),)
+
+    def test_nested_update_with_where(self):
+        query = parse_query(
+            'FOR $o IN document("c.xml")//Order '
+            "UPDATE $o { FOR $i IN $o/OrderLine WHERE $i/ItemName=\"tire\" "
+            "UPDATE $i { INSERT <comment>recalled</comment> } }"
+        )
+        sub = query.updates[0].operations[0]
+        assert len(sub.predicates) == 1
+
+    def test_return_statement(self):
+        query = parse_query(
+            'FOR $c IN document("custdb.xml")/CustDB/Customer[Name="John"] RETURN $c'
+        )
+        assert not query.is_update
+        assert query.returns is not None
+
+    def test_statement_without_update_or_return_rejected(self):
+        with pytest.raises(XQueryError, match="neither"):
+            parse_query('FOR $c IN document("c.xml")/a')
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(XQueryError, match="unexpected"):
+            parse_query('FOR $c IN document("c.xml")/a RETURN $c extra')
+
+    def test_multiple_update_clauses(self):
+        query = parse_query(
+            'FOR $a IN document("d.xml")/a, $b IN document("d.xml")/b '
+            "UPDATE $a { DELETE $a } UPDATE $b { DELETE $b }"
+        )
+        assert len(query.updates) == 2
