@@ -1,0 +1,68 @@
+"""Service throughput: group commit must beat per-update commit.
+
+Submits a fixed stream of single-subtree deletes through the durable
+update service at batch sizes 1, 8, and 64 (WAL on disk, fsync per
+group commit) and records the results in ``BENCH_service.json`` at the
+repository root.  The acceptance properties are asserted directly:
+batch 64 issues measurably fewer client SQL statements per update than
+batch 1, and sustains more updates per second.
+"""
+
+import os
+
+import pytest
+
+from repro.bench.experiments import build_fixed_store
+from repro.bench.service_bench import (
+    DEFAULT_BATCH_SIZES,
+    run_service_benchmark,
+    save_service_results,
+)
+from repro.workloads.synthetic import SyntheticParams
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
+
+
+@pytest.fixture(scope="module")
+def points(tmp_path_factory):
+    master = build_fixed_store(SyntheticParams(400, 3, 2))
+    master.set_delete_method("per_statement_trigger")
+    wal_dir = str(tmp_path_factory.mktemp("service-wal"))
+    try:
+        results = run_service_benchmark(master, wal_dir=wal_dir)
+    finally:
+        master.close()
+    save_service_results(BENCH_PATH, results)
+    return {point.batch_size: point for point in results}
+
+
+def test_all_batch_sizes_measured(points):
+    assert set(points) == set(DEFAULT_BATCH_SIZES)
+    assert all(point.seconds > 0 for point in points.values())
+
+
+def test_batching_reduces_client_statements_per_update(points):
+    single, batched = points[1], points[64]
+    assert single.client_statements_per_update >= 1.0
+    assert (
+        batched.client_statements_per_update
+        < single.client_statements_per_update / 4
+    )
+    # The per-statement trigger sweeps once per coalesced statement, so
+    # its overhead collapses along with the client statement count.
+    assert batched.trigger_statements < single.trigger_statements
+
+
+def test_batching_improves_throughput(points):
+    assert points[64].updates_per_second > points[1].updates_per_second
+    # The middle point lands between the extremes in statement cost.
+    assert (
+        points[64].client_statements
+        <= points[8].client_statements
+        <= points[1].client_statements
+    )
+
+
+def test_results_file_written(points):
+    assert os.path.exists(BENCH_PATH)

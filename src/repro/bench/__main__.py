@@ -117,6 +117,18 @@ def run_table2(runs: int, full: bool) -> dict[str, list]:
     return results
 
 
+def run_service() -> list:
+    from repro.bench.service_bench import run_service_benchmark
+
+    master = build_fixed_store(SyntheticParams(400, 3, 2))
+    master.set_delete_method("per_statement_trigger")
+    try:
+        points = run_service_benchmark(master)
+    finally:
+        master.close()
+    return [point.as_measurement() for point in points]
+
+
 EXPERIMENTS = {
     "fig6": ("Figure 6: delete, bulk (f=1, d=8)", "sf"),
     "fig7": ("Figure 7: delete, random (f=1, d=8)", "sf"),
@@ -127,6 +139,7 @@ EXPERIMENTS = {
     "sec72": ("Section 7.2: ASR path expressions", "path len"),
     "sec73": ("Section 7.3: randomized synthetic", "-"),
     "table2": ("Table 2: DBLP", "-"),
+    "service": ("Service: group-commit delete throughput", "batch"),
 }
 
 
@@ -172,6 +185,8 @@ def main(argv=None) -> int:
     if "table2" in selected:
         for title, measurements in run_table2(args.runs, args.full).items():
             emit(title, "-", measurements)
+    if "service" in selected:
+        emit(*EXPERIMENTS["service"], run_service())
     return 0
 
 

@@ -68,15 +68,16 @@ class ExperimentRunner:
         client_statements = 0
         trigger_statements = 0
         for _ in range(self.runs):
-            store = self.master.snapshot()
-            store.db.counts.reset()
-            start = time.perf_counter()
-            operation(store)
-            elapsed = time.perf_counter() - start
-            times.append(elapsed)
-            client_statements = store.db.counts.client
-            trigger_statements = store.db.counts.trigger_emulation
-            store.close()
+            # The context manager closes the snapshot's connection even
+            # when the operation raises (snapshots used to leak here).
+            with self.master.snapshot() as store:
+                store.db.counts.reset()
+                start = time.perf_counter()
+                operation(store)
+                elapsed = time.perf_counter() - start
+                times.append(elapsed)
+                client_statements = store.db.counts.client
+                trigger_statements = store.db.counts.trigger_emulation
         averaged = times[1:] if len(times) > 1 else times
         return Measurement(
             method=method,

@@ -1,0 +1,130 @@
+"""Group-commit throughput experiment for the durable update service.
+
+The service amortizes two per-update costs across a batch: the WAL
+fsync (one per group commit instead of one per update) and the SQL
+statement count (adjacent single-subtree deletes coalesce into one
+``DELETE ... WHERE id IN (...)``, so a per-statement trigger sweeps
+once per batch instead of once per update).  This experiment submits a
+fixed stream of single-subtree deletes through the service at several
+batch sizes and reports updates/second plus the statement counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from dataclasses import asdict, dataclass
+
+from repro.bench.harness import Measurement
+from repro.relational.store import XmlStore
+from repro.service import ServiceConfig, SubtreeDelete, UpdateService
+
+#: Group-commit windows compared by the experiment (and BENCH_service.json).
+DEFAULT_BATCH_SIZES = (1, 8, 64)
+#: Deletes submitted per point; a multiple of every batch size above.
+DEFAULT_UPDATES = 192
+
+
+@dataclass
+class ServicePoint:
+    """Throughput and statement cost of one batch-size configuration."""
+
+    batch_size: int
+    updates: int
+    seconds: float
+    updates_per_second: float
+    client_statements: int
+    trigger_statements: int
+    client_statements_per_update: float
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method="group_commit",
+            x=self.batch_size,
+            seconds=self.seconds,
+            client_statements=self.client_statements,
+            trigger_statements=self.trigger_statements,
+            runs=1,
+        )
+
+
+def _delete_targets(store: XmlStore, count: int) -> list[int]:
+    rows = store.db.query('SELECT id FROM "n1" ORDER BY id')
+    if len(rows) < count:
+        raise ValueError(
+            f"workload has {len(rows)} n1 subtrees; {count} needed "
+            "(increase the scaling factor)"
+        )
+    return [row[0] for row in rows[:count]]
+
+
+def run_point(
+    master: XmlStore,
+    batch_size: int,
+    updates: int = DEFAULT_UPDATES,
+    wal_dir: str | None = None,
+) -> ServicePoint:
+    """Push ``updates`` single-subtree deletes through one service."""
+    with master.snapshot() as store:
+        ids = _delete_targets(store, updates)
+        store.db.counts.reset()
+        wal_path = None
+        if wal_dir is not None:
+            wal_path = os.path.join(wal_dir, f"service-batch{batch_size}.wal")
+        # A short coalesce window keeps batches full (and the statement
+        # counts reproducible) without dominating the measured time.
+        service = UpdateService(
+            ServiceConfig(
+                wal_path=wal_path,
+                batch_size=batch_size,
+                coalesce_wait=0.01 if batch_size > 1 else 0.0,
+            )
+        )
+        service.host_store("bench.xml", store)
+        service.start()
+        start = time.perf_counter()
+        tickets = [
+            service.submit(SubtreeDelete("bench.xml", "n1", (subtree_id,)))
+            for subtree_id in ids
+        ]
+        service.flush(timeout=120)
+        for ticket in tickets:
+            ticket.wait(120)
+        elapsed = time.perf_counter() - start
+        client = store.db.counts.client
+        trigger = store.db.counts.trigger_emulation
+        service.close()
+    return ServicePoint(
+        batch_size=batch_size,
+        updates=updates,
+        seconds=elapsed,
+        updates_per_second=updates / elapsed if elapsed else float("inf"),
+        client_statements=client,
+        trigger_statements=trigger,
+        client_statements_per_update=client / updates,
+    )
+
+
+def run_service_benchmark(
+    master: XmlStore,
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    updates: int = DEFAULT_UPDATES,
+    wal_dir: str | None = None,
+) -> list[ServicePoint]:
+    return [
+        run_point(master, batch_size, updates=updates, wal_dir=wal_dir)
+        for batch_size in batch_sizes
+    ]
+
+
+def save_service_results(path: str, points: list[ServicePoint]) -> None:
+    """Write ``BENCH_service.json``: one entry per batch size."""
+    payload = {
+        "experiment": "group-commit service throughput",
+        "workload": "single-subtree deletes, per_statement_trigger",
+        "points": [asdict(point) for point in points],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")

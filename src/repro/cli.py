@@ -9,9 +9,16 @@ Usage::
                              [--typecheck]
     python -m repro validate --xml doc.xml --dtd doc.dtd
     python -m repro shell    --xml doc.xml [--dtd doc.dtd]
+    python -m repro serve    --xml doc.xml --wal doc.wal [--batch-size N]
+    python -m repro replay   --xml doc.xml --wal doc.wal [--output new.xml]
 
 The document name visible to ``document("...")`` inside statements is
 the XML file's basename (override with ``--name``).
+
+``serve`` runs the durable update service over the document: update
+statements read from stdin (one per line) are executed, converted to
+deltas, group-committed through the write-ahead log, and applied;
+``replay`` recovers a crashed service's WAL against the base document.
 """
 
 from __future__ import annotations
@@ -80,6 +87,27 @@ def build_parser() -> argparse.ArgumentParser:
 
     shell = commands.add_parser("shell", help="interactive statement loop")
     add_common(shell)
+
+    serve = commands.add_parser(
+        "serve", help="durable update service: statements from stdin via a WAL"
+    )
+    add_common(serve)
+    serve.add_argument("--wal", required=True, help="write-ahead log file")
+    serve.add_argument(
+        "--batch-size", type=int, default=64, help="group-commit window (default 64)"
+    )
+    serve.add_argument(
+        "--no-recover",
+        action="store_true",
+        help="skip replaying an existing WAL before serving",
+    )
+
+    rep = commands.add_parser(
+        "replay", help="recover a WAL against the base document"
+    )
+    add_common(rep)
+    rep.add_argument("--wal", required=True, help="write-ahead log file")
+    rep.add_argument("--output", help="write the recovered document here")
 
     return parser
 
@@ -231,6 +259,115 @@ def cmd_shell(args) -> int:
                   f"{result.operations} operation(s)")
 
 
+def cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, UpdateService
+    from repro.updates.delta import diff
+    from repro.xmlmodel.parser import XmlParser
+
+    name, document, _dtd, policy = _load(args)
+    service = UpdateService(
+        ServiceConfig(wal_path=args.wal, batch_size=args.batch_size)
+    )
+    service.host_document(name, document, policy)
+    if not args.no_recover:
+        report = service.recover()
+        if report.applied or report.truncated_bytes or report.uncommitted:
+            print(f"-- recovery: {report.summary()}", file=sys.stderr)
+    service.start()
+    session = service.open_session()
+    statements = 0
+    print(
+        f"-- serving {name} ({document.count_elements()} elements); "
+        f"WAL {args.wal}, batch size {args.batch_size}; "
+        "one statement per line, :quit to exit",
+        file=sys.stderr,
+    )
+    try:
+        for line in sys.stdin:
+            statement = line.strip()
+            if not statement:
+                continue
+            if statement == ":quit":
+                break
+            try:
+                parsed = XQueryEngine({}, policy=policy).parse(statement)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                continue
+            if not parsed.is_update:
+                try:
+                    result = service.query(
+                        name, lambda host: _run_read_query(host, statement, policy)
+                    )
+                except ReproError as error:
+                    print(f"error: {error}", file=sys.stderr)
+                    continue
+                for text in result:
+                    print(text)
+                print(f"-- {len(result)} result(s)", file=sys.stderr)
+                continue
+            # Execute against a scratch copy, diff, and submit the delta:
+            # the WAL records the statement's *effect*, which replays
+            # deterministically regardless of bindings.
+            try:
+                working = XmlParser(serialize(document), policy=policy).parse()
+                XQueryEngine({name: working}, policy=policy).execute(parsed)
+                delta = diff(document, working)
+                sequence = session.submit_wait(name, delta)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                continue
+            statements += 1
+            print(
+                f"-- durable seq {sequence}: {len(delta)} delta op(s)",
+                file=sys.stderr,
+            )
+    finally:
+        session.close()
+        service.close()
+    print(f"-- served {statements} update statement(s); WAL at {args.wal}",
+          file=sys.stderr)
+    return 0
+
+
+def _run_read_query(host, statement: str, policy) -> list[str]:
+    """Run a FLWR statement against a hosted document (under read lock)."""
+    engine = XQueryEngine({host.name: host.document}, policy=policy)
+    result = engine.execute(statement)
+    assert isinstance(result, QueryResult)
+    rendered = []
+    for node in result:
+        from repro.xmlmodel.model import Element
+
+        if isinstance(node, Element):
+            rendered.append(serialize(node))
+        else:
+            from repro.xpath.evaluator import string_value
+
+            rendered.append(string_value(node))
+    return rendered
+
+
+def cmd_replay(args) -> int:
+    from repro.service import WriteAheadLog, replay_into_documents
+
+    if not os.path.exists(args.wal):
+        print(f"error: WAL file {args.wal} does not exist", file=sys.stderr)
+        return 2
+    name, document, _dtd, policy = _load(args)
+    with WriteAheadLog(args.wal) as wal:
+        report = replay_into_documents(wal, {name: document}, policy=policy)
+    print(f"-- {report.summary()}", file=sys.stderr)
+    recovered = serialize(document)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(recovered + "\n")
+        print(f"-- wrote {args.output}", file=sys.stderr)
+    else:
+        print(recovered)
+    return 1 if report.failed else 0
+
+
 def main(argv: Optional[list[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
@@ -239,6 +376,8 @@ def main(argv: Optional[list[str]] = None) -> int:
         "update": cmd_update,
         "validate": cmd_validate,
         "shell": cmd_shell,
+        "serve": cmd_serve,
+        "replay": cmd_replay,
     }
     try:
         return handlers[args.command](args)

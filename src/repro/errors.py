@@ -80,3 +80,22 @@ class StorageError(ReproError):
 class TranslationError(ReproError):
     """Raised when an XQuery query or update cannot be translated to SQL
     for the selected storage mapping."""
+
+
+class ServiceError(ReproError):
+    """Raised for errors in the concurrent update service layer."""
+
+
+class WalError(ServiceError):
+    """Raised for write-ahead-log framing or corruption problems that
+    cannot be resolved by truncating a torn tail."""
+
+
+class ServiceTimeoutError(ServiceError):
+    """Raised when a service submission, lock acquisition, or query does
+    not complete within its timeout."""
+
+
+class ServiceClosedError(ServiceError):
+    """Raised when work is submitted to a service that is shutting down
+    or already closed."""

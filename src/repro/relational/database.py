@@ -15,12 +15,18 @@ comparisons).  The wrapper adds what the experiments need:
   same transaction (exactly the orphan-sweep SQL a DB2 trigger body
   would contain);
 * an in-memory default (the paper's experiments run with all data in
-  memory).
+  memory);
+* **thread safety** — the update service applies batches from a
+  group-commit thread while client threads read, so the wrapper
+  serialises all connection access behind a reentrant lock (and opens
+  the connection with ``check_same_thread=False``; SQLite itself is
+  compiled threadsafe, the lock guarantees one statement at a time).
 """
 
 from __future__ import annotations
 
 import sqlite3
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
@@ -29,14 +35,31 @@ from repro.errors import StorageError
 
 @dataclass
 class StatementCounts:
-    """Counters for issued SQL, split by origin."""
+    """Counters for issued SQL, split by origin.
+
+    Increments go through :meth:`bump_client` / :meth:`bump_trigger` so
+    concurrent submitters never lose a count; the attributes stay plain
+    integers for cheap reads.
+    """
 
     client: int = 0  # statements the application issued
     trigger_emulation: int = 0  # statements run by the per-statement emulation
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def bump_client(self, count: int = 1) -> None:
+        with self._lock:
+            self.client += count
+
+    def bump_trigger(self, count: int = 1) -> None:
+        with self._lock:
+            self.trigger_emulation += count
 
     def reset(self) -> None:
-        self.client = 0
-        self.trigger_emulation = 0
+        with self._lock:
+            self.client = 0
+            self.trigger_emulation = 0
 
     @property
     def total(self) -> int:
@@ -46,50 +69,66 @@ class StatementCounts:
 class Database:
     """A SQLite connection with counting and trigger emulation."""
 
-    def __init__(self, path: str = ":memory:") -> None:
-        self._connection = sqlite3.connect(path)
+    def __init__(self, path: str = ":memory:", check_same_thread: bool = False) -> None:
+        self._connection = sqlite3.connect(path, check_same_thread=check_same_thread)
         self._connection.execute("PRAGMA foreign_keys = OFF")
+        self._lock = threading.RLock()
+        self._closed = False
         self.counts = StatementCounts()
         # table name -> list of (sql, params) run after a client DELETE on it.
         self._statement_triggers: dict[str, list[str]] = {}
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def _checked_connection(self) -> sqlite3.Connection:
+        if self._closed:
+            raise StorageError("database connection is closed")
+        return self._connection
 
     # ------------------------------------------------------------------
     # Core execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Run one client statement (counted), firing emulated triggers."""
-        self.counts.client += 1
-        try:
-            cursor = self._connection.execute(sql, params)
-        except sqlite3.Error as error:
-            raise StorageError(f"SQL failed: {error}\n  statement: {sql}") from error
-        self._fire_statement_triggers(sql)
-        return cursor
+        with self._lock:
+            self.counts.bump_client()
+            try:
+                cursor = self._checked_connection().execute(sql, params)
+            except sqlite3.Error as error:
+                raise StorageError(f"SQL failed: {error}\n  statement: {sql}") from error
+            self._fire_statement_triggers(sql)
+            return cursor
 
     def executemany(self, sql: str, rows: Iterable[Sequence[Any]]) -> sqlite3.Cursor:
         """Run one statement against many parameter rows (counted once per
         row, matching how a JDBC batch still ships per-row work)."""
         rows = list(rows)
-        self.counts.client += len(rows)
-        try:
-            cursor = self._connection.executemany(sql, rows)
-        except sqlite3.Error as error:
-            raise StorageError(f"SQL failed: {error}\n  statement: {sql}") from error
-        return cursor
+        with self._lock:
+            self.counts.bump_client(len(rows))
+            try:
+                cursor = self._checked_connection().executemany(sql, rows)
+            except sqlite3.Error as error:
+                raise StorageError(f"SQL failed: {error}\n  statement: {sql}") from error
+            return cursor
 
     def executescript(self, script: str) -> None:
         """Run DDL; counted as a single client statement."""
-        self.counts.client += 1
-        try:
-            self._connection.executescript(script)
-        except sqlite3.Error as error:
-            raise StorageError(f"SQL script failed: {error}") from error
+        with self._lock:
+            self.counts.bump_client()
+            try:
+                self._checked_connection().executescript(script)
+            except sqlite3.Error as error:
+                raise StorageError(f"SQL script failed: {error}") from error
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
-        return self.execute(sql, params).fetchall()
+        with self._lock:
+            return self.execute(sql, params).fetchall()
 
     def query_one(self, sql: str, params: Sequence[Any] = ()) -> Optional[tuple]:
-        rows = self.execute(sql, params).fetchmany(2)
+        with self._lock:
+            rows = self.execute(sql, params).fetchmany(2)
         if not rows:
             return None
         if len(rows) > 1:
@@ -105,19 +144,34 @@ class Database:
         wrapper state and are copied too; counters start at zero.
         """
         clone = Database()
-        self._connection.commit()
-        self._connection.backup(clone._connection)
-        clone._statement_triggers = dict(self._statement_triggers)
+        with self._lock:
+            connection = self._checked_connection()
+            connection.commit()
+            connection.backup(clone._connection)
+            clone._statement_triggers = dict(self._statement_triggers)
         return clone
 
     def commit(self) -> None:
-        self._connection.commit()
+        with self._lock:
+            self._checked_connection().commit()
 
     def rollback(self) -> None:
-        self._connection.rollback()
+        with self._lock:
+            self._checked_connection().rollback()
 
     def close(self) -> None:
-        self._connection.close()
+        """Close the connection; safe to call more than once."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._connection.close()
+
+    def __enter__(self) -> "Database":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Per-statement trigger emulation
@@ -142,7 +196,7 @@ class Database:
 
     def _run_trigger_chain(self, table: str) -> None:
         for sweep_sql in self._statement_triggers.get(table.lower(), ()):
-            self.counts.trigger_emulation += 1
+            self.counts.bump_trigger()
             try:
                 cursor = self._connection.execute(sweep_sql)
             except sqlite3.Error as error:

@@ -9,6 +9,8 @@ insert assumes: its offset-remapping heuristic reserves
 
 from __future__ import annotations
 
+import threading
+
 from repro.relational.database import Database
 
 META_TABLE = "repro_meta"
@@ -19,11 +21,14 @@ class IdAllocator:
 
     ``reserve(count)`` performs the read-modify-write against the
     database (two statements, as a real implementation would issue);
-    ``next_batch`` is a loading-time convenience on top of it.
+    ``next_batch`` is a loading-time convenience on top of it.  The
+    read-modify-write is guarded by a lock so concurrent service
+    writers never hand out overlapping id ranges.
     """
 
     def __init__(self, db: Database) -> None:
         self._db = db
+        self._lock = threading.Lock()
         self._db.execute(
             f"CREATE TABLE IF NOT EXISTS {META_TABLE} (key TEXT PRIMARY KEY, value INTEGER)"
         )
@@ -40,11 +45,12 @@ class IdAllocator:
         """Reserve ``count`` consecutive ids; returns the first one."""
         if count < 0:
             raise ValueError("cannot reserve a negative id range")
-        first = self.peek()
-        self._db.execute(
-            f"UPDATE {META_TABLE} SET value = value + ? WHERE key = 'next_id'",
-            (count,),
-        )
+        with self._lock:
+            first = self.peek()
+            self._db.execute(
+                f"UPDATE {META_TABLE} SET value = value + ? WHERE key = 'next_id'",
+                (count,),
+            )
         return first
 
     def next_batch(self, count: int) -> range:

@@ -21,7 +21,7 @@ from __future__ import annotations
 from typing import Optional, Union
 
 from repro.errors import TranslationError
-from repro.relational.ordered import GapPolicy, OrderPolicy, OrderedStore, RenumberPolicy
+from repro.relational.ordered import GapPolicy, OrderPolicy, OrderedStore
 from repro.relational.shredder import shred_element
 from repro.relational.store import XmlStore
 from repro.relational.update_translate import TupleBinding, UpdateTranslator

@@ -22,7 +22,7 @@ SELECT alike.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 from repro.errors import TranslationError
 from repro.relational.schema import (

@@ -46,7 +46,7 @@ from repro.relational.update_translate import UpdateTranslator, _strip_variable
 from repro.xmlmodel.dtd import Dtd, parse_dtd
 from repro.xmlmodel.model import Document, Element
 from repro.xmlmodel.policy import RefPolicy
-from repro.xpath.ast import Path, VariableStart
+from repro.xpath.ast import VariableStart
 from repro.xquery.ast import Query
 from repro.xquery.parser import parse_query
 

@@ -1,0 +1,66 @@
+"""The durable concurrent update service (serving layer).
+
+Turns the library into a long-lived server: a write-ahead log of
+serialised update operations, group-commit batching that amortises both
+fsyncs and SQL statement counts, per-document reader-writer locking,
+crash recovery by WAL replay, and a session-based client API.
+
+Quick start::
+
+    from repro.service import ServiceConfig, UpdateService
+
+    service = UpdateService(ServiceConfig(wal_path="updates.wal"))
+    service.host_document("doc.xml", document)
+    service.recover()          # replay any WAL left by a crash
+    service.start()
+    with service.open_session() as session:
+        session.submit_wait("doc.xml", delta_ops)
+        print(session.query("doc.xml"))
+    service.close()
+"""
+
+from repro.service.batcher import BatcherStats, GroupCommitBatcher, Ticket
+from repro.service.locks import LockManager, ReadWriteLock
+from repro.service.ops import (
+    CommitMarker,
+    DeltaUpdate,
+    ServiceOp,
+    SubtreeCopy,
+    SubtreeDelete,
+    decode_op,
+    encode_op,
+)
+from repro.service.recovery import RecoveryReport, replay, replay_into_documents
+from repro.service.server import (
+    DocumentHost,
+    ServiceConfig,
+    StoreHost,
+    UpdateService,
+)
+from repro.service.session import Session
+from repro.service.wal import WalRecord, WriteAheadLog
+
+__all__ = [
+    "BatcherStats",
+    "CommitMarker",
+    "DeltaUpdate",
+    "DocumentHost",
+    "GroupCommitBatcher",
+    "LockManager",
+    "ReadWriteLock",
+    "RecoveryReport",
+    "ServiceConfig",
+    "ServiceOp",
+    "Session",
+    "StoreHost",
+    "SubtreeCopy",
+    "SubtreeDelete",
+    "Ticket",
+    "UpdateService",
+    "WalRecord",
+    "WriteAheadLog",
+    "decode_op",
+    "encode_op",
+    "replay",
+    "replay_into_documents",
+]

@@ -1,0 +1,256 @@
+"""Group-commit batching of update operations.
+
+The paper attributes most of the cost differences between its SQL
+translation strategies to *statement counts*; a serving layer can
+shrink both the statement count and the durability cost per update by
+coalescing concurrent submissions:
+
+* all operations drained in one cycle share a **single WAL fsync**
+  (append every record plus one commit marker, then ``sync()`` once);
+* the server's apply callback merges compatible relational operations
+  (same document, kind, relation, target parent) into **one strategy
+  invocation** — e.g. 64 single-subtree deletes become one ``DELETE …
+  WHERE id IN (…)``, so a per-statement trigger sweeps once instead of
+  64 times, and a table-based insert pays its constant statement
+  overhead once.
+
+Submitters get a :class:`Ticket` that resolves once their operation is
+durable *and* applied (or failed).  The queue is bounded: when it is
+full, ``submit`` blocks up to its timeout, providing backpressure.
+
+The commit discipline is: append every record → apply the batch →
+append a commit marker listing the sequence numbers whose apply
+succeeded → ``fsync`` once.  That single fsync is the durability point:
+tickets resolve only after it returns, and recovery replays exactly the
+operations a durable commit marker covers (an op logged but aborted —
+e.g. its whole per-document transaction rolled back — is skipped on
+replay, as is any torn tail past the last fsync).
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from repro.errors import ServiceClosedError, ServiceTimeoutError
+from repro.service.ops import CommitMarker, ServiceOp, encode_op
+from repro.service.wal import WriteAheadLog
+
+#: apply callback: receives the batch in submission order and returns one
+#: entry per operation — None on success, an exception on failure.
+ApplyBatch = Callable[[Sequence[ServiceOp]], Sequence[Optional[Exception]]]
+
+
+class Ticket:
+    """A submitted operation's handle: wait for durability + apply."""
+
+    def __init__(self, op: ServiceOp) -> None:
+        self.op = op
+        self._done = threading.Event()
+        self._seq: Optional[int] = None
+        self._error: Optional[Exception] = None
+
+    def _resolve(self, seq: Optional[int]) -> None:
+        self._seq = seq
+        self._done.set()
+
+    def _fail(self, error: Exception) -> None:
+        self._error = error
+        self._done.set()
+
+    @property
+    def done(self) -> bool:
+        return self._done.is_set()
+
+    def wait(self, timeout: Optional[float] = None) -> Optional[int]:
+        """Block until resolved; returns the WAL sequence number (None if
+        the service runs without a WAL), or raises the apply error."""
+        if not self._done.wait(timeout):
+            raise ServiceTimeoutError("operation not yet durable")
+        if self._error is not None:
+            raise self._error
+        return self._seq
+
+
+@dataclass
+class BatcherStats:
+    """Counters exposed for benchmarks and tests."""
+
+    submitted: int = 0
+    applied: int = 0
+    failed: int = 0
+    batches: int = 0
+    syncs: int = 0
+    largest_batch: int = 0
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+
+class GroupCommitBatcher:
+    """A bounded queue drained by one committer thread."""
+
+    def __init__(
+        self,
+        apply_batch: ApplyBatch,
+        wal: Optional[WriteAheadLog] = None,
+        max_batch: int = 64,
+        max_queue: int = 1024,
+        coalesce_wait: float = 0.0,
+    ) -> None:
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        self._apply_batch = apply_batch
+        self._wal = wal
+        self._max_batch = max_batch
+        self._max_queue = max_queue
+        self._coalesce_wait = coalesce_wait
+        self._cond = threading.Condition()
+        self._queue: deque[Ticket] = deque()
+        self._submitted = 0
+        self._completed = 0
+        self._stopping = False
+        self._seq_counter = 0  # stand-in sequence numbers when wal is None
+        self.stats = BatcherStats()
+        self._thread = threading.Thread(
+            target=self._run, name="group-commit", daemon=True
+        )
+        self._started = False
+
+    # ------------------------------------------------------------------
+    # Client side
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if not self._started:
+            self._started = True
+            self._thread.start()
+
+    def submit(self, op: ServiceOp, timeout: Optional[float] = None) -> Ticket:
+        """Enqueue one operation; blocks while the queue is full."""
+        ticket = Ticket(op)
+        with self._cond:
+            if self._stopping:
+                raise ServiceClosedError("service is shutting down")
+            while len(self._queue) >= self._max_queue:
+                if not self._cond.wait(timeout):
+                    raise ServiceTimeoutError(
+                        f"submission queue stayed full for {timeout}s"
+                    )
+                if self._stopping:
+                    raise ServiceClosedError("service is shutting down")
+            self._queue.append(ticket)
+            self._submitted += 1
+            with self.stats._lock:
+                self.stats.submitted += 1
+            self._cond.notify_all()
+        return ticket
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Block until everything submitted before this call is resolved."""
+        with self._cond:
+            target = self._submitted
+            while self._completed < target:
+                if not self._cond.wait(timeout):
+                    raise ServiceTimeoutError("flush timed out")
+
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+        """Stop accepting work; by default drain what was already queued."""
+        with self._cond:
+            if self._stopping:
+                return
+            self._stopping = True
+            if not drain:
+                while self._queue:
+                    self._queue.popleft()._fail(
+                        ServiceClosedError("service closed before commit")
+                    )
+                    self._completed += 1
+            self._cond.notify_all()
+        if self._started:
+            self._thread.join(timeout)
+
+    # ------------------------------------------------------------------
+    # Committer thread
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while True:
+            with self._cond:
+                while not self._queue and not self._stopping:
+                    self._cond.wait()
+                if not self._queue and self._stopping:
+                    return
+                # Give concurrent submitters a brief window to join the
+                # batch (group commit proper); under load the queue is
+                # already non-empty and no waiting happens.
+                if (
+                    self._coalesce_wait > 0
+                    and len(self._queue) < self._max_batch
+                    and not self._stopping
+                ):
+                    self._cond.wait(self._coalesce_wait)
+                batch = [
+                    self._queue.popleft()
+                    for _ in range(min(len(self._queue), self._max_batch))
+                ]
+                self._cond.notify_all()  # wake submitters blocked on a full queue
+            self._commit(batch)
+            with self._cond:
+                self._completed += len(batch)
+                self._cond.notify_all()
+
+    def _commit(self, batch: list[Ticket]) -> None:
+        ops = [ticket.op for ticket in batch]
+        # 1. Log every operation (buffered; not yet durable).
+        try:
+            seqs = self._log(ops)
+        except Exception as error:  # WAL failure: nothing was applied
+            for ticket in batch:
+                ticket._fail(error)
+            with self.stats._lock:
+                self.stats.failed += len(batch)
+            return
+        # 2. Apply, collecting one outcome per operation.
+        try:
+            errors = list(self._apply_batch(ops))
+            if len(errors) != len(ops):
+                raise RuntimeError("apply callback returned a misaligned result")
+        except Exception as error:
+            errors = [error] * len(ops)
+        # 3. Commit marker + the batch's one fsync: the durability point.
+        committed = [
+            seq for seq, err in zip(seqs, errors) if err is None and seq is not None
+        ]
+        if self._wal is not None and committed:
+            try:
+                self._wal.append(encode_op(CommitMarker(tuple(committed))))
+                self._wal.sync()
+                with self.stats._lock:
+                    self.stats.syncs += 1
+            except Exception as error:
+                errors = [err if err is not None else error for err in errors]
+        applied = failed = 0
+        for ticket, seq, err in zip(batch, seqs, errors):
+            if err is None:
+                ticket._resolve(seq)
+                applied += 1
+            else:
+                ticket._fail(err)
+                failed += 1
+        with self.stats._lock:
+            self.stats.applied += applied
+            self.stats.failed += failed
+            self.stats.batches += 1
+            self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+
+    def _log(self, ops: Sequence[ServiceOp]) -> list[Optional[int]]:
+        if self._wal is None:
+            seqs = []
+            for _ in ops:
+                self._seq_counter += 1
+                seqs.append(self._seq_counter)
+            return seqs
+        return [self._wal.append(encode_op(op)) for op in ops]

@@ -1,0 +1,141 @@
+"""Per-document reader-writer locking for the update service.
+
+Readers of a document proceed concurrently; the group-commit writer
+serialises against them per document.  The lock is writer-preferring
+(arriving readers queue behind a waiting writer) so a steady stream of
+readers cannot starve the committer.
+
+:class:`LockManager` keys one :class:`ReadWriteLock` per document name
+and offers deadlock-free acquisition of several write locks at once
+(always in sorted key order) for batches that touch multiple documents.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from contextlib import contextmanager
+from typing import Iterable, Iterator, Optional
+
+from repro.errors import ServiceTimeoutError
+
+
+class ReadWriteLock:
+    """A writer-preferring reader-writer lock with timeouts."""
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._active_readers = 0
+        self._writer_active = False
+        self._waiting_writers = 0
+
+    # ------------------------------------------------------------------
+    # Reader side
+    # ------------------------------------------------------------------
+    def acquire_read(self, timeout: Optional[float] = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._writer_active or self._waiting_writers:
+                if not self._wait(deadline):
+                    raise ServiceTimeoutError("timed out waiting for read lock")
+            self._active_readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._active_readers <= 0:
+                raise RuntimeError("release_read without a matching acquire_read")
+            self._active_readers -= 1
+            if self._active_readers == 0:
+                self._cond.notify_all()
+
+    # ------------------------------------------------------------------
+    # Writer side
+    # ------------------------------------------------------------------
+    def acquire_write(self, timeout: Optional[float] = None) -> None:
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            self._waiting_writers += 1
+            try:
+                while self._writer_active or self._active_readers:
+                    if not self._wait(deadline):
+                        raise ServiceTimeoutError("timed out waiting for write lock")
+            finally:
+                self._waiting_writers -= 1
+            self._writer_active = True
+
+    def release_write(self) -> None:
+        with self._cond:
+            if not self._writer_active:
+                raise RuntimeError("release_write without a matching acquire_write")
+            self._writer_active = False
+            self._cond.notify_all()
+
+    def _wait(self, deadline: Optional[float]) -> bool:
+        """Wait on the condition; False once the deadline has passed.
+
+        The caller's while-loop re-checks its predicate after every
+        wake-up, so this only has to bound the wait itself.
+        """
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return True
+
+    @contextmanager
+    def read_locked(self, timeout: Optional[float] = None) -> Iterator[None]:
+        self.acquire_read(timeout)
+        try:
+            yield
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self, timeout: Optional[float] = None) -> Iterator[None]:
+        self.acquire_write(timeout)
+        try:
+            yield
+        finally:
+            self.release_write()
+
+
+class LockManager:
+    """One reader-writer lock per document, created on first use."""
+
+    def __init__(self) -> None:
+        self._mutex = threading.Lock()
+        self._locks: dict[str, ReadWriteLock] = {}
+
+    def lock_for(self, doc: str) -> ReadWriteLock:
+        with self._mutex:
+            lock = self._locks.get(doc)
+            if lock is None:
+                lock = self._locks[doc] = ReadWriteLock()
+            return lock
+
+    def read(self, doc: str, timeout: Optional[float] = None):
+        return self.lock_for(doc).read_locked(timeout)
+
+    def write(self, doc: str, timeout: Optional[float] = None):
+        return self.lock_for(doc).write_locked(timeout)
+
+    @contextmanager
+    def write_many(
+        self, docs: Iterable[str], timeout: Optional[float] = None
+    ) -> Iterator[None]:
+        """Write-lock several documents, always in sorted order so two
+        multi-document batches can never deadlock against each other."""
+        ordered = sorted(set(docs))
+        acquired: list[ReadWriteLock] = []
+        try:
+            for doc in ordered:
+                lock = self.lock_for(doc)
+                lock.acquire_write(timeout)
+                acquired.append(lock)
+            yield
+        finally:
+            for lock in reversed(acquired):
+                lock.release_write()

@@ -1,0 +1,136 @@
+"""The update service's operation vocabulary and its wire format.
+
+A client submits one of three operation kinds, each naming the hosted
+document it targets:
+
+* :class:`DeltaUpdate` — a document-level delta (a sequence of
+  :mod:`repro.updates.delta` operations), the unit FLUX-style
+  replication and the WAL both use;
+* :class:`SubtreeDelete` — delete the subtrees of ``relation`` rooted at
+  the given tuple ids (relational hosts; runs through the store's
+  configured delete strategy);
+* :class:`SubtreeCopy` — copy those subtrees under ``new_parent_id``
+  (relational hosts; runs through the configured insert strategy).
+
+:class:`CommitMarker` records never originate from clients: the
+group-commit batcher appends one after applying a batch, listing the
+sequence numbers that actually took effect, so recovery replays exactly
+the committed prefix of the log (see :mod:`repro.service.recovery`).
+
+Encoding is canonical JSON (compact separators, sorted keys, ASCII) so
+record checksums are reproducible across processes.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Union
+
+from repro.errors import WalError
+from repro.updates.delta import DeltaOp, op_to_record, record_to_op
+
+
+@dataclass(frozen=True)
+class DeltaUpdate:
+    """Apply a document delta to the hosted document ``doc``."""
+
+    doc: str
+    ops: tuple[DeltaOp, ...]
+
+
+@dataclass(frozen=True)
+class SubtreeDelete:
+    """Delete the subtrees of ``relation`` rooted at ``ids`` (store hosts)."""
+
+    doc: str
+    relation: str
+    ids: tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class SubtreeCopy:
+    """Copy the subtrees rooted at ``ids`` under ``new_parent_id`` (store
+    hosts; copy semantics — fresh tuple ids, same connectivity)."""
+
+    doc: str
+    relation: str
+    ids: tuple[int, ...]
+    new_parent_id: int
+
+
+@dataclass(frozen=True)
+class CommitMarker:
+    """Batcher-written record: the sequence numbers this commit covers."""
+
+    seqs: tuple[int, ...]
+
+
+ServiceOp = Union[DeltaUpdate, SubtreeDelete, SubtreeCopy]
+WalPayload = Union[DeltaUpdate, SubtreeDelete, SubtreeCopy, CommitMarker]
+
+
+def _dumps(record: dict) -> bytes:
+    return json.dumps(
+        record, separators=(",", ":"), sort_keys=True, ensure_ascii=True
+    ).encode("ascii")
+
+
+def encode_op(op: WalPayload) -> bytes:
+    """Canonical byte encoding of one WAL payload."""
+    if isinstance(op, DeltaUpdate):
+        record = {
+            "kind": "delta",
+            "doc": op.doc,
+            "delta": [op_to_record(delta_op) for delta_op in op.ops],
+        }
+    elif isinstance(op, SubtreeDelete):
+        record = {
+            "kind": "delete",
+            "doc": op.doc,
+            "relation": op.relation,
+            "ids": list(op.ids),
+        }
+    elif isinstance(op, SubtreeCopy):
+        record = {
+            "kind": "copy",
+            "doc": op.doc,
+            "relation": op.relation,
+            "ids": list(op.ids),
+            "parent": op.new_parent_id,
+        }
+    elif isinstance(op, CommitMarker):
+        record = {"kind": "commit", "seqs": list(op.seqs)}
+    else:
+        raise WalError(f"cannot encode {op!r} as a WAL payload")
+    return _dumps(record)
+
+
+def decode_op(data: bytes) -> WalPayload:
+    """Inverse of :func:`encode_op`."""
+    try:
+        record = json.loads(data.decode("ascii"))
+        kind = record["kind"]
+        if kind == "delta":
+            return DeltaUpdate(
+                doc=record["doc"],
+                ops=tuple(record_to_op(item) for item in record["delta"]),
+            )
+        if kind == "delete":
+            return SubtreeDelete(
+                doc=record["doc"],
+                relation=record["relation"],
+                ids=tuple(int(i) for i in record["ids"]),
+            )
+        if kind == "copy":
+            return SubtreeCopy(
+                doc=record["doc"],
+                relation=record["relation"],
+                ids=tuple(int(i) for i in record["ids"]),
+                new_parent_id=int(record["parent"]),
+            )
+        if kind == "commit":
+            return CommitMarker(seqs=tuple(int(s) for s in record["seqs"]))
+    except (ValueError, KeyError, TypeError) as error:
+        raise WalError(f"malformed WAL payload: {error}") from error
+    raise WalError(f"unknown WAL payload kind {kind!r}")

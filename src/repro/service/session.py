@@ -1,0 +1,133 @@
+"""Client sessions over an :class:`~repro.service.server.UpdateService`.
+
+A session is a thin, connection-like handle: it remembers a default
+timeout, tracks the tickets it issued so ``close()`` can wait for them,
+and offers typed helpers for the three operation kinds::
+
+    with service.open_session() as session:
+        ticket = session.submit("doc.xml", delta_ops)   # async
+        session.delete_subtrees("db.xml", "n1", [4, 9]) # queued
+        session.flush()                                 # barrier
+        text = session.query("doc.xml")                 # under read lock
+
+Sessions are cheap; open one per client thread.  All durability and
+ordering guarantees come from the service — a session adds bookkeeping,
+not semantics.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence, Union
+
+from repro.errors import ServiceClosedError
+from repro.service.batcher import Ticket
+from repro.service.ops import DeltaUpdate, ServiceOp, SubtreeCopy, SubtreeDelete
+from repro.updates.delta import DeltaOp
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.server import UpdateService
+
+
+class Session:
+    """One client's handle on the update service."""
+
+    def __init__(
+        self, service: "UpdateService", default_timeout: Optional[float] = None
+    ) -> None:
+        self._service = service
+        self._default_timeout = default_timeout
+        self._tickets: list[Ticket] = []
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        doc: str,
+        operation: Union[ServiceOp, Sequence[DeltaOp]],
+        timeout: Optional[float] = None,
+    ) -> Ticket:
+        """Queue an operation: either a ready-made service op or a list
+        of delta operations for a document host."""
+        self._check_open()
+        if not isinstance(operation, (DeltaUpdate, SubtreeDelete, SubtreeCopy)):
+            operation = DeltaUpdate(doc, tuple(operation))
+        ticket = self._service.submit(operation, timeout=timeout or self._default_timeout)
+        self._tickets.append(ticket)
+        return ticket
+
+    def submit_wait(
+        self,
+        doc: str,
+        operation: Union[ServiceOp, Sequence[DeltaOp]],
+        timeout: Optional[float] = None,
+    ) -> Optional[int]:
+        return self.submit(doc, operation, timeout=timeout).wait(
+            timeout or self._default_timeout
+        )
+
+    def delete_subtrees(
+        self, doc: str, relation: str, ids: Iterable[int],
+        timeout: Optional[float] = None,
+    ) -> Ticket:
+        return self.submit(doc, SubtreeDelete(doc, relation, tuple(ids)), timeout)
+
+    def copy_subtrees(
+        self, doc: str, relation: str, ids: Iterable[int], new_parent_id: int,
+        timeout: Optional[float] = None,
+    ) -> Ticket:
+        return self.submit(
+            doc, SubtreeCopy(doc, relation, tuple(ids), new_parent_id), timeout
+        )
+
+    # ------------------------------------------------------------------
+    # Reads and barriers
+    # ------------------------------------------------------------------
+    def query(
+        self,
+        doc: str,
+        work: Optional[Union[str, Callable]] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        self._check_open()
+        return self._service.query(doc, work, timeout=timeout or self._default_timeout)
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        self._check_open()
+        self._service.flush(timeout or self._default_timeout)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def pending(self) -> int:
+        """Tickets issued by this session that have not resolved yet."""
+        return sum(1 for ticket in self._tickets if not ticket.done)
+
+    def close(self, timeout: Optional[float] = None) -> None:
+        """Wait for this session's outstanding tickets, then detach.
+
+        Errors of individual tickets are *not* re-raised here (the
+        submitter already holds the ticket); close only waits.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        deadline_timeout = timeout or self._default_timeout
+        for ticket in self._tickets:
+            try:
+                ticket.wait(deadline_timeout)
+            except Exception:
+                pass  # outcome belongs to whoever holds the ticket
+        self._tickets.clear()
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise ServiceClosedError("session is closed")

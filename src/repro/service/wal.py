@@ -1,0 +1,217 @@
+"""Append-only write-ahead log of serialised update operations.
+
+File layout::
+
+    +----------+   8 bytes   magic  b"XRWAL001"
+    | header   |
+    +----------+
+    | record 0 |   16-byte frame + payload
+    | record 1 |
+    | ...      |
+    +----------+
+
+Each record frame is ``<QII``: the record's sequence number (monotonic,
+starting at 1), the payload length, and the CRC32 of the payload.  The
+payload is a canonical-JSON service operation (:mod:`repro.service.ops`).
+
+Durability protocol (group commit): :meth:`append` only buffers; the
+batcher appends a whole batch plus its commit marker and then calls
+:meth:`sync` **once**, paying a single ``fsync`` for the batch.  A
+record is durable — and its submitter's ticket is resolved — only after
+that sync returns.
+
+A crash can leave a *torn tail*: a partially written frame or payload,
+or a payload whose CRC does not match.  :meth:`scan` reads the longest
+valid prefix and reports how many trailing bytes are torn;
+:meth:`truncate_torn_tail` drops them so the log can be appended to
+again.  Corruption *before* the tail (a bad record followed by valid
+ones) is not repairable by truncation and raises :class:`WalError`
+during :meth:`scan` only if strict checking is requested; by default the
+scan treats the first bad frame as the start of the torn tail, which is
+the right call for crash recovery (nothing after an unsynced record can
+be trusted anyway).
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import threading
+import zlib
+from dataclasses import dataclass
+
+from repro.errors import WalError
+
+MAGIC = b"XRWAL001"
+_FRAME = struct.Struct("<QII")  # seq, payload length, payload crc32
+
+
+@dataclass(frozen=True)
+class WalRecord:
+    """One intact log record."""
+
+    seq: int
+    payload: bytes
+
+
+class WriteAheadLog:
+    """An append-only, checksummed, fsync-on-commit log file.
+
+    ``sync_mode`` tunes durability:
+
+    * ``"commit"`` (default) — :meth:`sync` flushes and ``fsync``\\ s;
+    * ``"always"`` — every :meth:`append` syncs immediately (batch size
+      1 semantics, for comparison benchmarks);
+    * ``"never"`` — :meth:`sync` only flushes to the OS (fast tests).
+    """
+
+    def __init__(self, path: str, sync_mode: str = "commit") -> None:
+        if sync_mode not in ("commit", "always", "never"):
+            raise WalError(f"unknown sync mode {sync_mode!r}")
+        self.path = path
+        self.sync_mode = sync_mode
+        self._lock = threading.RLock()
+        self._closed = False
+        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
+        self._file = open(path, "a+b")
+        if fresh:
+            self._file.write(MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        records, torn = self._scan_locked()
+        self._next_seq = (records[-1].seq + 1) if records else 1
+        self._end_offset = os.path.getsize(path) - torn
+        self._torn_bytes = torn
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def append(self, payload: bytes) -> int:
+        """Buffer one record; returns its sequence number.
+
+        The record is *not* durable until :meth:`sync` (unless
+        ``sync_mode == "always"``).
+        """
+        with self._lock:
+            self._check_open()
+            if self._torn_bytes:
+                raise WalError(
+                    "log has a torn tail; call truncate_torn_tail() before appending"
+                )
+            seq = self._next_seq
+            self._next_seq += 1
+            frame = _FRAME.pack(seq, len(payload), zlib.crc32(payload))
+            self._file.seek(self._end_offset)
+            self._file.write(frame + payload)
+            self._end_offset += len(frame) + len(payload)
+            if self.sync_mode == "always":
+                self._sync_locked()
+            return seq
+
+    def sync(self) -> None:
+        """Make everything appended so far durable (the commit point)."""
+        with self._lock:
+            self._check_open()
+            self._sync_locked()
+
+    def _sync_locked(self) -> None:
+        self._file.flush()
+        if self.sync_mode != "never":
+            os.fsync(self._file.fileno())
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def scan(self) -> tuple[list[WalRecord], int]:
+        """All intact records plus the number of torn trailing bytes."""
+        with self._lock:
+            self._check_open()
+            self._file.flush()
+            records, torn = self._scan_locked()
+            self._torn_bytes = torn
+            return records, torn
+
+    def records(self) -> list[WalRecord]:
+        return self.scan()[0]
+
+    def _scan_locked(self) -> tuple[list[WalRecord], int]:
+        self._file.seek(0)
+        data = self._file.read()
+        if data[: len(MAGIC)] != MAGIC:
+            raise WalError(f"{self.path} is not a WAL file (bad magic)")
+        records: list[WalRecord] = []
+        offset = len(MAGIC)
+        while offset < len(data):
+            if offset + _FRAME.size > len(data):
+                break  # torn frame
+            seq, length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            payload = data[start : start + length]
+            if len(payload) < length:
+                break  # torn payload
+            if zlib.crc32(payload) != crc:
+                break  # corrupt (unsynced) write — treat as tail
+            expected = records[-1].seq + 1 if records else None
+            if expected is not None and seq != expected:
+                break  # sequence discontinuity: stale bytes past a crash
+            records.append(WalRecord(seq, payload))
+            offset = start + length
+        return records, len(data) - offset
+
+    def truncate_torn_tail(self) -> int:
+        """Drop any torn trailing bytes; returns how many were dropped."""
+        with self._lock:
+            self._check_open()
+            records, torn = self.scan()
+            if torn:
+                keep = os.path.getsize(self.path) - torn
+                self._file.truncate(keep)
+                self._file.flush()
+                os.fsync(self._file.fileno())
+                self._end_offset = keep
+                self._torn_bytes = 0
+                self._next_seq = (records[-1].seq + 1) if records else 1
+            return torn
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Drop all records (checkpoint: callers persist a snapshot of the
+        hosted state first).  Sequence numbers keep counting up so a seq
+        never names two different operations across a checkpoint."""
+        with self._lock:
+            self._check_open()
+            self._file.truncate(len(MAGIC))
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self._end_offset = len(MAGIC)
+            self._torn_bytes = 0
+
+    @property
+    def next_seq(self) -> int:
+        return self._next_seq
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._file.flush()
+            if self.sync_mode != "never":
+                os.fsync(self._file.fileno())
+            self._file.close()
+            self._closed = True
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise WalError("write-ahead log is closed")

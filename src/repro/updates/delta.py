@@ -21,7 +21,7 @@ update language itself uses.
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from difflib import SequenceMatcher
 from typing import Union
 
@@ -291,26 +291,51 @@ _OP_NAMES = {
 _OPS_BY_NAME = {name: cls for cls, name in _OP_NAMES.items()}
 
 
+def op_to_record(op: DeltaOp) -> dict:
+    """One operation as a JSON-ready dict."""
+    record = {"op": _OP_NAMES[type(op)], "path": list(op.path)}
+    for key, value in op.__dict__.items():
+        if key == "path":
+            continue
+        record[key] = list(value) if isinstance(value, tuple) else value
+    return record
+
+
+def record_to_op(record: dict) -> DeltaOp:
+    """Rebuild one operation from its JSON-ready dict."""
+    record = dict(record)
+    kind = _OPS_BY_NAME[record.pop("op")]
+    record["path"] = tuple(record["path"])
+    if "targets" in record:
+        record["targets"] = tuple(record["targets"])
+    return kind(**record)
+
+
 def to_json(ops: list[DeltaOp]) -> str:
     """Serialise a delta for transmission (mirroring / replication)."""
-    payload = []
-    for op in ops:
-        record = {"op": _OP_NAMES[type(op)], "path": list(op.path)}
-        for key, value in op.__dict__.items():
-            if key == "path":
-                continue
-            record[key] = list(value) if isinstance(value, tuple) else value
-        payload.append(record)
-    return json.dumps(payload)
+    return json.dumps([op_to_record(op) for op in ops])
 
 
 def from_json(text: str) -> list[DeltaOp]:
     """Parse a transmitted delta."""
-    ops: list[DeltaOp] = []
-    for record in json.loads(text):
-        kind = _OPS_BY_NAME[record.pop("op")]
-        record["path"] = tuple(record["path"])
-        if "targets" in record:
-            record["targets"] = tuple(record["targets"])
-        ops.append(kind(**record))
-    return ops
+    return [record_to_op(record) for record in json.loads(text)]
+
+
+def encode_ops(ops: list[DeltaOp]) -> bytes:
+    """Canonical wire encoding of a delta (for the WAL).
+
+    Byte-stable for a given delta: compact separators, sorted keys, and
+    escaped non-ASCII, so checksums over the payload are reproducible
+    across processes.
+    """
+    return json.dumps(
+        [op_to_record(op) for op in ops],
+        separators=(",", ":"),
+        sort_keys=True,
+        ensure_ascii=True,
+    ).encode("ascii")
+
+
+def decode_ops(data: bytes) -> list[DeltaOp]:
+    """Inverse of :func:`encode_ops`."""
+    return [record_to_op(record) for record in json.loads(data.decode("ascii"))]

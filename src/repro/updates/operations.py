@@ -15,7 +15,7 @@ levels of the document (Example 5 in the paper).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Union
 
 from repro.updates.content import RefContent

@@ -24,7 +24,6 @@ from typing import Optional, Union
 from repro.errors import ReproError, ValidationError
 from repro.updates.content import RefContent
 from repro.updates.operations import (
-    Delete,
     Insert,
     InsertAfter,
     InsertBefore,

@@ -17,8 +17,8 @@ The subset covers everything Sections 4 and 6 use:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional, Union
+from dataclasses import dataclass
+from typing import Union
 
 
 # ----------------------------------------------------------------------

@@ -17,7 +17,7 @@ entries inside an operation list.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional, Union
 
 from repro.updates.binding import LetClause

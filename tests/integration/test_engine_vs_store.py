@@ -13,12 +13,12 @@ content) before comparing.
 
 import pytest
 
-from repro import XQueryEngine, XmlStore, parse
+from repro import XQueryEngine, XmlStore
 from repro.workloads.tpcw import CUSTOMER_DTD, CustomerParams, generate_customers
 
 
 def canonical(element) -> str:
-    from repro.xmlmodel.model import Element, Text
+    from repro.xmlmodel.model import Text
 
     attributes = " ".join(
         f'{name}="{element.attributes[name].value}"' for name in sorted(element.attributes)

@@ -5,7 +5,6 @@ from hypothesis import strategies as st
 
 from repro.relational.edge import EdgeMapping
 from repro.xmlmodel import parse, serialize
-from repro.xmlmodel.model import Document
 
 from tests.property.strategies import documents, elements
 

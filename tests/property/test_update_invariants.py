@@ -13,7 +13,7 @@ from repro.updates import (
     new_element,
     new_ref,
 )
-from repro.xmlmodel.model import Document, Element, Text
+from repro.xmlmodel.model import Document, Element
 from repro.xpath import XPathContext
 
 from tests.property.strategies import elements, names, texts

@@ -13,7 +13,7 @@ from repro.relational.inlining import derive_inlining_schema
 from repro.relational.shredder import create_schema, shred_document
 from repro.xmlmodel import parse_dtd
 
-from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+from tests.conftest import CUSTOMER_DTD
 
 METHODS = [
     PerTupleTriggerDelete,

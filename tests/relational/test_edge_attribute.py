@@ -8,7 +8,7 @@ from repro.xmlmodel import parse
 from repro.xmlmodel.policy import BIO_POLICY
 from repro.xmlmodel.serializer import serialize
 
-from tests.conftest import BIO_XML, CUSTOMER_XML
+from tests.conftest import BIO_XML
 
 
 class TestEdgeMapping:

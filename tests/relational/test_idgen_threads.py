@@ -1,0 +1,69 @@
+"""Thread-safety regression test for the id allocator.
+
+Concurrent service writers reserve tuple-id ranges from one shared
+counter; overlapping ranges would silently cross-link shredded
+subtrees.  Hammer ``reserve`` from many threads and assert the ranges
+are pairwise disjoint and the counter advanced by exactly the total.
+"""
+
+import threading
+
+from repro.relational.database import Database
+from repro.relational.idgen import IdAllocator
+
+THREADS = 8
+RESERVATIONS = 50
+
+
+def test_concurrent_reservations_are_disjoint():
+    db = Database()
+    allocator = IdAllocator(db)
+    start_value = allocator.peek()
+    barrier = threading.Barrier(THREADS, timeout=10)
+    results: list[list[range]] = [[] for _ in range(THREADS)]
+    errors = []
+
+    def worker(slot):
+        try:
+            barrier.wait()
+            for i in range(RESERVATIONS):
+                count = (slot + i) % 4 + 1  # vary the range sizes
+                first = allocator.reserve(count)
+                results[slot].append(range(first, first + count))
+        except Exception as error:  # pragma: no cover - failure path
+            errors.append(error)
+
+    threads = [
+        threading.Thread(target=worker, args=(slot,), daemon=True)
+        for slot in range(THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(30)
+        assert not thread.is_alive()
+    assert errors == []
+
+    all_ids = [i for ranges in results for r in ranges for i in r]
+    assert len(all_ids) == len(set(all_ids)), "overlapping id ranges"
+    assert allocator.peek() == start_value + len(all_ids)
+    db.close()
+
+
+def test_zero_reservation_is_stable_under_threads():
+    db = Database()
+    allocator = IdAllocator(db)
+    before = allocator.peek()
+
+    def worker():
+        for _ in range(20):
+            allocator.reserve(0)
+
+    threads = [threading.Thread(target=worker, daemon=True) for _ in range(4)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(10)
+        assert not thread.is_alive()
+    assert allocator.peek() == before
+    db.close()

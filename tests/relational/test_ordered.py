@@ -6,9 +6,7 @@ from repro.errors import StorageError
 from repro.relational.ordered import GapPolicy, OrderedStore, RenumberPolicy
 from repro.relational.store import XmlStore
 from repro.workloads.tpcw import CUSTOMER_DTD
-from repro.xmlmodel import parse
 
-from tests.conftest import CUSTOMER_XML
 
 
 @pytest.fixture

@@ -5,10 +5,8 @@ import pytest
 from repro.relational.ordered import RenumberPolicy
 from repro.relational.ordered_store import OrderedXmlStore
 from repro.workloads.tpcw import CUSTOMER_DTD
-from repro.xmlmodel import parse
 from repro.xmlmodel.serializer import serialize
 
-from tests.conftest import CUSTOMER_XML
 
 
 @pytest.fixture

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.errors import StorageError
 from repro.relational.database import Database
 from repro.relational.idgen import IdAllocator
 from repro.relational.insert_methods import TableInsert

@@ -4,10 +4,9 @@ import pytest
 
 from repro.errors import StorageError, TranslationError
 from repro.relational.store import XmlStore
-from repro.xmlmodel import parse
 from repro.xmlmodel.serializer import serialize
 
-from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+from tests.conftest import CUSTOMER_DTD
 
 
 @pytest.fixture

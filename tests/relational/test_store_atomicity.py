@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.errors import StorageError, TranslationError
+from repro.errors import TranslationError
 from repro.relational.store import XmlStore
 from repro.xmlmodel.serializer import serialize
 

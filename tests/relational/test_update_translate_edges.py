@@ -6,7 +6,7 @@ from repro.errors import TranslationError
 from repro.relational.store import XmlStore
 from repro.xmlmodel import parse
 
-from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+from tests.conftest import CUSTOMER_DTD
 
 NOTES_DTD = """\
 <!ELEMENT journal ((note | memo)*)>

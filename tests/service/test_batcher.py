@@ -1,0 +1,222 @@
+"""Group-commit batcher: batching, coalescing, failure isolation."""
+
+import threading
+
+import pytest
+
+from repro.bench.experiments import build_fixed_store
+from repro.errors import (
+    ReproError,
+    ServiceClosedError,
+    ServiceError,
+    ServiceTimeoutError,
+)
+from repro.service import ServiceConfig, SubtreeCopy, SubtreeDelete, UpdateService
+from repro.service.batcher import GroupCommitBatcher
+from repro.workloads.synthetic import SyntheticParams
+
+
+@pytest.fixture(scope="module")
+def master():
+    store = build_fixed_store(SyntheticParams(48, 3, 2))
+    store.set_delete_method("per_statement_trigger")
+    yield store
+    store.close()
+
+
+def subtree_ids(store, count):
+    rows = store.db.query(
+        'SELECT id FROM "n1" WHERE parentId = (SELECT id FROM "root") ORDER BY id'
+    )
+    assert len(rows) >= count
+    return [row[0] for row in rows[:count]]
+
+
+def run_deletes(master, batch_size, count=24):
+    """Delete ``count`` subtrees through a service; returns (store, tickets)."""
+    store = master.snapshot()
+    ids = subtree_ids(store, count)
+    store.db.counts.reset()
+    # A small coalesce window keeps the test deterministic: the committer
+    # waits a beat after the first dequeue so all submissions join one batch.
+    service = UpdateService(
+        ServiceConfig(
+            batch_size=batch_size, coalesce_wait=0.05 if batch_size > 1 else 0.0
+        )
+    )
+    service.host_store("db.xml", store)
+    service.start()
+    tickets = [
+        service.submit(SubtreeDelete("db.xml", "n1", (subtree_id,)))
+        for subtree_id in ids
+    ]
+    service.flush(timeout=30)
+    for ticket in tickets:
+        ticket.wait(5)
+    counts = (store.db.counts.client, store.db.counts.trigger_emulation)
+    service.close()
+    return store, counts
+
+
+class TestCoalescing:
+    def test_batched_deletes_issue_fewer_statements(self, master):
+        store1, counts1 = run_deletes(master, batch_size=1)
+        store64, counts64 = run_deletes(master, batch_size=64)
+        try:
+            # Same end state either way...
+            assert (
+                store1.db.query('SELECT id FROM "n1" ORDER BY id')
+                == store64.db.query('SELECT id FROM "n1" ORDER BY id')
+            )
+            # ...but the batch coalesces 24 single-subtree deletes into one
+            # DELETE ... WHERE id IN (...), so the per-statement trigger
+            # sweeps once instead of 24 times.
+            assert counts1[0] == 24  # one client DELETE per update
+            assert counts64[0] < counts1[0]
+            assert counts64[0] <= 4  # 1 per batch; allow a straggler batch
+            assert counts64[1] < counts1[1]
+        finally:
+            store1.close()
+            store64.close()
+
+    def test_copy_coalescing_preserves_content(self, master):
+        store = master.snapshot()
+        root_id = store.db.query_one('SELECT id FROM "root"')[0]
+        ids = subtree_ids(store, 6)
+        before = store.db.query_one('SELECT COUNT(*) FROM "n1"')[0]
+        service = UpdateService(ServiceConfig(batch_size=64))
+        service.host_store("db.xml", store)
+        service.start()
+        tickets = [
+            service.submit(SubtreeCopy("db.xml", "n1", (subtree_id,), root_id))
+            for subtree_id in ids
+        ]
+        service.flush(timeout=30)
+        for ticket in tickets:
+            ticket.wait(5)
+        service.close()
+        after = store.db.query_one('SELECT COUNT(*) FROM "n1"')[0]
+        assert after == before + len(ids)
+        store.close()
+
+    def test_order_preserving_coalescing(self):
+        """delete/copy/delete on one relation must stay three invocations."""
+        from repro.service.server import _coalesce
+
+        ops = [
+            (0, SubtreeDelete("d", "n1", (1,))),
+            (1, SubtreeDelete("d", "n1", (2,))),
+            (2, SubtreeCopy("d", "n1", (3,), 99)),
+            (3, SubtreeDelete("d", "n1", (4,))),
+            (4, SubtreeCopy("d", "n1", (5,), 99)),
+            (5, SubtreeCopy("d", "n1", (6,), 98)),  # different parent: no merge
+        ]
+        groups = _coalesce(ops)
+        assert [type(g).__name__ for g in groups] == [
+            "SubtreeDelete", "SubtreeCopy", "SubtreeDelete",
+            "SubtreeCopy", "SubtreeCopy",
+        ]
+        assert groups[0].ids == (1, 2)
+        assert groups[3].ids == (5,)
+        assert groups[4].ids == (6,)
+
+
+class TestFailureIsolation:
+    def test_bad_relation_fails_batch_group_but_not_other_docs(self, master):
+        store_a = master.snapshot()
+        store_b = master.snapshot()
+        # The coalesce window guarantees all three submissions join one
+        # batch, so both a.xml ops share a transaction deterministically.
+        service = UpdateService(ServiceConfig(batch_size=64, coalesce_wait=0.1))
+        service.host_store("a.xml", store_a)
+        service.host_store("b.xml", store_b)
+        service.start()
+        good_b = service.submit(SubtreeDelete("b.xml", "n1", tuple(subtree_ids(store_b, 1))))
+        bad_a = service.submit(SubtreeDelete("a.xml", "no_such_relation", (1,)))
+        good_a = service.submit(SubtreeDelete("a.xml", "n1", tuple(subtree_ids(store_a, 1))))
+        service.flush(timeout=30)
+        # b committed; a's whole group aborted (transactional per document).
+        assert good_b.wait(5) is not None
+        with pytest.raises(ReproError):
+            bad_a.wait(5)
+        with pytest.raises(ReproError):
+            good_a.wait(5)
+        service.close()
+        store_a.close()
+        store_b.close()
+
+    def test_unknown_document_rejected_at_submit(self, master):
+        service = UpdateService()
+        service.start()
+        with pytest.raises(ServiceError):
+            service.submit(SubtreeDelete("ghost.xml", "n1", (1,)))
+        service.close()
+
+
+class TestQueueDiscipline:
+    def test_flush_is_a_barrier(self):
+        applied = []
+
+        def apply(ops):
+            applied.extend(ops)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(apply, max_batch=8)
+        batcher.start()
+        for i in range(20):
+            batcher.submit(SubtreeDelete("d", "n1", (i,)))
+        batcher.flush(timeout=10)
+        assert len(applied) == 20
+        batcher.close()
+
+    def test_bounded_queue_times_out(self):
+        release = threading.Event()
+
+        def slow_apply(ops):
+            release.wait(10)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(slow_apply, max_batch=1, max_queue=1)
+        batcher.start()
+        batcher.submit(SubtreeDelete("d", "n1", (1,)))  # picked up by worker
+        batcher.submit(SubtreeDelete("d", "n1", (2,)))  # fills the queue
+        with pytest.raises(ServiceTimeoutError):
+            batcher.submit(SubtreeDelete("d", "n1", (3,)), timeout=0.05)
+        release.set()
+        batcher.close()
+
+    def test_close_drains_by_default(self):
+        applied = []
+
+        def apply(ops):
+            applied.extend(ops)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(apply, max_batch=4)
+        batcher.start()
+        tickets = [batcher.submit(SubtreeDelete("d", "n1", (i,))) for i in range(10)]
+        batcher.close(drain=True)
+        assert len(applied) == 10
+        assert all(ticket.done for ticket in tickets)
+        with pytest.raises(ServiceClosedError):
+            batcher.submit(SubtreeDelete("d", "n1", (99,)))
+
+    def test_close_without_drain_fails_pending(self):
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_apply(ops):
+            started.set()
+            release.wait(10)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(gated_apply, max_batch=1)
+        batcher.start()
+        first = batcher.submit(SubtreeDelete("d", "n1", (1,)))
+        started.wait(5)
+        pending = batcher.submit(SubtreeDelete("d", "n1", (2,)))
+        release.set()
+        batcher.close(drain=False)
+        first.wait(5)  # in-flight op still completes
+        with pytest.raises(ServiceClosedError):
+            pending.wait(5)

@@ -1,0 +1,130 @@
+"""Reader-writer lock semantics: concurrency, preference, timeouts."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceTimeoutError
+from repro.service.locks import LockManager, ReadWriteLock
+
+
+def spawn(target):
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
+
+
+class TestReadWriteLock:
+    def test_readers_share(self):
+        lock = ReadWriteLock()
+        inside = threading.Barrier(3, timeout=5)
+        succeeded = []
+
+        def reader():
+            with lock.read_locked():
+                inside.wait()  # all three readers in the section at once
+            succeeded.append(True)
+
+        threads = [spawn(reader) for _ in range(3)]
+        for thread in threads:
+            thread.join(5)
+            assert not thread.is_alive()
+        assert len(succeeded) == 3
+
+    def test_writer_excludes_readers(self):
+        lock = ReadWriteLock()
+        order = []
+        lock.acquire_write()
+
+        def reader():
+            with lock.read_locked():
+                order.append("read")
+
+        thread = spawn(reader)
+        time.sleep(0.05)
+        assert order == []  # reader blocked behind the writer
+        order.append("write-done")
+        lock.release_write()
+        thread.join(5)
+        assert order == ["write-done", "read"]
+
+    def test_writer_preference(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        writer_done = threading.Event()
+        late_reader_done = threading.Event()
+
+        def writer():
+            with lock.write_locked():
+                writer_done.set()
+
+        def late_reader():
+            with lock.read_locked():
+                late_reader_done.set()
+
+        writer_thread = spawn(writer)
+        time.sleep(0.05)  # writer is now waiting
+        reader_thread = spawn(late_reader)
+        time.sleep(0.05)
+        # The late reader queues behind the waiting writer.
+        assert not late_reader_done.is_set()
+        lock.release_read()
+        writer_thread.join(5)
+        reader_thread.join(5)
+        assert writer_done.is_set() and late_reader_done.is_set()
+
+    def test_write_timeout(self):
+        lock = ReadWriteLock()
+        lock.acquire_read()
+        with pytest.raises(ServiceTimeoutError):
+            lock.acquire_write(timeout=0.05)
+        lock.release_read()
+        lock.acquire_write(timeout=0.05)  # now available
+        lock.release_write()
+
+    def test_read_timeout(self):
+        lock = ReadWriteLock()
+        lock.acquire_write()
+        with pytest.raises(ServiceTimeoutError):
+            lock.acquire_read(timeout=0.05)
+        lock.release_write()
+
+    def test_unbalanced_release_rejected(self):
+        lock = ReadWriteLock()
+        with pytest.raises(RuntimeError):
+            lock.release_read()
+        with pytest.raises(RuntimeError):
+            lock.release_write()
+
+
+class TestLockManager:
+    def test_per_document_independence(self):
+        manager = LockManager()
+        with manager.write("a"):
+            with manager.read("b"):  # a's writer does not block b's reader
+                pass
+
+    def test_write_many_no_deadlock(self):
+        manager = LockManager()
+        rounds = 25
+        done = []
+
+        def worker(keys):
+            for _ in range(rounds):
+                with manager.write_many(keys):
+                    pass
+            done.append(keys)
+
+        # Opposite declaration orders would deadlock without sorting.
+        t1 = spawn(lambda: worker(["x", "y", "z"]))
+        t2 = spawn(lambda: worker(["z", "y", "x"]))
+        t1.join(10)
+        t2.join(10)
+        assert not t1.is_alive() and not t2.is_alive()
+        assert len(done) == 2
+
+    def test_same_lock_returned(self):
+        manager = LockManager()
+        assert manager.lock_for("doc") is manager.lock_for("doc")
+        assert manager.lock_for("doc") is not manager.lock_for("other")

@@ -1,0 +1,188 @@
+"""Crash recovery: WAL replay reproduces the acknowledged state exactly.
+
+The acceptance scenario: the service dies mid-batch — some operations
+are durable (their commit marker was fsynced), a later batch was logged
+but never committed, and the final write was torn.  The store itself is
+gone (it was in memory).  Recovery replays the WAL against the base
+snapshot; the result must be byte-identical (via the serializer) to a
+reference run that applied the same committed deltas synchronously.
+"""
+
+import pytest
+
+from repro.service import (
+    DeltaUpdate,
+    ServiceConfig,
+    UpdateService,
+    WriteAheadLog,
+    encode_op,
+    replay_into_documents,
+)
+from repro.updates.delta import InsertNode, SetAttribute, apply_delta, diff
+from repro.xmlmodel.parser import XmlParser
+from repro.xmlmodel.serializer import serialize
+
+BASE_XML = """\
+<db>
+  <person ID="p1"><name>Alice</name></person>
+  <person ID="p2"><name>Bob</name></person>
+</db>
+"""
+
+DOC = "people.xml"
+
+
+def parse_base():
+    return XmlParser(BASE_XML).parse()
+
+
+def committed_deltas():
+    """The deltas the service acknowledged before the crash."""
+    return [
+        [InsertNode((), 99, xml='<person ID="p3"><name>Carol</name></person>')],
+        [SetAttribute((0,), "status", "active")],
+        [InsertNode((2,), 99, xml="<age>44</age>")],
+        [InsertNode((), 0, text="registry ")],
+    ]
+
+
+@pytest.fixture
+def crashed_wal(tmp_path):
+    """Run a service, then fake a crash: logged-but-uncommitted tail ops
+    plus torn bytes after the last fsync."""
+    wal_path = str(tmp_path / "crash.wal")
+    service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=4))
+    service.host_document(DOC, parse_base())
+    service.start()
+    with service.open_session() as session:
+        for delta in committed_deltas():
+            session.submit_wait(DOC, delta)
+    service.close()
+    # The crash: a batch was appended to the log but died before its
+    # commit marker (apply never finished)...
+    with WriteAheadLog(wal_path) as wal:
+        wal.append(
+            encode_op(DeltaUpdate(DOC, (InsertNode((), 99, xml="<lost/>"),)))
+        )
+        wal.sync()
+    # ...and the very last write tore mid-frame.
+    with open(wal_path, "ab") as handle:
+        handle.write(b"\x07\x00\x00torn")
+    return wal_path
+
+
+class TestCrashRecovery:
+    def test_recovered_tree_is_byte_identical(self, crashed_wal):
+        # Reference: the same committed deltas applied synchronously.
+        reference = parse_base()
+        for delta in committed_deltas():
+            apply_delta(reference, delta)
+
+        recovered = parse_base()
+        with WriteAheadLog(crashed_wal) as wal:
+            report = replay_into_documents(wal, {DOC: recovered})
+
+        assert report.truncated_bytes > 0  # torn tail dropped
+        assert report.uncommitted == 1  # the lost mid-batch op is skipped
+        assert report.applied == len(committed_deltas())
+        assert report.failed == 0
+        assert serialize(recovered) == serialize(reference)
+
+    def test_service_restart_recovers_and_serves(self, crashed_wal):
+        service = UpdateService(ServiceConfig(wal_path=crashed_wal, batch_size=4))
+        service.host_document(DOC, parse_base())
+        report = service.recover()
+        assert report.applied == len(committed_deltas())
+        assert report.truncated_bytes > 0
+        service.start()
+        # The recovered service keeps serving; new updates land after the
+        # replayed ones and sequence numbers never repeat.
+        with service.open_session() as session:
+            seq = session.submit_wait(
+                DOC, [SetAttribute((), "recovered", "yes")]
+            )
+            assert seq is not None
+            assert seq > report.last_seq
+            text = session.query(DOC)
+        service.close()
+        assert 'recovered="yes"' in text
+        assert "Carol" in text
+        assert "<lost/>" not in text  # uncommitted op stays lost
+
+    def test_recovery_is_idempotent_from_scratch(self, crashed_wal):
+        """Replaying twice from two fresh bases gives the same bytes."""
+        first = parse_base()
+        second = parse_base()
+        with WriteAheadLog(crashed_wal) as wal:
+            replay_into_documents(wal, {DOC: first})
+        with WriteAheadLog(crashed_wal) as wal:
+            replay_into_documents(wal, {DOC: second})
+        assert serialize(first) == serialize(second)
+
+
+class TestStoreRecovery:
+    def test_store_host_replay(self, tmp_path):
+        """Relational operations replay against a store snapshot too."""
+        from repro.bench.experiments import build_fixed_store
+        from repro.service import SubtreeDelete
+        from repro.workloads.synthetic import SyntheticParams
+
+        wal_path = str(tmp_path / "store.wal")
+        master = build_fixed_store(SyntheticParams(12, 2, 2))
+        live = master.snapshot()
+        ids = [row[0] for row in live.db.query('SELECT id FROM "n1" ORDER BY id')][:5]
+
+        service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=8))
+        service.host_store("db.xml", live)
+        service.start()
+        for subtree_id in ids:
+            service.submit_wait(SubtreeDelete("db.xml", "n1", (subtree_id,)))
+        expected = serialize(live.to_document())
+        service.close()
+        live.close()
+
+        # Crash: the live store is gone.  Recover onto a fresh snapshot.
+        restored = master.snapshot()
+        recovery_service = UpdateService(
+            ServiceConfig(wal_path=wal_path, batch_size=8)
+        )
+        recovery_service.host_store("db.xml", restored)
+        report = recovery_service.recover()
+        assert report.applied == len(ids)
+        recovery_service.start()
+        recovered = serialize(restored.to_document())
+        recovery_service.close()
+        restored.close()
+        master.close()
+        assert recovered == expected
+
+
+class TestDeltaDiffIntegration:
+    def test_diffed_statement_effects_replay(self, tmp_path):
+        """End-to-end: statement → diff → WAL → replay (the serve path)."""
+        wal_path = str(tmp_path / "diffed.wal")
+        base = parse_base()
+        evolving = parse_base()
+
+        service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=2))
+        service.host_document(DOC, evolving)
+        service.start()
+        with service.open_session() as session:
+            for new_xml in (
+                BASE_XML.replace("Alice", "Alys"),
+                BASE_XML.replace("Alice", "Alys").replace(
+                    "<name>Bob</name>", "<name>Bob</name><nick>bobby</nick>"
+                ),
+            ):
+                target = XmlParser(new_xml).parse()
+                delta = diff(evolving, target)
+                session.submit_wait(DOC, delta)
+        final = serialize(evolving)
+        service.close()
+
+        recovered = parse_base()
+        with WriteAheadLog(wal_path) as wal:
+            report = replay_into_documents(wal, {DOC: recovered})
+        assert report.applied == 2
+        assert serialize(recovered) == final != serialize(base)
+        assert "Alys" in final and "bobby" in final

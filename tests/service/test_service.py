@@ -1,0 +1,181 @@
+"""Service-level concurrency: many writers and readers, no lost updates.
+
+Acceptance scenario: N writer threads and M reader threads hammer the
+service over distinct *and* shared documents.  Every acknowledged write
+must be visible exactly once at the end (no lost updates), and every
+thread must join within a bounded time (no deadlock).
+"""
+
+import threading
+
+import pytest
+
+from repro.errors import ServiceClosedError, ServiceError
+from repro.service import (
+    DeltaUpdate,
+    ServiceConfig,
+    Session,
+    SubtreeDelete,
+    UpdateService,
+)
+from repro.updates.delta import InsertNode
+from repro.xmlmodel.parser import XmlParser
+from repro.xmlmodel.serializer import serialize
+
+N_WRITERS = 4
+UPDATES_PER_WRITER = 20
+M_READERS = 3
+JOIN_TIMEOUT = 30
+
+
+def fresh_doc(tag):
+    return XmlParser(f"<{tag}></{tag}>").parse()
+
+
+def entry_op(writer, step):
+    """A uniquely identifiable append; ``1 << 30`` means 'at the end'."""
+    return InsertNode((), 1 << 30, xml=f'<entry writer="{writer}" step="{step}"/>')
+
+
+@pytest.fixture
+def service():
+    svc = UpdateService(ServiceConfig(batch_size=8, coalesce_wait=0.002))
+    for writer in range(N_WRITERS):
+        svc.host_document(f"own-{writer}.xml", fresh_doc("own"))
+    svc.host_document("shared.xml", fresh_doc("shared"))
+    svc.start()
+    yield svc
+    svc.close()
+
+
+class TestConcurrentWritersAndReaders:
+    def test_no_lost_updates_no_deadlock(self, service):
+        errors = []
+        stop_readers = threading.Event()
+        reads_done = []
+
+        def writer(index):
+            try:
+                session = Session(service, default_timeout=JOIN_TIMEOUT)
+                for step in range(UPDATES_PER_WRITER):
+                    # Alternate between the private and the shared document
+                    # so both contention patterns are exercised.
+                    doc = f"own-{index}.xml" if step % 2 else "shared.xml"
+                    session.submit_wait(doc, [entry_op(index, step)])
+                session.close()
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        def reader(index):
+            try:
+                count = 0
+                while not stop_readers.is_set():
+                    doc = "shared.xml" if index % 2 else f"own-{index}.xml"
+                    text = service.query(doc, timeout=JOIN_TIMEOUT)
+                    assert text.count("<entry") == text.count("writer=")
+                    count += 1
+                reads_done.append(count)
+            except Exception as error:  # pragma: no cover - failure path
+                errors.append(error)
+
+        writers = [
+            threading.Thread(target=writer, args=(i,), daemon=True)
+            for i in range(N_WRITERS)
+        ]
+        readers = [
+            threading.Thread(target=reader, args=(i,), daemon=True)
+            for i in range(M_READERS)
+        ]
+        for thread in readers + writers:
+            thread.start()
+        for thread in writers:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive(), "writer deadlocked"
+        stop_readers.set()
+        for thread in readers:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive(), "reader deadlocked"
+        assert errors == []
+        assert len(reads_done) == M_READERS and all(n > 0 for n in reads_done)
+
+        # Every acknowledged update is present exactly once.
+        seen = []
+        for writer_index in range(N_WRITERS):
+            for doc in (f"own-{writer_index}.xml", "shared.xml"):
+                text = service.query(doc)
+                for step in range(UPDATES_PER_WRITER):
+                    # The serializer emits attributes sorted by name.
+                    marker = f'step="{step}" writer="{writer_index}"'
+                    if marker in text:
+                        assert text.count(marker) == 1, f"duplicated: {marker}"
+                        seen.append((writer_index, step))
+        assert sorted(seen) == sorted(
+            (w, s) for w in range(N_WRITERS) for s in range(UPDATES_PER_WRITER)
+        ), "lost update(s)"
+
+    def test_shared_document_order_is_a_total_order(self, service):
+        """Concurrent appends interleave, but each lands exactly once and
+        the shared document's entry count equals the acknowledged total."""
+        barrier = threading.Barrier(N_WRITERS, timeout=JOIN_TIMEOUT)
+
+        def writer(index):
+            barrier.wait()
+            for step in range(UPDATES_PER_WRITER):
+                service.submit_wait(
+                    DeltaUpdate("shared.xml", (entry_op(index, step),)),
+                    timeout=JOIN_TIMEOUT,
+                )
+
+        threads = [
+            threading.Thread(target=writer, args=(i,), daemon=True)
+            for i in range(N_WRITERS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive()
+        text = service.query("shared.xml")
+        assert text.count("<entry") == N_WRITERS * UPDATES_PER_WRITER
+
+
+class TestApiDiscipline:
+    def test_submit_validates_host_kind(self, service):
+        with pytest.raises(ServiceError):
+            service.submit(SubtreeDelete("shared.xml", "n1", (1,)))
+
+    def test_unknown_document_query(self, service):
+        with pytest.raises(ServiceError):
+            service.query("ghost.xml")
+
+    def test_hosting_after_start_rejected(self, service):
+        with pytest.raises(ServiceError):
+            service.host_document("late.xml", fresh_doc("late"))
+
+    def test_closed_session_rejects_submissions(self, service):
+        session = service.open_session()
+        session.close()
+        with pytest.raises(ServiceClosedError):
+            session.submit("shared.xml", [entry_op(9, 9)])
+
+    def test_query_callable_runs_under_read_lock(self, service):
+        names = service.query("shared.xml", work=lambda host: host.name)
+        assert names == "shared.xml"
+
+    def test_checkpoint_truncates_wal(self, tmp_path):
+        wal_path = str(tmp_path / "ckpt.wal")
+        svc = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=4))
+        svc.host_document("d.xml", fresh_doc("d"))
+        svc.start()
+        svc.submit_wait(DeltaUpdate("d.xml", (entry_op(0, 0),)))
+        svc.checkpoint()
+        svc.submit_wait(DeltaUpdate("d.xml", (entry_op(0, 1),)))
+        svc.close()
+        from repro.service import WriteAheadLog, replay_into_documents
+
+        base = fresh_doc("d")
+        with WriteAheadLog(wal_path) as wal:
+            report = replay_into_documents(wal, {"d.xml": base})
+        # Only the post-checkpoint op remains in the log.
+        assert report.applied == 1
+        assert 'step="1"' in serialize(base)

@@ -1,0 +1,119 @@
+"""Unit tests for the write-ahead log: framing, checksums, torn tails."""
+
+import os
+
+import pytest
+
+from repro.errors import WalError
+from repro.service.wal import MAGIC, WriteAheadLog
+
+
+@pytest.fixture
+def wal_path(tmp_path):
+    return str(tmp_path / "test.wal")
+
+
+class TestAppendAndScan:
+    def test_round_trip(self, wal_path):
+        with WriteAheadLog(wal_path, sync_mode="never") as wal:
+            assert wal.append(b"one") == 1
+            assert wal.append(b"two") == 2
+            wal.sync()
+            records, torn = wal.scan()
+        assert [(r.seq, r.payload) for r in records] == [(1, b"one"), (2, b"two")]
+        assert torn == 0
+
+    def test_sequence_continues_across_reopen(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(b"a")
+            wal.sync()
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.next_seq == 2
+            assert wal.append(b"b") == 2
+            wal.sync()
+            assert [r.seq for r in wal.records()] == [1, 2]
+
+    def test_empty_log(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.records() == []
+            assert wal.next_seq == 1
+
+    def test_bad_magic_rejected(self, wal_path):
+        with open(wal_path, "wb") as handle:
+            handle.write(b"NOTAWAL!" + b"x" * 32)
+        with pytest.raises(WalError):
+            WriteAheadLog(wal_path)
+
+    def test_sync_mode_validated(self, wal_path):
+        with pytest.raises(WalError):
+            WriteAheadLog(wal_path, sync_mode="sometimes")
+
+
+class TestTornTail:
+    def _write(self, wal_path, payloads):
+        with WriteAheadLog(wal_path, sync_mode="never") as wal:
+            for payload in payloads:
+                wal.append(payload)
+            wal.sync()
+
+    def test_partial_frame_is_torn(self, wal_path):
+        self._write(wal_path, [b"alpha", b"beta"])
+        with open(wal_path, "ab") as handle:
+            handle.write(b"\x03\x00")  # half a frame
+        with WriteAheadLog(wal_path) as wal:
+            records, torn = wal.scan()
+            assert [r.payload for r in records] == [b"alpha", b"beta"]
+            assert torn == 2
+
+    def test_corrupt_payload_is_torn(self, wal_path):
+        self._write(wal_path, [b"alpha", b"beta"])
+        size = os.path.getsize(wal_path)
+        with open(wal_path, "r+b") as handle:
+            handle.seek(size - 1)
+            handle.write(b"\xff")  # flip the last payload byte
+        with WriteAheadLog(wal_path) as wal:
+            records, torn = wal.scan()
+            assert [r.payload for r in records] == [b"alpha"]
+            assert torn > 0
+
+    def test_append_blocked_until_truncated(self, wal_path):
+        self._write(wal_path, [b"alpha"])
+        with open(wal_path, "ab") as handle:
+            handle.write(b"junk")
+        with WriteAheadLog(wal_path) as wal:
+            with pytest.raises(WalError):
+                wal.append(b"beta")
+            assert wal.truncate_torn_tail() == 4
+            assert wal.append(b"beta") == 2
+            wal.sync()
+            records, torn = wal.scan()
+            assert [r.payload for r in records] == [b"alpha", b"beta"]
+            assert torn == 0
+
+    def test_truncate_without_tear_is_noop(self, wal_path):
+        self._write(wal_path, [b"alpha"])
+        with WriteAheadLog(wal_path) as wal:
+            assert wal.truncate_torn_tail() == 0
+            assert [r.payload for r in wal.records()] == [b"alpha"]
+
+
+class TestMaintenance:
+    def test_reset_drops_records_keeps_seq(self, wal_path):
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(b"a")
+            wal.append(b"b")
+            wal.sync()
+            wal.reset()
+            assert wal.records() == []
+            assert wal.append(b"c") == 3  # sequence numbers keep counting
+            wal.sync()
+        assert os.path.getsize(wal_path) > len(MAGIC)
+
+    def test_closed_log_rejects_work(self, wal_path):
+        wal = WriteAheadLog(wal_path)
+        wal.close()
+        wal.close()  # idempotent
+        with pytest.raises(WalError):
+            wal.append(b"x")
+        with pytest.raises(WalError):
+            wal.scan()

@@ -15,7 +15,6 @@ from repro.updates import (
     new_element,
     new_ref,
 )
-from repro.xmlmodel.model import Element, Text
 from repro.xpath import XPathContext
 
 

@@ -1,0 +1,121 @@
+"""Property test for tombstone semantics (Section 3.2).
+
+Within one update sequence, a binding that was deleted earlier may not
+be *operated on* again — as a delete/rename/replace target or as a
+positional anchor — under either execution model.  The single
+exception: a deleted node may still be used as *content* (that is how
+a move is expressed: ``DELETE $c ... INSERT $c``).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DeletedBindingError
+from repro.updates import (
+    Delete,
+    Insert,
+    InsertAfter,
+    InsertBefore,
+    Rename,
+    Replace,
+    UpdateExecutor,
+    new_element,
+)
+from repro.xmlmodel import parse
+from repro.xpath import XPathContext
+
+DOC_XML = """\
+<db>
+  <lab ID="l1">
+    <name>UCLA Bio Lab</name>
+    <city>Los Angeles</city>
+    <country>USA</country>
+  </lab>
+</db>
+"""
+
+CHILD_TAGS = ("name", "city", "country")
+
+
+def fresh_target(ordered):
+    """A fresh (document, target element, executor) triple per example."""
+    document = parse(DOC_XML)
+    target = document.element_by_id("l1")
+    executor = UpdateExecutor(
+        XPathContext(documents={"doc.xml": document}), ordered=ordered
+    )
+    return target, executor
+
+
+def forbidden_followups(deleted):
+    """Every way a later operation can *operate on* the deleted binding."""
+    return {
+        "delete": Delete(deleted),
+        "rename": Rename(deleted, "renamed"),
+        "replace": Replace(deleted, new_element("fresh", "x")),
+        "before": InsertBefore(deleted, new_element("fresh", "x")),
+        "after": InsertAfter(deleted, new_element("fresh", "x")),
+    }
+
+
+class TestDeletedBindingProperty:
+    @given(
+        tag=st.sampled_from(CHILD_TAGS),
+        kind=st.sampled_from(("delete", "rename", "replace", "before", "after")),
+        ordered=st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_operating_on_deleted_binding_raises(self, tag, kind, ordered):
+        if not ordered and kind in ("before", "after"):
+            # Positional inserts do not exist in the unordered model;
+            # they fail earlier, for a different reason, so the
+            # tombstone property does not apply.
+            return
+        target, executor = fresh_target(ordered)
+        child = target.child_elements(tag)[0]
+        with pytest.raises(DeletedBindingError):
+            executor.apply(target, [Delete(child), forbidden_followups(child)[kind]])
+
+    @given(tag=st.sampled_from(CHILD_TAGS), ordered=st.booleans())
+    @settings(max_examples=30, deadline=None)
+    def test_deleted_binding_as_content_is_a_move(self, tag, ordered):
+        """The content exception: DELETE $c ... INSERT $c reattaches it."""
+        target, executor = fresh_target(ordered)
+        child = target.child_elements(tag)[0]
+        original_text = child.text()
+        executor.apply(target, [Delete(child), Insert(child)])
+        # Content insertion copies, so identity may change — but exactly
+        # one node with the same tag and text is back under the target.
+        restored = target.child_elements(tag)
+        assert len(restored) == 1
+        assert restored[0].text() == original_text
+
+    @given(tag=st.sampled_from(CHILD_TAGS))
+    @settings(max_examples=30, deadline=None)
+    def test_deleted_binding_as_replace_content(self, tag):
+        """Content position of REPLACE is also exempt from the tombstone."""
+        target, executor = fresh_target(ordered=True)
+        victim = target.child_elements(tag)[0]
+        other_tag = next(t for t in CHILD_TAGS if t != tag)
+        other = target.child_elements(other_tag)[0]
+        original_text = victim.text()
+        executor.apply(target, [Delete(victim), Replace(other, victim)])
+        restored = target.child_elements(tag)
+        assert len(restored) == 1
+        assert restored[0].text() == original_text
+        assert target.child_elements(other_tag) == []
+
+    @given(
+        tags=st.permutations(CHILD_TAGS),
+        ordered=st.booleans(),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_distinct_bindings_are_unaffected(self, tags, ordered):
+        """Deleting one child never poisons operations on its siblings."""
+        target, executor = fresh_target(ordered)
+        first = target.child_elements(tags[0])[0]
+        second = target.child_elements(tags[1])[0]
+        executor.apply(target, [Delete(first), Rename(second, "renamed")])
+        assert target.child_elements(tags[0]) == []
+        assert target.child_elements("renamed") == [second]

@@ -11,7 +11,7 @@ from repro.updates.typecheck import (
 from repro.xmlmodel import parse, parse_dtd
 from repro.xmlmodel.serializer import serialize
 
-from tests.conftest import CUSTOMER_DTD, CUSTOMER_XML
+from tests.conftest import CUSTOMER_DTD
 
 
 @pytest.fixture

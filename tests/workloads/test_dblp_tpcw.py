@@ -1,10 +1,9 @@
 """Unit tests for the DBLP-shaped and TPC/W-style generators."""
 
-import pytest
 
 from repro.relational.database import Database
 from repro.relational.inlining import derive_inlining_schema
-from repro.relational.shredder import create_schema, shred_document
+from repro.relational.shredder import create_schema
 from repro.relational.store import XmlStore
 from repro.workloads import (
     CustomerParams,

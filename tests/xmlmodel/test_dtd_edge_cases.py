@@ -4,7 +4,7 @@ import pytest
 
 from repro.errors import DtdError
 from repro.xmlmodel import parse, parse_dtd
-from repro.xmlmodel.dtd import CARD_MANY, CARD_ONE, CARD_OPTIONAL, validate
+from repro.xmlmodel.dtd import CARD_MANY, validate
 
 
 class TestDtdSyntax:

@@ -5,7 +5,7 @@ import pytest
 from repro.errors import XmlParseError
 from repro.xmlmodel import parse
 from repro.xmlmodel.model import Element, Text
-from repro.xmlmodel.policy import BIO_POLICY, RefPolicy
+from repro.xmlmodel.policy import RefPolicy
 
 
 class TestBasicParsing:
