@@ -8,6 +8,7 @@ paper-style series as it goes.  Options::
     python -m repro.bench --full          # paper-size sweeps
     python -m repro.bench --runs 3        # measurement runs per point
     python -m repro.bench --json out.json # persist raw numbers
+    python -m repro.bench --trace-out spans.json   # per-phase trace spans
 """
 
 from __future__ import annotations
@@ -151,8 +152,17 @@ def main(argv=None) -> int:
     parser.add_argument("--runs", type=int, default=5,
                         help="runs per point (first discarded; default 5)")
     parser.add_argument("--json", help="write raw measurements to this file")
+    parser.add_argument(
+        "--trace-out", help="write hierarchical trace spans (JSON) here on exit"
+    )
     args = parser.parse_args(argv)
     selected = set(args.only or EXPERIMENTS)
+    tracer = None
+    if args.trace_out:
+        from repro.obs import get_tracer
+
+        tracer = get_tracer()
+        tracer.start_capture()
 
     def emit(title: str, x_label: str, measurements) -> None:
         print(format_series(title, x_label, measurements, show_statements=True))
@@ -187,6 +197,10 @@ def main(argv=None) -> int:
             emit(title, "-", measurements)
     if "service" in selected:
         emit(*EXPERIMENTS["service"], run_service())
+    if tracer is not None:
+        tracer.stop_capture()
+        written = tracer.write_json(args.trace_out)
+        print(f"-- wrote {written} trace span(s) to {args.trace_out}")
     return 0
 
 

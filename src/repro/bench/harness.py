@@ -15,6 +15,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable
 
+from repro.obs import counter_delta, get_registry
 from repro.relational.store import XmlStore
 
 #: Environment knob: set REPRO_BENCH_RUNS to change the per-point run
@@ -62,22 +63,26 @@ class ExperimentRunner:
 
         ``operation`` receives a fresh snapshot each run and may mutate
         it freely.  Statement counts come from the last run (they are
-        deterministic across runs).
+        deterministic across runs) and are sourced from the process
+        metrics registry by diffing snapshots around the operation, so
+        the numbers reported are exactly what the instrumentation saw.
         """
         times: list[float] = []
         client_statements = 0
         trigger_statements = 0
+        registry = get_registry()
         for _ in range(self.runs):
             # The context manager closes the snapshot's connection even
             # when the operation raises (snapshots used to leak here).
             with self.master.snapshot() as store:
-                store.db.counts.reset()
+                before = registry.snapshot()
                 start = time.perf_counter()
                 operation(store)
                 elapsed = time.perf_counter() - start
                 times.append(elapsed)
-                client_statements = store.db.counts.client
-                trigger_statements = store.db.counts.trigger_emulation
+                after = registry.snapshot()
+                client_statements = counter_delta(before, after, "sql.statements.client")
+                trigger_statements = counter_delta(before, after, "sql.statements.trigger")
         averaged = times[1:] if len(times) > 1 else times
         return Measurement(
             method=method,

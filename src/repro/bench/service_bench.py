@@ -17,6 +17,7 @@ import time
 from dataclasses import asdict, dataclass
 
 from repro.bench.harness import Measurement
+from repro.obs import counter_delta, get_registry
 from repro.relational.store import XmlStore
 from repro.service import ServiceConfig, SubtreeDelete, UpdateService
 
@@ -28,7 +29,13 @@ DEFAULT_UPDATES = 192
 
 @dataclass
 class ServicePoint:
-    """Throughput and statement cost of one batch-size configuration."""
+    """Throughput and per-phase cost of one batch-size configuration.
+
+    All counters are sourced from the process metrics registry
+    (``repro.obs``) by diffing snapshots around the run — the same
+    numbers ``python -m repro stats`` reports — rather than from
+    per-connection ``Database`` fields.
+    """
 
     batch_size: int
     updates: int
@@ -37,6 +44,9 @@ class ServicePoint:
     client_statements: int
     trigger_statements: int
     client_statements_per_update: float
+    fsyncs: int = 0
+    batches: int = 0
+    mean_batch_size: float = 0.0
 
     def as_measurement(self) -> Measurement:
         return Measurement(
@@ -66,9 +76,9 @@ def run_point(
     wal_dir: str | None = None,
 ) -> ServicePoint:
     """Push ``updates`` single-subtree deletes through one service."""
+    registry = get_registry()
     with master.snapshot() as store:
         ids = _delete_targets(store, updates)
-        store.db.counts.reset()
         wal_path = None
         if wal_dir is not None:
             wal_path = os.path.join(wal_dir, f"service-batch{batch_size}.wal")
@@ -83,6 +93,7 @@ def run_point(
         )
         service.host_store("bench.xml", store)
         service.start()
+        before = registry.snapshot()
         start = time.perf_counter()
         tickets = [
             service.submit(SubtreeDelete("bench.xml", "n1", (subtree_id,)))
@@ -92,9 +103,13 @@ def run_point(
         for ticket in tickets:
             ticket.wait(120)
         elapsed = time.perf_counter() - start
-        client = store.db.counts.client
-        trigger = store.db.counts.trigger_emulation
+        after = registry.snapshot()
         service.close()
+    client = counter_delta(before, after, "sql.statements.client")
+    trigger = counter_delta(before, after, "sql.statements.trigger")
+    fsyncs = counter_delta(before, after, "wal.fsyncs")
+    batches = counter_delta(before, after, "batcher.batches")
+    batch_count = counter_delta(before, after, "batcher.ops.applied")
     return ServicePoint(
         batch_size=batch_size,
         updates=updates,
@@ -103,6 +118,9 @@ def run_point(
         client_statements=client,
         trigger_statements=trigger,
         client_statements_per_update=client / updates,
+        fsyncs=fsyncs,
+        batches=batches,
+        mean_batch_size=batch_count / batches if batches else 0.0,
     )
 
 

@@ -10,7 +10,11 @@ Usage::
     python -m repro validate --xml doc.xml --dtd doc.dtd
     python -m repro shell    --xml doc.xml [--dtd doc.dtd]
     python -m repro serve    --xml doc.xml --wal doc.wal [--batch-size N]
+                             [--trace-out spans.json]
     python -m repro replay   --xml doc.xml --wal doc.wal [--output new.xml]
+                             [--trace-out spans.json]
+    python -m repro stats    [--xml doc.xml [--dtd doc.dtd] --exec STMT ...]
+                             [--json]
 
 The document name visible to ``document("...")`` inside statements is
 the XML file's basename (override with ``--name``).
@@ -19,6 +23,12 @@ the XML file's basename (override with ``--name``).
 statements read from stdin (one per line) are executed, converted to
 deltas, group-committed through the write-ahead log, and applied;
 ``replay`` recovers a crashed service's WAL against the base document.
+
+``stats`` prints a live snapshot of the process metrics registry
+(``repro.obs``); with ``--exec`` it runs statements first so the
+snapshot shows their per-phase counts.  ``--trace-out`` on ``serve``
+and ``replay`` captures hierarchical phase spans (parse, translate,
+execute, fsync, ...) and writes them as JSON on exit.
 """
 
 from __future__ import annotations
@@ -101,6 +111,9 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip replaying an existing WAL before serving",
     )
+    serve.add_argument(
+        "--trace-out", help="write hierarchical trace spans (JSON) here on exit"
+    )
 
     rep = commands.add_parser(
         "replay", help="recover a WAL against the base document"
@@ -108,6 +121,29 @@ def build_parser() -> argparse.ArgumentParser:
     add_common(rep)
     rep.add_argument("--wal", required=True, help="write-ahead log file")
     rep.add_argument("--output", help="write the recovered document here")
+    rep.add_argument(
+        "--trace-out", help="write hierarchical trace spans (JSON) here on exit"
+    )
+
+    stats = commands.add_parser(
+        "stats", help="print a live snapshot of the process metrics registry"
+    )
+    stats.add_argument("--xml", help="XML document to run --exec statements against")
+    stats.add_argument("--dtd", help="DTD file")
+    stats.add_argument(
+        "--name", help="name exposed to document(...) (default: the XML basename)"
+    )
+    stats.add_argument(
+        "--exec",
+        dest="statements",
+        action="append",
+        metavar="STATEMENT",
+        default=[],
+        help="run this statement before the snapshot (repeatable)",
+    )
+    stats.add_argument(
+        "--json", action="store_true", help="emit the snapshot as JSON"
+    )
 
     return parser
 
@@ -260,10 +296,14 @@ def cmd_shell(args) -> int:
 
 
 def cmd_serve(args) -> int:
+    from repro.obs import get_tracer, span
     from repro.service import ServiceConfig, UpdateService
     from repro.updates.delta import diff
     from repro.xmlmodel.parser import XmlParser
 
+    tracer = get_tracer()
+    if args.trace_out:
+        tracer.start_capture()
     name, document, _dtd, policy = _load(args)
     service = UpdateService(
         ServiceConfig(wal_path=args.wal, batch_size=args.batch_size)
@@ -310,10 +350,12 @@ def cmd_serve(args) -> int:
             # the WAL records the statement's *effect*, which replays
             # deterministically regardless of bindings.
             try:
-                working = XmlParser(serialize(document), policy=policy).parse()
-                XQueryEngine({name: working}, policy=policy).execute(parsed)
-                delta = diff(document, working)
-                sequence = session.submit_wait(name, delta)
+                with span("serve.statement"):
+                    working = XmlParser(serialize(document), policy=policy).parse()
+                    XQueryEngine({name: working}, policy=policy).execute(parsed)
+                    with span("delta.diff"):
+                        delta = diff(document, working)
+                    sequence = session.submit_wait(name, delta)
             except ReproError as error:
                 print(f"error: {error}", file=sys.stderr)
                 continue
@@ -325,6 +367,11 @@ def cmd_serve(args) -> int:
     finally:
         session.close()
         service.close()
+        if args.trace_out:
+            tracer.stop_capture()
+            written = tracer.write_json(args.trace_out)
+            print(f"-- wrote {written} trace span(s) to {args.trace_out}",
+                  file=sys.stderr)
     print(f"-- served {statements} update statement(s); WAL at {args.wal}",
           file=sys.stderr)
     return 0
@@ -349,14 +396,23 @@ def _run_read_query(host, statement: str, policy) -> list[str]:
 
 
 def cmd_replay(args) -> int:
+    from repro.obs import get_tracer
     from repro.service import WriteAheadLog, replay_into_documents
 
     if not os.path.exists(args.wal):
         print(f"error: WAL file {args.wal} does not exist", file=sys.stderr)
         return 2
+    tracer = get_tracer()
+    if args.trace_out:
+        tracer.start_capture()
     name, document, _dtd, policy = _load(args)
     with WriteAheadLog(args.wal) as wal:
         report = replay_into_documents(wal, {name: document}, policy=policy)
+    if args.trace_out:
+        tracer.stop_capture()
+        written = tracer.write_json(args.trace_out)
+        print(f"-- wrote {written} trace span(s) to {args.trace_out}",
+              file=sys.stderr)
     print(f"-- {report.summary()}", file=sys.stderr)
     recovered = serialize(document)
     if args.output:
@@ -366,6 +422,56 @@ def cmd_replay(args) -> int:
     else:
         print(recovered)
     return 1 if report.failed else 0
+
+
+#: Metrics pre-registered by ``stats`` so a fresh process still prints a
+#: meaningful (zero-valued) snapshot of the pipeline's core counters.
+CORE_METRICS = (
+    "sql.statements.client",
+    "sql.statements.trigger",
+    "wal.appends",
+    "wal.fsyncs",
+    "batcher.batches",
+    "batcher.ops.applied",
+    "xquery.statements",
+    "xquery.bindings",
+    "xquery.operations",
+)
+
+
+def cmd_stats(args) -> int:
+    import json as json_module
+
+    from repro.obs import get_registry
+
+    registry = get_registry()
+    for metric in CORE_METRICS:
+        registry.counter(metric)
+    if args.statements:
+        if not args.xml:
+            print("--exec requires --xml", file=sys.stderr)
+            return 2
+        name, document, _dtd, policy = _load(args)
+        engine = XQueryEngine({name: document}, policy=policy)
+        for statement in args.statements:
+            engine.execute(statement)
+    snapshot = registry.snapshot()
+    if args.json:
+        print(json_module.dumps(snapshot, indent=2, sort_keys=True))
+        return 0
+    width = max(len(name) for name in snapshot)
+    for metric_name, data in snapshot.items():
+        if data["kind"] == "histogram":
+            detail = (
+                f"count={data['count']} sum={data['sum']:.6f} "
+                f"mean={data['mean']:.6f}"
+            )
+            if data["max"] is not None:
+                detail += f" min={data['min']:.6f} max={data['max']:.6f}"
+        else:
+            detail = f"{data['value']:g}"
+        print(f"{data['kind']:<9} {metric_name:<{width}}  {detail}")
+    return 0
 
 
 def main(argv: Optional[list[str]] = None) -> int:
@@ -378,6 +484,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "shell": cmd_shell,
         "serve": cmd_serve,
         "replay": cmd_replay,
+        "stats": cmd_stats,
     }
     try:
         return handlers[args.command](args)

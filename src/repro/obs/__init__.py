@@ -1,0 +1,32 @@
+"""`repro.obs`: metrics and tracing for every layer of the pipeline.
+
+The paper's methodology attributes performance to counted work (SQL
+statements, tuples, fsyncs); this package is where those counts live.
+See :mod:`repro.obs.metrics` for the registry and naming scheme and
+:mod:`repro.obs.tracing` for hierarchical phase spans.
+"""
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_delta,
+    delta,
+    get_registry,
+)
+from repro.obs.tracing import Span, Tracer, get_tracer, span
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Span",
+    "Tracer",
+    "counter_delta",
+    "delta",
+    "get_registry",
+    "get_tracer",
+    "span",
+]

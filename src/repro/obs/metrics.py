@@ -1,0 +1,238 @@
+"""Process-wide metrics: counters, gauges, and histograms.
+
+The paper's whole evaluation (Section 7) is built on *counting* — SQL
+statements issued, tuples touched, per-strategy timings — so every
+layer of this reproduction reports into one :class:`MetricsRegistry`
+instead of keeping ad-hoc fields.  The registry is process-wide
+(:func:`get_registry`), lock-protected, and cheap enough to leave on in
+hot paths (an increment is one lock acquisition and an integer add).
+
+Metric naming is dotted and hierarchical, ``<layer>.<thing>[.<detail>]``:
+
+* ``sql.statements.client`` / ``sql.statements.trigger`` — counters,
+  fed by :class:`~repro.relational.database.Database`;
+* ``wal.appends`` / ``wal.fsyncs`` / ``wal.bytes`` — counters, fed by
+  the write-ahead log;
+* ``batcher.batch_size`` — histogram; ``batcher.queue_depth`` — gauge;
+* ``lock.wait.read`` / ``lock.wait.write`` — histograms of seconds
+  spent waiting for a reader-writer lock;
+* ``span.<name>`` — histograms of seconds per traced phase (see
+  :mod:`repro.obs.tracing`).
+
+Benchmarks attribute work to a window by diffing two snapshots
+(:meth:`MetricsRegistry.snapshot` + :func:`delta`) instead of resetting
+shared counters, so concurrent readers never see a counter jump
+backwards.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Union
+
+
+class Counter:
+    """A monotonically increasing integer."""
+
+    kind = "counter"
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a Gauge")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> int:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can go up and down (queue depths, active sessions)."""
+
+    kind = "gauge"
+
+    __slots__ = ("name", "_lock", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = value
+
+    def inc(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        with self._lock:
+            self._value -= amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+    def snapshot(self) -> dict:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Aggregate observations: count, sum, min, max, and mean.
+
+    The full distribution is not retained (that would be unbounded in a
+    long-lived server); count+sum is what the benchmarks need to report
+    per-window means, and min/max bound the tails.
+    """
+
+    kind = "histogram"
+
+    __slots__ = ("name", "_lock", "_count", "_sum", "_min", "_max")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._lock = threading.Lock()
+        self._count = 0
+        self._sum = 0.0
+        self._min: Optional[float] = None
+        self._max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        with self._lock:
+            self._count += 1
+            self._sum += value
+            if self._min is None or value < self._min:
+                self._min = value
+            if self._max is None or value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    @property
+    def sum(self) -> float:
+        with self._lock:
+            return self._sum
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self._sum / self._count if self._count else 0.0
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "kind": self.kind,
+                "count": self._count,
+                "sum": self._sum,
+                "min": self._min,
+                "max": self._max,
+                "mean": self._sum / self._count if self._count else 0.0,
+            }
+
+
+Metric = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Named metrics, created on first use, snapshot as plain dicts."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: dict[str, Metric] = {}
+
+    def _get_or_create(self, name: str, cls) -> Metric:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                metric = self._metrics[name] = cls(name)
+            elif not isinstance(metric, cls):
+                raise TypeError(
+                    f"metric {name!r} is a {metric.kind}, not a {cls.kind}"
+                )
+            return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def snapshot(self) -> dict[str, dict]:
+        """A point-in-time copy: metric name -> its snapshot dict."""
+        with self._lock:
+            metrics = list(self._metrics.items())
+        return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def reset(self) -> None:
+        """Forget every metric (tests; production code diffs snapshots)."""
+        with self._lock:
+            self._metrics.clear()
+
+
+def delta(before: dict[str, dict], after: dict[str, dict]) -> dict[str, dict]:
+    """Attribute work to a window by diffing two registry snapshots.
+
+    Counters diff their value; histograms diff count and sum (and carry
+    the window mean); gauges report their latest value.  Metrics that
+    did not move are omitted.
+    """
+    out: dict[str, dict] = {}
+    for name, snap in after.items():
+        prior = before.get(name, {})
+        if snap["kind"] == "counter":
+            moved = snap["value"] - prior.get("value", 0)
+            if moved:
+                out[name] = {"kind": "counter", "value": moved}
+        elif snap["kind"] == "histogram":
+            count = snap["count"] - prior.get("count", 0)
+            total = snap["sum"] - prior.get("sum", 0.0)
+            if count:
+                out[name] = {
+                    "kind": "histogram",
+                    "count": count,
+                    "sum": total,
+                    "mean": total / count,
+                }
+        else:  # gauge: the latest level is the meaningful number
+            if snap["value"] != prior.get("value", 0.0):
+                out[name] = {"kind": "gauge", "value": snap["value"]}
+    return out
+
+
+def counter_delta(before: dict[str, dict], after: dict[str, dict], name: str) -> int:
+    """Counter movement between two snapshots (0 if absent)."""
+    prior = before.get(name, {}).get("value", 0)
+    current = after.get(name, {}).get("value", 0)
+    return current - prior
+
+
+#: The process-wide registry every layer reports into.
+_REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return _REGISTRY

@@ -31,6 +31,7 @@ from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Sequence
 
 from repro.errors import StorageError
+from repro.obs import get_registry, span
 
 
 @dataclass
@@ -39,7 +40,12 @@ class StatementCounts:
 
     Increments go through :meth:`bump_client` / :meth:`bump_trigger` so
     concurrent submitters never lose a count; the attributes stay plain
-    integers for cheap reads.
+    integers for cheap reads.  Every bump is mirrored into the process
+    metrics registry (``sql.statements.client`` /
+    ``sql.statements.trigger``), which is the source benchmarks and
+    ``python -m repro stats`` report from; the instance-level fields
+    remain as a per-connection view that :meth:`reset` can zero without
+    disturbing other connections.
     """
 
     client: int = 0  # statements the application issued
@@ -51,10 +57,12 @@ class StatementCounts:
     def bump_client(self, count: int = 1) -> None:
         with self._lock:
             self.client += count
+        get_registry().counter("sql.statements.client").inc(count)
 
     def bump_trigger(self, count: int = 1) -> None:
         with self._lock:
             self.trigger_emulation += count
+        get_registry().counter("sql.statements.trigger").inc(count)
 
     def reset(self) -> None:
         with self._lock:
@@ -92,7 +100,7 @@ class Database:
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Run one client statement (counted), firing emulated triggers."""
-        with self._lock:
+        with self._lock, span("sql.execute"):
             self.counts.bump_client()
             try:
                 cursor = self._checked_connection().execute(sql, params)
@@ -105,7 +113,7 @@ class Database:
         """Run one statement against many parameter rows (counted once per
         row, matching how a JDBC batch still ships per-row work)."""
         rows = list(rows)
-        with self._lock:
+        with self._lock, span("sql.execute", rows=len(rows)):
             self.counts.bump_client(len(rows))
             try:
                 cursor = self._checked_connection().executemany(sql, rows)

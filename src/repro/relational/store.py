@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Optional, Sequence, Union
 
 from repro.errors import StorageError, TranslationError
+from repro.obs import get_registry, span
 from repro.relational.asr import AsrManager
 from repro.relational.database import Database
 from repro.relational.delete_methods import (
@@ -189,6 +190,7 @@ class XmlStore:
         None; RETURN queries reconstruct and return elements."""
         query = self.parse(statement) if isinstance(statement, str) else statement
         if query.is_update:
+            get_registry().counter("store.updates").inc()
             translator = UpdateTranslator(
                 self.db,
                 self.schema,
@@ -199,7 +201,8 @@ class XmlStore:
                 document_name=self.document_name,
             )
             try:
-                translator.execute_update(query)
+                with span("sql.translate", kind="update"):
+                    translator.execute_update(query)
             except Exception:
                 # A failing sub-operation must not leave a partial update
                 # behind (the statement is one logical unit of work).
@@ -216,14 +219,17 @@ class XmlStore:
             raise StorageError("use execute() for update statements")
         if query.returns is None:
             raise StorageError("query has no RETURN clause")
-        selection = self._query_selection(query)
-        outer_union = build_outer_union(
-            self.schema, selection.relation, selection.where_sql, selection.params
-        )
+        get_registry().counter("store.queries").inc()
+        with span("sql.translate", kind="query"):
+            selection = self._query_selection(query)
+            outer_union = build_outer_union(
+                self.schema, selection.relation, selection.where_sql, selection.params
+            )
         rows = self.db.query(outer_union.sql, outer_union.params)
-        return reconstruct_elements(
-            self.schema, outer_union, rows, positions=self._order_positions()
-        )
+        with span("store.reconstruct", rows=len(rows)):
+            return reconstruct_elements(
+                self.schema, outer_union, rows, positions=self._order_positions()
+            )
 
     def _order_positions(self):
         """Tuple-id -> position map for order-aware reconstruction;

@@ -30,11 +30,13 @@ replay, as is any torn tail past the last fsync).
 from __future__ import annotations
 
 import threading
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
 from repro.errors import ServiceClosedError, ServiceTimeoutError
+from repro.obs import get_registry, span
 from repro.service.ops import CommitMarker, ServiceOp, encode_op
 from repro.service.wal import WriteAheadLog
 
@@ -130,13 +132,19 @@ class GroupCommitBatcher:
             self._thread.start()
 
     def submit(self, op: ServiceOp, timeout: Optional[float] = None) -> Ticket:
-        """Enqueue one operation; blocks while the queue is full."""
+        """Enqueue one operation; blocks while the queue is full.
+
+        ``timeout`` bounds the *total* time spent blocked: the wait loop
+        runs against one monotonic deadline, so spurious wake-ups (every
+        batch completion notifies this condition) cannot extend it.
+        """
         ticket = Ticket(op)
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             if self._stopping:
                 raise ServiceClosedError("service is shutting down")
             while len(self._queue) >= self._max_queue:
-                if not self._cond.wait(timeout):
+                if not self._wait(deadline):
                     raise ServiceTimeoutError(
                         f"submission queue stayed full for {timeout}s"
                     )
@@ -144,18 +152,40 @@ class GroupCommitBatcher:
                     raise ServiceClosedError("service is shutting down")
             self._queue.append(ticket)
             self._submitted += 1
+            get_registry().gauge("batcher.queue_depth").set(len(self._queue))
             with self.stats._lock:
                 self.stats.submitted += 1
             self._cond.notify_all()
+        get_registry().counter("batcher.submitted").inc()
         return ticket
 
     def flush(self, timeout: Optional[float] = None) -> None:
-        """Block until everything submitted before this call is resolved."""
+        """Block until everything submitted before this call is resolved.
+
+        Like :meth:`submit`, the timeout is a single monotonic deadline
+        across all wake-ups, not a per-wait budget.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._cond:
             target = self._submitted
             while self._completed < target:
-                if not self._cond.wait(timeout):
+                if not self._wait(deadline):
                     raise ServiceTimeoutError("flush timed out")
+
+    def _wait(self, deadline: Optional[float]) -> bool:
+        """Wait on the condition; False once the deadline has passed.
+
+        Mirrors ``ReadWriteLock._wait``: the caller's loop re-checks its
+        predicate after every wake-up, this only bounds the total wait.
+        """
+        if deadline is None:
+            self._cond.wait()
+            return True
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            return False
+        self._cond.wait(remaining)
+        return True
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop accepting work; by default drain what was already queued."""
@@ -196,6 +226,7 @@ class GroupCommitBatcher:
                     self._queue.popleft()
                     for _ in range(min(len(self._queue), self._max_batch))
                 ]
+                get_registry().gauge("batcher.queue_depth").set(len(self._queue))
                 self._cond.notify_all()  # wake submitters blocked on a full queue
             self._commit(batch)
             with self._cond:
@@ -203,19 +234,28 @@ class GroupCommitBatcher:
                 self._cond.notify_all()
 
     def _commit(self, batch: list[Ticket]) -> None:
+        with span("service.commit", batch_size=len(batch)):
+            self._commit_batch(batch)
+
+    def _commit_batch(self, batch: list[Ticket]) -> None:
+        registry = get_registry()
+        registry.histogram("batcher.batch_size").observe(len(batch))
         ops = [ticket.op for ticket in batch]
         # 1. Log every operation (buffered; not yet durable).
         try:
-            seqs = self._log(ops)
+            with span("wal.append", records=len(ops)):
+                seqs = self._log(ops)
         except Exception as error:  # WAL failure: nothing was applied
             for ticket in batch:
                 ticket._fail(error)
             with self.stats._lock:
                 self.stats.failed += len(batch)
+            registry.counter("batcher.ops.failed").inc(len(batch))
             return
         # 2. Apply, collecting one outcome per operation.
         try:
-            errors = list(self._apply_batch(ops))
+            with span("service.apply", ops=len(ops)):
+                errors = list(self._apply_batch(ops))
             if len(errors) != len(ops):
                 raise RuntimeError("apply callback returned a misaligned result")
         except Exception as error:
@@ -245,6 +285,10 @@ class GroupCommitBatcher:
             self.stats.failed += failed
             self.stats.batches += 1
             self.stats.largest_batch = max(self.stats.largest_batch, len(batch))
+        registry.counter("batcher.batches").inc()
+        registry.counter("batcher.ops.applied").inc(applied)
+        if failed:
+            registry.counter("batcher.ops.failed").inc(failed)
 
     def _log(self, ops: Sequence[ServiceOp]) -> list[Optional[int]]:
         if self._wal is None:

@@ -18,6 +18,7 @@ from contextlib import contextmanager
 from typing import Iterable, Iterator, Optional
 
 from repro.errors import ServiceTimeoutError
+from repro.obs import get_registry
 
 
 class ReadWriteLock:
@@ -33,12 +34,14 @@ class ReadWriteLock:
     # Reader side
     # ------------------------------------------------------------------
     def acquire_read(self, timeout: Optional[float] = None) -> None:
-        deadline = None if timeout is None else time.monotonic() + timeout
+        started = time.monotonic()
+        deadline = None if timeout is None else started + timeout
         with self._cond:
             while self._writer_active or self._waiting_writers:
                 if not self._wait(deadline):
                     raise ServiceTimeoutError("timed out waiting for read lock")
             self._active_readers += 1
+        get_registry().histogram("lock.wait.read").observe(time.monotonic() - started)
 
     def release_read(self) -> None:
         with self._cond:
@@ -52,16 +55,24 @@ class ReadWriteLock:
     # Writer side
     # ------------------------------------------------------------------
     def acquire_write(self, timeout: Optional[float] = None) -> None:
-        deadline = None if timeout is None else time.monotonic() + timeout
+        started = time.monotonic()
+        deadline = None if timeout is None else started + timeout
         with self._cond:
             self._waiting_writers += 1
             try:
                 while self._writer_active or self._active_readers:
                     if not self._wait(deadline):
                         raise ServiceTimeoutError("timed out waiting for write lock")
-            finally:
+            except BaseException:
+                # Readers park on `writer_active or waiting_writers`; when
+                # the last waiting writer gives up they must be woken, or
+                # they stay asleep with nothing left to notify them.
                 self._waiting_writers -= 1
+                self._cond.notify_all()
+                raise
+            self._waiting_writers -= 1
             self._writer_active = True
+        get_registry().histogram("lock.wait.write").observe(time.monotonic() - started)
 
     def release_write(self) -> None:
         with self._cond:

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Mapping, Optional
 
 from repro.errors import ReproError
+from repro.obs import get_registry, span
 from repro.service.ops import CommitMarker, ServiceOp, decode_op
 from repro.service.wal import WriteAheadLog
 from repro.updates.delta import apply_delta
@@ -63,7 +64,8 @@ def replay(
     operation failed and the replay continues; any other exception
     propagates (it is a bug, not a data problem)."""
     report = RecoveryReport()
-    records, torn = wal.scan()
+    with span("recovery.scan"):
+        records, torn = wal.scan()
     if torn and truncate:
         report.truncated_bytes = wal.truncate_torn_tail()
     elif torn:
@@ -77,16 +79,22 @@ def replay(
         else:
             operations.append((record.seq, payload))
         report.last_seq = record.seq
-    for seq, op in operations:
-        if seq not in committed:
-            report.uncommitted += 1
-            continue
-        try:
-            apply(op)
-            report.applied += 1
-        except ReproError as error:
-            report.failed += 1
-            report.errors.append(f"seq {seq}: {error}")
+    with span("recovery.replay", records=len(operations)):
+        for seq, op in operations:
+            if seq not in committed:
+                report.uncommitted += 1
+                continue
+            try:
+                apply(op)
+                report.applied += 1
+            except ReproError as error:
+                report.failed += 1
+                report.errors.append(f"seq {seq}: {error}")
+    registry = get_registry()
+    registry.counter("recovery.applied").inc(report.applied)
+    registry.counter("recovery.uncommitted").inc(report.uncommitted)
+    if report.truncated_bytes:
+        registry.counter("recovery.truncated_bytes").inc(report.truncated_bytes)
     return report
 
 

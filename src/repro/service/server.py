@@ -32,6 +32,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Optional, Sequence, Union
 
 from repro.errors import ServiceClosedError, ServiceError, ServiceTimeoutError
+from repro.obs import get_registry, span
 from repro.relational.store import XmlStore
 from repro.service.batcher import GroupCommitBatcher, Ticket
 from repro.service.locks import LockManager
@@ -278,7 +279,8 @@ class UpdateService:
         host = self.host(doc)
 
         def run() -> Any:
-            with self._locks.read(doc, timeout):
+            get_registry().counter("service.queries").inc()
+            with self._locks.read(doc, timeout), span("service.query", doc=doc):
                 if work is None:
                     return host.serialize()
                 if callable(work):

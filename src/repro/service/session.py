@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence, Union
 
 from repro.errors import ServiceClosedError
+from repro.obs import get_registry
 from repro.service.batcher import Ticket
 from repro.service.ops import DeltaUpdate, ServiceOp, SubtreeCopy, SubtreeDelete
 from repro.updates.delta import DeltaOp
@@ -38,6 +39,7 @@ class Session:
         self._default_timeout = default_timeout
         self._tickets: list[Ticket] = []
         self._closed = False
+        get_registry().gauge("service.sessions.active").inc()
 
     # ------------------------------------------------------------------
     # Submission
@@ -114,6 +116,7 @@ class Session:
         if self._closed:
             return
         self._closed = True
+        get_registry().gauge("service.sessions.active").dec()
         deadline_timeout = timeout or self._default_timeout
         for ticket in self._tickets:
             try:

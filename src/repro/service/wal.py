@@ -41,6 +41,7 @@ import zlib
 from dataclasses import dataclass
 
 from repro.errors import WalError
+from repro.obs import get_registry, span
 
 MAGIC = b"XRWAL001"
 _FRAME = struct.Struct("<QII")  # seq, payload length, payload crc32
@@ -104,6 +105,9 @@ class WriteAheadLog:
             self._file.seek(self._end_offset)
             self._file.write(frame + payload)
             self._end_offset += len(frame) + len(payload)
+            registry = get_registry()
+            registry.counter("wal.appends").inc()
+            registry.counter("wal.bytes").inc(len(frame) + len(payload))
             if self.sync_mode == "always":
                 self._sync_locked()
             return seq
@@ -117,7 +121,9 @@ class WriteAheadLog:
     def _sync_locked(self) -> None:
         self._file.flush()
         if self.sync_mode != "never":
-            os.fsync(self._file.fileno())
+            with span("wal.fsync"):
+                os.fsync(self._file.fileno())
+            get_registry().counter("wal.fsyncs").inc()
 
     # ------------------------------------------------------------------
     # Read path
@@ -200,9 +206,7 @@ class WriteAheadLog:
         with self._lock:
             if self._closed:
                 return
-            self._file.flush()
-            if self.sync_mode != "never":
-                os.fsync(self._file.fileno())
+            self._sync_locked()
             self._file.close()
             self._closed = True
 

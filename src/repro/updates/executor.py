@@ -22,6 +22,7 @@ from dataclasses import dataclass
 from typing import Union
 
 from repro.errors import DeletedBindingError, UpdateError
+from repro.obs import get_registry
 from repro.updates.binding import enumerate_bindings
 from repro.updates.content import RefContent
 from repro.updates.operations import (
@@ -238,6 +239,7 @@ class UpdateExecutor:
             )
 
     def _execute_simple(self, target: Element, step: _BoundSimple) -> None:
+        get_registry().counter(f"update.ops.{step.op_kind}").inc()
         if step.op_kind == "delete":
             self._execute_delete(target, step.child)
         elif step.op_kind == "rename":

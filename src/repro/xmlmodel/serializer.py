@@ -1,9 +1,18 @@
 """Serialize model trees back to XML text.
 
-The serializer writes attributes first (in insertion order), then
-reference lists (IDREFS rendered as space-separated ID values), then
-children.  With ``indent`` set, elements with element-only content are
-pretty-printed; mixed content is written inline to preserve PCDATA.
+The serializer writes attributes first (in canonical sorted-name order;
+attributes are unordered in the data model, so a deterministic order is
+chosen rather than preserved), then reference lists (IDREFS rendered as
+space-separated ID values), then children.  With ``indent`` set,
+elements with element-only content are pretty-printed; mixed content is
+written inline to preserve PCDATA.
+
+Escaping is round-trip safe under XML 1.0 normalization: a conformant
+parser replaces literal tabs and newlines in attribute values with
+spaces (attribute-value normalization, XML 1.0 §3.3.3) and folds
+``\\r``/``\\r\\n`` in text to ``\\n`` (end-of-line handling, §2.11), so
+those characters are emitted as character references (``&#9;``,
+``&#10;``, ``&#13;``), which survive both normalizations.
 """
 
 from __future__ import annotations
@@ -14,11 +23,21 @@ from repro.xmlmodel.model import Document, Element, Text
 
 
 def _escape_text(value: str) -> str:
-    return value.replace("&", "&amp;").replace("<", "&lt;").replace(">", "&gt;")
+    return (
+        value.replace("&", "&amp;")
+        .replace("<", "&lt;")
+        .replace(">", "&gt;")
+        .replace("\r", "&#13;")
+    )
 
 
 def _escape_attribute(value: str) -> str:
-    return _escape_text(value).replace('"', "&quot;")
+    return (
+        _escape_text(value)
+        .replace('"', "&quot;")
+        .replace("\t", "&#9;")
+        .replace("\n", "&#10;")
+    )
 
 
 def _format_start_tag(element: Element) -> str:

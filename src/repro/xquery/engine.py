@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Union
 
 from repro.errors import UpdateError, XQueryError
+from repro.obs import get_registry, span
 from repro.updates.binding import enumerate_bindings
 from repro.updates.executor import BoundUpdate, UpdateExecutor
 from repro.xmlmodel.model import Document, Element
@@ -64,39 +65,47 @@ class XQueryEngine:
         self.policy = policy or RefPolicy.default()
 
     def parse(self, text: str) -> Query:
-        return parse_query(text, policy=self.policy)
+        with span("xquery.parse"):
+            return parse_query(text, policy=self.policy)
 
     def execute(self, statement: Union[str, Query]) -> Union[UpdateResult, QueryResult]:
         """Run a statement; returns an UpdateResult or a QueryResult."""
         query = self.parse(statement) if isinstance(statement, str) else statement
+        registry = get_registry()
+        registry.counter("xquery.statements").inc()
         context = XPathContext(documents=self.documents)
-        combos = list(enumerate_bindings(query.clauses, query.where, context))
+        with span("xquery.bind"):
+            combos = list(enumerate_bindings(query.clauses, query.where, context))
+        registry.counter("xquery.bindings").inc(len(combos))
         if not query.is_update:
-            return self._execute_return(query, combos, context)
+            with span("xquery.return"):
+                return self._execute_return(query, combos, context)
         executor = UpdateExecutor(context, ordered=self.ordered)
         # Phase 1: bind every iteration of every UPDATE clause over the
         # pre-update documents.
         bound: list[BoundUpdate] = []
-        for combo in combos:
-            for clause in query.updates:
-                target = combo.get(clause.target_variable)
-                if target is None:
-                    raise XQueryError(
-                        f"UPDATE target ${clause.target_variable} is not bound by "
-                        "the FOR/LET clauses"
-                    )
-                if not isinstance(target, Element):
-                    raise UpdateError(
-                        f"UPDATE target ${clause.target_variable} must bind an "
-                        f"element, got {target!r}"
-                    )
-                bound.append(executor.bind(target, clause.operations, combo))
+        with span("xquery.bind_updates"):
+            for combo in combos:
+                for clause in query.updates:
+                    target = combo.get(clause.target_variable)
+                    if target is None:
+                        raise XQueryError(
+                            f"UPDATE target ${clause.target_variable} is not bound by "
+                            "the FOR/LET clauses"
+                        )
+                    if not isinstance(target, Element):
+                        raise UpdateError(
+                            f"UPDATE target ${clause.target_variable} must bind an "
+                            f"element, got {target!r}"
+                        )
+                    bound.append(executor.bind(target, clause.operations, combo))
         # Phase 2: execute iteration by iteration.
-        for bound_update in bound:
-            executor.execute(bound_update)
-        return UpdateResult(bindings=len(combos), operations=sum(
-            _count_operations(item) for item in bound
-        ))
+        with span("xquery.execute"):
+            for bound_update in bound:
+                executor.execute(bound_update)
+        operations = sum(_count_operations(item) for item in bound)
+        registry.counter("xquery.operations").inc(operations)
+        return UpdateResult(bindings=len(combos), operations=operations)
 
     def _execute_return(
         self,

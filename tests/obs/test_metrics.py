@@ -1,0 +1,164 @@
+"""Metrics registry: instruments, get-or-create, snapshots, deltas."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    counter_delta,
+    delta,
+    get_registry,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        counter = Counter("c")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        counter = Counter("c")
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+        assert counter.value == 0
+
+    def test_snapshot(self):
+        counter = Counter("c")
+        counter.inc(3)
+        assert counter.snapshot() == {"kind": "counter", "value": 3}
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        gauge = Gauge("g")
+        gauge.set(10)
+        gauge.inc(2.5)
+        gauge.dec()
+        assert gauge.value == 11.5
+
+    def test_snapshot(self):
+        gauge = Gauge("g")
+        gauge.set(-4)
+        assert gauge.snapshot() == {"kind": "gauge", "value": -4}
+
+
+class TestHistogram:
+    def test_aggregates(self):
+        histogram = Histogram("h")
+        for value in (2.0, 8.0, 5.0):
+            histogram.observe(value)
+        assert histogram.count == 3
+        assert histogram.sum == 15.0
+        assert histogram.mean == 5.0
+        snap = histogram.snapshot()
+        assert snap["min"] == 2.0 and snap["max"] == 8.0
+
+    def test_empty_histogram_mean_is_zero(self):
+        histogram = Histogram("h")
+        assert histogram.mean == 0.0
+        snap = histogram.snapshot()
+        assert snap["count"] == 0 and snap["min"] is None and snap["max"] is None
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.gauge("b") is registry.gauge("b")
+        assert registry.histogram("c") is registry.histogram("c")
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_names_sorted(self):
+        registry = MetricsRegistry()
+        registry.counter("z")
+        registry.gauge("a")
+        assert registry.names() == ["a", "z"]
+
+    def test_snapshot_is_a_point_in_time_copy(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(2)
+        snap = registry.snapshot()
+        registry.counter("c").inc(10)
+        assert snap["c"]["value"] == 2
+
+    def test_reset_forgets_everything(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.names() == []
+        assert registry.counter("c").value == 0
+
+    def test_concurrent_increments_do_not_lose_updates(self):
+        registry = MetricsRegistry()
+
+        def hammer():
+            counter = registry.counter("hits")
+            histogram = registry.histogram("obs")
+            for _ in range(1000):
+                counter.inc()
+                histogram.observe(1.0)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(10)
+        assert registry.counter("hits").value == 8000
+        assert registry.histogram("obs").count == 8000
+
+    def test_process_registry_is_a_singleton(self):
+        assert get_registry() is get_registry()
+
+
+class TestDelta:
+    def test_counter_and_histogram_windows(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc(5)
+        registry.histogram("h").observe(2.0)
+        before = registry.snapshot()
+        registry.counter("c").inc(3)
+        registry.histogram("h").observe(4.0)
+        registry.histogram("h").observe(6.0)
+        after = registry.snapshot()
+        moved = delta(before, after)
+        assert moved["c"] == {"kind": "counter", "value": 3}
+        assert moved["h"]["count"] == 2
+        assert moved["h"]["sum"] == 10.0
+        assert moved["h"]["mean"] == 5.0
+
+    def test_unmoved_metrics_omitted(self):
+        registry = MetricsRegistry()
+        registry.counter("quiet").inc()
+        before = registry.snapshot()
+        moved = delta(before, registry.snapshot())
+        assert moved == {}
+
+    def test_gauge_reports_latest_level(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(3)
+        before = registry.snapshot()
+        registry.gauge("depth").set(7)
+        moved = delta(before, registry.snapshot())
+        assert moved["depth"] == {"kind": "gauge", "value": 7}
+
+    def test_counter_delta_helper(self):
+        registry = MetricsRegistry()
+        before = registry.snapshot()
+        registry.counter("c").inc(4)
+        after = registry.snapshot()
+        assert counter_delta(before, after, "c") == 4
+        assert counter_delta(before, after, "missing") == 0

@@ -1,0 +1,119 @@
+"""Tracer: span nesting, capture lifecycle, histograms, JSON export."""
+
+import json
+import threading
+
+from repro.obs import get_registry, get_tracer, span
+from repro.obs.tracing import Tracer
+
+
+class TestSpanRecording:
+    def test_nesting_builds_a_tree(self):
+        tracer = Tracer()
+        tracer.start_capture()
+        with tracer.span("outer", doc="d"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        roots = tracer.drain()
+        assert [root.name for root in roots] == ["outer"]
+        assert roots[0].meta == {"doc": "d"}
+        assert [child.name for child in roots[0].children] == ["inner", "sibling"]
+        assert roots[0].duration >= sum(c.duration for c in roots[0].children)
+
+    def test_no_tree_kept_when_not_capturing(self):
+        tracer = Tracer()
+        with tracer.span("quiet"):
+            pass
+        assert tracer.drain() == []
+
+    def test_histogram_observed_even_when_not_capturing(self):
+        registry = get_registry()
+        before = registry.histogram("span.obs.test.phase").count
+        tracer = Tracer()
+        assert not tracer.capturing
+        with tracer.span("obs.test.phase"):
+            pass
+        assert registry.histogram("span.obs.test.phase").count == before + 1
+
+    def test_threads_get_separate_roots(self):
+        tracer = Tracer()
+        tracer.start_capture()
+        ready = threading.Barrier(2, timeout=5)
+
+        def worker():
+            with tracer.span("worker.phase"):
+                ready.wait()
+
+        thread = threading.Thread(target=worker, name="worker-thread")
+        with tracer.span("main.phase"):
+            thread.start()
+            ready.wait()  # both spans open concurrently, in their threads
+            thread.join(5)
+        roots = tracer.drain()
+        # Two roots, not one nested under the other.
+        assert sorted(root.name for root in roots) == ["main.phase", "worker.phase"]
+        by_name = {root.name: root for root in roots}
+        assert by_name["worker.phase"].thread == "worker-thread"
+        assert not by_name["main.phase"].children
+
+    def test_drain_empties_the_collector(self):
+        tracer = Tracer()
+        tracer.start_capture()
+        with tracer.span("once"):
+            pass
+        assert len(tracer.drain()) == 1
+        assert tracer.drain() == []
+
+    def test_stop_capture_stops_collecting(self):
+        tracer = Tracer()
+        tracer.start_capture()
+        tracer.stop_capture()
+        with tracer.span("after"):
+            pass
+        assert tracer.drain() == []
+
+
+class TestExport:
+    def test_export_shape(self):
+        tracer = Tracer()
+        tracer.start_capture()
+        with tracer.span("outer", records=2):
+            with tracer.span("inner"):
+                pass
+        document = tracer.export()
+        (root,) = document["spans"]
+        assert root["name"] == "outer"
+        assert root["meta"] == {"records": 2}
+        assert root["duration_s"] >= 0
+        assert [child["name"] for child in root["children"]] == ["inner"]
+        assert "children" not in root["children"][0]
+
+    def test_write_json_round_trips(self, tmp_path):
+        tracer = Tracer()
+        tracer.start_capture()
+        with tracer.span("a"):
+            pass
+        with tracer.span("b"):
+            pass
+        path = tmp_path / "spans.json"
+        written = tracer.write_json(str(path))
+        assert written == 2
+        document = json.loads(path.read_text())
+        assert [span_["name"] for span_ in document["spans"]] == ["a", "b"]
+
+
+class TestModuleLevelSpan:
+    def test_uses_the_process_tracer(self):
+        tracer = get_tracer()
+        tracer.drain()  # discard anything a prior test captured
+        tracer.start_capture()
+        try:
+            with span("module.level", tag=1):
+                pass
+            roots = tracer.drain()
+        finally:
+            tracer.stop_capture()
+        assert [root.name for root in roots] == ["module.level"]
+        assert roots[0].meta == {"tag": 1}

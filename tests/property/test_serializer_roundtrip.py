@@ -1,0 +1,59 @@
+"""Round-trip properties over a control-character-bearing alphabet.
+
+The general serialize/parse identity is covered by
+``test_roundtrips.py``; these properties deliberately force the
+characters XML 1.0 normalizes away — tab and newline in attribute
+values (attribute-value normalization, §3.3.3) and carriage returns in
+text (end-of-line handling, §2.11) — which the serializer must emit as
+character references to survive a conformant parser.
+"""
+
+import xml.etree.ElementTree as ET
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel import parse, serialize
+from repro.xmlmodel.model import Element, Text
+
+#: Attribute/text values drawn from an alphabet where every corruption
+#: mode is reachable: the three normalized control characters, the five
+#: characters needing entity escaping, whitespace, and plain letters.
+CONTROL_ALPHABET = st.sampled_from(list("\t\n\r&<>\"' ab"))
+values = st.text(alphabet=CONTROL_ALPHABET, max_size=12)
+
+
+def _single_element(attribute: str, text: str) -> Element:
+    element = Element("e")
+    element.set_attribute("v", attribute)
+    if text:  # an empty Text node vanishes on re-parse, trivially
+        element.append_child(Text(text))
+    return element
+
+
+class TestControlCharacterFixedPoint:
+    @given(attribute=values, text=values)
+    @settings(max_examples=120, deadline=None)
+    def test_serialize_parse_serialize_is_fixed_point(self, attribute, text):
+        element = _single_element(attribute, text)
+        once = serialize(element, indent=0)
+        reparsed = parse(once, preserve_space=True)
+        assert serialize(reparsed, indent=0) == once
+
+    @given(attribute=values, text=values)
+    @settings(max_examples=120, deadline=None)
+    def test_values_survive_own_parser(self, attribute, text):
+        element = _single_element(attribute, text)
+        reparsed = parse(serialize(element, indent=0), preserve_space=True)
+        assert reparsed.root.attributes["v"].value == attribute
+        assert reparsed.root.text() == text
+
+    @given(attribute=values, text=values)
+    @settings(max_examples=120, deadline=None)
+    def test_values_survive_conformant_normalization(self, attribute, text):
+        # xml.etree applies the XML 1.0 normalizations our parser skips;
+        # values must come back verbatim even through those.
+        element = _single_element(attribute, text)
+        parsed = ET.fromstring(serialize(element, indent=0))
+        assert parsed.get("v") == attribute
+        assert (parsed.text or "") == text

@@ -1,6 +1,7 @@
 """Group-commit batcher: batching, coalescing, failure isolation."""
 
 import threading
+import time
 
 import pytest
 
@@ -14,6 +15,12 @@ from repro.errors import (
 from repro.service import ServiceConfig, SubtreeCopy, SubtreeDelete, UpdateService
 from repro.service.batcher import GroupCommitBatcher
 from repro.workloads.synthetic import SyntheticParams
+
+
+def spawn(target):
+    thread = threading.Thread(target=target, daemon=True)
+    thread.start()
+    return thread
 
 
 @pytest.fixture(scope="module")
@@ -200,6 +207,72 @@ class TestQueueDiscipline:
         assert all(ticket.done for ticket in tickets)
         with pytest.raises(ServiceClosedError):
             batcher.submit(SubtreeDelete("d", "n1", (99,)))
+
+    def test_submit_timeout_is_a_deadline_not_per_wait(self):
+        """Regression: the full timeout used to be passed to every
+        ``cond.wait()``, so each wake-up (every batch completion
+        notifies this condition) restarted the clock and a busy service
+        could block a submitter far past its timeout."""
+        release = threading.Event()
+
+        def slow_apply(ops):
+            release.wait(10)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(slow_apply, max_batch=1, max_queue=1)
+        batcher.start()
+        batcher.submit(SubtreeDelete("d", "n1", (1,)))  # picked up by worker
+        batcher.submit(SubtreeDelete("d", "n1", (2,)))  # fills the queue
+        stop_poking = threading.Event()
+
+        def poke():
+            # Spurious wake-ups every 50ms: pre-fix, each one restarted
+            # the full 0.3s wait, so the submit below never timed out.
+            while not stop_poking.wait(0.05):
+                with batcher._cond:
+                    batcher._cond.notify_all()
+
+        poker = spawn(poke)
+        started = time.monotonic()
+        try:
+            with pytest.raises(ServiceTimeoutError):
+                batcher.submit(SubtreeDelete("d", "n1", (3,)), timeout=0.3)
+            assert time.monotonic() - started < 1.5
+        finally:
+            stop_poking.set()
+            poker.join(5)
+            release.set()
+            batcher.close()
+
+    def test_flush_timeout_is_a_deadline_not_per_wait(self):
+        """Same regression as above, for ``flush``."""
+        release = threading.Event()
+
+        def slow_apply(ops):
+            release.wait(10)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(slow_apply, max_batch=1)
+        batcher.start()
+        batcher.submit(SubtreeDelete("d", "n1", (1,)))
+        stop_poking = threading.Event()
+
+        def poke():
+            while not stop_poking.wait(0.05):
+                with batcher._cond:
+                    batcher._cond.notify_all()
+
+        poker = spawn(poke)
+        started = time.monotonic()
+        try:
+            with pytest.raises(ServiceTimeoutError):
+                batcher.flush(timeout=0.3)
+            assert time.monotonic() - started < 1.5
+        finally:
+            stop_poking.set()
+            poker.join(5)
+            release.set()
+            batcher.close()
 
     def test_close_without_drain_fails_pending(self):
         started = threading.Event()

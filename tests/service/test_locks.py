@@ -83,6 +83,43 @@ class TestReadWriteLock:
         lock.acquire_write(timeout=0.05)  # now available
         lock.release_write()
 
+    def test_writer_timeout_wakes_parked_readers(self):
+        """Regression: a writer that timed out decremented
+        ``_waiting_writers`` without notifying, so readers parked behind
+        it (writer preference) slept until some unrelated event — or
+        forever."""
+        lock = ReadWriteLock()
+        lock.acquire_read()  # keeps the writer below from acquiring
+        writer_timed_out = threading.Event()
+        reader_acquired = threading.Event()
+
+        def impatient_writer():
+            try:
+                lock.acquire_write(timeout=0.1)
+            except ServiceTimeoutError:
+                writer_timed_out.set()
+
+        def late_reader():
+            # Parked on `writer_active or waiting_writers`; the 5s
+            # timeout is a failsafe so a regression fails instead of
+            # hanging the suite.
+            lock.acquire_read(timeout=5)
+            reader_acquired.set()
+            lock.release_read()
+
+        writer = spawn(impatient_writer)
+        time.sleep(0.03)  # writer is now counted as waiting
+        reader = spawn(late_reader)
+        time.sleep(0.03)
+        assert not reader_acquired.is_set()  # queued behind the writer
+        writer.join(5)
+        assert writer_timed_out.is_set()
+        # The timed-out writer's notify_all is the only wake-up signal:
+        # the first reader still holds its lock and nothing else stirs.
+        assert reader_acquired.wait(1.0)
+        reader.join(5)
+        lock.release_read()
+
     def test_read_timeout(self):
         lock = ReadWriteLock()
         lock.acquire_write()

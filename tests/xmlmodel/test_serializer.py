@@ -1,5 +1,7 @@
 """Serializer tests including parse/serialize round trips."""
 
+import xml.etree.ElementTree as ET
+
 from repro.xmlmodel import parse, serialize
 from repro.xmlmodel.model import Element, Text
 from repro.xmlmodel.policy import BIO_POLICY
@@ -48,6 +50,43 @@ class TestSerializer:
     def test_mixed_content_kept_inline(self):
         document = parse("<p>one<em>two</em>three</p>")
         assert serialize(document) == "<p>one<em>two</em>three</p>"
+
+
+class TestControlCharacterEscaping:
+    """Regression: literal tab/newline in attribute values (and carriage
+    returns anywhere) used to be emitted raw, so XML attribute-value
+    normalization (XML 1.0 §3.3.3) and end-of-line handling (§2.11) in
+    any conformant parser silently corrupted them on re-parse."""
+
+    def test_attribute_tab_newline_emitted_as_character_references(self):
+        element = Element("a")
+        element.set_attribute("t", "col1\tcol2\nrow2\rrow3")
+        text = serialize(element)
+        assert text == '<a t="col1&#9;col2&#10;row2&#13;row3"/>'
+
+    def test_attribute_controls_survive_a_conformant_parser(self):
+        # xml.etree applies the normalizations our own parser skips, so
+        # it is the conformance oracle: before the fix the tab and
+        # newline came back as plain spaces.
+        element = Element("a")
+        element.set_attribute("t", "col1\tcol2\nrow2")
+        parsed = ET.fromstring(serialize(element))
+        assert parsed.get("t") == "col1\tcol2\nrow2"
+
+    def test_text_carriage_return_survives_a_conformant_parser(self):
+        element = Element("a")
+        element.append_child(Text("line1\rline2\r\nline3"))
+        parsed = ET.fromstring(serialize(element))
+        assert parsed.text == "line1\rline2\r\nline3"
+
+    def test_own_parser_round_trips_control_characters(self):
+        element = Element("a")
+        element.set_attribute("t", "x\ty")
+        element.append_child(Text("p\rq"))
+        text = serialize(element, indent=0)
+        again = parse(text, preserve_space=True)
+        assert again.root.attributes["t"].value == "x\ty"
+        assert again.root.text() == "p\rq"
 
 
 class TestRoundTrip:
