@@ -15,6 +15,7 @@ import pytest
 from repro.bench.experiments import build_fixed_store
 from repro.bench.service_bench import (
     DEFAULT_BATCH_SIZES,
+    run_recovery_benchmark,
     run_service_benchmark,
     save_service_results,
 )
@@ -25,16 +26,31 @@ BENCH_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
 
 
 @pytest.fixture(scope="module")
-def points(tmp_path_factory):
+def results(tmp_path_factory):
     master = build_fixed_store(SyntheticParams(400, 3, 2))
     master.set_delete_method("per_statement_trigger")
     wal_dir = str(tmp_path_factory.mktemp("service-wal"))
     try:
-        results = run_service_benchmark(master, wal_dir=wal_dir)
+        throughput = run_service_benchmark(master, wal_dir=wal_dir)
     finally:
         master.close()
-    save_service_results(BENCH_PATH, results)
-    return {point.batch_size: point for point in results}
+    recovery = run_recovery_benchmark(
+        wal_dir=str(tmp_path_factory.mktemp("recovery-wal"))
+    )
+    save_service_results(BENCH_PATH, throughput, recovery=recovery)
+    return throughput, recovery
+
+
+@pytest.fixture(scope="module")
+def points(results):
+    throughput, _recovery = results
+    return {point.batch_size: point for point in throughput}
+
+
+@pytest.fixture(scope="module")
+def recovery_points(results):
+    _throughput, recovery = results
+    return recovery
 
 
 def test_all_batch_sizes_measured(points):
@@ -62,6 +78,31 @@ def test_batching_improves_throughput(points):
         <= points[8].client_statements
         <= points[1].client_statements
     )
+
+
+def test_recovery_cost_tracks_log_length(recovery_points):
+    plain = [point for point in recovery_points if not point.checkpointed]
+    # Replay work scales with the number of logged operations...
+    assert [point.applied for point in plain] == [point.ops for point in plain]
+    assert all(
+        earlier.wal_bytes < later.wal_bytes
+        for earlier, later in zip(plain, plain[1:])
+    )
+
+
+def test_checkpoint_bounds_recovery(recovery_points):
+    checkpointed = [point for point in recovery_points if point.checkpointed]
+    assert len(checkpointed) == 1
+    (point,) = checkpointed
+    # ...while a checkpoint absorbs the log into the snapshot: nothing
+    # replays and the surviving WAL no longer grows with history.
+    assert point.snapshot_docs == 1
+    assert point.applied == 0
+    longest = max(
+        (p for p in recovery_points if not p.checkpointed), key=lambda p: p.ops
+    )
+    assert point.ops == longest.ops
+    assert point.wal_bytes < longest.wal_bytes
 
 
 def test_results_file_written(points):

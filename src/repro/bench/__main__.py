@@ -130,6 +130,12 @@ def run_service() -> list:
     return [point.as_measurement() for point in points]
 
 
+def run_recovery() -> list:
+    from repro.bench.service_bench import run_recovery_benchmark
+
+    return [point.as_measurement() for point in run_recovery_benchmark()]
+
+
 EXPERIMENTS = {
     "fig6": ("Figure 6: delete, bulk (f=1, d=8)", "sf"),
     "fig7": ("Figure 7: delete, random (f=1, d=8)", "sf"),
@@ -141,6 +147,7 @@ EXPERIMENTS = {
     "sec73": ("Section 7.3: randomized synthetic", "-"),
     "table2": ("Table 2: DBLP", "-"),
     "service": ("Service: group-commit delete throughput", "batch"),
+    "recovery": ("Service: cold recovery time vs WAL length", "ops"),
 }
 
 
@@ -197,6 +204,8 @@ def main(argv=None) -> int:
             emit(title, "-", measurements)
     if "service" in selected:
         emit(*EXPERIMENTS["service"], run_service())
+    if "recovery" in selected:
+        emit(*EXPERIMENTS["recovery"], run_recovery())
     if tracer is not None:
         tracer.stop_capture()
         written = tracer.write_json(args.trace_out)

@@ -13,18 +13,24 @@ from __future__ import annotations
 
 import json
 import os
+import tempfile
 import time
 from dataclasses import asdict, dataclass
 
 from repro.bench.harness import Measurement
 from repro.obs import counter_delta, get_registry
 from repro.relational.store import XmlStore
-from repro.service import ServiceConfig, SubtreeDelete, UpdateService
+from repro.service import DeltaUpdate, ServiceConfig, SubtreeDelete, UpdateService
+from repro.service.wal import list_segments
+from repro.updates.delta import InsertNode
+from repro.xmlmodel.parser import XmlParser
 
 #: Group-commit windows compared by the experiment (and BENCH_service.json).
 DEFAULT_BATCH_SIZES = (1, 8, 64)
 #: Deletes submitted per point; a multiple of every batch size above.
 DEFAULT_UPDATES = 192
+#: Log lengths (operations) compared by the recovery experiment.
+DEFAULT_RECOVERY_OPS = (64, 128, 256)
 
 
 @dataclass
@@ -136,13 +142,117 @@ def run_service_benchmark(
     ]
 
 
-def save_service_results(path: str, points: list[ServicePoint]) -> None:
-    """Write ``BENCH_service.json``: one entry per batch size."""
+@dataclass
+class RecoveryPoint:
+    """Cold-start recovery cost for one log length.
+
+    ``checkpointed`` marks the variant where a checkpoint ran after the
+    last operation: the snapshot absorbs the whole log, the covered
+    segments are retired, and recovery cost stops tracking the total
+    operation count — it is bounded by the post-checkpoint log length.
+    """
+
+    ops: int
+    checkpointed: bool
+    wal_bytes: int
+    recovery_seconds: float
+    applied: int
+    snapshot_docs: int
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method="recover+ckpt" if self.checkpointed else "recover",
+            x=self.ops,
+            seconds=self.recovery_seconds,
+            client_statements=0,
+            trigger_statements=0,
+            runs=1,
+        )
+
+
+def run_recovery_point(
+    wal_dir: str, ops: int, checkpoint: bool = False
+) -> RecoveryPoint:
+    """Log ``ops`` document appends (checkpointing at the end when asked),
+    then time a cold ``recover()`` on a fresh service over the same WAL."""
+    suffix = "-ckpt" if checkpoint else ""
+    wal_path = os.path.join(wal_dir, f"recovery-{ops}{suffix}.wal")
+    service = UpdateService(
+        ServiceConfig(wal_path=wal_path, batch_size=16, coalesce_wait=0.002)
+    )
+    service.host_document("bench.xml", XmlParser("<log></log>").parse())
+    service.start()
+    for index in range(ops):
+        service.submit_wait(
+            DeltaUpdate(
+                "bench.xml", (InsertNode((), 1 << 30, xml=f'<e i="{index}"/>'),)
+            ),
+            timeout=120,
+        )
+    if checkpoint:
+        service.checkpoint(timeout=120)
+    service.close()
+    wal_bytes = sum(
+        os.path.getsize(path) for _index, path in list_segments(wal_path)
+    )
+
+    fresh = UpdateService(ServiceConfig(wal_path=wal_path))
+    fresh.host_document("bench.xml", XmlParser("<log></log>").parse())
+    start = time.perf_counter()
+    report = fresh.recover()
+    elapsed = time.perf_counter() - start
+    fresh.close()
+    return RecoveryPoint(
+        ops=ops,
+        checkpointed=checkpoint,
+        wal_bytes=wal_bytes,
+        recovery_seconds=elapsed,
+        applied=report.applied,
+        snapshot_docs=report.snapshot_docs,
+    )
+
+
+def run_recovery_benchmark(
+    wal_dir: str | None = None,
+    ops_series: tuple[int, ...] = DEFAULT_RECOVERY_OPS,
+) -> list[RecoveryPoint]:
+    """Recovery time at several log lengths, plus the checkpointed variant
+    of the longest one showing the bounded-recovery property."""
+
+    def run_all(directory: str) -> list[RecoveryPoint]:
+        points = [
+            run_recovery_point(directory, ops, checkpoint=False)
+            for ops in ops_series
+        ]
+        points.append(
+            run_recovery_point(directory, ops_series[-1], checkpoint=True)
+        )
+        return points
+
+    if wal_dir is not None:
+        return run_all(wal_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-recovery-") as directory:
+        return run_all(directory)
+
+
+def save_service_results(
+    path: str,
+    points: list[ServicePoint],
+    recovery: list[RecoveryPoint] | None = None,
+) -> None:
+    """Write ``BENCH_service.json``: one entry per batch size, plus the
+    recovery-time-vs-log-length series when measured."""
     payload = {
         "experiment": "group-commit service throughput",
         "workload": "single-subtree deletes, per_statement_trigger",
         "points": [asdict(point) for point in points],
     }
+    if recovery is not None:
+        payload["recovery"] = {
+            "experiment": "cold recovery time vs WAL length",
+            "workload": "document appends; checkpointed variant retires the log",
+            "points": [asdict(point) for point in recovery],
+        }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

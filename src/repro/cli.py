@@ -10,9 +10,12 @@ Usage::
     python -m repro validate --xml doc.xml --dtd doc.dtd
     python -m repro shell    --xml doc.xml [--dtd doc.dtd]
     python -m repro serve    --xml doc.xml --wal doc.wal [--batch-size N]
-                             [--trace-out spans.json]
+                             [--checkpoint-every N] [--checkpoint-bytes N]
+                             [--checkpoint-dir DIR] [--trace-out spans.json]
     python -m repro replay   --xml doc.xml --wal doc.wal [--output new.xml]
-                             [--trace-out spans.json]
+                             [--checkpoint-dir DIR] [--trace-out spans.json]
+    python -m repro checkpoint --xml doc.xml --wal doc.wal
+                             [--checkpoint-dir DIR]
     python -m repro stats    [--xml doc.xml [--dtd doc.dtd] --exec STMT ...]
                              [--json]
 
@@ -22,7 +25,12 @@ the XML file's basename (override with ``--name``).
 ``serve`` runs the durable update service over the document: update
 statements read from stdin (one per line) are executed, converted to
 deltas, group-committed through the write-ahead log, and applied;
-``replay`` recovers a crashed service's WAL against the base document.
+``--checkpoint-every`` / ``--checkpoint-bytes`` arm the automatic
+checkpoint policy (snapshot the state, retire covered WAL segments).
+``replay`` recovers a crashed service's WAL — restoring the last
+checkpoint snapshot first, when one exists — against the base document.
+``checkpoint`` recovers the WAL the same way and then takes one
+checkpoint, leaving a snapshot plus an empty live segment behind.
 
 ``stats`` prints a live snapshot of the process metrics registry
 (``repro.obs``); with ``--exec`` it runs statements first so the
@@ -112,6 +120,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip replaying an existing WAL before serving",
     )
     serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        metavar="OPS",
+        help="auto-checkpoint after this many applied operations",
+    )
+    serve.add_argument(
+        "--checkpoint-bytes",
+        type=int,
+        metavar="BYTES",
+        help="auto-checkpoint once the live WAL segment holds this many bytes",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        help="snapshot directory (default: <wal>.ckpt)",
+    )
+    serve.add_argument(
         "--trace-out", help="write hierarchical trace spans (JSON) here on exit"
     )
 
@@ -122,7 +146,22 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--wal", required=True, help="write-ahead log file")
     rep.add_argument("--output", help="write the recovered document here")
     rep.add_argument(
+        "--checkpoint-dir",
+        help="snapshot directory (default: <wal>.ckpt)",
+    )
+    rep.add_argument(
         "--trace-out", help="write hierarchical trace spans (JSON) here on exit"
+    )
+
+    ckpt = commands.add_parser(
+        "checkpoint",
+        help="recover a WAL, snapshot the state, and retire covered segments",
+    )
+    add_common(ckpt)
+    ckpt.add_argument("--wal", required=True, help="write-ahead log file")
+    ckpt.add_argument(
+        "--checkpoint-dir",
+        help="snapshot directory (default: <wal>.ckpt)",
     )
 
     stats = commands.add_parser(
@@ -306,12 +345,23 @@ def cmd_serve(args) -> int:
         tracer.start_capture()
     name, document, _dtd, policy = _load(args)
     service = UpdateService(
-        ServiceConfig(wal_path=args.wal, batch_size=args.batch_size)
+        ServiceConfig(
+            wal_path=args.wal,
+            batch_size=args.batch_size,
+            checkpoint_dir=args.checkpoint_dir,
+            checkpoint_every_ops=args.checkpoint_every,
+            checkpoint_every_bytes=args.checkpoint_bytes,
+        )
     )
     service.host_document(name, document, policy)
     if not args.no_recover:
         report = service.recover()
-        if report.applied or report.truncated_bytes or report.uncommitted:
+        if (
+            report.applied
+            or report.truncated_bytes
+            or report.uncommitted
+            or report.snapshot_docs
+        ):
             print(f"-- recovery: {report.summary()}", file=sys.stderr)
     service.start()
     session = service.open_session()
@@ -329,6 +379,10 @@ def cmd_serve(args) -> int:
                 continue
             if statement == ":quit":
                 break
+            if statement == ":checkpoint":
+                ckpt_report = service.checkpoint()
+                print(f"-- {ckpt_report.summary()}", file=sys.stderr)
+                continue
             try:
                 parsed = XQueryEngine({}, policy=policy).parse(statement)
             except ReproError as error:
@@ -397,17 +451,34 @@ def _run_read_query(host, statement: str, policy) -> list[str]:
 
 def cmd_replay(args) -> int:
     from repro.obs import get_tracer
-    from repro.service import WriteAheadLog, replay_into_documents
+    from repro.service import WriteAheadLog, replay_into_documents, wal_exists
+    from repro.service.snapshot import SnapshotStore
+    from repro.xmlmodel.parser import XmlParser
 
-    if not os.path.exists(args.wal):
-        print(f"error: WAL file {args.wal} does not exist", file=sys.stderr)
+    if not wal_exists(args.wal):
+        print(f"error: no WAL (file or segments) at {args.wal}", file=sys.stderr)
         return 2
     tracer = get_tracer()
     if args.trace_out:
         tracer.start_capture()
     name, document, _dtd, policy = _load(args)
+    # A committed checkpoint supersedes the --xml base for its documents:
+    # the manifest's state already contains every record <= its wal_seq.
+    snapshots = SnapshotStore(args.checkpoint_dir or args.wal + ".ckpt")
+    manifest = snapshots.load_manifest()
+    min_seq = 0
+    if manifest is not None and name in manifest.documents:
+        text = snapshots.read_state(manifest, name).decode("utf-8")
+        document = XmlParser(text, policy=policy).parse()
+        min_seq = manifest.wal_seq
+        print(
+            f"-- loaded checkpoint snapshot covering seq <= {min_seq}",
+            file=sys.stderr,
+        )
     with WriteAheadLog(args.wal) as wal:
-        report = replay_into_documents(wal, {name: document}, policy=policy)
+        report = replay_into_documents(
+            wal, {name: document}, policy=policy, min_seq=min_seq
+        )
     if args.trace_out:
         tracer.stop_capture()
         written = tracer.write_json(args.trace_out)
@@ -422,6 +493,27 @@ def cmd_replay(args) -> int:
     else:
         print(recovered)
     return 1 if report.failed else 0
+
+
+def cmd_checkpoint(args) -> int:
+    from repro.service import ServiceConfig, UpdateService, wal_exists
+
+    if not wal_exists(args.wal):
+        print(f"error: no WAL (file or segments) at {args.wal}", file=sys.stderr)
+        return 2
+    name, document, _dtd, policy = _load(args)
+    service = UpdateService(
+        ServiceConfig(wal_path=args.wal, checkpoint_dir=args.checkpoint_dir)
+    )
+    service.host_document(name, document, policy)
+    try:
+        recovery = service.recover()
+        print(f"-- recovery: {recovery.summary()}", file=sys.stderr)
+        report = service.checkpoint()
+    finally:
+        service.close()
+    print(f"-- {report.summary()}", file=sys.stderr)
+    return 0
 
 
 #: Metrics pre-registered by ``stats`` so a fresh process still prints a
@@ -484,6 +576,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "shell": cmd_shell,
         "serve": cmd_serve,
         "replay": cmd_replay,
+        "checkpoint": cmd_checkpoint,
         "stats": cmd_stats,
     }
     try:

@@ -91,6 +91,11 @@ class WalError(ServiceError):
     cannot be resolved by truncating a torn tail."""
 
 
+class CheckpointError(ServiceError):
+    """Raised when a checkpoint snapshot or its manifest is missing,
+    malformed, or fails its checksum during recovery."""
+
+
 class ServiceTimeoutError(ServiceError):
     """Raised when a service submission, lock acquisition, or query does
     not complete within its timeout."""

@@ -159,6 +159,26 @@ class Database:
             clone._statement_triggers = dict(self._statement_triggers)
         return clone
 
+    def dump_bytes(self) -> bytes:
+        """The whole database as a SQLite image (``Connection.serialize``).
+
+        Used by checkpoint snapshots: unlike re-serialising to XML, the
+        image preserves tuple ids, so relational operations logged after
+        the checkpoint replay against the same rows they named.
+        """
+        with self._lock:
+            connection = self._checked_connection()
+            connection.commit()
+            return connection.serialize()
+
+    def load_bytes(self, data: bytes) -> None:
+        """Replace the database contents with a ``dump_bytes`` image."""
+        with self._lock:
+            try:
+                self._checked_connection().deserialize(data)
+            except sqlite3.Error as error:
+                raise StorageError(f"cannot load database image: {error}") from error
+
     def commit(self) -> None:
         with self._lock:
             self._checked_connection().commit()

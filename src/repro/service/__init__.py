@@ -20,6 +20,13 @@ Quick start::
 """
 
 from repro.service.batcher import BatcherStats, GroupCommitBatcher, Ticket
+from repro.service.faults import (
+    FaultInjector,
+    FaultPlan,
+    FaultyFilesystem,
+    Filesystem,
+    InjectedCrash,
+)
 from repro.service.locks import LockManager, ReadWriteLock
 from repro.service.ops import (
     CommitMarker,
@@ -32,26 +39,37 @@ from repro.service.ops import (
 )
 from repro.service.recovery import RecoveryReport, replay, replay_into_documents
 from repro.service.server import (
+    CheckpointReport,
     DocumentHost,
     ServiceConfig,
     StoreHost,
     UpdateService,
 )
 from repro.service.session import Session
-from repro.service.wal import WalRecord, WriteAheadLog
+from repro.service.snapshot import CheckpointManifest, SnapshotEntry, SnapshotStore
+from repro.service.wal import WalRecord, WriteAheadLog, wal_exists
 
 __all__ = [
     "BatcherStats",
+    "CheckpointManifest",
+    "CheckpointReport",
     "CommitMarker",
     "DeltaUpdate",
     "DocumentHost",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultyFilesystem",
+    "Filesystem",
     "GroupCommitBatcher",
+    "InjectedCrash",
     "LockManager",
     "ReadWriteLock",
     "RecoveryReport",
     "ServiceConfig",
     "ServiceOp",
     "Session",
+    "SnapshotEntry",
+    "SnapshotStore",
     "StoreHost",
     "SubtreeCopy",
     "SubtreeDelete",
@@ -63,4 +81,5 @@ __all__ = [
     "encode_op",
     "replay",
     "replay_into_documents",
+    "wal_exists",
 ]

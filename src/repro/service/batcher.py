@@ -32,8 +32,9 @@ from __future__ import annotations
 import threading
 import time
 from collections import deque
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Sequence
+from typing import Callable, Iterator, Optional, Sequence
 
 from repro.errors import ServiceClosedError, ServiceTimeoutError
 from repro.obs import get_registry, span
@@ -101,6 +102,7 @@ class GroupCommitBatcher:
         max_batch: int = 64,
         max_queue: int = 1024,
         coalesce_wait: float = 0.0,
+        after_commit: Optional[Callable[[int], None]] = None,
     ) -> None:
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -111,11 +113,14 @@ class GroupCommitBatcher:
         self._max_batch = max_batch
         self._max_queue = max_queue
         self._coalesce_wait = coalesce_wait
+        self._after_commit = after_commit
         self._cond = threading.Condition()
         self._queue: deque[Ticket] = deque()
         self._submitted = 0
         self._completed = 0
         self._stopping = False
+        self._paused = False
+        self._in_commit = False
         self._seq_counter = 0  # stand-in sequence numbers when wal is None
         self.stats = BatcherStats()
         self._thread = threading.Thread(
@@ -187,6 +192,40 @@ class GroupCommitBatcher:
         self._cond.wait(remaining)
         return True
 
+    @contextmanager
+    def paused(self, timeout: Optional[float] = None) -> Iterator[None]:
+        """Quiesce the committer: block until no batch is in flight and
+        keep new batches from starting until the context exits.
+
+        While paused, every operation ever appended to the WAL belongs
+        to a *completed* commit cycle — applied with a durable marker,
+        or failed with its tickets already rejected — which is exactly
+        the window a checkpoint needs.  Submissions still queue (and
+        block on a full queue); they commit after the pause lifts.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while self._paused:  # a concurrent pauser: queue up behind it
+                if not self._wait(deadline):
+                    raise ServiceTimeoutError("timed out waiting for the batcher pause")
+            self._paused = True
+            try:
+                while self._in_commit:
+                    if not self._wait(deadline):
+                        raise ServiceTimeoutError(
+                            "timed out waiting for the in-flight batch"
+                        )
+            except BaseException:
+                self._paused = False
+                self._cond.notify_all()
+                raise
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._paused = False
+                self._cond.notify_all()
+
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Stop accepting work; by default drain what was already queued."""
         with self._cond:
@@ -209,7 +248,7 @@ class GroupCommitBatcher:
     def _run(self) -> None:
         while True:
             with self._cond:
-                while not self._queue and not self._stopping:
+                while self._paused or (not self._queue and not self._stopping):
                     self._cond.wait()
                 if not self._queue and self._stopping:
                     return
@@ -222,16 +261,27 @@ class GroupCommitBatcher:
                     and not self._stopping
                 ):
                     self._cond.wait(self._coalesce_wait)
+                    if self._paused:
+                        continue  # a pause arrived during the coalesce nap
                 batch = [
                     self._queue.popleft()
                     for _ in range(min(len(self._queue), self._max_batch))
                 ]
                 get_registry().gauge("batcher.queue_depth").set(len(self._queue))
+                self._in_commit = True
                 self._cond.notify_all()  # wake submitters blocked on a full queue
-            self._commit(batch)
-            with self._cond:
-                self._completed += len(batch)
-                self._cond.notify_all()
+            try:
+                self._commit(batch)
+            finally:
+                with self._cond:
+                    self._in_commit = False
+                    self._completed += len(batch)
+                    self._cond.notify_all()
+            # Post-commit hook (auto-checkpoint policy): runs outside the
+            # condition and outside _in_commit so a checkpoint triggered
+            # here may pause the batcher (this very thread) re-entrantly.
+            if self._after_commit is not None:
+                self._after_commit(len(batch))
 
     def _commit(self, batch: list[Ticket]) -> None:
         with span("service.commit", batch_size=len(batch)):

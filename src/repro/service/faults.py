@@ -1,0 +1,190 @@
+"""Fault injection for the durability stack (WAL segments + snapshots).
+
+Every durable structure in the service funnels its mutating file
+operations through a :class:`Filesystem` object — ``open`` (whose
+returned handles route ``write``/``truncate`` back through the seam),
+``fsync``, ``fsync_dir``, ``replace``, ``remove``.  The default
+implementation is the real thing; tests substitute a
+:class:`FaultyFilesystem`, which counts every mutating operation as a
+*crash boundary* and, when armed with a :class:`FaultPlan`, simulates a
+process death at a chosen boundary:
+
+* the operation is not performed (crash *before* the write/fsync/
+  rename/unlink), or — for writes — only a prefix of the bytes lands
+  (a *torn* write, the partially-flushed tail a real crash leaves);
+* every later mutating operation raises :class:`InjectedCrash`
+  immediately, freezing the on-disk state exactly as the crash left it.
+
+The matrix test then runs recovery against the frozen files and asserts
+the recovered state is a committed prefix of the workload that covers
+every acknowledged operation — at *every* boundary of a commit/
+checkpoint cycle.  One deliberately pessimistic simplification: bytes
+written before the crash are treated as on disk even without an
+``fsync`` (the torn-write mode and the byte-level truncation property
+tests cover the lost-unsynced-suffix cases).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+class InjectedCrash(Exception):
+    """Simulated process death at an injected crash point.
+
+    Deliberately *not* a :class:`~repro.errors.ReproError`: recovery and
+    replay treat ``ReproError`` as a data problem and continue, but an
+    injected crash must stop the workload like a real one would.
+    """
+
+
+class Filesystem:
+    """The real file operations behind the WAL and snapshot store."""
+
+    def open(self, path: str, mode: str = "a+b"):
+        return open(path, mode)
+
+    def fsync(self, file) -> None:
+        file.flush()
+        os.fsync(file.fileno())
+
+    def fsync_dir(self, path: str) -> None:
+        """Flush a directory entry (the rename/create durability point)."""
+        fd = os.open(path, os.O_RDONLY)
+        try:
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+
+    def replace(self, src: str, dst: str) -> None:
+        os.replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        os.remove(path)
+
+    def truncate(self, file, size: int) -> None:
+        file.truncate(size)
+
+    def makedirs(self, path: str) -> None:
+        os.makedirs(path, exist_ok=True)
+
+
+@dataclass
+class FaultPlan:
+    """Where to crash: the 1-based index of the mutating operation.
+
+    ``crash_at=None`` never crashes (used to count a workload's
+    boundaries).  ``tear=True`` makes a crash landing on a ``write``
+    boundary first write half of that call's bytes (a torn write);
+    crashes on non-write boundaries ignore it.
+    """
+
+    crash_at: Optional[int] = None
+    tear: bool = False
+
+
+@dataclass
+class FaultInjector:
+    """Counts crash boundaries and decides when the simulated death happens.
+
+    Shared by every file handle and filesystem call of one service
+    instance, so the boundary numbering is a single global sequence —
+    the same numbering the matrix test iterates over.
+    """
+
+    plan: FaultPlan = field(default_factory=FaultPlan)
+    boundaries: int = 0
+    crashed: bool = False
+    trace: list = field(default_factory=list)
+
+    def check(self, kind: str, path: str) -> Optional[int]:
+        """Count one boundary.  Returns None to proceed normally, or a
+        byte count for a torn write; raises :class:`InjectedCrash` when
+        the crash point is hit (or has already passed)."""
+        if self.crashed:
+            raise InjectedCrash("filesystem is dead (post-crash)")
+        self.boundaries += 1
+        self.trace.append((self.boundaries, kind, os.path.basename(path)))
+        if self.plan.crash_at is not None and self.boundaries >= self.plan.crash_at:
+            self.crashed = True
+            if kind == "write" and self.plan.tear:
+                return -1  # caller tears the write, then dies
+            raise InjectedCrash(f"injected crash at boundary {self.boundaries} ({kind})")
+        return None
+
+
+class FaultyFile:
+    """A file handle whose writes and truncates hit the injector."""
+
+    def __init__(self, file, path: str, injector: FaultInjector) -> None:
+        self.file = file
+        self.path = path
+        self.injector = injector
+
+    def write(self, data: bytes) -> int:
+        tear = self.injector.check("write", self.path)
+        if tear is None:
+            return self.file.write(data)
+        kept = data[: len(data) // 2]
+        self.file.write(kept)
+        self.file.flush()  # the torn prefix is "on disk" when the crash hits
+        raise InjectedCrash(
+            f"injected torn write ({len(kept)}/{len(data)} bytes) on {self.path}"
+        )
+
+    # Reads and bookkeeping never crash — a dead process does not read.
+    def read(self, *args):
+        return self.file.read(*args)
+
+    def seek(self, *args):
+        return self.file.seek(*args)
+
+    def tell(self):
+        return self.file.tell()
+
+    def flush(self):
+        return self.file.flush()
+
+    def fileno(self):
+        return self.file.fileno()
+
+    def truncate(self, size=None):
+        return self.file.truncate(size)
+
+    def close(self):
+        return self.file.close()
+
+
+class FaultyFilesystem(Filesystem):
+    """A :class:`Filesystem` that routes every mutation through an injector."""
+
+    def __init__(self, injector: Optional[FaultInjector] = None) -> None:
+        self.injector = injector or FaultInjector()
+
+    def open(self, path: str, mode: str = "a+b"):
+        file = super().open(path, mode)
+        if "r" in mode and "+" not in mode:
+            return file  # read-only handles bypass injection entirely
+        return FaultyFile(file, path, self.injector)
+
+    def fsync(self, file) -> None:
+        self.injector.check("fsync", getattr(file, "path", "?"))
+        super().fsync(file)
+
+    def fsync_dir(self, path: str) -> None:
+        self.injector.check("fsync_dir", path)
+        super().fsync_dir(path)
+
+    def replace(self, src: str, dst: str) -> None:
+        self.injector.check("rename", dst)
+        super().replace(src, dst)
+
+    def remove(self, path: str) -> None:
+        self.injector.check("unlink", path)
+        super().remove(path)
+
+    def truncate(self, file, size: int) -> None:
+        self.injector.check("truncate", getattr(file, "path", "?"))
+        super().truncate(file, size)

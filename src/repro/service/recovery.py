@@ -2,19 +2,28 @@
 
 Protocol, in order:
 
-1. **Scan** the log and find the longest intact prefix; anything past
-   it is a *torn tail* (a write the crash interrupted before its fsync)
-   and is truncated.
+1. **Scan** the log segments and find the longest intact prefix;
+   anything past it is a *torn tail* (a write the crash interrupted
+   before its fsync) and is truncated.
 2. **Collect commit markers.**  Only sequence numbers named by a commit
    marker ever took effect before the crash; operation records without
    one were logged but never acknowledged to a client, so they are
    skipped (counted, for observability).
 3. **Replay** the committed operations, in sequence order, against the
-   base snapshot each host was opened with.
+   base each host was opened with.  When a checkpoint manifest was
+   loaded first, the base is the checkpointed state and only records
+   with ``seq > min_seq`` replay — records at or below it are already
+   reflected in the snapshot (``covered`` in the report).
 
 Because every acknowledged operation is covered by a durable commit
 marker and every marker follows its operations in the log, the replayed
 state is exactly the acknowledged state at the moment of the crash.
+
+The ``apply`` callback may return ``False`` to signal that it *skipped*
+the operation (an unknown document, or an operation kind it cannot
+replay); skips are counted separately from applies, so the
+``recovery.applied`` metric always equals the report's ``applied``
+count — callers never subtract after the fact.
 """
 
 from __future__ import annotations
@@ -39,6 +48,8 @@ class RecoveryReport:
     failed: int = 0
     uncommitted: int = 0
     unknown_docs: int = 0
+    covered: int = 0  # records already reflected in the loaded snapshot
+    snapshot_docs: int = 0  # documents restored from checkpoint state
     truncated_bytes: int = 0
     last_seq: int = 0
     errors: list[str] = field(default_factory=list)
@@ -46,7 +57,8 @@ class RecoveryReport:
     def summary(self) -> str:
         return (
             f"replayed {self.applied} operation(s) "
-            f"(skipped {self.uncommitted} uncommitted, "
+            f"(snapshot covered {self.covered} across {self.snapshot_docs} "
+            f"document(s); skipped {self.uncommitted} uncommitted, "
             f"{self.unknown_docs} for unknown documents, "
             f"{self.failed} failed; "
             f"truncated {self.truncated_bytes} torn byte(s); "
@@ -56,13 +68,16 @@ class RecoveryReport:
 
 def replay(
     wal: WriteAheadLog,
-    apply: Callable[[ServiceOp], None],
+    apply: Callable[[ServiceOp], object],
     truncate: bool = True,
+    min_seq: int = 0,
 ) -> RecoveryReport:
     """Replay committed operations through ``apply`` (one op at a time,
-    in log order).  ``apply`` raising a :class:`ReproError` marks that
-    operation failed and the replay continues; any other exception
-    propagates (it is a bug, not a data problem)."""
+    in log order).  ``apply`` returning ``False`` counts the operation
+    as skipped (not applied); raising a :class:`ReproError` marks it
+    failed and the replay continues; any other exception propagates (it
+    is a bug, not a data problem).  Records with ``seq <= min_seq`` are
+    not replayed — the caller's snapshot already reflects them."""
     report = RecoveryReport()
     with span("recovery.scan"):
         records, torn = wal.scan()
@@ -76,6 +91,8 @@ def replay(
         payload = decode_op(record.payload)
         if isinstance(payload, CommitMarker):
             committed.update(payload.seqs)
+        elif record.seq <= min_seq:
+            report.covered += 1
         else:
             operations.append((record.seq, payload))
         report.last_seq = record.seq
@@ -85,14 +102,21 @@ def replay(
                 report.uncommitted += 1
                 continue
             try:
-                apply(op)
-                report.applied += 1
+                outcome = apply(op)
             except ReproError as error:
                 report.failed += 1
                 report.errors.append(f"seq {seq}: {error}")
+                continue
+            if outcome is False:
+                report.unknown_docs += 1
+            else:
+                report.applied += 1
     registry = get_registry()
     registry.counter("recovery.applied").inc(report.applied)
+    registry.counter("recovery.skipped").inc(report.unknown_docs)
     registry.counter("recovery.uncommitted").inc(report.uncommitted)
+    if report.covered:
+        registry.counter("recovery.covered").inc(report.covered)
     if report.truncated_bytes:
         registry.counter("recovery.truncated_bytes").inc(report.truncated_bytes)
     return report
@@ -103,23 +127,19 @@ def replay_into_documents(
     documents: Mapping[str, Document],
     policy: Optional[RefPolicy] = None,
     truncate: bool = True,
+    min_seq: int = 0,
 ) -> RecoveryReport:
     """Standalone document-level recovery (the CLI ``replay`` command and
     mirror/replica catch-up): replay every committed delta onto the
     matching base document.  Relational operations in the log are
-    counted as unknown (they need a hosted store to replay against)."""
-    unknown = 0
+    skipped as unknown (they need a hosted store to replay against)."""
 
-    def apply(op: ServiceOp) -> None:
-        nonlocal unknown
+    def apply(op: ServiceOp) -> object:
         from repro.service.ops import DeltaUpdate
 
         if not isinstance(op, DeltaUpdate) or op.doc not in documents:
-            unknown += 1
-            return
+            return False
         apply_delta(documents[op.doc], list(op.ops), policy)
+        return True
 
-    report = replay(wal, apply, truncate=truncate)
-    report.applied -= unknown
-    report.unknown_docs = unknown
-    return report
+    return replay(wal, apply, truncate=truncate, min_seq=min_seq)

@@ -26,6 +26,8 @@ own ticket.
 
 from __future__ import annotations
 
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from concurrent.futures import TimeoutError as FutureTimeoutError
 from dataclasses import dataclass
@@ -35,12 +37,15 @@ from repro.errors import ServiceClosedError, ServiceError, ServiceTimeoutError
 from repro.obs import get_registry, span
 from repro.relational.store import XmlStore
 from repro.service.batcher import GroupCommitBatcher, Ticket
+from repro.service.faults import Filesystem
 from repro.service.locks import LockManager
 from repro.service.ops import DeltaUpdate, ServiceOp, SubtreeCopy, SubtreeDelete
 from repro.service.recovery import RecoveryReport, replay
+from repro.service.snapshot import SnapshotStore
 from repro.service.wal import WriteAheadLog
 from repro.updates.delta import apply_delta
 from repro.xmlmodel.model import Document, Element
+from repro.xmlmodel.parser import XmlParser
 from repro.xmlmodel.policy import RefPolicy
 from repro.xmlmodel.serializer import serialize
 
@@ -74,6 +79,13 @@ class DocumentHost:
     def serialize(self) -> str:
         return serialize(self.document)
 
+    def snapshot_state(self) -> bytes:
+        """Checkpoint image: the serialised document."""
+        return serialize(self.document).encode("utf-8")
+
+    def restore_state(self, data: bytes) -> None:
+        self.document = XmlParser(data.decode("utf-8"), policy=self.policy).parse()
+
 
 class StoreHost:
     """An `XmlStore` served with relational subtree operations."""
@@ -106,6 +118,20 @@ class StoreHost:
     def serialize(self) -> str:
         return serialize(self.store.to_document())
 
+    def snapshot_state(self) -> bytes:
+        """Checkpoint image: the SQLite database bytes.
+
+        A database image (not re-serialised XML) because replayed
+        relational operations name tuple ids — re-shredding XML would
+        renumber them and the post-checkpoint log would target the
+        wrong rows.  The id allocator's high-water mark lives in a
+        table, so it travels with the image.
+        """
+        return self.store.db.dump_bytes()
+
+    def restore_state(self, data: bytes) -> None:
+        self.store.db.load_bytes(data)
+
 
 Host = Union[DocumentHost, StoreHost]
 
@@ -126,6 +152,14 @@ class ServiceConfig:
     degenerates to one-commit-per-update.  ``coalesce_wait`` optionally
     holds the committer a few milliseconds after the first dequeue so
     concurrent submitters join the same batch.
+
+    Checkpointing: ``checkpoint_dir`` defaults to ``<wal_path>.ckpt``;
+    ``checkpoint_every_ops`` / ``checkpoint_every_bytes`` arm the
+    automatic policy — after a commit that pushes the count of applied
+    operations (or the live segment's record bytes) past the threshold,
+    the committer takes a checkpoint itself.  ``wal_segment_bytes``
+    additionally rotates the log whenever the live segment outgrows it,
+    keeping individual segment files bounded between checkpoints.
     """
 
     wal_path: Optional[str] = None
@@ -135,24 +169,70 @@ class ServiceConfig:
     coalesce_wait: float = 0.0
     submit_timeout: float = 30.0
     query_workers: int = 4
+    checkpoint_dir: Optional[str] = None
+    checkpoint_every_ops: Optional[int] = None
+    checkpoint_every_bytes: Optional[int] = None
+    checkpoint_timeout: float = 30.0
+    wal_segment_bytes: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class CheckpointReport:
+    """What one checkpoint covered and reclaimed."""
+
+    wal_seq: int  # every WAL record with seq <= this is in the snapshot
+    documents: int
+    segments_retired: int
+    bytes_retired: int
+
+    def summary(self) -> str:
+        return (
+            f"checkpointed {self.documents} document(s) at seq {self.wal_seq} "
+            f"(retired {self.segments_retired} segment(s), "
+            f"{self.bytes_retired} byte(s))"
+        )
 
 
 class UpdateService:
     """The serving layer: WAL + locks + group commit + sessions."""
 
-    def __init__(self, config: Optional[ServiceConfig] = None, **overrides: Any) -> None:
+    def __init__(
+        self,
+        config: Optional[ServiceConfig] = None,
+        *,
+        fs: Optional[Filesystem] = None,
+        **overrides: Any,
+    ) -> None:
         if config is None:
             config = ServiceConfig(**overrides)
         elif overrides:
             raise ValueError("pass either a ServiceConfig or keyword overrides")
         self.config = config
+        self._fs = fs or Filesystem()
         self._hosts: dict[str, Host] = {}
         self._locks = LockManager()
         self._closed = False
         self.wal = (
-            WriteAheadLog(config.wal_path, sync_mode=config.wal_sync)
+            WriteAheadLog(
+                config.wal_path,
+                sync_mode=config.wal_sync,
+                fs=self._fs,
+                max_segment_bytes=config.wal_segment_bytes,
+            )
             if config.wal_path
             else None
+        )
+        checkpoint_dir = config.checkpoint_dir
+        if checkpoint_dir is None and config.wal_path:
+            checkpoint_dir = config.wal_path + ".ckpt"
+        self.snapshots = (
+            SnapshotStore(checkpoint_dir, fs=self._fs) if checkpoint_dir else None
+        )
+        self._checkpoint_mutex = threading.Lock()
+        self._ops_since_checkpoint = 0
+        auto = (
+            config.checkpoint_every_ops is not None
+            or config.checkpoint_every_bytes is not None
         )
         self._batcher = GroupCommitBatcher(
             self._apply_batch,
@@ -160,6 +240,7 @@ class UpdateService:
             max_batch=config.batch_size,
             max_queue=config.queue_limit,
             coalesce_wait=config.coalesce_wait,
+            after_commit=self._after_commit if auto else None,
         )
         self._pool = ThreadPoolExecutor(
             max_workers=config.query_workers, thread_name_prefix="service-query"
@@ -202,26 +283,46 @@ class UpdateService:
     # Lifecycle
     # ------------------------------------------------------------------
     def recover(self) -> RecoveryReport:
-        """Replay a pre-existing WAL onto the registered base snapshots.
-        Call after hosting, before :meth:`start`."""
+        """Restore the last checkpoint (if any), then replay the WAL past
+        it onto the registered hosts.  Call after hosting, before
+        :meth:`start`.
+
+        The checkpoint manifest names the last WAL sequence number its
+        state files reflect; records at or below it are counted as
+        ``covered`` and skipped, so replay work is bounded by the
+        post-checkpoint log length, not the service's lifetime.
+        """
         if self._started:
             raise ServiceError("recover() must run before start()")
         if self.wal is None:
             return RecoveryReport()
-        unknown = 0
+        min_seq = 0
+        snapshot_docs = 0
+        manifest = self.snapshots.load_manifest() if self.snapshots else None
+        if manifest is not None:
+            with span("service.restore", documents=len(manifest.documents)):
+                for doc in sorted(manifest.documents):
+                    host = self._hosts.get(doc)
+                    if host is None:
+                        continue  # snapshot of a no-longer-hosted document
+                    host.restore_state(self.snapshots.read_state(manifest, doc))
+                    snapshot_docs += 1
+            min_seq = manifest.wal_seq
 
-        def apply(op: ServiceOp) -> None:
-            nonlocal unknown
+        def apply(op: ServiceOp) -> object:
             host = self._hosts.get(op.doc)
             if host is None:
-                unknown += 1
-                return
+                return False
             host.apply(op)
             host.commit()
+            return True
 
-        report = replay(self.wal, apply)
-        report.applied -= unknown
-        report.unknown_docs = unknown
+        report = replay(self.wal, apply, min_seq=min_seq)
+        report.snapshot_docs = snapshot_docs
+        if manifest is not None:
+            # A crash between manifest commit and retirement leaves fully
+            # covered segments behind; sweep them now.
+            self.wal.retire_covered_segments(manifest.wal_seq)
         return report
 
     def start(self) -> "UpdateService":
@@ -273,14 +374,26 @@ class UpdateService:
         text.  Readers of the same document run concurrently; a query
         issued while a batch is being applied waits for the write lock
         to drop.
+
+        ``timeout`` bounds the *total* time: pool queueing, read-lock
+        acquisition, and the work itself all draw down one monotonic
+        deadline (previously the same budget was granted twice — once to
+        the lock wait and again to the result wait — so a query could
+        take 2x its timeout before failing).
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
         host = self.host(doc)
+        deadline = None if timeout is None else time.monotonic() + timeout
+
+        def remaining() -> Optional[float]:
+            if deadline is None:
+                return None
+            return max(0.0, deadline - time.monotonic())
 
         def run() -> Any:
             get_registry().counter("service.queries").inc()
-            with self._locks.read(doc, timeout), span("service.query", doc=doc):
+            with self._locks.read(doc, remaining()), span("service.query", doc=doc):
                 if work is None:
                     return host.serialize()
                 if callable(work):
@@ -293,8 +406,11 @@ class UpdateService:
 
         future = self._pool.submit(run)
         try:
-            return future.result(timeout=timeout)
+            return future.result(timeout=remaining())
         except FutureTimeoutError:
+            # Still queued behind a saturated pool: keep it from running
+            # after its caller has already given up.
+            future.cancel()
             raise ServiceTimeoutError(f"query on {doc!r} timed out") from None
 
     def query_elements(self, doc: str, statement: str) -> list[Element]:
@@ -307,16 +423,89 @@ class UpdateService:
         """Barrier: everything submitted before this call is durable."""
         self._batcher.flush(timeout)
 
-    def checkpoint(self) -> None:
-        """Truncate the WAL after the caller has persisted host snapshots.
+    def checkpoint(self, timeout: Optional[float] = None) -> CheckpointReport:
+        """Persist every host's state and retire the WAL segments it covers.
 
-        Everything in the log is already applied to the hosts, so a
-        caller that persists those (e.g. serialises the documents) can
-        drop the log; sequence numbers keep counting up.
+        Crash-consistent protocol:
+
+        1. flush, then **quiesce**: pause the batcher until no batch is
+           in flight, so every appended record belongs to a completed
+           commit cycle (applied with a durable marker, or failed with
+           its tickets rejected) — the race where an operation commits
+           between the flush and the log truncation and is then lost
+           without ever reaching a snapshot cannot happen;
+        2. under every document's write lock, capture each host's state
+           bytes and the covered sequence number, then rotate the log —
+           operations queued during the pause land in the new segment
+           with higher sequence numbers;
+        3. release the pause and write the snapshot files + manifest
+           (the manifest rename is the commit point — a crash before it
+           leaves the previous checkpoint governing the full log);
+        4. retire the covered segments.  Only segments whose records
+           are all ``<= wal_seq`` are removed, so a concurrent
+           post-pause rotation can never lose fresh records.
         """
-        self.flush()
-        if self.wal is not None:
-            self.wal.reset()
+        if self._closed:
+            raise ServiceClosedError("service is closed")
+        if timeout is None:
+            timeout = self.config.checkpoint_timeout
+        if self.wal is None or self.snapshots is None:
+            self.flush(timeout)
+            return CheckpointReport(
+                wal_seq=0, documents=len(self._hosts), segments_retired=0, bytes_retired=0
+            )
+        if self._started:
+            self.flush(timeout)
+        return self._checkpoint_locked(timeout)
+
+    def _checkpoint_locked(self, timeout: Optional[float]) -> CheckpointReport:
+        registry = get_registry()
+        with self._checkpoint_mutex, span("service.checkpoint"):
+            with self._batcher.paused(timeout):
+                with self._locks.write_many(self._hosts.keys(), timeout):
+                    states = {
+                        name: host.snapshot_state()
+                        for name, host in self._hosts.items()
+                    }
+                    wal_seq = self.wal.next_seq - 1
+                    self.wal.rotate()
+            self.snapshots.write_checkpoint(states, wal_seq)
+            segments, size = self.wal.retire_covered_segments(wal_seq)
+            self._ops_since_checkpoint = 0
+            registry.counter("checkpoint.count").inc()
+            return CheckpointReport(
+                wal_seq=wal_seq,
+                documents=len(states),
+                segments_retired=segments,
+                bytes_retired=size,
+            )
+
+    def _after_commit(self, batch_size: int) -> None:
+        """Auto-checkpoint policy; runs on the committer thread after
+        each batch's durability point."""
+        if self.wal is None or self.snapshots is None:
+            return
+        config = self.config
+        self._ops_since_checkpoint += batch_size
+        due = (
+            config.checkpoint_every_ops is not None
+            and self._ops_since_checkpoint >= config.checkpoint_every_ops
+        ) or (
+            config.checkpoint_every_bytes is not None
+            and self.wal.bytes_since_rotation >= config.checkpoint_every_bytes
+        )
+        if not due:
+            return
+        try:
+            # No flush here: flushing from the committer thread would
+            # deadlock on work only this thread can complete.  The pause
+            # inside is safe — it waits only on `_in_commit`, already
+            # clear when this hook runs.
+            self._checkpoint_locked(config.checkpoint_timeout)
+        except Exception:
+            # A failed auto-checkpoint must not kill the committer; the
+            # next due batch retries.
+            get_registry().counter("checkpoint.failed").inc()
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
         """Graceful shutdown: drain the queue (unless told not to), stop

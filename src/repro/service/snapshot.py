@@ -1,0 +1,190 @@
+"""Crash-safe checkpoint snapshots of hosted state.
+
+A checkpoint persists each host's state so the WAL segments covering it
+can be retired, bounding recovery time by the post-checkpoint log
+length.  The store keeps one directory per service::
+
+    <dir>/MANIFEST.json          the checkpoint's commit record
+    <dir>/<slug>.<wal_seq>.snap  one state file per hosted document
+
+Protocol (every step crash-safe):
+
+1. each state file is written to a temp name, fsynced, and atomically
+   renamed into place — under a *versioned* name (the checkpoint's
+   ``wal_seq`` is part of the filename), so a crash mid-checkpoint can
+   never leave the old manifest pointing at a newer state file;
+2. the directory entry is fsynced;
+3. the manifest — JSON naming ``wal_seq`` (every WAL record with
+   ``seq <= wal_seq`` is reflected in the state files) and, per
+   document, the exact file with its SHA-256 and size — is written the
+   same way: temp, fsync, rename, directory fsync.  **The manifest
+   rename is the checkpoint's commit point**: before it, recovery uses
+   the previous checkpoint (or none) and replays the full log; after
+   it, recovery loads the new state files and replays only records past
+   ``wal_seq``;
+4. files not referenced by the new manifest (previous checkpoints,
+   stray temp files) are garbage-collected — a crash here leaves only
+   unreferenced litter for the next checkpoint to sweep.
+
+State bytes are host-defined: serialised XML for document hosts, a
+SQLite database image for store hosts (which preserves tuple ids, so
+post-checkpoint relational operations replay against the right rows).
+
+All writes go through :class:`~repro.service.faults.Filesystem` so the
+fault-injection harness can crash a checkpoint at every boundary; loads
+verify the manifest's checksums and raise :class:`CheckpointError` on
+any mismatch rather than recovering from a corrupt base.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+from dataclasses import dataclass
+from typing import Mapping, Optional
+
+from repro.errors import CheckpointError
+from repro.obs import get_registry, span
+from repro.service.faults import Filesystem
+
+MANIFEST_NAME = "MANIFEST.json"
+MANIFEST_VERSION = 1
+
+
+def _slug(doc: str) -> str:
+    """A filesystem-safe, collision-free stand-in for a document name."""
+    safe = re.sub(r"[^A-Za-z0-9._-]+", "-", doc).strip(".-") or "doc"
+    digest = hashlib.sha256(doc.encode("utf-8")).hexdigest()[:8]
+    return f"{safe}-{digest}"
+
+
+@dataclass(frozen=True)
+class SnapshotEntry:
+    """One document's state file, as named by the manifest."""
+
+    file: str
+    sha256: str
+    size: int
+
+
+@dataclass(frozen=True)
+class CheckpointManifest:
+    """A loaded checkpoint: the log position it covers and its files."""
+
+    wal_seq: int
+    documents: dict  # doc name -> SnapshotEntry
+
+
+class SnapshotStore:
+    """Atomic persistence of per-host state plus the covering manifest."""
+
+    def __init__(self, directory: str, fs: Optional[Filesystem] = None) -> None:
+        self.directory = directory
+        self.fs = fs or Filesystem()
+
+    # ------------------------------------------------------------------
+    # Write path (runs inside the service's quiesced checkpoint window)
+    # ------------------------------------------------------------------
+    def write_checkpoint(
+        self, states: Mapping[str, bytes], wal_seq: int
+    ) -> CheckpointManifest:
+        """Persist ``states`` as the checkpoint covering ``seq <= wal_seq``."""
+        self.fs.makedirs(self.directory)
+        entries: dict[str, SnapshotEntry] = {}
+        with span("snapshot.write", documents=len(states)):
+            for doc in sorted(states):
+                data = states[doc]
+                name = f"{_slug(doc)}.{wal_seq:012d}.snap"
+                self._write_atomic(name, data)
+                entries[doc] = SnapshotEntry(
+                    file=name,
+                    sha256=hashlib.sha256(data).hexdigest(),
+                    size=len(data),
+                )
+                get_registry().counter("checkpoint.snapshot_bytes").inc(len(data))
+            payload = {
+                "version": MANIFEST_VERSION,
+                "wal_seq": wal_seq,
+                "documents": {
+                    doc: {
+                        "file": entry.file,
+                        "sha256": entry.sha256,
+                        "size": entry.size,
+                    }
+                    for doc, entry in entries.items()
+                },
+            }
+            encoded = json.dumps(payload, indent=2, sort_keys=True).encode("ascii")
+            self._write_atomic(MANIFEST_NAME, encoded)  # the commit point
+            self._collect_garbage(
+                {MANIFEST_NAME} | {entry.file for entry in entries.values()}
+            )
+        return CheckpointManifest(wal_seq=wal_seq, documents=entries)
+
+    def _write_atomic(self, name: str, data: bytes) -> None:
+        path = os.path.join(self.directory, name)
+        tmp = path + ".tmp"
+        file = self.fs.open(tmp, "w+b")
+        try:
+            file.write(data)
+            self.fs.fsync(file)
+        finally:
+            file.close()
+        self.fs.replace(tmp, path)
+        self.fs.fsync_dir(self.directory)
+
+    def _collect_garbage(self, keep: set) -> None:
+        """Sweep files no manifest references (older checkpoints, temps)."""
+        for name in sorted(os.listdir(self.directory)):
+            if name in keep:
+                continue
+            try:
+                self.fs.remove(os.path.join(self.directory, name))
+            except OSError:  # pragma: no cover - a racing sweep is harmless
+                pass
+
+    # ------------------------------------------------------------------
+    # Read path (recovery; plain reads, never injected)
+    # ------------------------------------------------------------------
+    def load_manifest(self) -> Optional[CheckpointManifest]:
+        """The last committed checkpoint, or None if there has been none."""
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        if not os.path.exists(path):
+            return None
+        try:
+            with open(path, "rb") as handle:
+                payload = json.loads(handle.read().decode("ascii"))
+            if payload["version"] != MANIFEST_VERSION:
+                raise CheckpointError(
+                    f"unsupported checkpoint manifest version {payload['version']!r}"
+                )
+            documents = {
+                doc: SnapshotEntry(
+                    file=str(entry["file"]),
+                    sha256=str(entry["sha256"]),
+                    size=int(entry["size"]),
+                )
+                for doc, entry in payload["documents"].items()
+            }
+            return CheckpointManifest(wal_seq=int(payload["wal_seq"]), documents=documents)
+        except (ValueError, KeyError, TypeError) as error:
+            raise CheckpointError(f"malformed checkpoint manifest: {error}") from error
+
+    def read_state(self, manifest: CheckpointManifest, doc: str) -> bytes:
+        """One document's checkpointed state, checksum-verified."""
+        entry = manifest.documents[doc]
+        path = os.path.join(self.directory, entry.file)
+        try:
+            with open(path, "rb") as handle:
+                data = handle.read()
+        except OSError as error:
+            raise CheckpointError(
+                f"checkpoint state for {doc!r} unreadable: {error}"
+            ) from error
+        if len(data) != entry.size or hashlib.sha256(data).hexdigest() != entry.sha256:
+            raise CheckpointError(
+                f"checkpoint state for {doc!r} fails its manifest checksum"
+            )
+        return data

@@ -1,18 +1,29 @@
-"""Append-only write-ahead log of serialised update operations.
+"""Append-only write-ahead log of serialised update operations, stored
+as rotated segments.
 
-File layout::
+Layout: a WAL at base path ``doc.wal`` is a family of segment files
+``doc.wal.000001``, ``doc.wal.000002``, … forming one logical record
+stream.  Each segment::
 
-    +----------+   8 bytes   magic  b"XRWAL001"
-    | header   |
-    +----------+
-    | record 0 |   16-byte frame + payload
-    | record 1 |
-    | ...      |
-    +----------+
+    +-----------+   16 bytes  magic b"XRWAL002" + <Q base_seq>
+    | header    |
+    +-----------+
+    | record 0  |   16-byte frame + payload
+    | ...       |
+    +-----------+
+
+``base_seq`` is the sequence number the segment's first record will
+carry — it is written when the segment is created, so the high-water
+sequence number survives a checkpoint that retires every record-bearing
+segment (reopening an empty post-checkpoint log resumes numbering from
+the live segment's header instead of restarting at 1).  A legacy
+single-file log (magic ``XRWAL001``, 8-byte header, implicit base 1) is
+migrated in place by renaming it to segment 1.
 
 Each record frame is ``<QII``: the record's sequence number (monotonic,
-starting at 1), the payload length, and the CRC32 of the payload.  The
-payload is a canonical-JSON service operation (:mod:`repro.service.ops`).
+starting at 1, continuous across segments), the payload length, and the
+CRC32 of the payload.  The payload is a canonical-JSON service
+operation (:mod:`repro.service.ops`).
 
 Durability protocol (group commit): :meth:`append` only buffers; the
 batcher appends a whole batch plus its commit marker and then calls
@@ -20,16 +31,24 @@ batcher appends a whole batch plus its commit marker and then calls
 record is durable — and its submitter's ticket is resolved — only after
 that sync returns.
 
+Checkpointing rotates instead of truncating: :meth:`rotate` fsyncs the
+live segment and opens a fresh one (header first, fsynced, directory
+entry fsynced) so a checkpoint can later :meth:`retire_old_segments`
+— whole-file unlinks, each crash-safe, never an in-place truncate of
+bytes a concurrent reader might be scanning.
+
 A crash can leave a *torn tail*: a partially written frame or payload,
-or a payload whose CRC does not match.  :meth:`scan` reads the longest
-valid prefix and reports how many trailing bytes are torn;
-:meth:`truncate_torn_tail` drops them so the log can be appended to
-again.  Corruption *before* the tail (a bad record followed by valid
-ones) is not repairable by truncation and raises :class:`WalError`
-during :meth:`scan` only if strict checking is requested; by default the
-scan treats the first bad frame as the start of the torn tail, which is
-the right call for crash recovery (nothing after an unsynced record can
-be trusted anyway).
+a payload whose CRC does not match, or a segment whose header never
+finished.  :meth:`scan` walks the segments in order and reads the
+longest valid prefix of the logical stream; everything after the first
+bad byte — including any later segments — is reported as torn.
+:meth:`truncate_torn_tail` drops the torn bytes (truncating the
+segment where the tear starts and unlinking any segments after it) so
+the log can be appended to again.
+
+All file operations go through a :class:`~repro.service.faults.Filesystem`
+so the fault-injection harness can crash the log at every write/fsync
+boundary.
 """
 
 from __future__ import annotations
@@ -39,12 +58,45 @@ import struct
 import threading
 import zlib
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.errors import WalError
 from repro.obs import get_registry, span
+from repro.service.faults import Filesystem
 
+#: Legacy single-file header: just the magic (implicit base_seq 1).
 MAGIC = b"XRWAL001"
+#: Segment header: magic + little-endian uint64 base sequence number.
+SEGMENT_MAGIC = b"XRWAL002"
+_BASE = struct.Struct("<Q")
+SEGMENT_HEADER_SIZE = len(SEGMENT_MAGIC) + _BASE.size
 _FRAME = struct.Struct("<QII")  # seq, payload length, payload crc32
+
+
+def segment_path(base: str, index: int) -> str:
+    return f"{base}.{index:06d}"
+
+
+def list_segments(base: str) -> list[tuple[int, str]]:
+    """(index, path) of every segment of the WAL at ``base``, in order."""
+    directory = os.path.dirname(base) or "."
+    prefix = os.path.basename(base) + "."
+    found = []
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    for name in names:
+        if name.startswith(prefix):
+            suffix = name[len(prefix):]
+            if len(suffix) == 6 and suffix.isdigit():
+                found.append((int(suffix), os.path.join(directory, name)))
+    return sorted(found)
+
+
+def wal_exists(base: str) -> bool:
+    """True if a WAL (legacy file or any segment) exists at ``base``."""
+    return os.path.exists(base) or bool(list_segments(base))
 
 
 @dataclass(frozen=True)
@@ -55,8 +107,19 @@ class WalRecord:
     payload: bytes
 
 
+@dataclass
+class _ScanState:
+    """Where one full scan ended: the records, the tear, the live end."""
+
+    records: list
+    torn: int  # untrusted trailing bytes (across segments)
+    tear_pos: Optional[int]  # index into self._segments where the tear starts
+    tear_offset: int  # valid byte count within that segment
+    active_end: int  # valid end offset of the *last* segment
+
+
 class WriteAheadLog:
-    """An append-only, checksummed, fsync-on-commit log file.
+    """An append-only, checksummed, fsync-on-commit segmented log.
 
     ``sync_mode`` tunes durability:
 
@@ -64,25 +127,57 @@ class WriteAheadLog:
     * ``"always"`` — every :meth:`append` syncs immediately (batch size
       1 semantics, for comparison benchmarks);
     * ``"never"`` — :meth:`sync` only flushes to the OS (fast tests).
+
+    ``max_segment_bytes`` rotates automatically once the live segment
+    grows past the limit (checkpoints also rotate explicitly).
     """
 
-    def __init__(self, path: str, sync_mode: str = "commit") -> None:
+    def __init__(
+        self,
+        path: str,
+        sync_mode: str = "commit",
+        fs: Optional[Filesystem] = None,
+        max_segment_bytes: Optional[int] = None,
+    ) -> None:
         if sync_mode not in ("commit", "always", "never"):
             raise WalError(f"unknown sync mode {sync_mode!r}")
         self.path = path
         self.sync_mode = sync_mode
+        self.fs = fs or Filesystem()
+        self.max_segment_bytes = max_segment_bytes
+        self._dir = os.path.dirname(os.path.abspath(path)) or "."
         self._lock = threading.RLock()
         self._closed = False
-        fresh = not os.path.exists(path) or os.path.getsize(path) == 0
-        self._file = open(path, "a+b")
-        if fresh:
-            self._file.write(MAGIC)
-            self._file.flush()
-            os.fsync(self._file.fileno())
-        records, torn = self._scan_locked()
-        self._next_seq = (records[-1].seq + 1) if records else 1
-        self._end_offset = os.path.getsize(path) - torn
-        self._torn_bytes = torn
+        self._segments = list_segments(path)
+        if os.path.exists(path):
+            # Legacy single-file log: adopt it as segment 1.
+            if self._segments:
+                raise WalError(
+                    f"{path} exists both as a legacy WAL file and as segments"
+                )
+            self.fs.replace(path, segment_path(path, 1))
+            self.fs.fsync_dir(self._dir)
+            self._segments = [(1, segment_path(path, 1))]
+        if not self._segments:
+            self._segments = [(1, segment_path(path, 1))]
+            file = self.fs.open(segment_path(path, 1), "a+b")
+            file.write(SEGMENT_MAGIC + _BASE.pack(1))
+            self.fs.fsync(file)
+            file.close()
+            self.fs.fsync_dir(self._dir)
+        self._file = self.fs.open(self._segments[-1][1], "a+b")
+        self._active_header = self._header_size(self._segments[-1][1])
+        try:
+            state = self._scan_locked()
+        except Exception:
+            self._file.close()
+            raise
+        if state.records:
+            self._next_seq = state.records[-1].seq + 1
+        else:
+            self._next_seq = self._segment_base(self._segments[-1][1])
+        self._end_offset = state.active_end
+        self._torn_bytes = state.torn
 
     # ------------------------------------------------------------------
     # Append path
@@ -99,6 +194,12 @@ class WriteAheadLog:
                 raise WalError(
                     "log has a torn tail; call truncate_torn_tail() before appending"
                 )
+            if (
+                self.max_segment_bytes is not None
+                and self._end_offset >= self.max_segment_bytes
+                and self._end_offset > self._active_header
+            ):
+                self._rotate_locked()
             seq = self._next_seq
             self._next_seq += 1
             frame = _FRAME.pack(seq, len(payload), zlib.crc32(payload))
@@ -113,7 +214,11 @@ class WriteAheadLog:
             return seq
 
     def sync(self) -> None:
-        """Make everything appended so far durable (the commit point)."""
+        """Make everything appended so far durable (the commit point).
+
+        Only the live segment needs the fsync: older segments were
+        synced when rotation switched away from them.
+        """
         with self._lock:
             self._check_open()
             self._sync_locked()
@@ -122,8 +227,96 @@ class WriteAheadLog:
         self._file.flush()
         if self.sync_mode != "never":
             with span("wal.fsync"):
-                os.fsync(self._file.fileno())
+                self.fs.fsync(self._file)
             get_registry().counter("wal.fsyncs").inc()
+
+    # ------------------------------------------------------------------
+    # Rotation and retirement (the checkpoint path)
+    # ------------------------------------------------------------------
+    def rotate(self) -> str:
+        """Seal the live segment and start a new one; returns its path.
+
+        The new segment's header records the current next sequence
+        number, so the numbering survives even if every older segment
+        is later retired.
+        """
+        with self._lock:
+            self._check_open()
+            if self._torn_bytes:
+                raise WalError("truncate the torn tail before rotating")
+            return self._rotate_locked()
+
+    def _rotate_locked(self) -> str:
+        self._sync_locked()  # seal: everything in the old segment is durable
+        index = self._segments[-1][0] + 1
+        path = segment_path(self.path, index)
+        file = self.fs.open(path, "a+b")
+        file.write(SEGMENT_MAGIC + _BASE.pack(self._next_seq))
+        self.fs.fsync(file)
+        self.fs.fsync_dir(self._dir)
+        self._file.close()
+        self._file = file
+        self._segments.append((index, path))
+        self._end_offset = SEGMENT_HEADER_SIZE
+        self._active_header = SEGMENT_HEADER_SIZE
+        get_registry().counter("wal.rotations").inc()
+        return path
+
+    def retire_old_segments(self) -> tuple[int, int]:
+        """Unlink every segment but the live one (checkpoint: the caller
+        has persisted a snapshot covering them).  Returns (segments,
+        bytes) retired."""
+        with self._lock:
+            self._check_open()
+            retired = self._segments[:-1]
+            size = 0
+            for _index, path in retired:
+                size += os.path.getsize(path)
+                self.fs.remove(path)
+            self._segments = self._segments[-1:]
+            if retired:
+                self.fs.fsync_dir(self._dir)
+                registry = get_registry()
+                registry.counter("wal.segments_retired").inc(len(retired))
+                registry.counter("wal.bytes_retired").inc(size)
+            return len(retired), size
+
+    def retire_covered_segments(self, max_seq: int) -> tuple[int, int]:
+        """Unlink leading non-live segments whose records all have
+        ``seq <= max_seq`` — a just-committed checkpoint's segments, or
+        stale leftovers of one that crashed between writing its manifest
+        and retiring.  Returns (segments, bytes) removed."""
+        with self._lock:
+            self._check_open()
+            removed = 0
+            size = 0
+            while len(self._segments) > 1:
+                path = self._segments[0][1]
+                last = self._last_seq_in(path)
+                if last is not None and last > max_seq:
+                    break
+                size += os.path.getsize(path)
+                self.fs.remove(path)
+                self._segments.pop(0)
+                removed += 1
+            if removed:
+                self.fs.fsync_dir(self._dir)
+                registry = get_registry()
+                registry.counter("wal.segments_retired").inc(removed)
+                registry.counter("wal.bytes_retired").inc(size)
+            return removed, size
+
+    def reset(self) -> None:
+        """Drop all records (checkpoint: callers persist a snapshot of the
+        hosted state first): rotate, then retire every older segment.
+        Sequence numbers keep counting up — and, because the live
+        segment's header carries the base sequence, they keep counting
+        up across a close and reopen too, so a seq never names two
+        different operations across a checkpoint."""
+        with self._lock:
+            self._check_open()
+            self._rotate_locked()
+            self.retire_old_segments()
 
     # ------------------------------------------------------------------
     # Read path
@@ -133,70 +326,152 @@ class WriteAheadLog:
         with self._lock:
             self._check_open()
             self._file.flush()
-            records, torn = self._scan_locked()
-            self._torn_bytes = torn
-            return records, torn
+            state = self._scan_locked()
+            self._torn_bytes = state.torn
+            return state.records, state.torn
 
     def records(self) -> list[WalRecord]:
         return self.scan()[0]
 
-    def _scan_locked(self) -> tuple[list[WalRecord], int]:
-        self._file.seek(0)
-        data = self._file.read()
-        if data[: len(MAGIC)] != MAGIC:
-            raise WalError(f"{self.path} is not a WAL file (bad magic)")
+    def _header_size(self, path: str) -> int:
+        with open(path, "rb") as handle:
+            magic = handle.read(len(SEGMENT_MAGIC))
+        return SEGMENT_HEADER_SIZE if magic == SEGMENT_MAGIC else len(MAGIC)
+
+    def _segment_base(self, path: str) -> int:
+        with open(path, "rb") as handle:
+            head = handle.read(SEGMENT_HEADER_SIZE)
+        if head[: len(SEGMENT_MAGIC)] == SEGMENT_MAGIC and len(head) >= SEGMENT_HEADER_SIZE:
+            return _BASE.unpack_from(head, len(SEGMENT_MAGIC))[0]
+        return 1
+
+    def _last_seq_in(self, path: str) -> Optional[int]:
+        """Last intact record seq in one segment (None if empty/unreadable)."""
+        with open(path, "rb") as handle:
+            data = handle.read()
+        parsed = _parse_segment(data, expected=None, strict_magic=False)
+        if parsed is None or not parsed[0]:
+            return None
+        return parsed[0][-1].seq
+
+    def _scan_locked(self) -> _ScanState:
+        """Walk all segments in order as one logical stream.
+
+        The first invalid byte — torn frame, bad CRC, sequence
+        discontinuity, or unreadable header — starts the torn tail;
+        every byte after it (including whole later segments) is
+        untrusted, because nothing past an unsynced write can be.
+        """
         records: list[WalRecord] = []
-        offset = len(MAGIC)
-        while offset < len(data):
-            if offset + _FRAME.size > len(data):
-                break  # torn frame
-            seq, length, crc = _FRAME.unpack_from(data, offset)
-            start = offset + _FRAME.size
-            payload = data[start : start + length]
-            if len(payload) < length:
-                break  # torn payload
-            if zlib.crc32(payload) != crc:
-                break  # corrupt (unsynced) write — treat as tail
-            expected = records[-1].seq + 1 if records else None
-            if expected is not None and seq != expected:
-                break  # sequence discontinuity: stale bytes past a crash
-            records.append(WalRecord(seq, payload))
-            offset = start + length
-        return records, len(data) - offset
+        torn = 0
+        tear_pos: Optional[int] = None
+        tear_offset = 0
+        active_end = 0
+        expected: Optional[int] = None
+        for position, (_index, path) in enumerate(self._segments):
+            is_active = position == len(self._segments) - 1
+            size = os.path.getsize(path)
+            if tear_pos is not None:
+                torn += size
+                if is_active:
+                    active_end = 0
+                continue
+            with open(path, "rb") as handle:
+                data = handle.read()
+            parsed = _parse_segment(data, expected, strict_magic=(position == 0))
+            if parsed is None:
+                # Unreadable or mismatched header: the stream ends here.
+                tear_pos, tear_offset = position, 0
+                torn += len(data)
+                if is_active:
+                    active_end = 0
+                continue
+            segment_records, offset = parsed
+            records.extend(segment_records)
+            if segment_records:
+                expected = segment_records[-1].seq + 1
+            elif data[: len(SEGMENT_MAGIC)] == SEGMENT_MAGIC:
+                base = _BASE.unpack_from(data, len(SEGMENT_MAGIC))[0]
+                expected = base if expected is None else expected
+            if offset < len(data):
+                tear_pos, tear_offset = position, offset
+                torn += len(data) - offset
+            if is_active:
+                active_end = offset
+        return _ScanState(records, torn, tear_pos, tear_offset, active_end)
 
     def truncate_torn_tail(self) -> int:
-        """Drop any torn trailing bytes; returns how many were dropped."""
-        with self._lock:
-            self._check_open()
-            records, torn = self.scan()
-            if torn:
-                keep = os.path.getsize(self.path) - torn
-                self._file.truncate(keep)
-                self._file.flush()
-                os.fsync(self._file.fileno())
-                self._end_offset = keep
-                self._torn_bytes = 0
-                self._next_seq = (records[-1].seq + 1) if records else 1
-            return torn
+        """Drop any torn trailing bytes; returns how many were dropped.
 
-    # ------------------------------------------------------------------
-    # Maintenance
-    # ------------------------------------------------------------------
-    def reset(self) -> None:
-        """Drop all records (checkpoint: callers persist a snapshot of the
-        hosted state first).  Sequence numbers keep counting up so a seq
-        never names two different operations across a checkpoint."""
+        Truncates the segment where the tear starts and unlinks every
+        segment after it (whole later segments are untrusted)."""
         with self._lock:
             self._check_open()
-            self._file.truncate(len(MAGIC))
             self._file.flush()
-            os.fsync(self._file.fileno())
-            self._end_offset = len(MAGIC)
+            state = self._scan_locked()
+            if not state.torn:
+                self._torn_bytes = 0
+                return 0
+            assert state.tear_pos is not None
+            for _index, path in self._segments[state.tear_pos + 1:]:
+                self.fs.remove(path)
+            self._segments = self._segments[: state.tear_pos + 1]
+            index, path = self._segments[-1]
+            self._file.close()
+            keep = state.tear_offset
+            if keep < self._header_size(path) and len(self._segments) > 1:
+                # The segment's own header never finished (a crash during
+                # rotation): drop the file and resume on the previous one.
+                self.fs.remove(path)
+                self._segments.pop()
+                index, path = self._segments[-1]
+                self._file = self.fs.open(path, "a+b")
+                self.fs.fsync_dir(self._dir)
+            else:
+                self._file = self.fs.open(path, "a+b")
+                if keep < SEGMENT_HEADER_SIZE and len(self._segments) == 1:
+                    # Nothing recoverable at all: rewrite a fresh header.
+                    self.fs.truncate(self._file, 0)
+                    self._file.write(SEGMENT_MAGIC + _BASE.pack(self._next_seq))
+                    keep = SEGMENT_HEADER_SIZE
+                else:
+                    self.fs.truncate(self._file, keep)
+                self.fs.fsync(self._file)
+                self.fs.fsync_dir(self._dir)
+            self._active_header = self._header_size(self._segments[-1][1])
+            state2 = self._scan_locked()
+            self._end_offset = state2.active_end
             self._torn_bytes = 0
+            if state2.records:
+                self._next_seq = state2.records[-1].seq + 1
+            else:
+                self._next_seq = max(
+                    self._next_seq, self._segment_base(self._segments[-1][1])
+                )
+            return state.torn
 
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
     @property
     def next_seq(self) -> int:
         return self._next_seq
+
+    @property
+    def segment_paths(self) -> list[str]:
+        with self._lock:
+            return [path for _index, path in self._segments]
+
+    @property
+    def current_segment_path(self) -> str:
+        with self._lock:
+            return self._segments[-1][1]
+
+    @property
+    def bytes_since_rotation(self) -> int:
+        """Record bytes in the live segment (the auto-checkpoint gauge)."""
+        with self._lock:
+            return max(0, self._end_offset - self._active_header)
 
     @property
     def closed(self) -> bool:
@@ -206,9 +481,11 @@ class WriteAheadLog:
         with self._lock:
             if self._closed:
                 return
-            self._sync_locked()
-            self._file.close()
             self._closed = True
+            try:
+                self._sync_locked()
+            finally:
+                self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self
@@ -219,3 +496,53 @@ class WriteAheadLog:
     def _check_open(self) -> None:
         if self._closed:
             raise WalError("write-ahead log is closed")
+
+
+def _parse_segment(
+    data: bytes, expected: Optional[int], strict_magic: bool
+) -> Optional[tuple[list[WalRecord], int]]:
+    """Records of one segment plus the offset where validity ends.
+
+    Returns None when the header is unreadable or inconsistent with the
+    stream (``expected``); ``strict_magic`` makes a wrong magic an error
+    (the first segment of a log must be a WAL) instead of a tear.
+    """
+    if data[: len(SEGMENT_MAGIC)] == SEGMENT_MAGIC:
+        if len(data) < SEGMENT_HEADER_SIZE:
+            return None  # header itself torn
+        base = _BASE.unpack_from(data, len(SEGMENT_MAGIC))[0]
+        if expected is not None and base != expected:
+            return None  # stale or corrupt segment: not this stream's next
+        offset = SEGMENT_HEADER_SIZE
+    elif data[: len(MAGIC)] == MAGIC:
+        offset = len(MAGIC)  # legacy header, implicit base 1
+    else:
+        # A crash while the segment header itself was being written
+        # leaves a *prefix* of the magic (possibly empty): a torn
+        # header, recoverable.  Anything else under strict_magic is not
+        # a WAL at all — that is caller error, not a crash artifact.
+        head = data[: len(SEGMENT_MAGIC)]
+        if (
+            strict_magic
+            and not SEGMENT_MAGIC.startswith(head)
+            and not MAGIC.startswith(data[: len(MAGIC)])
+        ):
+            raise WalError("not a WAL segment (bad magic)")
+        return None
+    records: list[WalRecord] = []
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            break  # torn frame
+        seq, length, crc = _FRAME.unpack_from(data, offset)
+        start = offset + _FRAME.size
+        payload = data[start : start + length]
+        if len(payload) < length:
+            break  # torn payload
+        if zlib.crc32(payload) != crc:
+            break  # corrupt (unsynced) write — treat as tail
+        if expected is not None and seq != expected:
+            break  # sequence discontinuity: stale bytes past a crash
+        records.append(WalRecord(seq, payload))
+        expected = seq + 1
+        offset = start + length
+    return records, offset

@@ -274,6 +274,83 @@ class TestQueueDiscipline:
             release.set()
             batcher.close()
 
+    def test_paused_quiesces_in_flight_batch_and_resumes(self):
+        """``paused()`` must wait out the in-flight batch, hold new ones
+        back (submissions still queue), and drain them on exit."""
+        started = threading.Event()
+        release = threading.Event()
+
+        def gated_apply(ops):
+            started.set()
+            release.wait(10)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(gated_apply, max_batch=1)
+        batcher.start()
+        first = batcher.submit(SubtreeDelete("d", "n1", (1,)))
+        assert started.wait(5)
+
+        entered = threading.Event()
+        resume = threading.Event()
+        failures = []
+
+        def pauser():
+            try:
+                with batcher.paused(timeout=10):
+                    entered.set()
+                    resume.wait(5)
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        thread = spawn(pauser)
+        time.sleep(0.05)
+        assert not entered.is_set(), "pause must wait for the in-flight batch"
+        release.set()
+        assert first.wait(5) is not None
+        assert entered.wait(5)
+        pending = batcher.submit(SubtreeDelete("d", "n1", (2,)))
+        time.sleep(0.1)
+        assert not pending.done, "no batch may start while paused"
+        resume.set()
+        thread.join(5)
+        assert failures == []
+        assert pending.wait(5) is not None
+        batcher.close()
+
+    def test_paused_times_out_on_a_stuck_batch(self):
+        release = threading.Event()
+        picked_up = threading.Event()
+
+        def slow_apply(ops):
+            picked_up.set()
+            release.wait(10)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(slow_apply, max_batch=1)
+        batcher.start()
+        batcher.submit(SubtreeDelete("d", "n1", (1,)))
+        assert picked_up.wait(5)
+        with pytest.raises(ServiceTimeoutError):
+            with batcher.paused(timeout=0.1):
+                pass  # pragma: no cover - never entered
+        release.set()
+        batcher.close()
+
+    def test_after_commit_hook_fires_per_batch(self):
+        sizes = []
+
+        def apply(ops):
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(apply, max_batch=4, after_commit=sizes.append)
+        batcher.start()
+        for i in range(6):
+            batcher.submit(SubtreeDelete("d", "n1", (i,)))
+        batcher.flush(timeout=10)
+        batcher.close()
+        assert sum(sizes) == 6
+        assert all(size >= 1 for size in sizes)
+
     def test_close_without_drain_fails_pending(self):
         started = threading.Event()
         release = threading.Event()

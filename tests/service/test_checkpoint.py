@@ -1,0 +1,247 @@
+"""Service checkpointing: crash-consistent snapshots, bounded recovery,
+the automatic policy, and the checkpoint/commit race regression."""
+
+import os
+import threading
+
+import pytest
+
+from repro.service import (
+    DeltaUpdate,
+    ServiceConfig,
+    SubtreeDelete,
+    UpdateService,
+)
+from repro.updates.delta import InsertNode
+from repro.xmlmodel.parser import XmlParser
+from repro.xmlmodel.serializer import serialize
+
+DOC = "doc.xml"
+JOIN_TIMEOUT = 30
+
+
+def fresh_doc():
+    return XmlParser("<log></log>").parse()
+
+
+def entry_op(index):
+    return InsertNode((), 1 << 30, xml=f'<entry i="{index}"/>')
+
+
+def make_service(wal_path, **extra):
+    service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=8, **extra))
+    service.host_document(DOC, fresh_doc())
+    return service
+
+
+class TestCheckpointRecovery:
+    def test_recovery_uses_snapshot_and_replays_the_rest(self, tmp_path):
+        wal_path = str(tmp_path / "doc.wal")
+        service = make_service(wal_path)
+        service.start()
+        for index in range(4):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)))
+        report = service.checkpoint()
+        assert report.wal_seq > 0
+        assert report.documents == 1
+        for index in range(4, 6):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)))
+        expected = service.query(DOC)
+        service.close()
+
+        restarted = make_service(wal_path)
+        recovery = restarted.recover()
+        # The snapshot carries the first four ops; only the two
+        # post-checkpoint records replay.
+        assert recovery.snapshot_docs == 1
+        assert recovery.applied == 2
+        restarted.start()
+        assert restarted.query(DOC) == expected
+        restarted.close()
+
+    def test_checkpoint_bounds_the_log(self, tmp_path):
+        wal_path = str(tmp_path / "doc.wal")
+        service = make_service(wal_path)
+        service.start()
+        for index in range(10):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)))
+        report = service.checkpoint()
+        assert report.segments_retired >= 1
+        assert report.bytes_retired > 0
+        service.close()
+
+        restarted = make_service(wal_path)
+        recovery = restarted.recover()
+        assert recovery.applied == 0  # nothing left to replay
+        assert recovery.covered == 0  # ...and nothing covered left either
+        restarted.close()
+
+    def test_store_host_checkpoint_preserves_tuple_ids(self, tmp_path):
+        """A store snapshot must be a database image: replayed relational
+        operations name tuple ids, which re-shredding would renumber."""
+        from repro.bench.experiments import build_fixed_store
+        from repro.workloads.synthetic import SyntheticParams
+
+        wal_path = str(tmp_path / "store.wal")
+        master = build_fixed_store(SyntheticParams(12, 2, 2))
+        live = master.snapshot()
+        ids = [row[0] for row in live.db.query('SELECT id FROM "n1" ORDER BY id')][:6]
+
+        service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=4))
+        service.host_store("db.xml", live)
+        service.start()
+        for subtree_id in ids[:3]:
+            service.submit_wait(SubtreeDelete("db.xml", "n1", (subtree_id,)))
+        service.checkpoint()
+        for subtree_id in ids[3:]:
+            service.submit_wait(SubtreeDelete("db.xml", "n1", (subtree_id,)))
+        expected = serialize(live.to_document())
+        service.close()
+        live.close()
+
+        restored = master.snapshot()
+        restarted = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=4))
+        restarted.host_store("db.xml", restored)
+        recovery = restarted.recover()
+        assert recovery.snapshot_docs == 1
+        assert recovery.applied == 3  # only the post-checkpoint deletes
+        recovered = serialize(restored.to_document())
+        restarted.close()
+        restored.close()
+        master.close()
+        assert recovered == expected
+
+    def test_wal_seq_survives_checkpoint_close_reopen(self, tmp_path):
+        """Regression (seq restart): after a checkpoint retired every
+        record-bearing segment, a service reopened on that WAL restarted
+        numbering at 1, so recovery could match an old commit marker
+        against a brand-new operation."""
+        wal_path = str(tmp_path / "doc.wal")
+        service = make_service(wal_path)
+        service.start()
+        last_seq = 0
+        for index in range(3):
+            last_seq = service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)))
+        service.checkpoint()
+        service.close()
+
+        restarted = make_service(wal_path)
+        restarted.recover()
+        restarted.start()
+        new_seq = restarted.submit_wait(DeltaUpdate(DOC, (entry_op(99),)))
+        restarted.close()
+        assert new_seq > last_seq
+
+
+class TestCheckpointCommitRace:
+    def test_ops_committed_during_checkpoint_survive(self, tmp_path):
+        """Regression: ``checkpoint()`` used to flush and then truncate
+        the WAL with nothing keeping a new batch from committing in
+        between — the batch's operations were acknowledged as durable,
+        then their only trace was truncated without ever reaching a
+        snapshot.  Submitters hammer the service while checkpoints run;
+        afterwards every acknowledged op must be recoverable."""
+        wal_path = str(tmp_path / "race.wal")
+        service = make_service(wal_path)
+        service.start()
+        acked = []
+        acked_lock = threading.Lock()
+        failures = []
+        stop = threading.Event()
+
+        def submitter(worker):
+            index = 0
+            try:
+                while not stop.is_set():
+                    marker = worker * 100_000 + index
+                    service.submit_wait(
+                        DeltaUpdate(DOC, (entry_op(marker),)), timeout=JOIN_TIMEOUT
+                    )
+                    with acked_lock:
+                        acked.append(marker)
+                    index += 1
+            except Exception as error:  # pragma: no cover - failure path
+                failures.append(error)
+
+        threads = [
+            threading.Thread(target=submitter, args=(worker,), daemon=True)
+            for worker in range(3)
+        ]
+        for thread in threads:
+            thread.start()
+        for _ in range(10):
+            service.checkpoint()
+        stop.set()
+        for thread in threads:
+            thread.join(JOIN_TIMEOUT)
+            assert not thread.is_alive(), "submitter deadlocked"
+        assert failures == []
+        assert len(acked) > 0
+        service.close()
+
+        restarted = make_service(wal_path)
+        restarted.recover()
+        restarted.start()
+        text = restarted.query(DOC)
+        restarted.close()
+        for marker in acked:
+            assert f'i="{marker}"' in text, f"acknowledged op {marker} lost"
+
+
+class TestAutoCheckpointPolicy:
+    def test_every_n_ops_triggers_from_the_committer(self, tmp_path):
+        wal_path = str(tmp_path / "auto.wal")
+        service = make_service(wal_path, checkpoint_every_ops=5)
+        service.start()
+        for index in range(17):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)))
+        service.flush()
+        expected = service.query(DOC)
+        service.close()
+
+        assert os.path.exists(wal_path + ".ckpt")
+        restarted = make_service(wal_path, checkpoint_every_ops=5)
+        recovery = restarted.recover()
+        assert recovery.snapshot_docs == 1
+        # The snapshot absorbed at least the first three windows of five.
+        assert recovery.applied <= 5
+        restarted.start()
+        assert restarted.query(DOC) == expected
+        restarted.close()
+
+    def test_every_n_bytes_triggers(self, tmp_path):
+        wal_path = str(tmp_path / "autob.wal")
+        service = make_service(wal_path, checkpoint_every_bytes=512)
+        service.start()
+        for index in range(30):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)))
+        service.flush()
+        service.close()
+        assert os.path.exists(wal_path + ".ckpt")
+
+        restarted = make_service(wal_path)
+        recovery = restarted.recover()
+        assert recovery.snapshot_docs == 1
+        restarted.start()
+        text = restarted.query(DOC)
+        restarted.close()
+        assert text.count("<entry") == 30
+
+
+class TestSegmentRotationInService:
+    def test_bounded_segments_replay_seamlessly(self, tmp_path):
+        wal_path = str(tmp_path / "seg.wal")
+        service = make_service(wal_path, wal_segment_bytes=256)
+        service.start()
+        for index in range(20):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)))
+        expected = service.query(DOC)
+        service.close()
+        assert len(service.wal.segment_paths) > 1
+
+        restarted = make_service(wal_path, wal_segment_bytes=256)
+        recovery = restarted.recover()
+        assert recovery.applied == 20
+        restarted.start()
+        assert restarted.query(DOC) == expected
+        restarted.close()

@@ -1,0 +1,175 @@
+"""Crash-point fault-injection matrix over the durability stack.
+
+One deterministic workload runs against a :class:`FaultyFilesystem`
+that counts every mutating file operation (write, fsync, rename,
+unlink, truncate, directory fsync) as a crash boundary.  A calibration
+run with no crash counts the boundaries; the matrix then re-runs the
+workload crashing at *every* boundary — and, on write boundaries, a
+torn variant that leaves half the write's bytes behind — and recovers
+from the frozen files with the real filesystem.
+
+The recovered state must satisfy the durability contract at every
+single crash point:
+
+* it is a **committed prefix** of the workload (byte-identical to the
+  reference serialization after the first k operations, for some k);
+* the prefix covers **every acknowledged operation** (k >= the number
+  of ``submit_wait`` calls that returned before the crash) — an op the
+  service acknowledged is never lost, an op it never acknowledged may
+  or may not survive, and nothing else is possible.
+"""
+
+import pytest
+
+from repro.service import (
+    DeltaUpdate,
+    FaultInjector,
+    FaultPlan,
+    FaultyFilesystem,
+    InjectedCrash,
+    ServiceConfig,
+    UpdateService,
+)
+from repro.updates.delta import InsertNode, apply_delta
+from repro.xmlmodel.parser import XmlParser
+from repro.xmlmodel.serializer import serialize
+
+DOC = "m.xml"
+N_OPS = 8
+CHECKPOINT_AFTER = {3, 6}  # checkpoint once mid-stream, once near the end
+
+
+def fresh_doc():
+    return XmlParser("<m></m>").parse()
+
+
+def entry_op(index):
+    return InsertNode((), 1 << 30, xml=f'<e i="{index}"/>')
+
+
+def prefix_states():
+    """Reference serializations: state after the first k ops, k=0..N."""
+    document = fresh_doc()
+    states = [serialize(document)]
+    for index in range(N_OPS):
+        apply_delta(document, [entry_op(index)])
+        states.append(serialize(document))
+    return states
+
+
+def run_workload(tmp_path, plan):
+    """Run the workload under ``plan``; returns (acked_count, injector).
+
+    Sequential ``submit_wait`` calls (each a one-op batch) interleaved
+    with explicit checkpoints, so the boundary stream covers appends,
+    commit-marker fsyncs, rotation, snapshot writes, manifest renames,
+    and segment retirement."""
+    injector = FaultInjector(plan=plan)
+    fs = FaultyFilesystem(injector)
+    wal_path = str(tmp_path / "faulty.wal")
+    service = None
+    acked = 0
+    try:
+        service = UpdateService(
+            ServiceConfig(wal_path=wal_path, batch_size=1), fs=fs
+        )
+        service.host_document(DOC, fresh_doc())
+        service.start()
+        for index in range(N_OPS):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)), timeout=30)
+            acked += 1
+            if index in CHECKPOINT_AFTER:
+                service.checkpoint(timeout=30)
+    except InjectedCrash:
+        pass
+    except Exception as error:
+        # A ticket failed with the crash wrapped by the batcher: treat
+        # any failure after the injector fired as the crash itself.
+        if not injector.crashed:
+            raise
+        del error
+    finally:
+        if service is not None:
+            try:
+                service.close(timeout=10)
+            except InjectedCrash:
+                pass  # the dying fs rejects the final fsync; the files stay
+    return acked, injector
+
+
+def recover_and_serialize(tmp_path):
+    """Real-filesystem recovery over whatever the crash left behind."""
+    wal_path = str(tmp_path / "faulty.wal")
+    service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=1))
+    service.host_document(DOC, fresh_doc())
+    service.recover()
+    service.start()
+    text = service.query(DOC)
+    service.close()
+    return text
+
+
+def calibrate(tmp_path):
+    tmp_path.mkdir(exist_ok=True)
+    acked, injector = run_workload(tmp_path, FaultPlan(crash_at=None))
+    assert acked == N_OPS
+    assert not injector.crashed
+    return injector
+
+
+def test_calibration_counts_a_stable_boundary_stream(tmp_path):
+    injector = calibrate(tmp_path / "calibrate")
+    # The workload must actually exercise every kind of boundary the
+    # harness knows about, or the matrix silently shrinks.
+    kinds = {kind for _num, kind, _path in injector.trace}
+    assert {"write", "fsync", "fsync_dir", "rename", "unlink"} <= kinds
+    assert injector.boundaries > 2 * N_OPS
+
+
+def test_crash_matrix_recovers_a_committed_prefix_everywhere(tmp_path):
+    states = prefix_states()
+    reference = calibrate(tmp_path / "calibrate")
+    boundaries = reference.boundaries
+    write_boundaries = {
+        number for number, kind, _path in reference.trace if kind == "write"
+    }
+    plans = [(k, FaultPlan(crash_at=k)) for k in range(1, boundaries + 1)]
+    plans += [
+        (k, FaultPlan(crash_at=k, tear=True)) for k in sorted(write_boundaries)
+    ]
+    failures = []
+    for case, (crash_at, plan) in enumerate(plans):
+        workdir = tmp_path / f"case-{case:03d}"
+        workdir.mkdir()
+        acked, injector = run_workload(workdir, plan)
+        assert injector.crashed, f"plan {plan} never fired"
+        recovered = recover_and_serialize(workdir)
+        label = f"boundary {crash_at} tear={plan.tear}"
+        if recovered not in states:
+            failures.append(f"{label}: recovered state is not a prefix")
+            continue
+        prefix = states.index(recovered)
+        if prefix < acked:
+            failures.append(
+                f"{label}: acknowledged {acked} op(s) but only "
+                f"{prefix} recovered"
+            )
+    assert not failures, "\n".join(failures)
+
+
+@pytest.mark.parametrize("tear", [False, True])
+def test_single_crash_point_smoke(tmp_path, tear):
+    """One representative crash point kept cheap and separate, so a
+    matrix-wide failure still leaves a small reproducible case."""
+    states = prefix_states()
+    reference = calibrate(tmp_path / "calibrate")
+    crash_at = reference.boundaries // 2
+    if tear:
+        writes = [n for n, kind, _p in reference.trace if kind == "write"]
+        crash_at = writes[len(writes) // 2]
+    workdir = tmp_path / "case"
+    workdir.mkdir()
+    acked, _injector = run_workload(workdir, FaultPlan(crash_at=crash_at, tear=tear))
+    recovered = recover_and_serialize(workdir)
+    assert recovered in states
+    assert states.index(recovered) >= acked

@@ -65,8 +65,9 @@ def crashed_wal(tmp_path):
             encode_op(DeltaUpdate(DOC, (InsertNode((), 99, xml="<lost/>"),)))
         )
         wal.sync()
+        tail_segment = wal.current_segment_path
     # ...and the very last write tore mid-frame.
-    with open(wal_path, "ab") as handle:
+    with open(tail_segment, "ab") as handle:
         handle.write(b"\x07\x00\x00torn")
     return wal_path
 
@@ -118,6 +119,41 @@ class TestCrashRecovery:
         with WriteAheadLog(crashed_wal) as wal:
             replay_into_documents(wal, {DOC: second})
         assert serialize(first) == serialize(second)
+
+
+class TestRecoveryMetrics:
+    def test_applied_metric_counts_only_real_applies(self, tmp_path):
+        """Regression: ``recovery.applied`` used to be incremented for
+        every committed record — including unknown-document operations
+        that the caller then subtracted from the *report* but not from
+        the metric, so the counter drifted above the true replay count."""
+        from repro.obs import get_registry
+        from repro.obs.metrics import counter_delta
+        from repro.service.ops import CommitMarker
+
+        wal_path = str(tmp_path / "mixed.wal")
+        with WriteAheadLog(wal_path) as wal:
+            wal.append(
+                encode_op(DeltaUpdate(DOC, (SetAttribute((), "k", "v"),)))
+            )
+            wal.append(
+                encode_op(
+                    DeltaUpdate("ghost.xml", (SetAttribute((), "k", "v"),))
+                )
+            )
+            wal.append(encode_op(CommitMarker((1, 2))))
+            wal.sync()
+
+        document = parse_base()
+        before = get_registry().snapshot()
+        with WriteAheadLog(wal_path) as wal:
+            report = replay_into_documents(wal, {DOC: document})
+        after = get_registry().snapshot()
+
+        assert report.applied == 1
+        assert report.unknown_docs == 1
+        assert counter_delta(before, after, "recovery.applied") == report.applied
+        assert counter_delta(before, after, "recovery.skipped") == report.unknown_docs
 
 
 class TestStoreRecovery:

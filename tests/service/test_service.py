@@ -162,6 +162,53 @@ class TestApiDiscipline:
         names = service.query("shared.xml", work=lambda host: host.name)
         assert names == "shared.xml"
 
+    def test_timed_out_query_does_not_run_later(self):
+        """Regression: ``query`` granted its timeout twice — once to the
+        read-lock wait and once to ``future.result`` — and a query that
+        timed out while queued behind a saturated pool was left queued,
+        so its work silently ran *after* the caller had given up."""
+        import time
+
+        from repro.errors import ServiceTimeoutError
+
+        svc = UpdateService(ServiceConfig(query_workers=1))
+        svc.host_document("d.xml", fresh_doc("d"))
+        svc.start()
+        try:
+            started = threading.Event()
+            release = threading.Event()
+            ran_after_timeout = threading.Event()
+
+            def slow(_host):
+                started.set()
+                release.wait(10)
+                return "slow"
+
+            def tracked(_host):
+                ran_after_timeout.set()
+                return "tracked"
+
+            hog = threading.Thread(
+                target=lambda: svc.query("d.xml", slow), daemon=True
+            )
+            hog.start()
+            assert started.wait(5)
+            begun = time.monotonic()
+            with pytest.raises(ServiceTimeoutError):
+                svc.query("d.xml", tracked, timeout=0.2)
+            assert time.monotonic() - begun < 2.0  # one budget, not several
+            release.set()
+            hog.join(5)
+            # Give the (single) pool worker a chance to pick up anything
+            # still queued; the timed-out query must not be there.
+            assert svc.query("d.xml", lambda host: "ping") == "ping"
+            assert not ran_after_timeout.is_set(), (
+                "timed-out query's work ran after its caller gave up"
+            )
+        finally:
+            release.set()
+            svc.close()
+
     def test_checkpoint_truncates_wal(self, tmp_path):
         wal_path = str(tmp_path / "ckpt.wal")
         svc = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=4))

@@ -1,0 +1,92 @@
+"""Checkpoint snapshot store: atomic writes, manifest commit, checksums."""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import CheckpointError
+from repro.service.snapshot import MANIFEST_NAME, SnapshotStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    return SnapshotStore(str(tmp_path / "ckpt"))
+
+
+class TestRoundTrip:
+    def test_write_and_read_back(self, store):
+        states = {"a.xml": b"<a/>", "b.xml": b"<b attr='1'/>"}
+        manifest = store.write_checkpoint(states, wal_seq=7)
+        assert manifest.wal_seq == 7
+        loaded = store.load_manifest()
+        assert loaded is not None
+        assert loaded.wal_seq == 7
+        assert sorted(loaded.documents) == ["a.xml", "b.xml"]
+        for doc, data in states.items():
+            assert store.read_state(loaded, doc) == data
+
+    def test_no_manifest_means_no_checkpoint(self, store):
+        assert store.load_manifest() is None
+
+    def test_filenames_are_versioned_by_wal_seq(self, store):
+        """A crash mid-checkpoint must never leave the *old* manifest
+        pointing at a *new* state file, so each checkpoint writes under
+        fresh names; delta replay is not idempotent and a mixed base
+        would replay records already reflected in it."""
+        store.write_checkpoint({"a.xml": b"v1"}, wal_seq=3)
+        first = store.load_manifest().documents["a.xml"].file
+        store.write_checkpoint({"a.xml": b"v2"}, wal_seq=9)
+        second = store.load_manifest().documents["a.xml"].file
+        assert first != second
+
+    def test_old_checkpoint_files_are_swept(self, store):
+        store.write_checkpoint({"a.xml": b"v1"}, wal_seq=3)
+        store.write_checkpoint({"a.xml": b"v2"}, wal_seq=9)
+        names = set(os.listdir(store.directory))
+        manifest = store.load_manifest()
+        assert names == {MANIFEST_NAME, manifest.documents["a.xml"].file}
+
+
+class TestCorruptionDetection:
+    def test_checksum_mismatch_raises(self, store):
+        store.write_checkpoint({"a.xml": b"good bytes"}, wal_seq=1)
+        manifest = store.load_manifest()
+        path = os.path.join(store.directory, manifest.documents["a.xml"].file)
+        with open(path, "r+b") as handle:
+            handle.write(b"BAD")
+        with pytest.raises(CheckpointError):
+            store.read_state(manifest, "a.xml")
+
+    def test_missing_state_file_raises(self, store):
+        store.write_checkpoint({"a.xml": b"bytes"}, wal_seq=1)
+        manifest = store.load_manifest()
+        os.remove(os.path.join(store.directory, manifest.documents["a.xml"].file))
+        with pytest.raises(CheckpointError):
+            store.read_state(manifest, "a.xml")
+
+    def test_malformed_manifest_raises(self, store):
+        store.write_checkpoint({"a.xml": b"bytes"}, wal_seq=1)
+        with open(os.path.join(store.directory, MANIFEST_NAME), "w") as handle:
+            handle.write('{"version": 1}')  # missing required keys
+        with pytest.raises(CheckpointError):
+            store.load_manifest()
+
+    def test_unsupported_version_raises(self, store):
+        store.write_checkpoint({"a.xml": b"bytes"}, wal_seq=1)
+        path = os.path.join(store.directory, MANIFEST_NAME)
+        with open(path) as handle:
+            payload = json.load(handle)
+        payload["version"] = 99
+        with open(path, "w") as handle:
+            json.dump(payload, handle)
+        with pytest.raises(CheckpointError):
+            store.load_manifest()
+
+    def test_hostile_document_names_stay_in_directory(self, store):
+        states = {"../escape.xml": b"x", "weird name?.xml": b"y"}
+        store.write_checkpoint(states, wal_seq=2)
+        manifest = store.load_manifest()
+        for doc, entry in manifest.documents.items():
+            assert os.sep not in entry.file
+            assert store.read_state(manifest, doc) == states[doc]
