@@ -15,6 +15,7 @@ import pytest
 from repro.bench.experiments import build_fixed_store
 from repro.bench.service_bench import (
     DEFAULT_BATCH_SIZES,
+    run_net_benchmark,
     run_recovery_benchmark,
     run_service_benchmark,
     save_service_results,
@@ -37,20 +38,27 @@ def results(tmp_path_factory):
     recovery = run_recovery_benchmark(
         wal_dir=str(tmp_path_factory.mktemp("recovery-wal"))
     )
-    save_service_results(BENCH_PATH, throughput, recovery=recovery)
-    return throughput, recovery
+    net = run_net_benchmark(wal_dir=str(tmp_path_factory.mktemp("net-wal")))
+    save_service_results(BENCH_PATH, throughput, recovery=recovery, net=net)
+    return throughput, recovery, net
 
 
 @pytest.fixture(scope="module")
 def points(results):
-    throughput, _recovery = results
+    throughput, _recovery, _net = results
     return {point.batch_size: point for point in throughput}
 
 
 @pytest.fixture(scope="module")
 def recovery_points(results):
-    _throughput, recovery = results
+    _throughput, recovery, _net = results
     return recovery
+
+
+@pytest.fixture(scope="module")
+def net_points(results):
+    _throughput, _recovery, net = results
+    return {point.transport: point for point in net}
 
 
 def test_all_batch_sizes_measured(points):
@@ -103,6 +111,22 @@ def test_checkpoint_bounds_recovery(recovery_points):
     )
     assert point.ops == longest.ops
     assert point.wal_bytes < longest.wal_bytes
+
+
+def test_net_series_measures_both_transports(net_points):
+    assert set(net_points) == {"inproc", "tcp"}
+    for point in net_points.values():
+        assert point.ops_per_second > 0
+        # A quantile can never undercut the median of the same sample.
+        assert point.p99_ms >= point.p50_ms > 0
+
+
+def test_loopback_adds_overhead_but_serves(net_points):
+    # The TCP hop pays framing + scheduling on every round trip; it
+    # must still complete the full stream.  (No strict latency ratio —
+    # CI machines are too noisy for that — but the direction holds.)
+    assert net_points["tcp"].ops == net_points["inproc"].ops
+    assert net_points["tcp"].mean_ms > 0
 
 
 def test_results_file_written(points):

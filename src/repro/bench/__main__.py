@@ -136,6 +136,12 @@ def run_recovery() -> list:
     return [point.as_measurement() for point in run_recovery_benchmark()]
 
 
+def run_net() -> list:
+    from repro.bench.service_bench import run_net_benchmark
+
+    return [point.as_measurement() for point in run_net_benchmark()]
+
+
 EXPERIMENTS = {
     "fig6": ("Figure 6: delete, bulk (f=1, d=8)", "sf"),
     "fig7": ("Figure 7: delete, random (f=1, d=8)", "sf"),
@@ -148,6 +154,7 @@ EXPERIMENTS = {
     "table2": ("Table 2: DBLP", "-"),
     "service": ("Service: group-commit delete throughput", "batch"),
     "recovery": ("Service: cold recovery time vs WAL length", "ops"),
+    "net": ("Service: loopback TCP vs in-process round-trips", "ops"),
 }
 
 
@@ -206,6 +213,8 @@ def main(argv=None) -> int:
         emit(*EXPERIMENTS["service"], run_service())
     if "recovery" in selected:
         emit(*EXPERIMENTS["recovery"], run_recovery())
+    if "net" in selected:
+        emit(*EXPERIMENTS["net"], run_net())
     if tracer is not None:
         tracer.stop_capture()
         written = tracer.write_json(args.trace_out)

@@ -31,6 +31,8 @@ DEFAULT_BATCH_SIZES = (1, 8, 64)
 DEFAULT_UPDATES = 192
 #: Log lengths (operations) compared by the recovery experiment.
 DEFAULT_RECOVERY_OPS = (64, 128, 256)
+#: Synchronous round-trips per transport in the network experiment.
+DEFAULT_NET_OPS = 160
 
 
 @dataclass
@@ -235,13 +237,120 @@ def run_recovery_benchmark(
         return run_all(directory)
 
 
+@dataclass
+class NetPoint:
+    """Round-trip cost of one transport: in-process calls vs loopback TCP.
+
+    One client thread issues ``ops`` synchronous ``submit_wait`` calls
+    (document appends through the WAL), so the series isolates the
+    protocol boundary's per-operation overhead — framing, the extra
+    copies, and the connection thread handoff — against an identical
+    service configuration.
+    """
+
+    transport: str  # "inproc" | "tcp"
+    ops: int
+    seconds: float
+    ops_per_second: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method=self.transport,
+            x=self.ops,
+            seconds=self.seconds,
+            client_statements=0,
+            trigger_statements=0,
+            runs=1,
+        )
+
+
+def _quantile(sorted_values: list[float], q: float) -> float:
+    if not sorted_values:
+        return 0.0
+    index = min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1)))
+    return sorted_values[index]
+
+
+def run_net_point(
+    transport: str, ops: int = DEFAULT_NET_OPS, wal_dir: str | None = None
+) -> NetPoint:
+    """Time ``ops`` synchronous durable appends over one transport."""
+    from repro.service.net import NetServer, ServiceClient
+
+    wal_path = None
+    if wal_dir is not None:
+        wal_path = os.path.join(wal_dir, f"net-{transport}.wal")
+    service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=8))
+    service.host_document("bench.xml", XmlParser("<log></log>").parse())
+    service.start()
+    server = client = None
+    try:
+        if transport == "tcp":
+            server = NetServer(service).start()
+            host, port = server.address
+            client = ServiceClient(host, port)
+            submit_wait = client.submit_wait
+        elif transport == "inproc":
+            submit_wait = service.submit_wait
+        else:
+            raise ValueError(f"unknown transport {transport!r}")
+        latencies: list[float] = []
+        start = time.perf_counter()
+        for index in range(ops):
+            op = DeltaUpdate(
+                "bench.xml", (InsertNode((), 1 << 30, xml=f'<e i="{index}"/>'),)
+            )
+            began = time.perf_counter()
+            submit_wait(op, 120)
+            latencies.append((time.perf_counter() - began) * 1000.0)
+        elapsed = time.perf_counter() - start
+    finally:
+        if client is not None:
+            client.close()
+        if server is not None:
+            server.close()
+        service.close()
+    latencies.sort()
+    return NetPoint(
+        transport=transport,
+        ops=ops,
+        seconds=elapsed,
+        ops_per_second=ops / elapsed if elapsed else float("inf"),
+        mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        p50_ms=_quantile(latencies, 0.50),
+        p99_ms=_quantile(latencies, 0.99),
+    )
+
+
+def run_net_benchmark(
+    ops: int = DEFAULT_NET_OPS, wal_dir: str | None = None
+) -> list[NetPoint]:
+    """The loopback-vs-in-process pair (``net`` series)."""
+
+    def run_all(directory: str) -> list[NetPoint]:
+        return [
+            run_net_point(transport, ops=ops, wal_dir=directory)
+            for transport in ("inproc", "tcp")
+        ]
+
+    if wal_dir is not None:
+        return run_all(wal_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-net-") as directory:
+        return run_all(directory)
+
+
 def save_service_results(
     path: str,
     points: list[ServicePoint],
     recovery: list[RecoveryPoint] | None = None,
+    net: list[NetPoint] | None = None,
 ) -> None:
     """Write ``BENCH_service.json``: one entry per batch size, plus the
-    recovery-time-vs-log-length series when measured."""
+    recovery-time-vs-log-length and network-transport series when
+    measured."""
     payload = {
         "experiment": "group-commit service throughput",
         "workload": "single-subtree deletes, per_statement_trigger",
@@ -252,6 +361,12 @@ def save_service_results(
             "experiment": "cold recovery time vs WAL length",
             "workload": "document appends; checkpointed variant retires the log",
             "points": [asdict(point) for point in recovery],
+        }
+    if net is not None:
+        payload["net"] = {
+            "experiment": "transport overhead: loopback TCP vs in-process",
+            "workload": "synchronous durable document appends, one client",
+            "points": [asdict(point) for point in net],
         }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -12,6 +12,10 @@ Usage::
     python -m repro serve    --xml doc.xml --wal doc.wal [--batch-size N]
                              [--checkpoint-every N] [--checkpoint-bytes N]
                              [--checkpoint-dir DIR] [--trace-out spans.json]
+                             [--listen HOST:PORT [--max-connections N]
+                              [--max-inflight N] [--port-file FILE]]
+    python -m repro connect  --addr HOST:PORT [--doc NAME] [--timeout S]
+                             [--stats | --checkpoint | --exec STMT ...]
     python -m repro replay   --xml doc.xml --wal doc.wal [--output new.xml]
                              [--checkpoint-dir DIR] [--trace-out spans.json]
     python -m repro checkpoint --xml doc.xml --wal doc.wal
@@ -27,6 +31,11 @@ statements read from stdin (one per line) are executed, converted to
 deltas, group-committed through the write-ahead log, and applied;
 ``--checkpoint-every`` / ``--checkpoint-bytes`` arm the automatic
 checkpoint policy (snapshot the state, retire covered WAL segments).
+With ``--listen HOST:PORT`` the service is additionally fronted by the
+framed TCP protocol (:mod:`repro.service.net`) and stdin becomes a
+control console; ``connect`` is the matching client — statements are
+executed *server-side* (reads under the read lock, updates through the
+scratch-copy → diff → group-commit pipeline).
 ``replay`` recovers a crashed service's WAL — restoring the last
 checkpoint snapshot first, when one exists — against the base document.
 ``checkpoint`` recovers the WAL the same way and then takes one
@@ -137,6 +146,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.add_argument(
         "--trace-out", help="write hierarchical trace spans (JSON) here on exit"
+    )
+    serve.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="serve the framed TCP protocol on this address "
+        "(port 0 picks a free port); stdin stays a control console "
+        "(:quit, :checkpoint, :stats)",
+    )
+    serve.add_argument(
+        "--max-connections",
+        type=int,
+        default=64,
+        help="admission control: concurrent connection limit (default 64)",
+    )
+    serve.add_argument(
+        "--max-inflight",
+        type=int,
+        default=64,
+        help="admission control: per-connection async ops in flight "
+        "(default 64)",
+    )
+    serve.add_argument(
+        "--port-file",
+        help="write the bound port here once listening (smoke tests; "
+        "useful with --listen HOST:0)",
+    )
+
+    connect = commands.add_parser(
+        "connect", help="client for a `serve --listen` server"
+    )
+    connect.add_argument(
+        "--addr", required=True, metavar="HOST:PORT", help="server address"
+    )
+    connect.add_argument(
+        "--doc", help="target document (default: the server's first hosted one)"
+    )
+    connect.add_argument(
+        "--timeout", type=float, default=30.0, help="per-request timeout (seconds)"
+    )
+    connect.add_argument(
+        "--stats", action="store_true", help="print server stats and exit"
+    )
+    connect.add_argument(
+        "--checkpoint", action="store_true", help="force a checkpoint and exit"
+    )
+    connect.add_argument(
+        "--exec",
+        dest="statements",
+        action="append",
+        metavar="STATEMENT",
+        default=[],
+        help="run this statement server-side and exit (repeatable)",
     )
 
     rep = commands.add_parser(
@@ -364,6 +425,8 @@ def cmd_serve(args) -> int:
         ):
             print(f"-- recovery: {report.summary()}", file=sys.stderr)
     service.start()
+    if args.listen:
+        return _serve_listen(args, service, name)
     session = service.open_session()
     statements = 0
     print(
@@ -428,6 +491,125 @@ def cmd_serve(args) -> int:
                   file=sys.stderr)
     print(f"-- served {statements} update statement(s); WAL at {args.wal}",
           file=sys.stderr)
+    return 0
+
+
+def _serve_listen(args, service, name: str) -> int:
+    """`serve --listen`: front the service with the TCP protocol; stdin
+    becomes a small control console instead of a statement stream."""
+    from repro.obs import get_tracer
+    from repro.service.net import NetServer, parse_address
+
+    host, port = parse_address(args.listen)
+    server = NetServer(
+        service,
+        host,
+        port,
+        max_connections=args.max_connections,
+        max_inflight=args.max_inflight,
+        own_service=True,
+    ).start()
+    bound_host, bound_port = server.address
+    print(f"-- listening on {bound_host}:{bound_port}", file=sys.stderr, flush=True)
+    if args.port_file:
+        with open(args.port_file, "w", encoding="utf-8") as handle:
+            handle.write(f"{bound_port}\n")
+    try:
+        for line in sys.stdin:
+            command = line.strip()
+            if command == ":quit":
+                break
+            if command == ":checkpoint":
+                report = service.checkpoint()
+                print(f"-- {report.summary()}", file=sys.stderr)
+                if service.checkpoint_last_error:
+                    print(
+                        f"-- last checkpoint error: {service.checkpoint_last_error}",
+                        file=sys.stderr,
+                    )
+                continue
+            if command == ":stats":
+                for key, value in sorted(service.stats().items()):
+                    print(f"-- {key}: {value}", file=sys.stderr)
+                continue
+            if command:
+                print(
+                    "error: --listen console only takes "
+                    ":quit / :checkpoint / :stats",
+                    file=sys.stderr,
+                )
+    except KeyboardInterrupt:
+        print("-- interrupted; draining", file=sys.stderr)
+    finally:
+        server.close()  # drains connections, then closes the service
+        if args.trace_out:
+            tracer = get_tracer()
+            tracer.stop_capture()
+            written = tracer.write_json(args.trace_out)
+            print(f"-- wrote {written} trace span(s) to {args.trace_out}",
+                  file=sys.stderr)
+    if service.checkpoint_last_error:
+        print(
+            f"-- last checkpoint error: {service.checkpoint_last_error}",
+            file=sys.stderr,
+        )
+    print(f"-- served {name}; WAL at {args.wal}", file=sys.stderr)
+    return 0
+
+
+def cmd_connect(args) -> int:
+    from repro.service.net import ServiceClient, parse_address
+
+    host, port = parse_address(args.addr)
+    with ServiceClient(
+        host, port, request_timeout=args.timeout
+    ) as client:
+        if args.stats:
+            import json as json_module
+
+            stats = client.stats()
+            print(json_module.dumps(
+                {"service": stats["service"], "net": stats["net"]},
+                indent=2, sort_keys=True,
+            ))
+            return 0
+        if args.checkpoint:
+            report = client.checkpoint()
+            print(f"-- checkpoint at seq {report['wal_seq']}: "
+                  f"{report['documents']} document(s), "
+                  f"{report['segments_retired']} segment(s) retired",
+                  file=sys.stderr)
+            return 0
+        doc = args.doc or client.ping()[0]
+        statements = args.statements
+        interactive = not statements
+        if interactive:
+            print(f"-- connected to {host}:{port}, document {doc!r}; "
+                  "one statement per line, :quit to exit", file=sys.stderr)
+            statements = (line.strip() for line in sys.stdin)
+        for statement in statements:
+            if not statement:
+                continue
+            if statement == ":quit":
+                break
+            if statement == ":flush":
+                client.flush()
+                print("-- flushed", file=sys.stderr)
+                continue
+            try:
+                outcome = client.execute(doc, statement)
+            except ReproError as error:
+                print(f"error: {error}", file=sys.stderr)
+                if not interactive:
+                    return 1
+                continue
+            if "results" in outcome:
+                for text in outcome["results"]:
+                    print(text)
+                print(f"-- {len(outcome['results'])} result(s)", file=sys.stderr)
+            else:
+                print(f"-- durable seq {outcome['seq']}: "
+                      f"{outcome['delta_ops']} delta op(s)", file=sys.stderr)
     return 0
 
 
@@ -575,6 +757,7 @@ def main(argv: Optional[list[str]] = None) -> int:
         "validate": cmd_validate,
         "shell": cmd_shell,
         "serve": cmd_serve,
+        "connect": cmd_connect,
         "replay": cmd_replay,
         "checkpoint": cmd_checkpoint,
         "stats": cmd_stats,

@@ -104,3 +104,24 @@ class ServiceTimeoutError(ServiceError):
 class ServiceClosedError(ServiceError):
     """Raised when work is submitted to a service that is shutting down
     or already closed."""
+
+
+class ServiceBusyError(ServiceError):
+    """Raised when the service's admission control rejects a request
+    because a capacity bound (connection limit, in-flight bound, or the
+    batcher queue) is full.  Retryable: the client should back off and
+    resubmit — nothing was enqueued or applied."""
+
+    retryable = True
+
+
+class ProtocolError(ServiceError):
+    """Raised for malformed, oversized, or version-mismatched frames on
+    the network protocol (:mod:`repro.service.net`)."""
+
+
+class ServiceConnectionError(ServiceError):
+    """Raised by the network client when the transport fails — the
+    connection was refused, reset, or closed mid-request.  Wraps the
+    underlying ``OSError`` so callers never see a bare socket
+    exception."""

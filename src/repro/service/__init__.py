@@ -28,6 +28,7 @@ from repro.service.faults import (
     InjectedCrash,
 )
 from repro.service.locks import LockManager, ReadWriteLock
+from repro.service.net import NetServer, ServiceClient, parse_address
 from repro.service.ops import (
     CommitMarker,
     DeltaUpdate,
@@ -36,6 +37,8 @@ from repro.service.ops import (
     SubtreeDelete,
     decode_op,
     encode_op,
+    op_from_dict,
+    op_to_dict,
 )
 from repro.service.recovery import RecoveryReport, replay, replay_into_documents
 from repro.service.server import (
@@ -63,8 +66,10 @@ __all__ = [
     "GroupCommitBatcher",
     "InjectedCrash",
     "LockManager",
+    "NetServer",
     "ReadWriteLock",
     "RecoveryReport",
+    "ServiceClient",
     "ServiceConfig",
     "ServiceOp",
     "Session",
@@ -79,6 +84,9 @@ __all__ = [
     "WriteAheadLog",
     "decode_op",
     "encode_op",
+    "op_from_dict",
+    "op_to_dict",
+    "parse_address",
     "replay",
     "replay_into_documents",
     "wal_exists",

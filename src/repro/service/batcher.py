@@ -177,6 +177,16 @@ class GroupCommitBatcher:
                 if not self._wait(deadline):
                     raise ServiceTimeoutError("flush timed out")
 
+    @property
+    def backlog(self) -> int:
+        """Operations queued but not yet drained into a batch."""
+        with self._cond:
+            return len(self._queue)
+
+    @property
+    def queue_limit(self) -> int:
+        return self._max_queue
+
     def _wait(self, deadline: Optional[float]) -> bool:
         """Wait on the condition; False once the deadline has passed.
 

@@ -1,0 +1,880 @@
+"""Network front end for the update service: framed TCP protocol,
+admission control, and a blocking client library.
+
+The paper's testbed (Section 7) drives update workloads at the database
+through a client/server boundary (a Java client talking to DB2 over
+JDBC); this module gives the reproduction the same shape.  A
+:class:`NetServer` wraps one :class:`~repro.service.server.UpdateService`
+and serves it over TCP; a :class:`ServiceClient` is the blocking client.
+
+**Frame format.**  Every message is a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Requests carry a protocol
+version, a client-chosen request id, and a request kind::
+
+    {"v": 1, "id": 7, "op": "submit_wait", "payload": {...}, "timeout": 5.0}
+
+Responses echo the id; success carries ``"ok": true`` plus
+result fields, failure carries a typed error record::
+
+    {"v": 1, "id": 7, "ok": false,
+     "error": {"code": "BUSY", "message": "...", "retryable": true}}
+
+Frames larger than :data:`MAX_FRAME_BYTES` are rejected — a length
+prefix cannot be allowed to allocate unbounded memory.
+
+**Request kinds** (one in flight per connection; a connection *is* a
+session): ``ping``, ``submit`` (enqueue, ack without waiting),
+``submit_wait`` (ack at the durability point, returns the WAL seq),
+``query`` (serialised text or an XQuery FLWR statement under the read
+lock), ``execute`` (run an XQuery statement server-side: reads answer
+directly, updates run scratch-copy → diff → delta → group commit),
+``flush``, ``checkpoint``, and ``stats``.
+
+**Admission control.**  The server sheds load instead of buffering it:
+
+* at most ``max_connections`` concurrent connections — an excess
+  connection is answered with one ``BUSY`` frame and closed;
+* at most ``max_inflight`` unresolved async submissions per connection
+  (the session's pending tickets) — and a full batcher queue rejects
+  immediately (``timeout=0`` submit) instead of parking the connection
+  thread; both come back as retryable ``BUSY`` errors;
+* every request's deadline is drawn once from the monotonic clock when
+  the frame arrives (clamped to ``max_request_timeout``) and every
+  blocking step downstream spends from that same budget.
+
+**Drain.**  ``close()`` stops accepting, lets each connection finish
+the request it is executing, closes the sessions (draining their
+tickets), and only then closes the service — so every acknowledged
+operation is durable before the process exits.
+
+Everything is instrumented through :mod:`repro.obs`:
+``net.connections`` (gauge), ``net.requests`` / ``net.rejected``
+(counters), and ``net.request_ms`` (histogram).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    ProtocolError,
+    ReproError,
+    ServiceBusyError,
+    ServiceClosedError,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeoutError,
+)
+from repro.obs import get_registry
+from repro.service.ops import (
+    DeltaUpdate,
+    ServiceOp,
+    SubtreeCopy,
+    SubtreeDelete,
+    op_from_dict,
+    op_to_dict,
+)
+from repro.service.server import DocumentHost, StoreHost, UpdateService
+
+PROTOCOL_VERSION = 1
+MAX_FRAME_BYTES = 8 * 1024 * 1024
+HEADER = struct.Struct(">I")
+
+#: Wire error codes and the exception each maps back to on the client.
+ERROR_CODES: dict[str, type] = {
+    "BUSY": ServiceBusyError,
+    "TIMEOUT": ServiceTimeoutError,
+    "CLOSED": ServiceClosedError,
+    "BAD_REQUEST": ProtocolError,
+    "ERROR": ServiceError,
+}
+
+
+def _error_code(error: Exception) -> str:
+    if isinstance(error, ServiceBusyError):
+        return "BUSY"
+    if isinstance(error, ServiceTimeoutError):
+        return "TIMEOUT"
+    if isinstance(error, ServiceClosedError):
+        return "CLOSED"
+    if isinstance(error, ProtocolError):
+        return "BAD_REQUEST"
+    return "ERROR"
+
+
+def error_to_exception(record: object) -> ServiceError:
+    """Rebuild the typed exception a wire error record describes."""
+    if not isinstance(record, dict):
+        return ServiceError(f"malformed server error record: {record!r}")
+    code = record.get("code", "ERROR")
+    message = record.get("message", "unknown server error")
+    cls = ERROR_CODES.get(code, ServiceError)
+    return cls(message)
+
+
+# ----------------------------------------------------------------------
+# Frame I/O (shared by server and client)
+# ----------------------------------------------------------------------
+def send_frame(sock: socket.socket, obj: dict) -> None:
+    data = json.dumps(obj, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(data) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(data)} bytes exceeds {MAX_FRAME_BYTES}")
+    sock.sendall(HEADER.pack(len(data)) + data)
+
+
+def _recv_exact(sock: socket.socket, count: int) -> Optional[bytes]:
+    """Read exactly ``count`` bytes; None on EOF at a frame boundary."""
+    chunks: list[bytes] = []
+    remaining = count
+    while remaining:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            if chunks:
+                raise ProtocolError("connection closed mid-frame")
+            return None
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[dict]:
+    """Read one frame; None on clean EOF between frames."""
+    header = _recv_exact(sock, HEADER.size)
+    if header is None:
+        return None
+    (length,) = HEADER.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}")
+    payload = _recv_exact(sock, length)
+    if payload is None:
+        raise ProtocolError("connection closed mid-frame")
+    try:
+        obj = json.loads(payload.decode("utf-8"))
+    except ValueError as error:
+        raise ProtocolError(f"frame is not valid JSON: {error}") from error
+    if not isinstance(obj, dict):
+        raise ProtocolError("frame must be a JSON object")
+    return obj
+
+
+def _recv_strict(sock: socket.socket, count: int) -> bytes:
+    """Like :func:`_recv_exact`, but EOF anywhere is a protocol error
+    (used once a frame has started arriving)."""
+    data = _recv_exact(sock, count)
+    if data is None:
+        raise ProtocolError("connection closed mid-frame")
+    return data
+
+
+def parse_address(text: str) -> tuple[str, int]:
+    """``HOST:PORT`` → ``(host, port)`` (for ``--listen`` / ``--addr``)."""
+    host, separator, port = text.rpartition(":")
+    if not separator or not host:
+        raise ProtocolError(f"address {text!r} is not HOST:PORT")
+    try:
+        return host.strip("[]"), int(port)
+    except ValueError:
+        raise ProtocolError(f"address {text!r} has a non-numeric port") from None
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class NetServer:
+    """A threaded TCP front end over one :class:`UpdateService`.
+
+    One thread accepts, one thread per connection serves; a connection
+    processes one request at a time (matching the blocking client).
+    The server does not own the service unless ``own_service`` is set —
+    with it set, :meth:`close` finishes the drain by calling
+    ``service.close()``.
+    """
+
+    def __init__(
+        self,
+        service: UpdateService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        max_inflight: int = 64,
+        max_request_timeout: float = 30.0,
+        own_service: bool = False,
+        poll_interval: float = 0.2,
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._max_connections = max_connections
+        self._max_inflight = max_inflight
+        self._max_request_timeout = max_request_timeout
+        self._own_service = own_service
+        self._poll_interval = poll_interval
+        self._listener: Optional[socket.socket] = None
+        self._address: Optional[tuple[str, int]] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._connections: dict[int, "_Connection"] = {}
+        self._mutex = threading.Lock()
+        self._next_connection = 0
+        self._draining = threading.Event()
+        self._closed = False
+        # Server-side statement execution is read-modify-write; one
+        # mutex per document serialises concurrent `execute` requests
+        # so each diff is computed against the state its delta will
+        # apply to.
+        self._execute_locks: dict[str, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "NetServer":
+        if self._listener is not None:
+            raise ServiceError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        listener.settimeout(self._poll_interval)
+        self._listener = listener
+        self._address = listener.getsockname()[:2]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="net-accept", daemon=True
+        )
+        self._acceptor.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` requests."""
+        if self._address is None:
+            raise ServiceError("server not started")
+        return self._address
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        close the sessions, then (when owned) close the service."""
+        if self._closed:
+            return
+        self._closed = True
+        self._draining.set()
+        if self._listener is not None:
+            self._listener.close()
+        if self._acceptor is not None:
+            self._acceptor.join(timeout)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._mutex:
+            connections = list(self._connections.values())
+        for connection in connections:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            connection.join(remaining)
+        if self._own_service:
+            self.service.close(drain=True, timeout=timeout)
+
+    # ------------------------------------------------------------------
+    # Accept loop
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        registry = get_registry()
+        while not self._draining.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us: drain has begun
+            with self._mutex:
+                over_limit = len(self._connections) >= self._max_connections
+                if not over_limit:
+                    self._next_connection += 1
+                    connection = _Connection(self, self._next_connection, sock)
+                    self._connections[connection.id] = connection
+            if over_limit:
+                registry.counter("net.rejected").inc()
+                try:
+                    send_frame(
+                        sock,
+                        _error_frame(
+                            0,
+                            ServiceBusyError(
+                                f"connection limit ({self._max_connections}) reached"
+                            ),
+                        ),
+                    )
+                except OSError:
+                    pass
+                sock.close()
+                continue
+            connection.start()
+
+    def _forget(self, connection: "_Connection") -> None:
+        with self._mutex:
+            self._connections.pop(connection.id, None)
+
+    def _execute_lock(self, doc: str) -> threading.Lock:
+        with self._mutex:
+            lock = self._execute_locks.get(doc)
+            if lock is None:
+                lock = self._execute_locks[doc] = threading.Lock()
+            return lock
+
+
+def _error_frame(request_id: int, error: Exception) -> dict:
+    return {
+        "v": PROTOCOL_VERSION,
+        "id": request_id,
+        "ok": False,
+        "error": {
+            "code": _error_code(error),
+            "message": str(error),
+            "retryable": isinstance(error, ServiceBusyError),
+        },
+    }
+
+
+class _Connection:
+    """One client connection: a socket, a session, a serving thread."""
+
+    def __init__(self, server: NetServer, conn_id: int, sock: socket.socket) -> None:
+        self.server = server
+        self.id = conn_id
+        self.sock = sock
+        self.session = server.service.open_session()
+        self.thread = threading.Thread(
+            target=self._serve, name=f"net-conn-{conn_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        get_registry().gauge("net.connections").inc()
+        self.sock.settimeout(self.server._poll_interval)
+        self.thread.start()
+
+    def join(self, timeout: Optional[float]) -> None:
+        self.thread.join(timeout)
+        if self.thread.is_alive():  # drain deadline passed: cut it loose
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.thread.join(1.0)
+
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        registry = get_registry()
+        try:
+            while True:
+                try:
+                    request = self._next_frame()
+                except socket.timeout:
+                    if self.server._draining.is_set():
+                        break  # idle connection during drain
+                    continue
+                except (ProtocolError, OSError):
+                    break  # malformed stream or dead peer: drop it
+                if request is None:
+                    break  # clean EOF
+                started = time.monotonic()
+                registry.counter("net.requests").inc()
+                response = self._dispatch(request)
+                registry.histogram("net.request_ms").observe(
+                    (time.monotonic() - started) * 1000.0
+                )
+                if not response.get("ok", False):
+                    registry.counter("net.rejected").inc()
+                try:
+                    send_frame(self.sock, response)
+                except OSError:
+                    break
+                if self.server._draining.is_set():
+                    break  # in-flight request finished; stop here
+        finally:
+            # Draining the session here is what makes an *acknowledged*
+            # async submit durable before drain completes: close waits
+            # on every ticket this connection enqueued.
+            undrained = self.session.close(timeout=self.server._max_request_timeout)
+            if undrained:
+                registry.counter("net.close.undrained").inc(undrained)
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            registry.gauge("net.connections").dec()
+            self.server._forget(self)
+
+    def _next_frame(self) -> Optional[dict]:
+        """One frame.  Idle waits poll at the server's interval (the
+        ``socket.timeout`` propagates so the serve loop can notice a
+        drain); once a frame has started arriving, a stalled peer gets
+        one request-timeout's grace and is then dropped as wedged —
+        a partial read must never be retried as if it were idle, or the
+        stream desynchronises."""
+        first = self.sock.recv(1)  # socket.timeout propagates: idle tick
+        if not first:
+            return None
+        self.sock.settimeout(self.server._max_request_timeout)
+        try:
+            header = first + _recv_strict(self.sock, HEADER.size - 1)
+            (length,) = HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+                )
+            payload = _recv_strict(self.sock, length)
+        except socket.timeout:
+            raise ProtocolError("peer stalled mid-frame") from None
+        finally:
+            self.sock.settimeout(self.server._poll_interval)
+        try:
+            obj = json.loads(payload.decode("utf-8"))
+        except ValueError as error:
+            raise ProtocolError(f"frame is not valid JSON: {error}") from error
+        if not isinstance(obj, dict):
+            raise ProtocolError("frame must be a JSON object")
+        return obj
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _dispatch(self, request: dict) -> dict:
+        request_id = request.get("id", 0)
+        try:
+            if request.get("v") != PROTOCOL_VERSION:
+                raise ProtocolError(
+                    f"unsupported protocol version {request.get('v')!r}; "
+                    f"this server speaks v{PROTOCOL_VERSION}"
+                )
+            if not isinstance(request_id, int):
+                raise ProtocolError("request id must be an integer")
+            kind = request.get("op")
+            handler = self._HANDLERS.get(kind)
+            if handler is None:
+                raise ProtocolError(f"unknown request kind {kind!r}")
+            deadline = self._deadline(request)
+            result = handler(self, request, deadline)
+        except ReproError as error:
+            return _error_frame(request_id, error)
+        except Exception as error:  # never leak a traceback over the wire
+            return _error_frame(request_id, ServiceError(f"internal error: {error}"))
+        result.update({"v": PROTOCOL_VERSION, "id": request_id, "ok": True})
+        return result
+
+    def _deadline(self, request: dict) -> float:
+        """The request's single monotonic deadline, clamped to the
+        server's ceiling; every blocking step draws from it."""
+        timeout = request.get("timeout")
+        limit = self.server._max_request_timeout
+        if not isinstance(timeout, (int, float)) or timeout <= 0:
+            timeout = limit
+        return time.monotonic() + min(float(timeout), limit)
+
+    @staticmethod
+    def _remaining(deadline: float) -> float:
+        return max(0.0, deadline - time.monotonic())
+
+    def _decode_payload(self, request: dict) -> ServiceOp:
+        payload = request.get("payload")
+        if not isinstance(payload, dict):
+            raise ProtocolError("submit needs a 'payload' object")
+        try:
+            op = op_from_dict(payload)
+        except ReproError as error:
+            raise ProtocolError(f"bad operation payload: {error}") from None
+        if not isinstance(op, (DeltaUpdate, SubtreeDelete, SubtreeCopy)):
+            raise ProtocolError(
+                f"{type(op).__name__} records cannot be submitted by clients"
+            )
+        return op
+
+    # -- request kinds -------------------------------------------------
+    def _op_ping(self, request: dict, deadline: float) -> dict:
+        return {"pong": True, "documents": self.server.service.documents}
+
+    def _admit(self) -> None:
+        if self.session.pending >= self.server._max_inflight:
+            raise ServiceBusyError(
+                f"connection has {self.session.pending} operations in flight "
+                f"(limit {self.server._max_inflight}); retry after a flush"
+            )
+
+    def _op_submit(self, request: dict, deadline: float) -> dict:
+        op = self._decode_payload(request)
+        self._admit()
+        try:
+            # timeout=0: a full batcher queue rejects now (retryable
+            # BUSY) instead of parking this connection's thread on it.
+            self.session.submit(op.doc, op, timeout=0.0)
+        except ServiceTimeoutError:
+            raise ServiceBusyError(
+                "submission queue is full; back off and retry"
+            ) from None
+        return {"queued": True, "pending": self.session.pending}
+
+    def _op_submit_wait(self, request: dict, deadline: float) -> dict:
+        op = self._decode_payload(request)
+        self._admit()
+        seq = self.server.service.submit_wait(op, timeout=self._remaining(deadline))
+        return {"seq": seq}
+
+    def _op_query(self, request: dict, deadline: float) -> dict:
+        doc = request.get("doc")
+        if not isinstance(doc, str):
+            raise ProtocolError("query needs a 'doc' string")
+        statement = request.get("statement")
+        if statement is None:
+            text = self.server.service.query(
+                doc, None, timeout=self._remaining(deadline)
+            )
+            return {"text": text}
+        if not isinstance(statement, str):
+            raise ProtocolError("'statement' must be a string when present")
+        results = self.server.service.query(
+            doc,
+            lambda host: _run_statement_query(host, statement),
+            timeout=self._remaining(deadline),
+        )
+        return {"results": results}
+
+    def _op_execute(self, request: dict, deadline: float) -> dict:
+        doc = request.get("doc")
+        statement = request.get("statement")
+        if not isinstance(doc, str) or not isinstance(statement, str):
+            raise ProtocolError("execute needs 'doc' and 'statement' strings")
+        return _execute_statement(
+            self.server, self.session, doc, statement, deadline
+        )
+
+    def _op_flush(self, request: dict, deadline: float) -> dict:
+        self.server.service.flush(timeout=self._remaining(deadline))
+        return {"flushed": True}
+
+    def _op_checkpoint(self, request: dict, deadline: float) -> dict:
+        report = self.server.service.checkpoint(timeout=self._remaining(deadline))
+        return {
+            "wal_seq": report.wal_seq,
+            "documents": report.documents,
+            "segments_retired": report.segments_retired,
+            "bytes_retired": report.bytes_retired,
+        }
+
+    def _op_stats(self, request: dict, deadline: float) -> dict:
+        service = self.server.service
+        with self.server._mutex:
+            connections = len(self.server._connections)
+        return {
+            "service": service.stats(),
+            "net": {
+                "connections": connections,
+                "max_connections": self.server._max_connections,
+                "max_inflight": self.server._max_inflight,
+            },
+            "metrics": get_registry().snapshot(),
+        }
+
+    _HANDLERS: dict[str, Callable[["_Connection", dict, float], dict]] = {
+        "ping": _op_ping,
+        "submit": _op_submit,
+        "submit_wait": _op_submit_wait,
+        "query": _op_query,
+        "execute": _op_execute,
+        "flush": _op_flush,
+        "checkpoint": _op_checkpoint,
+        "stats": _op_stats,
+    }
+
+
+def _run_statement_query(host: Any, statement: str) -> list[str]:
+    """A read-only XQuery statement against either host kind, rendered
+    to strings (runs under the document's read lock on the query pool)."""
+    from repro.xmlmodel.model import Element
+    from repro.xmlmodel.serializer import serialize
+    from repro.xpath.evaluator import string_value
+    from repro.xquery.engine import QueryResult, XQueryEngine
+
+    if isinstance(host, StoreHost):
+        nodes = host.store.query(statement)
+    else:
+        engine = XQueryEngine({host.name: host.document}, policy=host.policy)
+        result = engine.execute(statement)
+        if not isinstance(result, QueryResult):
+            raise ServiceError(
+                "query only runs read-only statements; use 'execute' for updates"
+            )
+        nodes = list(result)
+    return [
+        serialize(node) if isinstance(node, Element) else string_value(node)
+        for node in nodes
+    ]
+
+
+def _execute_statement(
+    server: NetServer,
+    session: Any,
+    doc: str,
+    statement: str,
+    deadline: float,
+) -> dict:
+    """Run an XQuery statement server-side.
+
+    Reads answer directly (under the read lock).  Updates follow the
+    ``serve`` loop's discipline — execute against a scratch copy, diff,
+    submit the delta — so the WAL records the statement's *effect*.
+    The per-document execute lock serialises concurrent executes; raw
+    deltas submitted concurrently by other clients can still interleave,
+    exactly like any read-modify-write client could.
+    """
+    from repro.updates.delta import diff
+    from repro.xmlmodel.parser import XmlParser
+    from repro.xquery.engine import XQueryEngine
+
+    service = server.service
+    host = service.host(doc)
+    remaining = max(0.0, deadline - time.monotonic())
+    parsed = XQueryEngine({}, policy=getattr(host, "policy", None)).parse(statement)
+    if not parsed.is_update:
+        results = service.query(
+            doc, lambda h: _run_statement_query(h, statement), timeout=remaining
+        )
+        return {"results": results}
+    if not isinstance(host, DocumentHost):
+        raise ServiceError(
+            f"{doc!r} is store-hosted; submit relational operations instead "
+            "of update statements"
+        )
+    with server._execute_lock(doc):
+        text = service.query(doc, None, timeout=max(0.0, deadline - time.monotonic()))
+        base = XmlParser(text, policy=host.policy).parse()
+        working = XmlParser(text, policy=host.policy).parse()
+        XQueryEngine({doc: working}, policy=host.policy).execute(parsed)
+        delta = diff(base, working)
+        seq = session.submit_wait(
+            doc, delta, timeout=max(0.0, deadline - time.monotonic())
+        )
+    return {"seq": seq, "delta_ops": len(delta)}
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class ServiceClient:
+    """A blocking client for :class:`NetServer`.
+
+    One request in flight at a time (guarded, so sharing across threads
+    serialises rather than corrupting the stream).  Every failure is a
+    typed :class:`~repro.errors.ServiceError` subclass: wire errors map
+    by code (``BUSY`` → :class:`ServiceBusyError`, ``TIMEOUT`` →
+    :class:`ServiceTimeoutError`, ...), a socket timeout raises
+    :class:`ServiceTimeoutError`, and a refused/reset/closed transport
+    raises :class:`ServiceConnectionError` — never a bare socket
+    exception.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self._address = (host, port)
+        self._request_timeout = request_timeout
+        self._mutex = threading.Lock()
+        self._next_id = 0
+        self._closed = False
+        try:
+            self._sock = socket.create_connection(
+                self._address, timeout=connect_timeout
+            )
+        except socket.timeout:
+            raise ServiceTimeoutError(
+                f"connect to {host}:{port} timed out after {connect_timeout}s"
+            ) from None
+        except OSError as error:
+            raise ServiceConnectionError(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from error
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+
+    # ------------------------------------------------------------------
+    def _request(self, kind: str, timeout: Optional[float] = None, **fields) -> dict:
+        if self._closed:
+            raise ServiceClosedError("client is closed")
+        effective = self._request_timeout if timeout is None else timeout
+        message = {"v": PROTOCOL_VERSION, "op": kind, "timeout": effective}
+        message.update(fields)
+        with self._mutex:
+            self._next_id += 1
+            request_id = message["id"] = self._next_id
+            # The server enforces the deadline; the socket timeout is a
+            # backstop slightly past it so a *hung* server surfaces as a
+            # typed timeout instead of a forever-block.
+            self._sock.settimeout(effective + 2.0)
+            try:
+                send_frame(self._sock, message)
+                response = recv_frame(self._sock)
+            except socket.timeout:
+                # The stream is now desynchronised (the reply may still
+                # arrive); this connection is done.
+                self._abandon()
+                raise ServiceTimeoutError(
+                    f"request {kind!r} timed out after {effective}s"
+                ) from None
+            except ProtocolError:
+                self._abandon()
+                raise
+            except OSError as error:
+                self._abandon()
+                raise ServiceConnectionError(
+                    f"connection to {self._address[0]}:{self._address[1]} "
+                    f"failed during {kind!r}: {error}"
+                ) from error
+        if response is None:
+            self._abandon()
+            raise ServiceConnectionError(
+                f"server closed the connection during {kind!r}"
+            )
+        if response.get("id") != request_id:
+            # id 0 marks a server-initiated rejection (e.g. the
+            # connection-limit BUSY frame sent before any request was
+            # read); surface the typed error rather than an id mismatch.
+            if response.get("id") == 0 and not response.get("ok", True):
+                self._abandon()
+                raise error_to_exception(response.get("error", {}))
+            self._abandon()
+            raise ProtocolError(
+                f"response id {response.get('id')!r} does not match "
+                f"request id {request_id}"
+            )
+        if not response.get("ok", False):
+            raise error_to_exception(response.get("error", {}))
+        return response
+
+    def _abandon(self) -> None:
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def ping(self) -> list[str]:
+        """Round-trip; returns the hosted document names."""
+        return self._request("ping")["documents"]
+
+    def submit(
+        self,
+        op: ServiceOp,
+        *,
+        retries_busy: int = 0,
+        backoff: float = 0.01,
+    ) -> int:
+        """Enqueue without waiting for durability; returns the number of
+        this connection's operations still in flight.  ``retries_busy``
+        retries a ``BUSY`` rejection with exponential backoff."""
+        response = self._retry_busy(
+            lambda: self._request("submit", payload=op_to_dict(op)),
+            retries_busy,
+            backoff,
+        )
+        return response["pending"]
+
+    def submit_wait(
+        self,
+        op: ServiceOp,
+        timeout: Optional[float] = None,
+        *,
+        retries_busy: int = 0,
+        backoff: float = 0.01,
+    ) -> Optional[int]:
+        """Submit and block until durable + applied; returns the WAL seq."""
+        response = self._retry_busy(
+            lambda: self._request(
+                "submit_wait", timeout=timeout, payload=op_to_dict(op)
+            ),
+            retries_busy,
+            backoff,
+        )
+        return response["seq"]
+
+    def _retry_busy(
+        self, attempt: Callable[[], dict], retries: int, backoff: float
+    ) -> dict:
+        for retry in range(retries + 1):
+            try:
+                return attempt()
+            except ServiceBusyError:
+                if retry == retries:
+                    raise
+                time.sleep(backoff * (2**retry))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def query(
+        self,
+        doc: str,
+        statement: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """The serialised document (no statement) or rendered FLWR
+        results (statement), read under the document's read lock."""
+        response = self._request(
+            "query", timeout=timeout, doc=doc, statement=statement
+        )
+        return response["text"] if statement is None else response["results"]
+
+    def execute(
+        self, doc: str, statement: str, timeout: Optional[float] = None
+    ) -> dict:
+        """Run an XQuery statement server-side; update statements return
+        ``{"seq", "delta_ops"}``, reads return ``{"results"}``."""
+        response = self._request(
+            "execute", timeout=timeout, doc=doc, statement=statement
+        )
+        return {
+            key: response[key]
+            for key in ("seq", "delta_ops", "results")
+            if key in response
+        }
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Barrier: everything this server accepted before now is durable."""
+        self._request("flush", timeout=timeout)
+
+    def checkpoint(self, timeout: Optional[float] = None) -> dict:
+        response = self._request("checkpoint", timeout=timeout)
+        return {
+            key: response[key]
+            for key in ("wal_seq", "documents", "segments_retired", "bytes_retired")
+        }
+
+    def stats(self) -> dict:
+        response = self._request("stats")
+        return {key: response[key] for key in ("service", "net", "metrics")}
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()

@@ -76,8 +76,9 @@ def _dumps(record: dict) -> bytes:
     ).encode("ascii")
 
 
-def encode_op(op: WalPayload) -> bytes:
-    """Canonical byte encoding of one WAL payload."""
+def op_to_dict(op: WalPayload) -> dict:
+    """The JSON-compatible record for one payload (shared by the WAL
+    byte encoding and the network protocol's frames)."""
     if isinstance(op, DeltaUpdate):
         record = {
             "kind": "delta",
@@ -103,13 +104,17 @@ def encode_op(op: WalPayload) -> bytes:
         record = {"kind": "commit", "seqs": list(op.seqs)}
     else:
         raise WalError(f"cannot encode {op!r} as a WAL payload")
-    return _dumps(record)
+    return record
 
 
-def decode_op(data: bytes) -> WalPayload:
-    """Inverse of :func:`encode_op`."""
+def encode_op(op: WalPayload) -> bytes:
+    """Canonical byte encoding of one WAL payload."""
+    return _dumps(op_to_dict(op))
+
+
+def op_from_dict(record: dict) -> WalPayload:
+    """Inverse of :func:`op_to_dict`."""
     try:
-        record = json.loads(data.decode("ascii"))
         kind = record["kind"]
         if kind == "delta":
             return DeltaUpdate(
@@ -134,3 +139,14 @@ def decode_op(data: bytes) -> WalPayload:
     except (ValueError, KeyError, TypeError) as error:
         raise WalError(f"malformed WAL payload: {error}") from error
     raise WalError(f"unknown WAL payload kind {kind!r}")
+
+
+def decode_op(data: bytes) -> WalPayload:
+    """Inverse of :func:`encode_op`."""
+    try:
+        record = json.loads(data.decode("ascii"))
+    except ValueError as error:
+        raise WalError(f"malformed WAL payload: {error}") from error
+    if not isinstance(record, dict):
+        raise WalError(f"malformed WAL payload: expected an object, got {record!r}")
+    return op_from_dict(record)

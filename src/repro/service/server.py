@@ -230,6 +230,11 @@ class UpdateService:
         )
         self._checkpoint_mutex = threading.Lock()
         self._ops_since_checkpoint = 0
+        #: Formatted exception of the most recent failed checkpoint
+        #: (auto or explicit); None after a success.  Surfaced through
+        #: :meth:`stats` so operators can see why checkpoints stopped
+        #: retiring WAL segments.
+        self.checkpoint_last_error: Optional[str] = None
         auto = (
             config.checkpoint_every_ops is not None
             or config.checkpoint_every_bytes is not None
@@ -416,12 +421,46 @@ class UpdateService:
     def query_elements(self, doc: str, statement: str) -> list[Element]:
         """Convenience wrapper: an XQuery RETURN query against a store host."""
         result = self.query(doc, statement)
-        assert isinstance(result, list)
+        if not isinstance(result, list):
+            # A typed error, not an assert: an assert raises the wrong
+            # class (AssertionError is not a ServiceError) and vanishes
+            # entirely under ``python -O``.
+            raise ServiceError(
+                f"query on {doc!r} returned {type(result).__name__}, "
+                "not a result list; was the statement an update?"
+            )
         return result
 
     def flush(self, timeout: Optional[float] = None) -> None:
         """Barrier: everything submitted before this call is durable."""
         self._batcher.flush(timeout)
+
+    @property
+    def backlog(self) -> int:
+        """Operations queued behind the committer right now (admission
+        control reads this to shed load before blocking)."""
+        return self._batcher.backlog
+
+    def stats(self) -> dict:
+        """An operator-facing snapshot: hosted documents, queue state,
+        and checkpoint health — the structure the network ``stats``
+        request and the CLI both render."""
+        snapshot: dict = {
+            "documents": self.documents,
+            "started": self._started,
+            "closed": self._closed,
+            "backlog": self.backlog,
+            "queue_limit": self.config.queue_limit,
+            "batch_size": self.config.batch_size,
+            "wal_path": self.config.wal_path,
+            "checkpoint": {
+                "last_error": self.checkpoint_last_error,
+                "ops_since": self._ops_since_checkpoint,
+            },
+        }
+        if self.wal is not None:
+            snapshot["wal_next_seq"] = self.wal.next_seq
+        return snapshot
 
     def checkpoint(self, timeout: Optional[float] = None) -> CheckpointReport:
         """Persist every host's state and retire the WAL segments it covers.
@@ -459,6 +498,13 @@ class UpdateService:
         return self._checkpoint_locked(timeout)
 
     def _checkpoint_locked(self, timeout: Optional[float]) -> CheckpointReport:
+        try:
+            return self._checkpoint_inner(timeout)
+        except Exception as error:
+            self.checkpoint_last_error = f"{type(error).__name__}: {error}"
+            raise
+
+    def _checkpoint_inner(self, timeout: Optional[float]) -> CheckpointReport:
         registry = get_registry()
         with self._checkpoint_mutex, span("service.checkpoint"):
             with self._batcher.paused(timeout):
@@ -472,6 +518,7 @@ class UpdateService:
             self.snapshots.write_checkpoint(states, wal_seq)
             segments, size = self.wal.retire_covered_segments(wal_seq)
             self._ops_since_checkpoint = 0
+            self.checkpoint_last_error = None
             registry.counter("checkpoint.count").inc()
             return CheckpointReport(
                 wal_seq=wal_seq,
@@ -504,7 +551,10 @@ class UpdateService:
             self._checkpoint_locked(config.checkpoint_timeout)
         except Exception:
             # A failed auto-checkpoint must not kill the committer; the
-            # next due batch retries.
+            # next due batch retries.  `_checkpoint_locked` has already
+            # recorded the formatted error in `checkpoint_last_error` —
+            # a counter alone tells operators *that* checkpoints stopped
+            # retiring segments, not *why*.
             get_registry().counter("checkpoint.failed").inc()
 
     def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:

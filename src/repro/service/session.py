@@ -17,9 +17,10 @@ not semantics.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional, Sequence, Union
 
-from repro.errors import ServiceClosedError
+from repro.errors import ServiceClosedError, ServiceTimeoutError
 from repro.obs import get_registry
 from repro.service.batcher import Ticket
 from repro.service.ops import DeltaUpdate, ServiceOp, SubtreeCopy, SubtreeDelete
@@ -55,7 +56,7 @@ class Session:
         self._check_open()
         if not isinstance(operation, (DeltaUpdate, SubtreeDelete, SubtreeCopy)):
             operation = DeltaUpdate(doc, tuple(operation))
-        ticket = self._service.submit(operation, timeout=timeout or self._default_timeout)
+        ticket = self._service.submit(operation, timeout=self._effective(timeout))
         self._tickets.append(ticket)
         return ticket
 
@@ -66,7 +67,7 @@ class Session:
         timeout: Optional[float] = None,
     ) -> Optional[int]:
         return self.submit(doc, operation, timeout=timeout).wait(
-            timeout or self._default_timeout
+            self._effective(timeout)
         )
 
     def delete_subtrees(
@@ -93,11 +94,16 @@ class Session:
         timeout: Optional[float] = None,
     ) -> Any:
         self._check_open()
-        return self._service.query(doc, work, timeout=timeout or self._default_timeout)
+        return self._service.query(doc, work, timeout=self._effective(timeout))
 
     def flush(self, timeout: Optional[float] = None) -> None:
         self._check_open()
-        self._service.flush(timeout or self._default_timeout)
+        self._service.flush(self._effective(timeout))
+
+    def _effective(self, timeout: Optional[float]) -> Optional[float]:
+        """An explicit timeout wins even when it is 0 (non-blocking);
+        ``timeout or default`` would silently promote 0 to the default."""
+        return self._default_timeout if timeout is None else timeout
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -107,23 +113,46 @@ class Session:
         """Tickets issued by this session that have not resolved yet."""
         return sum(1 for ticket in self._tickets if not ticket.done)
 
-    def close(self, timeout: Optional[float] = None) -> None:
+    def close(self, timeout: Optional[float] = None) -> int:
         """Wait for this session's outstanding tickets, then detach.
 
-        Errors of individual tickets are *not* re-raised here (the
-        submitter already holds the ticket); close only waits.
+        Returns the number of tickets still *undrained* — not resolved
+        within the timeout — so a close that gave up is distinguishable
+        from a clean one (``session.close.undrained`` counts the same
+        thing in the metrics registry).  Tickets that resolved with an
+        apply error are drained: their outcome belongs to whoever holds
+        the ticket, so close does not re-raise them, but it counts them
+        in ``session.close.failed`` rather than swallowing them with no
+        trace at all.
         """
         if self._closed:
-            return
+            return 0
         self._closed = True
-        get_registry().gauge("service.sessions.active").dec()
-        deadline_timeout = timeout or self._default_timeout
+        registry = get_registry()
+        registry.gauge("service.sessions.active").dec()
+        deadline_timeout = self._effective(timeout)
+        deadline = (
+            None
+            if deadline_timeout is None
+            else time.monotonic() + deadline_timeout
+        )
+        undrained = failed = 0
         for ticket in self._tickets:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
             try:
-                ticket.wait(deadline_timeout)
+                ticket.wait(remaining)
+            except ServiceTimeoutError:
+                undrained += 1
             except Exception:
-                pass  # outcome belongs to whoever holds the ticket
+                failed += 1  # resolved, with an error the holder owns
+        if undrained:
+            registry.counter("session.close.undrained").inc(undrained)
+        if failed:
+            registry.counter("session.close.failed").inc(failed)
         self._tickets.clear()
+        return undrained
 
     def __enter__(self) -> "Session":
         return self

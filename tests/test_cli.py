@@ -121,3 +121,68 @@ class TestErrors:
         code = main(["query", "--xml", xml, "FOR $"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestConnectCommand:
+    """`repro connect` drives a live network server end to end."""
+
+    @pytest.fixture
+    def listening(self):
+        from repro.service import NetServer, ServiceConfig, UpdateService
+        from repro.xmlmodel.parser import XmlParser
+
+        service = UpdateService(ServiceConfig(batch_size=4, coalesce_wait=0.002))
+        service.host_document("custdb.xml", XmlParser(CUSTOMER_XML).parse())
+        service.start()
+        server = NetServer(service, own_service=True).start()
+        host, port = server.address
+        yield f"{host}:{port}", service
+        server.close()
+
+    def test_exec_update_then_query(self, listening, capsys):
+        addr, service = listening
+        code = main([
+            "connect", "--addr", addr,
+            "--exec",
+            'FOR $d IN document("custdb.xml")/CustDB, '
+            '$c IN $d/Customer[Name="John"] UPDATE $d { DELETE $c }',
+        ])
+        assert code == 0
+        assert "durable seq" in capsys.readouterr().err
+        assert "John" not in service.query("custdb.xml")
+
+        code = main([
+            "connect", "--addr", addr,
+            "--exec",
+            'FOR $c IN document("custdb.xml")/CustDB/Customer RETURN $c/Name',
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "Mary" in captured.out
+        assert "result(s)" in captured.err
+
+    def test_stats_prints_service_and_net_json(self, listening, capsys):
+        import json
+
+        addr, _service = listening
+        assert main(["connect", "--addr", addr, "--stats"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["service"]["documents"] == ["custdb.xml"]
+        assert payload["net"]["connections"] >= 1
+
+    def test_bad_statement_is_typed_error_exit_1(self, listening, capsys):
+        addr, _service = listening
+        code = main(["connect", "--addr", addr, "--exec", "FOR $"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
+
+    def test_connection_refused_is_reported_not_raised(self, capsys):
+        import socket
+
+        probe = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        probe.bind(("127.0.0.1", 0))
+        host, port = probe.getsockname()[:2]
+        probe.close()
+        code = main(["connect", "--addr", f"{host}:{port}", "--stats"])
+        assert code == 1
+        assert "error" in capsys.readouterr().err
