@@ -15,7 +15,9 @@ import pytest
 from repro.bench.experiments import build_fixed_store
 from repro.bench.service_bench import (
     DEFAULT_BATCH_SIZES,
+    DEFAULT_READ_THREADS,
     run_net_benchmark,
+    run_read_benchmark,
     run_recovery_benchmark,
     run_service_benchmark,
     save_service_results,
@@ -39,26 +41,42 @@ def results(tmp_path_factory):
         wal_dir=str(tmp_path_factory.mktemp("recovery-wal"))
     )
     net = run_net_benchmark(wal_dir=str(tmp_path_factory.mktemp("net-wal")))
-    save_service_results(BENCH_PATH, throughput, recovery=recovery, net=net)
-    return throughput, recovery, net
+    read_master = build_fixed_store(SyntheticParams(400, 3, 1))
+    read_master.set_delete_method("per_statement_trigger")
+    try:
+        read = run_read_benchmark(
+            read_master, wal_dir=str(tmp_path_factory.mktemp("read-wal"))
+        )
+    finally:
+        read_master.close()
+    save_service_results(
+        BENCH_PATH, throughput, recovery=recovery, net=net, read=read
+    )
+    return throughput, recovery, net, read
 
 
 @pytest.fixture(scope="module")
 def points(results):
-    throughput, _recovery, _net = results
+    throughput, _recovery, _net, _read = results
     return {point.batch_size: point for point in throughput}
 
 
 @pytest.fixture(scope="module")
 def recovery_points(results):
-    _throughput, recovery, _net = results
+    _throughput, recovery, _net, _read = results
     return recovery
 
 
 @pytest.fixture(scope="module")
 def net_points(results):
-    _throughput, _recovery, net = results
+    _throughput, _recovery, net, _read = results
     return {point.transport: point for point in net}
+
+
+@pytest.fixture(scope="module")
+def read_points(results):
+    _throughput, _recovery, _net, read = results
+    return {(point.transport, point.threads): point for point in read}
 
 
 def test_all_batch_sizes_measured(points):
@@ -127,6 +145,40 @@ def test_loopback_adds_overhead_but_serves(net_points):
     # CI machines are too noisy for that — but the direction holds.)
     assert net_points["tcp"].ops == net_points["inproc"].ops
     assert net_points["tcp"].mean_ms > 0
+
+
+def test_read_series_measures_every_point(read_points):
+    expected = {
+        (transport, threads)
+        for transport in ("inproc", "tcp")
+        for threads in DEFAULT_READ_THREADS
+    }
+    assert set(read_points) == expected
+    for point in read_points.values():
+        # Fixed total work: 32 cycles x 8 reads each, whatever the split.
+        assert point.reads == 256
+        assert point.writes == 32
+        assert point.p99_ms >= point.p50_ms > 0
+
+
+def test_read_path_scales_with_client_threads(read_points):
+    # The acceptance bar for the read-path work: four in-process clients
+    # must push at least twice the read throughput of one, because the
+    # reader pool stops reads serialising behind the writer lock and the
+    # group-commit window lets reads overlap other clients' commit waits.
+    single = read_points[("inproc", 1)]
+    four = read_points[("inproc", 4)]
+    assert four.read_ops_per_second >= 2.0 * single.read_ops_per_second
+
+
+def test_read_workload_hits_the_caches(read_points):
+    for point in read_points.values():
+        # Repeated statement texts must be served from the parse and
+        # plan caches (the workload cycles 4 texts over 256 reads).
+        assert point.parse_hit_rate > 0.90
+        assert point.plan_hit_rate > 0.90
+        # And the reads must have gone through the pooled snapshot path.
+        assert point.pool_reads >= point.reads
 
 
 def test_results_file_written(points):

@@ -142,6 +142,33 @@ def run_net() -> list:
     return [point.as_measurement() for point in run_net_benchmark()]
 
 
+def run_read(smoke: bool = False) -> list:
+    from repro.bench.service_bench import run_read_benchmark
+
+    master = build_fixed_store(SyntheticParams(400, 3, 1))
+    master.set_delete_method("per_statement_trigger")
+    try:
+        if smoke:
+            # Loopback liveness check (CI): tiny fixed work, TCP only.
+            points = run_read_benchmark(
+                master, threads_series=(1, 2), transports=("tcp",), cycles=4
+            )
+        else:
+            points = run_read_benchmark(master)
+    finally:
+        master.close()
+    for point in points:
+        print(
+            f"  read[{point.transport} x{point.threads}]: "
+            f"{point.read_ops_per_second:.0f} reads/s "
+            f"p50={point.p50_ms:.2f}ms p99={point.p99_ms:.2f}ms "
+            f"parse-hit={point.parse_hit_rate:.0%} "
+            f"plan-hit={point.plan_hit_rate:.0%} "
+            f"pool-reads={point.pool_reads}"
+        )
+    return [point.as_measurement() for point in points]
+
+
 EXPERIMENTS = {
     "fig6": ("Figure 6: delete, bulk (f=1, d=8)", "sf"),
     "fig7": ("Figure 7: delete, random (f=1, d=8)", "sf"),
@@ -155,6 +182,7 @@ EXPERIMENTS = {
     "service": ("Service: group-commit delete throughput", "batch"),
     "recovery": ("Service: cold recovery time vs WAL length", "ops"),
     "net": ("Service: loopback TCP vs in-process round-trips", "ops"),
+    "read": ("Service: read-path thread scaling (caches + reader pool)", "threads"),
 }
 
 
@@ -163,6 +191,12 @@ def main(argv=None) -> int:
     parser.add_argument("--only", nargs="*", choices=sorted(EXPERIMENTS),
                         help="run a subset of experiments")
     parser.add_argument("--full", action="store_true", help="paper-size sweeps")
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny liveness sizes (currently the read experiment: "
+        "2 loopback points, 4 cycles)",
+    )
     parser.add_argument("--runs", type=int, default=5,
                         help="runs per point (first discarded; default 5)")
     parser.add_argument("--json", help="write raw measurements to this file")
@@ -215,6 +249,8 @@ def main(argv=None) -> int:
         emit(*EXPERIMENTS["recovery"], run_recovery())
     if "net" in selected:
         emit(*EXPERIMENTS["net"], run_net())
+    if "read" in selected:
+        emit(*EXPERIMENTS["read"], run_read(smoke=args.smoke))
     if tracer is not None:
         tracer.stop_capture()
         written = tracer.write_json(args.trace_out)

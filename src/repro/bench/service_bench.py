@@ -33,6 +33,17 @@ DEFAULT_UPDATES = 192
 DEFAULT_RECOVERY_OPS = (64, 128, 256)
 #: Synchronous round-trips per transport in the network experiment.
 DEFAULT_NET_OPS = 160
+#: Client-thread counts compared by the read experiment.
+DEFAULT_READ_THREADS = (1, 2, 4, 8)
+#: Total read/write cycles per read point (split across the clients, so
+#: every point performs identical total work).
+DEFAULT_READ_CYCLES = 32
+#: Queries per cycle; one durable write follows each run of reads.
+DEFAULT_READS_PER_CYCLE = 8
+#: Distinct statement texts the read workload cycles through — small on
+#: purpose: production statement vocabularies repeat, which is what the
+#: statement/plan caches exploit (hit rates are part of the measurement).
+DEFAULT_READ_STATEMENTS = 4
 
 
 @dataclass
@@ -342,15 +353,246 @@ def run_net_benchmark(
         return run_all(directory)
 
 
+@dataclass
+class ReadPoint:
+    """Read throughput of one (transport, client-thread-count) pair.
+
+    The workload is mixed: each client loops «``reads_per_cycle``
+    cached-statement queries, then one synchronous durable write».  The
+    total cycle count is fixed, so every point does identical work and
+    the series isolates what concurrency buys.  Reads execute on the
+    query thread pool over the per-store snapshot reader pool; writes
+    group-commit through the WAL.  Scaling comes from two overlaps the
+    read-path work enables: concurrent readers no longer serialise
+    behind the store's single connection lock, and reads proceed while
+    other clients sit in the group-commit window / fsync (on multi-core
+    hosts the pooled readers additionally scan in true parallel).
+
+    ``parse_hit_rate`` / ``plan_hit_rate`` are measured over the timed
+    window (caches warmed by one pass first — steady-state rates);
+    ``pool_reads`` proves the pooled path actually served the queries.
+    """
+
+    transport: str  # "inproc" | "tcp"
+    threads: int
+    reads: int
+    writes: int
+    seconds: float
+    read_ops_per_second: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    parse_hit_rate: float
+    plan_hit_rate: float
+    pool_reads: int
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method=f"read-{self.transport}",
+            x=self.threads,
+            seconds=self.seconds,
+            client_statements=0,
+            trigger_statements=0,
+            runs=1,
+        )
+
+
+def read_statements(count: int = DEFAULT_READ_STATEMENTS) -> list[str]:
+    """The repeated statement vocabulary: full scans of ``n1`` for a
+    string value that never occurs, so SQLite does the row-stepping work
+    while reconstruction stays constant across the run."""
+    return [
+        f'FOR $x IN document("synthetic.xml")/root/n1[str="absent-{index}"] '
+        "RETURN $x"
+        for index in range(count)
+    ]
+
+
+def _hit_rate(before: dict, after: dict, prefix: str) -> float:
+    hits = counter_delta(before, after, f"cache.{prefix}.hits")
+    misses = counter_delta(before, after, f"cache.{prefix}.misses")
+    total = hits + misses
+    return hits / total if total else 1.0
+
+
+def run_read_point(
+    master: XmlStore,
+    transport: str,
+    threads: int,
+    cycles: int = DEFAULT_READ_CYCLES,
+    reads_per_cycle: int = DEFAULT_READS_PER_CYCLE,
+    wal_dir: str | None = None,
+) -> ReadPoint:
+    """Run the mixed read/write workload with ``threads`` clients."""
+    import threading
+
+    from repro.service.net import NetServer, ServiceClient
+
+    registry = get_registry()
+    statements = read_statements()
+    with master.snapshot() as store:
+        wal_path = None
+        if wal_dir is not None:
+            wal_path = os.path.join(wal_dir, f"read-{transport}-{threads}.wal")
+        # One fixed configuration for every point: the group-commit
+        # window and coalesce wait are what multiple clients amortise.
+        service = UpdateService(
+            ServiceConfig(
+                wal_path=wal_path,
+                batch_size=8,
+                coalesce_wait=0.006,
+                query_workers=8,
+                readers=8,
+            )
+        )
+        service.host_store("synthetic.xml", store)
+        service.start()
+        server = None
+        clients: list[ServiceClient] = []
+        try:
+            if transport == "tcp":
+                server = NetServer(service).start()
+                host, port = server.address
+                clients = [ServiceClient(host, port) for _ in range(threads)]
+
+                def reader(index: int, statement: str) -> None:
+                    clients[index].query("synthetic.xml", statement, timeout=60)
+
+                def writer(index: int, op) -> None:
+                    clients[index].submit_wait(op, 60)
+
+            elif transport == "inproc":
+
+                def reader(index: int, statement: str) -> None:
+                    service.query_elements("synthetic.xml", statement)
+
+                def writer(index: int, op) -> None:
+                    service.submit_wait(op, timeout=60)
+
+            else:
+                raise ValueError(f"unknown transport {transport!r}")
+
+            ids = [
+                row[0] for row in store.db.query('SELECT id FROM "n1" ORDER BY id')
+            ]
+            if len(ids) < cycles:
+                raise ValueError(
+                    f"workload has {len(ids)} n1 subtrees; {cycles} needed"
+                )
+            # Split the fixed cycle budget across the clients (first
+            # clients absorb any remainder).
+            base, extra = divmod(cycles, threads)
+            shares = [base + (1 if index < extra else 0) for index in range(threads)]
+            offsets = [sum(shares[:index]) for index in range(threads)]
+
+            # Warm the caches and every pooled reader outside the timed
+            # window so the point measures steady-state serving.
+            for statement in statements:
+                service.query_elements("synthetic.xml", statement)
+
+            latencies_per_thread: list[list[float]] = [[] for _ in range(threads)]
+            failures: list[BaseException] = []
+
+            def client_loop(index: int) -> None:
+                my_latencies = latencies_per_thread[index]
+                my_ids = ids[offsets[index] : offsets[index] + shares[index]]
+                try:
+                    for cycle, subtree_id in enumerate(my_ids):
+                        for read in range(reads_per_cycle):
+                            statement = statements[
+                                (cycle * reads_per_cycle + read) % len(statements)
+                            ]
+                            began = time.perf_counter()
+                            reader(index, statement)
+                            my_latencies.append(
+                                (time.perf_counter() - began) * 1000.0
+                            )
+                        writer(
+                            index, SubtreeDelete("synthetic.xml", "n1", (subtree_id,))
+                        )
+                except BaseException as error:  # surfaced after join
+                    failures.append(error)
+
+            workers = [
+                threading.Thread(target=client_loop, args=(index,), daemon=True)
+                for index in range(threads)
+            ]
+            before = registry.snapshot()
+            start = time.perf_counter()
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+            elapsed = time.perf_counter() - start
+            after = registry.snapshot()
+            if failures:
+                raise failures[0]
+        finally:
+            for client in clients:
+                client.close()
+            if server is not None:
+                server.close()
+            service.close()
+    latencies = sorted(
+        latency for bucket in latencies_per_thread for latency in bucket
+    )
+    reads = len(latencies)
+    return ReadPoint(
+        transport=transport,
+        threads=threads,
+        reads=reads,
+        writes=cycles,
+        seconds=elapsed,
+        read_ops_per_second=reads / elapsed if elapsed else float("inf"),
+        mean_ms=sum(latencies) / reads if reads else 0.0,
+        p50_ms=_quantile(latencies, 0.50),
+        p99_ms=_quantile(latencies, 0.99),
+        parse_hit_rate=_hit_rate(before, after, "parse"),
+        plan_hit_rate=_hit_rate(before, after, "plan"),
+        pool_reads=counter_delta(before, after, "sql.pool.reads"),
+    )
+
+
+def run_read_benchmark(
+    master: XmlStore,
+    threads_series: tuple[int, ...] = DEFAULT_READ_THREADS,
+    transports: tuple[str, ...] = ("inproc", "tcp"),
+    cycles: int = DEFAULT_READ_CYCLES,
+    reads_per_cycle: int = DEFAULT_READS_PER_CYCLE,
+    wal_dir: str | None = None,
+) -> list[ReadPoint]:
+    """The ``read`` series: thread scaling per transport."""
+
+    def run_all(directory: str) -> list[ReadPoint]:
+        return [
+            run_read_point(
+                master,
+                transport,
+                threads,
+                cycles=cycles,
+                reads_per_cycle=reads_per_cycle,
+                wal_dir=directory,
+            )
+            for transport in transports
+            for threads in threads_series
+        ]
+
+    if wal_dir is not None:
+        return run_all(wal_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-read-") as directory:
+        return run_all(directory)
+
+
 def save_service_results(
     path: str,
     points: list[ServicePoint],
     recovery: list[RecoveryPoint] | None = None,
     net: list[NetPoint] | None = None,
+    read: list[ReadPoint] | None = None,
 ) -> None:
     """Write ``BENCH_service.json``: one entry per batch size, plus the
-    recovery-time-vs-log-length and network-transport series when
-    measured."""
+    recovery-time-vs-log-length, network-transport, and read-scaling
+    series when measured."""
     payload = {
         "experiment": "group-commit service throughput",
         "workload": "single-subtree deletes, per_statement_trigger",
@@ -367,6 +609,15 @@ def save_service_results(
             "experiment": "transport overhead: loopback TCP vs in-process",
             "workload": "synchronous durable document appends, one client",
             "points": [asdict(point) for point in net],
+        }
+    if read is not None:
+        payload["read"] = {
+            "experiment": "read-path thread scaling: caches + reader pool",
+            "workload": (
+                "mixed: repeated cached statements + durable subtree deletes, "
+                "fixed total work split across client threads"
+            ),
+            "points": [asdict(point) for point in read],
         }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

@@ -148,6 +148,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-out", help="write hierarchical trace spans (JSON) here on exit"
     )
     serve.add_argument(
+        "--query-workers",
+        type=int,
+        default=4,
+        help="threads executing read queries concurrently (default 4)",
+    )
+    serve.add_argument(
+        "--readers",
+        type=int,
+        default=4,
+        help="snapshot reader connections per store host; 0 serialises "
+        "reads behind the writer lock (default 4)",
+    )
+    serve.add_argument(
         "--listen",
         metavar="HOST:PORT",
         help="serve the framed TCP protocol on this address "
@@ -412,6 +425,8 @@ def cmd_serve(args) -> int:
             checkpoint_dir=args.checkpoint_dir,
             checkpoint_every_ops=args.checkpoint_every,
             checkpoint_every_bytes=args.checkpoint_bytes,
+            query_workers=args.query_workers,
+            readers=args.readers,
         )
     )
     service.host_document(name, document, policy)
@@ -710,6 +725,12 @@ CORE_METRICS = (
     "xquery.statements",
     "xquery.bindings",
     "xquery.operations",
+    "cache.parse.hits",
+    "cache.parse.misses",
+    "cache.plan.hits",
+    "cache.plan.misses",
+    "sql.pool.reads",
+    "sql.pool.refreshes",
 )
 
 

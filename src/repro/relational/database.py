@@ -21,17 +21,30 @@ comparisons).  The wrapper adds what the experiments need:
   serialises all connection access behind a reentrant lock (and opens
   the connection with ``check_same_thread=False``; SQLite itself is
   compiled threadsafe, the lock guarantees one statement at a time).
+  Contended acquisitions are recorded in the ``sql.lock.wait_ms``
+  histogram, which is how the benchmarks *prove* the single-connection
+  lock was the read-path bottleneck;
+* an optional **read-only reader pool**
+  (:class:`~repro.relational.pool.ReaderPool`) — N snapshot-consistent
+  connections carrying ``serialize()``-images of the last committed
+  state, so concurrent reads no longer serialise behind the writer's
+  lock.  Writers keep the single counted connection; the pool is
+  enabled per store by :meth:`Database.configure_pool` (the update
+  service does this from its ``readers`` knob).
 """
 
 from __future__ import annotations
 
 import sqlite3
 import threading
+import time
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Any, Iterable, Optional, Sequence
+from typing import Any, Iterable, Iterator, Optional, Sequence
 
 from repro.errors import StorageError
 from repro.obs import get_registry, span
+from repro.relational.pool import ReaderPool
 
 
 @dataclass
@@ -74,6 +87,13 @@ class StatementCounts:
         return self.client + self.trigger_emulation
 
 
+class _WriterTransactionOpen(Exception):
+    """Internal: the writer has an uncommitted transaction, so a pooled
+    snapshot cannot be taken right now (the caller falls back to the
+    locked writer-path read, which sees the in-flight state — the
+    pre-pool semantics)."""
+
+
 class Database:
     """A SQLite connection with counting and trigger emulation."""
 
@@ -85,6 +105,13 @@ class Database:
         self.counts = StatementCounts()
         # table name -> list of (sql, params) run after a client DELETE on it.
         self._statement_triggers: dict[str, list[str]] = {}
+        # Committed-state versioning for the reader pool: any statement
+        # that may mutate bumps `_version`; `_current_image` serialises
+        # at most once per version and shares the bytes across readers.
+        self._version = 0
+        self._image: Optional[bytes] = None
+        self._image_version = -1
+        self._pool: Optional[ReaderPool] = None
 
     @property
     def closed(self) -> bool:
@@ -95,13 +122,39 @@ class Database:
             raise StorageError("database connection is closed")
         return self._connection
 
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """The connection lock, with contended waits recorded in the
+        ``sql.lock.wait_ms`` histogram.  The uncontended (and reentrant)
+        fast path records nothing, so hot loops stay cheap."""
+        if not self._lock.acquire(blocking=False):
+            started = time.monotonic()
+            self._lock.acquire()
+            get_registry().histogram("sql.lock.wait_ms").observe(
+                (time.monotonic() - started) * 1000.0
+            )
+        try:
+            yield
+        finally:
+            self._lock.release()
+
+    def _mark_mutated(self, sql: str) -> None:
+        """Bump the committed-state version unless ``sql`` is a plain
+        SELECT.  Conservative: anything that *might* write (including
+        WITH-prefixed statements, DDL, PRAGMA) invalidates reader
+        snapshots; a spurious bump costs one refresh, a missed bump
+        would serve stale data."""
+        if not sql.lstrip()[:6].lower().startswith("select"):
+            self._version += 1
+
     # ------------------------------------------------------------------
     # Core execution
     # ------------------------------------------------------------------
     def execute(self, sql: str, params: Sequence[Any] = ()) -> sqlite3.Cursor:
         """Run one client statement (counted), firing emulated triggers."""
-        with self._lock, span("sql.execute"):
+        with self._locked(), span("sql.execute"):
             self.counts.bump_client()
+            self._mark_mutated(sql)
             try:
                 cursor = self._checked_connection().execute(sql, params)
             except sqlite3.Error as error:
@@ -113,8 +166,9 @@ class Database:
         """Run one statement against many parameter rows (counted once per
         row, matching how a JDBC batch still ships per-row work)."""
         rows = list(rows)
-        with self._lock, span("sql.execute", rows=len(rows)):
+        with self._locked(), span("sql.execute", rows=len(rows)):
             self.counts.bump_client(len(rows))
+            self._mark_mutated(sql)
             try:
                 cursor = self._checked_connection().executemany(sql, rows)
             except sqlite3.Error as error:
@@ -123,19 +177,20 @@ class Database:
 
     def executescript(self, script: str) -> None:
         """Run DDL; counted as a single client statement."""
-        with self._lock:
+        with self._locked():
             self.counts.bump_client()
+            self._version += 1
             try:
                 self._checked_connection().executescript(script)
             except sqlite3.Error as error:
                 raise StorageError(f"SQL script failed: {error}") from error
 
     def query(self, sql: str, params: Sequence[Any] = ()) -> list[tuple]:
-        with self._lock:
+        with self._locked():
             return self.execute(sql, params).fetchall()
 
     def query_one(self, sql: str, params: Sequence[Any] = ()) -> Optional[tuple]:
-        with self._lock:
+        with self._locked():
             rows = self.execute(sql, params).fetchmany(2)
         if not rows:
             return None
@@ -143,16 +198,87 @@ class Database:
             raise StorageError(f"expected at most one row from: {sql}")
         return rows[0]
 
+    # ------------------------------------------------------------------
+    # Pooled reads
+    # ------------------------------------------------------------------
+    def configure_pool(self, readers: int) -> None:
+        """Enable (or resize/disable) the snapshot reader pool.
+
+        ``readers`` of 0 disables pooling: :meth:`read_query` falls back
+        to the locked writer connection (the pre-pool behaviour).
+        Reconfiguring closes the previous pool after draining it.
+        """
+        if readers < 0:
+            raise ValueError("readers must be >= 0")
+        previous = self._pool
+        self._pool = (
+            ReaderPool(readers, self._current_image) if readers else None
+        )
+        if previous is not None:
+            previous.close()
+
+    @property
+    def pool(self) -> Optional[ReaderPool]:
+        return self._pool
+
+    def pool_stats(self) -> Optional[dict]:
+        """Pool snapshot for ``stats()`` surfaces; None when disabled."""
+        return self._pool.stats() if self._pool is not None else None
+
+    def _current_image(self) -> tuple[int, bytes]:
+        """(version, bytes) of the writer's current committed state.
+
+        Serialises at most once per version; raises
+        :class:`_WriterTransactionOpen` when the writer holds an
+        uncommitted transaction (snapshotting then would either publish
+        uncommitted state or commit it out from under the writer).
+        """
+        with self._locked():
+            connection = self._checked_connection()
+            if connection.in_transaction:
+                raise _WriterTransactionOpen()
+            if self._image_version != self._version:
+                self._image = connection.serialize()
+                self._image_version = self._version
+            assert self._image is not None
+            return self._image_version, self._image
+
+    def read_query(
+        self, sql: str, params: Sequence[Any] = (), timeout: Optional[float] = None
+    ) -> list[tuple]:
+        """Run one read-only statement, concurrently when pooled.
+
+        With a configured pool this executes on a snapshot reader —
+        concurrent ``read_query`` calls run genuinely in parallel and
+        never touch the writer lock (beyond a per-version image
+        refresh).  Without a pool, or while the writer holds an open
+        transaction, it falls back to the locked :meth:`query` path, so
+        results always reflect every statement issued so far.
+        """
+        pool = self._pool
+        if pool is not None and not self._closed:
+            try:
+                with span("sql.read"):
+                    rows = pool.query(sql, params, timeout=timeout)
+            except _WriterTransactionOpen:
+                pass  # uncommitted writer state must stay visible to reads
+            else:
+                self.counts.bump_client()
+                return rows
+        return self.query(sql, params)
+
+    # ------------------------------------------------------------------
     def clone(self) -> "Database":
         """Copy the full database into a fresh in-memory instance.
 
         Uses SQLite's backup API (page-level copy), so a loaded store can
         be snapshotted once and restored per benchmark run far faster
         than reloading.  Emulated statement-trigger registrations are
-        wrapper state and are copied too; counters start at zero.
+        wrapper state and are copied too; counters start at zero and the
+        clone's reader pool starts unconfigured.
         """
         clone = Database()
-        with self._lock:
+        with self._locked():
             connection = self._checked_connection()
             connection.commit()
             connection.backup(clone._connection)
@@ -166,30 +292,48 @@ class Database:
         image preserves tuple ids, so relational operations logged after
         the checkpoint replay against the same rows they named.
         """
-        with self._lock:
+        with self._locked():
             connection = self._checked_connection()
             connection.commit()
             return connection.serialize()
 
     def load_bytes(self, data: bytes) -> None:
-        """Replace the database contents with a ``dump_bytes`` image."""
-        with self._lock:
+        """Replace the database contents with a ``dump_bytes`` image.
+
+        Quiesces the reader pool first (recovery must never swap the
+        image out from under an executing read), and invalidates every
+        pooled snapshot so the next read sees the restored state.
+        """
+        pool = self._pool
+        if pool is not None:
+            with pool.quiesce():
+                self._load_bytes_locked(data)
+                pool.invalidate()
+        else:
+            self._load_bytes_locked(data)
+
+    def _load_bytes_locked(self, data: bytes) -> None:
+        with self._locked():
+            self._version += 1
             try:
                 self._checked_connection().deserialize(data)
             except sqlite3.Error as error:
                 raise StorageError(f"cannot load database image: {error}") from error
 
     def commit(self) -> None:
-        with self._lock:
+        with self._locked():
             self._checked_connection().commit()
 
     def rollback(self) -> None:
-        with self._lock:
+        with self._locked():
             self._checked_connection().rollback()
 
     def close(self) -> None:
-        """Close the connection; safe to call more than once."""
-        with self._lock:
+        """Close the connection (and pool); safe to call more than once."""
+        pool = self._pool
+        if pool is not None:
+            pool.close()
+        with self._locked():
             if self._closed:
                 return
             self._closed = True

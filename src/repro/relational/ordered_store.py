@@ -22,6 +22,7 @@ from typing import Optional, Union
 
 from repro.errors import TranslationError
 from repro.relational.ordered import GapPolicy, OrderPolicy, OrderedStore
+from repro.relational.plan_cache import contains_rename
 from repro.relational.shredder import shred_element
 from repro.relational.store import XmlStore
 from repro.relational.update_translate import TupleBinding, UpdateTranslator
@@ -139,6 +140,8 @@ class OrderedXmlStore(XmlStore):
             self.db.rollback()
             raise
         self.warnings.extend(translator.warnings)
+        if contains_rename(query):
+            self.plan_cache.bump_generation()
         self._assign_append_positions()
         self.order.sweep_deleted()
         return None

@@ -1,0 +1,93 @@
+"""Per-store cache of translated Sorted-Outer-Union plans.
+
+Translating a FLWR statement — resolving the target path against the
+inlining mapping, compiling WHERE predicates to SQL, and building the
+outer-union CTE stack — is pure: the resulting
+:class:`~repro.relational.outer_union.OuterUnionQuery` depends only on
+the statement text, the mapping schema, and the reference policy.  A
+production read workload repeats a small vocabulary of statement texts,
+so each store keeps one bounded LRU (``cache.plan.*`` counters) mapping
+
+    (schema generation, statement text)  ->  translated plan
+
+The **generation** is the invalidation lever.  Restructuring updates —
+Rename in particular — change which relation holds an element's tuples
+(:func:`~repro.relational.update_translate` moves tuples between
+same-shaped sibling relations), i.e. they change the element-to-relation
+assignment that translation baked into the plan.  Plan reuse is only
+provably sound while the translation inputs are untouched, so the store
+bumps the generation after any update statement containing a Rename
+(conservatively, anywhere in the operation tree, including Sub-Updates);
+stale-generation entries simply miss and age out of the LRU.  Bumps are
+counted as ``cache.plan.invalidations``.
+
+Plans are shared across threads; that is safe because execution only
+reads them (``sql`` string, ``params`` tuple, layout metadata).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.caching import LruCache
+from repro.obs import get_registry
+from repro.relational.outer_union import OuterUnionQuery
+from repro.updates.operations import Rename, SubUpdate
+from repro.xquery.ast import Query
+
+#: Default bound per store; statement vocabularies are small, and each
+#: entry is only a SQL string plus layout metadata.
+DEFAULT_PLAN_CACHE_SIZE = 256
+
+
+class PlanCache:
+    """A bounded, generation-stamped cache of translated plans."""
+
+    def __init__(self, capacity: int = DEFAULT_PLAN_CACHE_SIZE) -> None:
+        self._cache = LruCache(capacity, "plan")
+        self._lock = threading.Lock()
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        with self._lock:
+            return self._generation
+
+    def get(self, statement: str) -> Optional[OuterUnionQuery]:
+        return self._cache.get((self.generation, statement))
+
+    def put(self, statement: str, plan: OuterUnionQuery) -> None:
+        self._cache.put((self.generation, statement), plan)
+
+    def bump_generation(self) -> int:
+        """Invalidate every cached plan (entries from older generations
+        can no longer be returned); returns the new generation."""
+        with self._lock:
+            self._generation += 1
+            generation = self._generation
+        get_registry().counter("cache.plan.invalidations").inc()
+        return generation
+
+    def clear(self) -> int:
+        return self._cache.clear()
+
+    def stats(self) -> dict:
+        stats = self._cache.stats()
+        stats["generation"] = self.generation
+        return stats
+
+
+def contains_rename(query: Query) -> bool:
+    """True if any operation in the update (at any nesting depth) is a
+    Rename — the restructuring case the plan cache must invalidate on."""
+    if not query.is_update:
+        return False
+    stack = [op for clause in query.updates for op in clause.operations]
+    while stack:
+        operation = stack.pop()
+        if isinstance(operation, Rename):
+            return True
+        if isinstance(operation, SubUpdate):
+            stack.extend(operation.operations)
+    return False

@@ -36,6 +36,7 @@ from repro.relational.insert_methods import (
     InsertMethod,
 )
 from repro.relational.outer_union import build_outer_union, reconstruct_elements
+from repro.relational.plan_cache import PlanCache, contains_rename
 from repro.relational.query_translate import (
     TargetSelection,
     translate_predicate,
@@ -49,7 +50,7 @@ from repro.xmlmodel.model import Document, Element
 from repro.xmlmodel.policy import RefPolicy
 from repro.xpath.ast import VariableStart
 from repro.xquery.ast import Query
-from repro.xquery.parser import parse_query
+from repro.xquery.cache import parse_cached, statement_cache_stats
 
 
 class XmlStore:
@@ -77,6 +78,7 @@ class XmlStore:
         self._asr: Optional[AsrManager] = None
         if create:
             self._delete_method.install(self.db, self.schema)
+        self.plan_cache = PlanCache()
         self.warnings: list[str] = []
 
     def snapshot(self) -> "XmlStore":
@@ -183,7 +185,8 @@ class XmlStore:
     # Statements
     # ------------------------------------------------------------------
     def parse(self, text: str) -> Query:
-        return parse_query(text, policy=self.policy)
+        """Parse through the process-wide statement cache."""
+        return parse_cached(text, policy=self.policy)
 
     def execute(self, statement: Union[str, Query]) -> Optional[list[Element]]:
         """Run an XQuery statement: updates mutate the store and return
@@ -209,26 +212,51 @@ class XmlStore:
                 self.db.rollback()
                 raise
             self.warnings.extend(translator.warnings)
+            if contains_rename(query):
+                # Rename moves tuples between sibling relations, changing
+                # the element-to-relation assignment cached plans baked in.
+                self.plan_cache.bump_generation()
             return None
-        return self.query(query)
+        return self.query(statement if isinstance(statement, str) else query)
 
     def query(self, statement: Union[str, Query]) -> list[Element]:
-        """Run a FLWR statement via the Sorted Outer Union."""
+        """Run a FLWR statement via the Sorted Outer Union.
+
+        Statement *text* is translated through the per-store plan cache
+        (pre-parsed :class:`Query` objects skip it — there is no stable
+        key for them); the SQL runs on the reader pool when one is
+        configured (:meth:`Database.read_query`).
+        """
+        text = statement if isinstance(statement, str) else None
         query = self.parse(statement) if isinstance(statement, str) else statement
         if query.is_update:
             raise StorageError("use execute() for update statements")
         if query.returns is None:
             raise StorageError("query has no RETURN clause")
         get_registry().counter("store.queries").inc()
-        with span("sql.translate", kind="query"):
-            selection = self._query_selection(query)
-            outer_union = build_outer_union(
-                self.schema, selection.relation, selection.where_sql, selection.params
-            )
-        rows = self.db.query(outer_union.sql, outer_union.params)
+        outer_union = self.plan_cache.get(text) if text is not None else None
+        if outer_union is None:
+            with span("sql.translate", kind="query"):
+                selection = self._query_selection(query)
+                outer_union = build_outer_union(
+                    self.schema,
+                    selection.relation,
+                    selection.where_sql,
+                    selection.params,
+                )
+            if text is not None:
+                self.plan_cache.put(text, outer_union)
+        positions = self._order_positions()
+        if positions is None:
+            # Unordered store: safe on a pooled snapshot reader.
+            rows = self.db.read_query(outer_union.sql, outer_union.params)
+        else:
+            # Ordered store: positions come off the writer connection, so
+            # the rows must too (a snapshot could skew against doc_order).
+            rows = self.db.query(outer_union.sql, outer_union.params)
         with span("store.reconstruct", rows=len(rows)):
             return reconstruct_elements(
-                self.schema, outer_union, rows, positions=self._order_positions()
+                self.schema, outer_union, rows, positions=positions
             )
 
     def _order_positions(self):
@@ -347,6 +375,19 @@ class XmlStore:
         for name in self.schema.relations:
             total += self.db.query_one(f'SELECT COUNT(*) FROM "{name}"')[0]
         return total
+
+    def configure_readers(self, readers: int) -> None:
+        """Enable (``readers >= 1``) or disable (0) the snapshot reader
+        pool behind :meth:`query`; see :meth:`Database.configure_pool`."""
+        self.db.configure_pool(readers)
+
+    def cache_stats(self) -> dict:
+        """Read-path snapshot: statement cache, plan cache, reader pool."""
+        return {
+            "statement": statement_cache_stats(),
+            "plan": self.plan_cache.stats(),
+            "pool": self.db.pool_stats(),
+        }
 
     def close(self) -> None:
         self.db.close()

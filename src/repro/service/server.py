@@ -153,6 +153,13 @@ class ServiceConfig:
     holds the committer a few milliseconds after the first dequeue so
     concurrent submitters join the same batch.
 
+    The read path: ``query_workers`` sizes the thread pool queries run
+    on; ``readers`` sizes each store host's snapshot reader pool
+    (:class:`~repro.relational.pool.ReaderPool`) so those concurrent
+    queries execute on parallel SQLite connections instead of
+    serialising behind the store's writer lock.  0 disables pooling
+    (reads fall back to the locked writer connection).
+
     Checkpointing: ``checkpoint_dir`` defaults to ``<wal_path>.ckpt``;
     ``checkpoint_every_ops`` / ``checkpoint_every_bytes`` arm the
     automatic policy — after a commit that pushes the count of applied
@@ -169,6 +176,7 @@ class ServiceConfig:
     coalesce_wait: float = 0.0
     submit_timeout: float = 30.0
     query_workers: int = 4
+    readers: int = 4
     checkpoint_dir: Optional[str] = None
     checkpoint_every_ops: Optional[int] = None
     checkpoint_every_bytes: Optional[int] = None
@@ -265,6 +273,10 @@ class UpdateService:
     def host_store(self, name: str, store: XmlStore) -> StoreHost:
         host = StoreHost(name, store)
         self._register(host)
+        if store.db.pool is None:
+            # Stores arriving with their own pool keep it; everything
+            # else gets the service-wide ``readers`` sizing.
+            store.configure_readers(self.config.readers)
         return host
 
     def _register(self, host: Host) -> None:
@@ -443,8 +455,10 @@ class UpdateService:
 
     def stats(self) -> dict:
         """An operator-facing snapshot: hosted documents, queue state,
-        and checkpoint health — the structure the network ``stats``
-        request and the CLI both render."""
+        read-path caches/pools, and checkpoint health — the structure
+        the network ``stats`` request and the CLI both render."""
+        from repro.xquery.cache import statement_cache_stats
+
         snapshot: dict = {
             "documents": self.documents,
             "started": self._started,
@@ -453,6 +467,19 @@ class UpdateService:
             "queue_limit": self.config.queue_limit,
             "batch_size": self.config.batch_size,
             "wal_path": self.config.wal_path,
+            "read_path": {
+                "query_workers": self.config.query_workers,
+                "readers": self.config.readers,
+                "statement_cache": statement_cache_stats(),
+                "stores": {
+                    name: {
+                        "plan_cache": host.store.plan_cache.stats(),
+                        "pool": host.store.db.pool_stats(),
+                    }
+                    for name, host in sorted(self._hosts.items())
+                    if isinstance(host, StoreHost)
+                },
+            },
             "checkpoint": {
                 "last_error": self.checkpoint_last_error,
                 "ops_since": self._ops_since_checkpoint,

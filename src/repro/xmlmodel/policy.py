@@ -114,6 +114,17 @@ class RefPolicy:
                 policy.add_rule(element_name, attribute.name, kind)
         return policy
 
+    def fingerprint(self) -> tuple:
+        """A hashable identity of the policy's classification behaviour.
+
+        Two policies with equal fingerprints classify every attribute
+        identically, so a statement parsed under one can be reused under
+        the other — this is the policy component of the statement-cache
+        key (:mod:`repro.xquery.cache`).  Computed on demand because
+        policies are mutable via :meth:`add_rule`.
+        """
+        return (self.id_attribute, tuple(sorted(self._rules.items())))
+
     def __repr__(self) -> str:
         return f"RefPolicy(rules={len(self._rules)}, id_attribute={self.id_attribute!r})"
 

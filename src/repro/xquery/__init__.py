@@ -14,6 +14,12 @@ Typical use::
 """
 
 from repro.xquery.ast import Query, UpdateClause
+from repro.xquery.cache import (
+    clear_statement_cache,
+    parse_cached,
+    resize_statement_cache,
+    statement_cache_stats,
+)
 from repro.xquery.engine import QueryResult, UpdateResult, XQueryEngine
 from repro.xquery.lexer import tokenize_xquery
 from repro.xquery.parser import parse_query
@@ -24,6 +30,10 @@ __all__ = [
     "UpdateClause",
     "UpdateResult",
     "XQueryEngine",
+    "clear_statement_cache",
+    "parse_cached",
     "parse_query",
+    "resize_statement_cache",
+    "statement_cache_stats",
     "tokenize_xquery",
 ]

@@ -1,0 +1,70 @@
+"""The process-wide XQuery statement cache: parse once, execute many.
+
+Every read in the serving stack previously re-lexed and re-parsed its
+statement text on every arrival, even though a production workload
+repeats a small set of statement shapes thousands of times (the
+Flux-style observation: update/query programs are static and amenable
+to compile-once reuse).  This module caches parsed
+:class:`~repro.xquery.ast.Query` ASTs in one bounded LRU keyed by
+
+    (statement text, reference-policy fingerprint)
+
+The policy fingerprint is part of the key because the same text parses
+differently under different ID/IDREF classifications (constructed XML
+content splits IDREFS attributes according to the policy).  Cached ASTs
+are shared across threads and executions; that is safe because
+execution never mutates the AST — constructed content is cloned per
+use by the executors (and the Hypothesis equivalence suite in
+``tests/property/test_cache_equivalence.py`` pins exactly this
+property: cached-AST execution ≡ fresh-parse execution).
+
+Hits, misses, and evictions are reported as ``cache.parse.*`` counters;
+:func:`statement_cache_stats` returns the operator-facing snapshot the
+service ``stats()`` call embeds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.caching import LruCache
+from repro.xmlmodel.policy import RefPolicy
+from repro.xquery.ast import Query
+from repro.xquery.parser import parse_query
+
+#: Default bound: generous for realistic statement vocabularies, small
+#: enough that an adversarial stream of unique statements stays cheap.
+DEFAULT_STATEMENT_CACHE_SIZE = 512
+
+_CACHE = LruCache(DEFAULT_STATEMENT_CACHE_SIZE, "parse")
+
+
+def parse_cached(text: str, policy: Optional[RefPolicy] = None) -> Query:
+    """Parse an XQuery statement through the statement cache.
+
+    Semantically identical to :func:`~repro.xquery.parser.parse_query`;
+    parse errors are never cached (the raise happens before any put).
+    """
+    policy = policy or RefPolicy.default()
+    key = (text, policy.fingerprint())
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    query = parse_query(text, policy=policy)
+    _CACHE.put(key, query)
+    return query
+
+
+def statement_cache_stats() -> dict:
+    """Snapshot of the statement cache (capacity, entries, hit rate)."""
+    return _CACHE.stats()
+
+
+def clear_statement_cache() -> int:
+    """Drop every cached AST (tests, policy hot-swaps); returns the count."""
+    return _CACHE.clear()
+
+
+def resize_statement_cache(capacity: int) -> None:
+    """Re-bound the cache (0 disables caching entirely)."""
+    _CACHE.resize(capacity)

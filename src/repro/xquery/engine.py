@@ -20,7 +20,7 @@ from repro.xmlmodel.model import Document, Element
 from repro.xmlmodel.policy import RefPolicy
 from repro.xpath.evaluator import Binding, XPathContext, evaluate_path
 from repro.xquery.ast import Query
-from repro.xquery.parser import parse_query
+from repro.xquery.cache import parse_cached
 
 
 @dataclass
@@ -65,8 +65,10 @@ class XQueryEngine:
         self.policy = policy or RefPolicy.default()
 
     def parse(self, text: str) -> Query:
+        """Parse through the process-wide statement cache (repeated
+        statement texts skip the lexer and parser entirely)."""
         with span("xquery.parse"):
-            return parse_query(text, policy=self.policy)
+            return parse_cached(text, policy=self.policy)
 
     def execute(self, statement: Union[str, Query]) -> Union[UpdateResult, QueryResult]:
         """Run a statement; returns an UpdateResult or a QueryResult."""

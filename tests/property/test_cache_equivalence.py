@@ -1,0 +1,91 @@
+"""Property: executing a statement through the statement cache is
+indistinguishable from executing a freshly parsed one.
+
+The cache hands the *same AST object* to every execution of a repeated
+statement text, so this is the suite that proves (a) parsing is
+deterministic (fresh parse == cached parse in effect) and (b) execution
+does not mutate the AST (the second and third executions of one cached
+AST behave exactly like the first)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.xmlmodel import parse
+from repro.xmlmodel.serializer import serialize
+from repro.xquery.cache import clear_statement_cache, parse_cached
+from repro.xquery.engine import QueryResult, XQueryEngine
+from repro.xquery.parser import parse_query
+
+NAMES = ("apple", "pear", "plum")
+
+
+@st.composite
+def documents(draw):
+    items = draw(
+        st.lists(
+            st.tuples(st.sampled_from(NAMES), st.integers(0, 5)),
+            min_size=0,
+            max_size=6,
+        )
+    )
+    body = "".join(
+        f"<item><name>{name}</name><qty>{qty}</qty></item>" for name, qty in items
+    )
+    return f"<db>{body}</db>"
+
+
+@st.composite
+def statements(draw):
+    name = draw(st.sampled_from(NAMES))
+    qty = draw(st.integers(0, 5))
+    templates = (
+        f'FOR $i IN document("db.xml")/db/item[name="{name}"] RETURN $i',
+        f'FOR $i IN document("db.xml")/db/item WHERE $i/qty > {qty} '
+        "RETURN $i/name",
+        f'FOR $d IN document("db.xml")/db, $i IN $d/item[name="{name}"] '
+        "UPDATE $d { DELETE $i }",
+        f'FOR $i IN document("db.xml")/db/item[name="{name}"], $n IN $i/name '
+        "UPDATE $i { RENAME $n TO label }",
+        f'FOR $i IN document("db.xml")/db/item WHERE $i/qty > {qty} '
+        f"UPDATE $i {{ INSERT <note>over-{qty}</note> }}",
+    )
+    return draw(st.sampled_from(templates))
+
+
+def run(xml: str, query) -> tuple:
+    """Execute ``query`` against a fresh copy of ``xml``; canonical outcome."""
+    document = parse(xml)
+    engine = XQueryEngine({"db.xml": document})
+    result = engine.execute(query)
+    if isinstance(result, QueryResult):
+        rendered = [serialize(node, indent=0) for node in result.nodes]
+    else:
+        rendered = [result.bindings, result.operations]
+    return rendered, serialize(document.root, indent=0)
+
+
+@given(xml=documents(), statement=statements())
+@settings(max_examples=60, deadline=None)
+def test_cached_ast_execution_equals_fresh_parse(xml, statement):
+    clear_statement_cache()
+    fresh_ast = parse_query(statement)  # bypasses the cache entirely
+    cached_ast = parse_cached(statement)
+    assert parse_cached(statement) is cached_ast  # a hit, same object
+
+    fresh_outcome = run(xml, fresh_ast)
+    first_cached = run(xml, cached_ast)
+    second_cached = run(xml, cached_ast)  # reuse must not have decayed it
+
+    assert first_cached == fresh_outcome
+    assert second_cached == fresh_outcome
+
+
+@given(xml=documents(), statement=statements())
+@settings(max_examples=30, deadline=None)
+def test_statement_text_round_trips_through_engine_parse(xml, statement):
+    # The engine's own parse() goes through the cache; executing the text
+    # twice on identical documents lands on the same final state.
+    clear_statement_cache()
+    first = run(xml, parse_cached(statement))
+    second = run(xml, parse_cached(statement))
+    assert first == second

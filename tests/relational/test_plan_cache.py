@@ -1,0 +1,123 @@
+"""The per-store translated-SQL plan cache and its invalidation rules."""
+
+import pytest
+
+from repro.relational.plan_cache import PlanCache, contains_rename
+from repro.relational.store import XmlStore
+from repro.xmlmodel import parse
+from repro.xquery.parser import parse_query
+
+ITEMS_DTD = """\
+<!ELEMENT db (itemA|itemB)*>
+<!ELEMENT itemA (name)>
+<!ELEMENT itemB (name)>
+<!ELEMENT name (#PCDATA)>
+"""
+
+ITEMS_XML = (
+    "<db>"
+    "<itemA><name>a1</name></itemA>"
+    "<itemA><name>a2</name></itemA>"
+    "<itemB><name>b1</name></itemB>"
+    "</db>"
+)
+
+QUERY_B = 'FOR $i IN document("items.xml")/db/itemB RETURN $i'
+RENAME_A1 = (
+    'FOR $d IN document("items.xml")/db, $i IN $d/itemA[name="a1"] '
+    "UPDATE $d { RENAME $i TO itemB }"
+)
+
+
+@pytest.fixture
+def store():
+    store = XmlStore.from_dtd(ITEMS_DTD, document_name="items.xml")
+    store.load(parse(ITEMS_XML))
+    yield store
+    store.close()
+
+
+class TestPlanCacheUnit:
+    def test_put_get_round_trip(self):
+        cache = PlanCache(capacity=4)
+        cache.put("stmt", "plan")
+        assert cache.get("stmt") == "plan"
+        assert cache.get("other") is None
+
+    def test_generation_is_part_of_the_key(self):
+        cache = PlanCache(capacity=4)
+        cache.put("stmt", "old-plan")
+        generation = cache.generation
+        cache.bump_generation()
+        assert cache.generation == generation + 1
+        assert cache.get("stmt") is None  # stale entry can no longer be hit
+        cache.put("stmt", "new-plan")
+        assert cache.get("stmt") == "new-plan"
+
+    def test_stats_include_generation(self):
+        cache = PlanCache(capacity=4)
+        cache.put("stmt", "plan")
+        cache.get("stmt")
+        cache.get("missing")
+        stats = cache.stats()
+        assert stats["entries"] == 1
+        assert stats["hits"] >= 1
+        assert stats["misses"] >= 1
+        assert stats["generation"] == cache.generation
+
+    def test_contains_rename_walks_nested_updates(self):
+        assert contains_rename(parse_query(RENAME_A1))
+        assert not contains_rename(parse_query(QUERY_B))
+        nested = parse_query(
+            'FOR $d IN document("items.xml")/db '
+            "UPDATE $d { FOR $i IN $d/itemA "
+            'WHERE $i/name = "a1" UPDATE $i { RENAME $i TO itemB } }'
+        )
+        assert contains_rename(nested)
+
+
+class TestStorePlanCache:
+    def test_repeated_statement_reuses_the_plan(self, store):
+        first = store.query(QUERY_B)
+        hits_before = store.plan_cache.stats()["hits"]
+        second = store.query(QUERY_B)
+        assert store.plan_cache.stats()["hits"] == hits_before + 1
+        assert [el.name for el in first] == [el.name for el in second]
+
+    def test_preparsed_query_objects_bypass_the_cache(self, store):
+        query = store.parse(QUERY_B)
+        entries_before = store.plan_cache.stats()["entries"]
+        store.query(query)
+        assert store.plan_cache.stats()["entries"] == entries_before
+
+    def test_rename_invalidates_cached_plans(self, store):
+        # Regression: a Rename moves tuples between sibling relations, so
+        # a plan translated before the rename resolves element-to-relation
+        # assignment against stale state.  The generation bump must force
+        # a fresh translation for the same statement text.
+        names = {el.child_elements("name")[0].text() for el in store.query(QUERY_B)}
+        assert names == {"b1"}
+        generation = store.plan_cache.generation
+
+        store.execute(RENAME_A1)
+
+        assert store.plan_cache.generation == generation + 1
+        names = {el.child_elements("name")[0].text() for el in store.query(QUERY_B)}
+        assert names == {"a1", "b1"}
+
+    def test_non_rename_updates_keep_the_generation(self, store):
+        store.query(QUERY_B)
+        generation = store.plan_cache.generation
+        store.execute(
+            'FOR $d IN document("items.xml")/db, $i IN $d/itemA[name="a2"] '
+            "UPDATE $d { DELETE $i }"
+        )
+        assert store.plan_cache.generation == generation
+
+    def test_cache_stats_surface_all_three_layers(self, store):
+        store.query(QUERY_B)
+        stats = store.cache_stats()
+        assert set(stats) == {"statement", "plan", "pool"}
+        assert stats["plan"]["generation"] == store.plan_cache.generation
+        # No pool configured on a bare store.
+        assert stats["pool"] is None

@@ -1,0 +1,195 @@
+"""The snapshot reader pool and the writer-lock contention histogram."""
+
+import threading
+import time
+
+import pytest
+
+from repro.errors import StorageError
+from repro.obs import get_registry
+from repro.relational.database import Database
+
+
+def _hist(name: str) -> dict:
+    data = get_registry().snapshot().get(name)
+    return data if data is not None else {"count": 0, "sum": 0.0}
+
+
+@pytest.fixture
+def db():
+    db = Database()
+    db.executescript('CREATE TABLE "t" (id INTEGER PRIMARY KEY, val TEXT)')
+    db.executemany('INSERT INTO "t" (id, val) VALUES (?, ?)',
+                   [(i, f"v{i}") for i in range(5)])
+    db.commit()
+    yield db
+    db.close()
+
+
+class TestReadQuery:
+    def test_without_a_pool_reads_use_the_writer_path(self, db):
+        assert db.pool is None
+        assert db.pool_stats() is None
+        rows = db.read_query('SELECT val FROM "t" ORDER BY id')
+        assert rows == db.query('SELECT val FROM "t" ORDER BY id')
+
+    def test_pooled_reads_see_committed_state(self, db):
+        db.configure_pool(2)
+        before = get_registry().snapshot()
+        rows = db.read_query('SELECT val FROM "t" ORDER BY id')
+        assert rows == [(f"v{i}",) for i in range(5)]
+        after = get_registry().snapshot()
+        pooled = after["sql.pool.reads"]["value"] - before.get(
+            "sql.pool.reads", {"value": 0}
+        )["value"]
+        assert pooled == 1
+
+    def test_uncommitted_writer_state_stays_visible(self, db):
+        db.configure_pool(2)
+        db.execute('INSERT INTO "t" (id, val) VALUES (99, "pending")')
+        assert db._connection.in_transaction
+        # The pool cannot snapshot mid-transaction; the read falls back
+        # to the writer connection and sees the in-flight row (exactly
+        # the pre-pool semantics).
+        rows = db.read_query('SELECT val FROM "t" WHERE id = 99')
+        assert rows == [("pending",)]
+        db.commit()
+        assert db.read_query('SELECT val FROM "t" WHERE id = 99') == [("pending",)]
+
+    def test_each_read_bumps_the_client_counter(self, db):
+        db.configure_pool(1)
+        start = db.counts.client
+        for _ in range(4):
+            db.read_query('SELECT COUNT(*) FROM "t"')
+        assert db.counts.client == start + 4
+
+
+class TestSnapshotIsolation:
+    def test_leased_reader_is_a_point_in_time_snapshot(self, db):
+        db.configure_pool(2)
+        pool = db.pool
+        with pool.acquire() as held:
+            db.execute('INSERT INTO "t" (id, val) VALUES (50, "new")')
+            db.commit()
+            # The lease was taken before the commit: it must not see it.
+            rows = held.execute('SELECT COUNT(*) FROM "t"').fetchall()
+            assert rows == [(5,)]
+        # A fresh acquisition refreshes to the committed image.
+        assert db.read_query('SELECT COUNT(*) FROM "t"') == [(6,)]
+
+    def test_one_serialize_per_version_many_readers(self, db):
+        db.configure_pool(3)
+        before = _hist("sql.pool.refresh_ms")["count"]
+        with db.pool.acquire(), db.pool.acquire(), db.pool.acquire():
+            pass
+        # All three readers refreshed (version -1 -> current)...
+        assert _hist("sql.pool.refresh_ms")["count"] == before + 3
+        with db.pool.acquire(), db.pool.acquire(), db.pool.acquire():
+            pass
+        # ...and none refresh again while the version is unchanged.
+        assert _hist("sql.pool.refresh_ms")["count"] == before + 3
+
+    def test_invalidate_forces_a_refresh(self, db):
+        db.configure_pool(1)
+        db.read_query('SELECT 1 FROM "t" LIMIT 1')
+        before = _hist("sql.pool.refresh_ms")["count"]
+        db.pool.invalidate()
+        db.read_query('SELECT 1 FROM "t" LIMIT 1')
+        assert _hist("sql.pool.refresh_ms")["count"] == before + 1
+
+
+class TestPoolLifecycle:
+    def test_exhausted_pool_times_out(self, db):
+        db.configure_pool(1)
+        with db.pool.acquire():
+            with pytest.raises(StorageError, match="timed out"):
+                db.pool.acquire(timeout=0.05)
+        # Releasing the lease makes the reader available again.
+        assert db.pool.query('SELECT COUNT(*) FROM "t"') == [(5,)]
+
+    def test_quiesce_blocks_acquisition_until_exit(self, db):
+        db.configure_pool(2)
+        with db.pool.quiesce():
+            assert db.pool.stats()["quiesced"]
+            with pytest.raises(StorageError, match="timed out"):
+                db.pool.acquire(timeout=0.05)
+        assert not db.pool.stats()["quiesced"]
+        assert db.pool.query('SELECT COUNT(*) FROM "t"') == [(5,)]
+
+    def test_quiesce_waits_for_in_flight_readers(self, db):
+        db.configure_pool(1)
+        release = threading.Event()
+        entered = threading.Event()
+
+        def hold():
+            with db.pool.acquire():
+                entered.set()
+                release.wait(5.0)
+
+        holder = threading.Thread(target=hold)
+        holder.start()
+        try:
+            assert entered.wait(5.0)
+            with pytest.raises(StorageError, match="draining"):
+                db.pool.quiesce(timeout=0.05)
+        finally:
+            release.set()
+            holder.join(5.0)
+        with db.pool.quiesce():
+            pass  # drains cleanly once the lease is back
+
+    def test_load_bytes_swaps_the_image_under_quiesce(self, db):
+        db.configure_pool(2)
+        image = db.dump_bytes()
+        db.execute('DELETE FROM "t"')
+        db.commit()
+        assert db.read_query('SELECT COUNT(*) FROM "t"') == [(0,)]
+        db.load_bytes(image)
+        assert db.read_query('SELECT COUNT(*) FROM "t"') == [(5,)]
+
+    def test_configure_zero_disables_pooling(self, db):
+        db.configure_pool(2)
+        db.configure_pool(0)
+        assert db.pool is None
+        assert db.read_query('SELECT COUNT(*) FROM "t"') == [(5,)]
+
+    def test_closed_pool_rejects_acquisition(self, db):
+        db.configure_pool(1)
+        pool = db.pool
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(StorageError, match="closed"):
+            pool.acquire(timeout=0.05)
+
+
+class TestLockWaitHistogram:
+    def test_contended_acquire_records_a_wait(self, db):
+        # Regression for the pre-pool read path: with no reader pool,
+        # a read arriving while another statement holds the connection
+        # lock must surface as a recorded `sql.lock.wait_ms` wait —
+        # the evidence the benchmarks use to attribute flat read
+        # scaling to the single-connection lock.
+        before = _hist("sql.lock.wait_ms")
+        results = []
+
+        def reader():
+            results.append(db.query('SELECT COUNT(*) FROM "t"'))
+
+        assert db._lock.acquire(timeout=5.0)
+        try:
+            contender = threading.Thread(target=reader)
+            contender.start()
+            time.sleep(0.05)  # let the reader block on the held lock
+        finally:
+            db._lock.release()
+        contender.join(5.0)
+        assert results == [[(5,)]]
+        after = _hist("sql.lock.wait_ms")
+        assert after["count"] >= before["count"] + 1
+        assert after["sum"] > before["sum"]
+
+    def test_uncontended_reads_record_nothing(self, db):
+        before = _hist("sql.lock.wait_ms")["count"]
+        for _ in range(10):
+            db.query('SELECT COUNT(*) FROM "t"')
+        assert _hist("sql.lock.wait_ms")["count"] == before

@@ -1,0 +1,102 @@
+"""The process-wide statement cache: keying, bounds, and metrics."""
+
+import pytest
+
+from repro.errors import XPathError
+from repro.xmlmodel import parse
+from repro.xmlmodel.policy import RefPolicy
+from repro.xquery import XQueryEngine
+from repro.xquery.cache import (
+    DEFAULT_STATEMENT_CACHE_SIZE,
+    clear_statement_cache,
+    parse_cached,
+    resize_statement_cache,
+    statement_cache_stats,
+)
+
+STATEMENT = 'FOR $p IN document("bio.xml")/db/paper RETURN $p'
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    """Each test starts empty and leaves the global cache at its default
+    capacity (other suites share it)."""
+    clear_statement_cache()
+    yield
+    resize_statement_cache(DEFAULT_STATEMENT_CACHE_SIZE)
+    clear_statement_cache()
+
+
+def test_repeat_parse_returns_the_same_ast_object():
+    first = parse_cached(STATEMENT)
+    second = parse_cached(STATEMENT)
+    assert second is first
+    stats = statement_cache_stats()
+    assert stats["entries"] == 1
+    assert stats["hits"] >= 1
+
+
+def test_engine_parse_goes_through_the_cache():
+    engine = XQueryEngine({"bio.xml": parse("<db><paper/></db>")})
+    assert engine.parse(STATEMENT) is engine.parse(STATEMENT)
+
+
+def test_policy_fingerprint_is_part_of_the_key():
+    plain = parse_cached(STATEMENT)
+    custom = parse_cached(
+        STATEMENT, policy=RefPolicy({("paper", "cites"): "idrefs"})
+    )
+    other = parse_cached(
+        STATEMENT, policy=RefPolicy({("paper", "cites"): "idrefs"})
+    )
+    assert custom is not plain  # different policies, different entries
+    assert other is custom  # equal policies share one entry
+
+
+def test_parse_errors_are_never_cached():
+    bad = "FOR $x IN"
+    with pytest.raises(XPathError):
+        parse_cached(bad)
+    with pytest.raises(XPathError):
+        parse_cached(bad)
+    stats = statement_cache_stats()
+    assert stats["entries"] == 0
+    assert stats["misses"] >= 2
+
+
+def test_capacity_bounds_and_evicts_least_recently_used():
+    resize_statement_cache(2)
+    statements = [
+        f'FOR $p IN document("bio.xml")/db/paper[title="{index}"] RETURN $p'
+        for index in range(3)
+    ]
+    first, second, third = (parse_cached(text) for text in statements)
+    assert statement_cache_stats()["entries"] == 2
+    assert statement_cache_stats()["evictions"] >= 1
+    # The oldest statement was evicted: parsing it again is a fresh AST.
+    assert parse_cached(statements[0]) is not first
+    del second, third
+
+
+def test_zero_capacity_disables_caching():
+    resize_statement_cache(0)
+    assert parse_cached(STATEMENT) is not parse_cached(STATEMENT)
+    assert statement_cache_stats()["entries"] == 0
+
+
+def test_clear_reports_dropped_entries():
+    parse_cached(STATEMENT)
+    assert clear_statement_cache() == 1
+    assert statement_cache_stats()["entries"] == 0
+
+
+def test_hit_rate_reflects_repeated_statements():
+    # hits/misses are cumulative process counters, so measure the delta
+    # this loop contributes: 1 miss then 8 hits.
+    before = statement_cache_stats()
+    for _ in range(9):
+        parse_cached(STATEMENT)
+    after = statement_cache_stats()
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    assert hits / (hits + misses) > 0.85
