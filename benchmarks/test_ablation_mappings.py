@@ -3,9 +3,12 @@
 The paper focuses on Shared Inlining because the Edge and Attribute
 mappings "cause excessive fragmentation of XML elements across multiple
 tuples and relations".  This ablation deletes the same ten subtrees
-from the same document under all three mappings: inlining touches a
+from the same document under all four mappings: inlining touches a
 tuple per element (data subelements folded in); Edge and Attribute pay
-one tuple per *object* and orphan sweeps across the whole edge space.
+one tuple per *object* and orphan sweeps across the whole edge space;
+the Interval mapping turns each subtree into one pre/post range.  A
+read ablation reconstructs every ``n1`` subtree under the mappings that
+support reconstruction.
 """
 
 import pytest
@@ -14,6 +17,7 @@ from conftest import ROUNDS
 from repro.bench.experiments import build_fixed_store, random_subtree_ids
 from repro.relational.attribute_map import AttributeMapping
 from repro.relational.edge import EdgeMapping
+from repro.relational.interval import IntervalMapping
 from repro.workloads.synthetic import SyntheticParams, generate_fixed
 
 PARAMS = SyntheticParams(scaling_factor=100, depth=4, fanout=2)
@@ -76,4 +80,53 @@ def test_ablation_attribute_delete(benchmark, record, synthetic_document):
     record(
         "Ablation: storage mapping, random delete (sf=100, d=4, f=2)",
         "-", "attribute", 0, benchmark,
+    )
+
+
+def test_ablation_interval_delete(benchmark, record, synthetic_document):
+    def setup():
+        mapping = IntervalMapping()
+        mapping.load(synthetic_document)
+        ids = mapping.element_ids("n1")[:10]
+        return (mapping, ids), {}
+
+    def operation(mapping, ids):
+        mapping.delete_subtrees(ids)
+
+    benchmark.pedantic(operation, setup=setup, rounds=ROUNDS, iterations=1)
+    record(
+        "Ablation: storage mapping, random delete (sf=100, d=4, f=2)",
+        "-", "interval", 0, benchmark,
+    )
+
+
+def test_ablation_edge_read(benchmark, record, synthetic_document):
+    mapping = EdgeMapping()
+    mapping.load(synthetic_document)
+    ids = mapping.element_ids("n1")
+
+    def operation():
+        for element_id in ids:
+            mapping.reconstruct(element_id)
+
+    benchmark.pedantic(operation, rounds=ROUNDS, iterations=1)
+    record(
+        "Ablation: storage mapping, full n1 read (sf=100, d=4, f=2)",
+        "-", "edge", 0, benchmark,
+    )
+
+
+def test_ablation_interval_read(benchmark, record, synthetic_document):
+    mapping = IntervalMapping()
+    mapping.load(synthetic_document)
+    ids = mapping.element_ids("n1")
+
+    def operation():
+        for element_id in ids:
+            mapping.reconstruct(element_id)
+
+    benchmark.pedantic(operation, rounds=ROUNDS, iterations=1)
+    record(
+        "Ablation: storage mapping, full n1 read (sf=100, d=4, f=2)",
+        "-", "interval", 0, benchmark,
     )

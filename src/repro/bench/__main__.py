@@ -18,6 +18,7 @@ import sys
 
 from repro.bench.experiments import (
     ALL_DELETE_STRATEGIES,
+    INSERT_STRATEGIES,
     build_dblp_store,
     build_fixed_store,
     build_randomized_store,
@@ -103,7 +104,7 @@ def run_table2(runs: int, full: bool) -> dict[str, list]:
     root_id = master.db.query_one('SELECT id FROM "dblp"')[0]
     ids = random_subtree_ids(master, "conference")
     inserts = []
-    for method in ("tuple", "table", "asr"):
+    for method in INSERT_STRATEGIES:
         master.set_insert_method(method)
 
         def operation(store):
@@ -140,6 +141,23 @@ def run_net() -> list:
     from repro.bench.service_bench import run_net_benchmark
 
     return [point.as_measurement() for point in run_net_benchmark()]
+
+
+def run_mapping(smoke: bool = False, json_path: str | None = None) -> list:
+    from repro.bench.mapping_bench import run_mapping_benchmark, save_mapping_results
+
+    points = run_mapping_benchmark(smoke=smoke)
+    if json_path:
+        save_mapping_results(json_path, points)
+    for point in points:
+        extra = ""
+        if point.extra:
+            extra = "  " + " ".join(f"{k}={v}" for k, v in sorted(point.extra.items()))
+        print(
+            f"  {point.series}[{point.mapping}] x={point.x:g}: "
+            f"{point.seconds:.4f}s {point.statements}st{extra}"
+        )
+    return [point.as_measurement() for point in points]
 
 
 def run_read(smoke: bool = False) -> list:
@@ -183,6 +201,7 @@ EXPERIMENTS = {
     "recovery": ("Service: cold recovery time vs WAL length", "ops"),
     "net": ("Service: loopback TCP vs in-process round-trips", "ops"),
     "read": ("Service: read-path thread scaling (caches + reader pool)", "threads"),
+    "mapping": ("Ablation: interval vs inlining/edge/attribute mappings", "-"),
 }
 
 
@@ -251,6 +270,9 @@ def main(argv=None) -> int:
         emit(*EXPERIMENTS["net"], run_net())
     if "read" in selected:
         emit(*EXPERIMENTS["read"], run_read(smoke=args.smoke))
+    if "mapping" in selected:
+        emit(*EXPERIMENTS["mapping"],
+             run_mapping(smoke=args.smoke, json_path=args.json))
     if tracer is not None:
         tracer.stop_capture()
         written = tracer.write_json(args.trace_out)

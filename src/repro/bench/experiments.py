@@ -18,9 +18,9 @@ from repro.workloads.dblp import DblpParams, dblp_dtd, load_dblp_directly
 from repro.workloads.randomized import load_randomized_directly
 from repro.workloads.synthetic import SyntheticParams, load_fixed_directly, synthetic_dtd
 
-DELETE_STRATEGIES = ("asr", "per_statement_trigger", "per_tuple_trigger")
+DELETE_STRATEGIES = ("asr", "per_statement_trigger", "per_tuple_trigger", "interval")
 ALL_DELETE_STRATEGIES = DELETE_STRATEGIES + ("cascade",)
-INSERT_STRATEGIES = ("tuple", "table", "asr")
+INSERT_STRATEGIES = ("tuple", "table", "asr", "interval")
 
 RANDOM_SUBTREES = 10  # the paper's random workload size
 

@@ -598,6 +598,16 @@ def save_service_results(
         "workload": "single-subtree deletes, per_statement_trigger",
         "points": [asdict(point) for point in points],
     }
+    # The mapping ablation writes into the same file under its own key;
+    # keep it when regenerating the service series.
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                existing = json.load(handle)
+            except ValueError:
+                existing = {}
+        if "mapping" in existing:
+            payload["mapping"] = existing["mapping"]
     if recovery is not None:
         payload["recovery"] = {
             "experiment": "cold recovery time vs WAL length",

@@ -28,8 +28,16 @@ from __future__ import annotations
 from typing import Optional, Sequence
 
 from repro.errors import StorageError
+from repro.obs import get_registry
 from repro.relational.asr import AsrManager
 from repro.relational.database import Database
+from repro.relational.interval import (
+    MAX_RANGES_PER_DELETE,
+    INTERVAL_TABLE,
+    SURVIVOR_TRUNCATE_LIMIT,
+    IntervalIndex,
+    range_predicate,
+)
 from repro.relational.schema import MappingSchema
 from repro.relational import triggers
 
@@ -150,6 +158,110 @@ class AsrDelete(DeleteMethod):
         self.asr.delete_marked()
 
 
+class IntervalRangeDelete(DeleteMethod):
+    """Subtree delete as pre/post range predicates (interval encoding).
+
+    The doomed subtree roots' (pre, post) ranges are looked up once in
+    the ``node_interval`` side table; each relation of the mapping (and
+    the index itself) is then cleared with range deletes — a constant
+    number of statements per schema, independent of subtree size,
+    fan-out, and document size.
+    """
+
+    name = "interval"
+
+    def __init__(self, index: Optional[IntervalIndex] = None) -> None:
+        self.index = index
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        if self.index is None or self.index.db is not db:
+            self.index = IntervalIndex(db, schema)
+        self.index.ensure_populated()
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        # The index is data, not machinery: it stays valid (and shared
+        # with the insert strategy / the interval store) across switches.
+        pass
+
+    def delete(self, db, schema, relation, where_sql, params=()) -> None:
+        if self.index is None:
+            raise StorageError("IntervalRangeDelete used before install()")
+        targets = [relation] + _descendant_relations(schema, relation)
+        if not where_sql and self._delete_all(db, schema, targets):
+            return
+        where = f" WHERE {where_sql}" if where_sql else ""
+        ranges = self.index.ranges_for(
+            f'SELECT id FROM "{relation}"{where}', params
+        )
+        if not ranges:
+            return
+        get_registry().counter("interval.range_deletes").inc()
+        for start in range(0, len(ranges), MAX_RANGES_PER_DELETE):
+            chunk = ranges[start:start + MAX_RANGES_PER_DELETE]
+            predicate, chunk_params = range_predicate(chunk)
+            for name in targets:
+                # A relation's tuples sit at one fixed tree depth, so the
+                # level filter shrinks each per-relation id set to exactly
+                # the rows that relation holds.
+                db.execute(
+                    f'DELETE FROM "{name}" WHERE id IN '
+                    f"(SELECT id FROM {INTERVAL_TABLE} "
+                    f"WHERE ({predicate}) AND level = ?)",
+                    list(chunk_params) + [_relation_level(schema, name)],
+                )
+            db.execute(
+                f"DELETE FROM {INTERVAL_TABLE} WHERE {predicate}", chunk_params
+            )
+
+    def _delete_all(
+        self, db: Database, schema: MappingSchema, targets: list[str]
+    ) -> bool:
+        """Whole-relation bulk delete: with no selection, every row of
+        every target relation dies (each relation has exactly one parent
+        relation), so no range lookup is needed — plain DELETEs take
+        SQLite's truncate path.  The index survivors are exactly the
+        rows of the *non*-target relations (usually just the ancestors),
+        so when they are few they are copied out around a truncation of
+        the index; otherwise fall back to the ranged path."""
+        others = [name for name in schema.relations if name not in targets]
+        union = " UNION ALL ".join(f'SELECT id FROM "{name}"' for name in others)
+        survivor_count = (
+            db.query_one(f"SELECT COUNT(*) FROM ({union})")[0] if others else 0
+        )
+        if survivor_count > SURVIVOR_TRUNCATE_LIMIT:
+            return False
+        get_registry().counter("interval.range_deletes").inc()
+        survivors = (
+            db.query(
+                f"SELECT id, pre, post, level FROM {INTERVAL_TABLE} "
+                f"WHERE id IN ({union})"
+            )
+            if others
+            else []
+        )
+        for name in targets:
+            db.execute(f'DELETE FROM "{name}"')
+        db.execute(f"DELETE FROM {INTERVAL_TABLE}")
+        if survivors:
+            db.executemany(
+                f"INSERT INTO {INTERVAL_TABLE} (id, pre, post, level) "
+                "VALUES (?, ?, ?, ?)",
+                survivors,
+            )
+        return True
+
+
+def _relation_level(schema: MappingSchema, name: str) -> int:
+    """Tree depth of a relation's tuples (root relation = 0): the
+    inlining schema nests relations exactly like their tuples."""
+    level = 0
+    current = schema.relation(name)
+    while current.parent is not None:
+        level += 1
+        current = schema.relation(current.parent)
+    return level
+
+
 def _descendant_relations(schema: MappingSchema, relation: str) -> list[str]:
     ordered: list[str] = []
     queue = list(schema.relation(relation).children)
@@ -171,5 +283,6 @@ DELETE_METHODS = {
         PerStatementTriggerDelete,
         CascadingDelete,
         AsrDelete,
+        IntervalRangeDelete,
     )
 }

@@ -27,6 +27,7 @@ from repro.errors import StorageError
 from repro.relational.asr import AsrManager
 from repro.relational.database import Database
 from repro.relational.idgen import IdAllocator, META_TABLE
+from repro.relational.interval import IntervalIndex
 from repro.relational.outer_union import build_outer_union, subtree_relations
 from repro.relational.schema import MappingSchema
 
@@ -96,16 +97,18 @@ class TableInsert(InsertMethod):
     name = "table"
 
     def insert_copy(self, db, schema, allocator, relation, where_sql, params, new_parent_id):
+        """Returns the id offset applied to the copied tuples (None when
+        nothing matched) so interval-aware subclasses can shift-index
+        the copies."""
         try:
             relations = subtree_relations(schema, relation)
         except StorageError:
             # Recursive mapping: the subtree nests its own relation.  A
             # fix-point (recursive CTE) gathers the tuples instead of one
             # temp table per static level (cf. the fix-point remark in §5.2).
-            self._insert_copy_recursive(
+            return self._insert_copy_recursive(
                 db, schema, allocator, relation, where_sql, params, new_parent_id
             )
-            return
         temp_names = {rel.name: f"tmp_copy_{rel.name}" for rel in relations}
         # 1. Materialise the source subtree into temp tables, top-down.
         where = f" WHERE {where_sql}" if where_sql else ""
@@ -129,7 +132,7 @@ class TableInsert(InsertMethod):
             row = db.query_one(f"SELECT MIN(id), MAX(id) FROM ({union})")
             min_id, max_id = row if row else (None, None)
             if min_id is None:
-                return  # nothing matched
+                return None  # nothing matched
             first_new = allocator.reserve(max_id - min_id + 1)
             offset = first_new - min_id
             # 3. En-masse re-insert per relation with remapped ids.
@@ -149,6 +152,7 @@ class TableInsert(InsertMethod):
         finally:
             for temp in temp_names.values():
                 db.execute(f'DROP TABLE IF EXISTS "{temp}"')
+        return offset
 
     def _insert_copy_recursive(
         self, db, schema, allocator, relation, where_sql, params, new_parent_id
@@ -186,7 +190,7 @@ class TableInsert(InsertMethod):
             row = db.query_one(f'SELECT MIN(id), MAX(id) FROM "{temp}"')
             min_id, max_id = row if row else (None, None)
             if min_id is None:
-                return
+                return None
             first_new = allocator.reserve(max_id - min_id + 1)
             offset = first_new - min_id
             data_cols = ", ".join(f'"{c}"' for c in rel.data_columns)
@@ -200,6 +204,7 @@ class TableInsert(InsertMethod):
             )
         finally:
             db.execute(f'DROP TABLE IF EXISTS "{temp}"')
+        return offset
 
 
 class AsrInsert(InsertMethod):
@@ -263,6 +268,52 @@ class AsrInsert(InsertMethod):
             self.asr.unmark_all()
 
 
+class IntervalCopyInsert(TableInsert):
+    """Table-based copy plus interval maintenance (interval encoding).
+
+    The data-side copy is exactly :class:`TableInsert` — same statement
+    shape, same id-offset trick.  Because the copy preserves tree shape
+    and shifts every tuple id by one constant, the ``node_interval``
+    rows of the copies are produced the same way: each source subtree's
+    (pre, post) block is shifted rigidly into a window reserved under
+    the new parent, a constant number of statements per copy batch.
+    """
+
+    name = "interval"
+
+    def __init__(self, index: Optional[IntervalIndex] = None) -> None:
+        self.index = index
+
+    def install(self, db: Database, schema: MappingSchema) -> None:
+        if self.index is None or self.index.db is not db:
+            self.index = IntervalIndex(db, schema)
+        self.index.ensure_populated()
+
+    def uninstall(self, db: Database, schema: MappingSchema) -> None:
+        pass  # shared data, not machinery — see IntervalRangeDelete
+
+    def insert_copy(self, db, schema, allocator, relation, where_sql, params, new_parent_id):
+        if self.index is None:
+            raise StorageError("IntervalCopyInsert used before install()")
+        where = f" WHERE {where_sql}" if where_sql else ""
+        # Snapshot the source roots before the copy: the predicate could
+        # otherwise match the copies themselves on a re-evaluation.
+        roots = [
+            row[0]
+            for row in db.query(f'SELECT id FROM "{relation}"{where}', params)
+        ]
+        offset = super().insert_copy(
+            db, schema, allocator, relation, where_sql, params, new_parent_id
+        )
+        if offset is None or not roots:
+            return None
+        self.index.register_copies(roots, offset, new_parent_id)
+        return offset
+
+
 # Strategy classes by name; instantiate one per store (AsrInsert holds
 # per-database state).
-INSERT_METHODS = {method.name: method for method in (TupleInsert, TableInsert, AsrInsert)}
+INSERT_METHODS = {
+    method.name: method
+    for method in (TupleInsert, TableInsert, AsrInsert, IntervalCopyInsert)
+}

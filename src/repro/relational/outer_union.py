@@ -161,6 +161,7 @@ def reconstruct_elements(
     query: OuterUnionQuery,
     rows: Sequence[Sequence],
     positions: Optional[dict[int, int]] = None,
+    positions_global: bool = False,
 ) -> list[Element]:
     """Rebuild the XML elements of the target relation from a sorted
     Outer Union result.  Returns the top-level elements in stream order.
@@ -168,10 +169,13 @@ def reconstruct_elements(
     ``positions`` optionally maps tuple ids to document-order positions
     (from an order-preserving store): relation-anchored siblings are
     then re-ordered accordingly (inlined content keeps its
-    mapping-determined place)."""
+    mapping-determined place).  ``positions_global`` marks maps that
+    order the whole document (interval ``pre`` ordinals, not per-parent
+    sibling positions): the top-level results are then sorted too."""
     entry_by_name = {entry.relation: entry for entry in query.layout}
     built: dict[tuple[str, int], Element] = {}  # (relation, tuple id) -> element
     roots: list[Element] = []
+    root_ids: dict[int, int] = {}  # element node_id -> tuple id
     # anchor element id -> [(child element, tuple id)] for optional reorder.
     attachments: dict[int, list[tuple[Element, int]]] = {}
     anchors: dict[int, Element] = {}
@@ -183,6 +187,7 @@ def reconstruct_elements(
         built[(relation.name, tuple_id)] = element
         if entry.parent_relation is None:
             roots.append(element)
+            root_ids[element.node_id] = tuple_id
         else:
             parent_entry = entry_by_name[entry.parent_relation]
             parent_id = row[parent_entry.id_index]
@@ -199,6 +204,10 @@ def reconstruct_elements(
                 attachments.setdefault(anchor.node_id, []).append((element, tuple_id))
     if positions is not None:
         _reorder_attachments(anchors, attachments, positions)
+        if positions_global:
+            # The top-level results follow document order too (tuple
+            # stream order is id order, which positional inserts break).
+            roots.sort(key=lambda el: positions.get(root_ids[el.node_id], 1 << 60))
     return roots
 
 

@@ -60,13 +60,22 @@ class PlanCache:
     def put(self, statement: str, plan: OuterUnionQuery) -> None:
         self._cache.put((self.generation, statement), plan)
 
-    def bump_generation(self) -> int:
+    def bump_generation(self, reason: str = "rename") -> int:
         """Invalidate every cached plan (entries from older generations
-        can no longer be returned); returns the new generation."""
+        can no longer be returned); returns the new generation.
+
+        ``reason`` labels the invalidation cause in the metrics —
+        ``rename`` for restructuring updates, ``renumber`` for interval
+        renumbering (plans may bake resolved pre/post windows in as
+        literals, so moved ordinals make them stale the same way moved
+        tuples do).
+        """
         with self._lock:
             self._generation += 1
             generation = self._generation
-        get_registry().counter("cache.plan.invalidations").inc()
+        registry = get_registry()
+        registry.counter("cache.plan.invalidations").inc()
+        registry.counter(f"cache.plan.invalidations.{reason}").inc()
         return generation
 
     def clear(self) -> int:

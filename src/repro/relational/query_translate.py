@@ -83,11 +83,17 @@ def translate_target_path(
     schema: MappingSchema,
     path: Path,
     document_name: Optional[str] = None,
+    resolver=None,
 ) -> TargetSelection:
     """Translate an absolute path to the selection of its target tuples.
 
     When ``document_name`` is given, the path's ``document(...)`` call
-    must name it (the store serves exactly one document)."""
+    must name it (the store serves exactly one document).
+
+    ``resolver`` optionally lowers relation-to-relation descendant steps
+    to a different plan shape (the interval store supplies one that
+    replaces the nested parentId subqueries with pre/post range
+    predicates); it may return None to fall back."""
     if not isinstance(path.start, DocumentStart):
         raise TranslationError(
             "only absolute paths (document(...) starts) can be translated; "
@@ -98,13 +104,14 @@ def translate_target_path(
             f"unknown document {path.start.name!r}; this store serves "
             f"{document_name!r}"
         )
-    return _translate_steps(schema, path.steps)
+    return _translate_steps(schema, path.steps, resolver=resolver)
 
 
 def translate_relative_path(
     schema: MappingSchema,
     base: TargetSelection,
     path: Path,
+    resolver=None,
 ) -> TargetSelection:
     """Translate a path relative to an existing selection (``$var/...``).
 
@@ -114,13 +121,14 @@ def translate_relative_path(
         raise TranslationError(f"expected a relative path, got start {path.start!r}")
     if base.is_inlined:
         raise TranslationError("cannot navigate below an inlined element binding")
-    return _translate_steps(schema, path.steps, base=base)
+    return _translate_steps(schema, path.steps, base=base, resolver=resolver)
 
 
 def _translate_steps(
     schema: MappingSchema,
     steps: Sequence,
     base: Optional[TargetSelection] = None,
+    resolver=None,
 ) -> TargetSelection:
     aliases = _AliasSource()
     if base is None:
@@ -157,10 +165,16 @@ def _translate_steps(
         # Within a relation: descend to a child relation or an inlined element.
         if step.descendant:
             next_relation = _find_descendant_relation(schema, relation.name, step.name, False)
-            chain = _relation_chain(schema, relation.name, next_relation.name)
-            conditions, params = _link_down(
-                schema, chain, conditions, params, aliases
-            )
+            lowered = None
+            if resolver is not None:
+                lowered = resolver(relation, conditions, params, next_relation)
+            if lowered is not None:
+                conditions, params = lowered
+            else:
+                chain = _relation_chain(schema, relation.name, next_relation.name)
+                conditions, params = _link_down(
+                    schema, chain, conditions, params, aliases
+                )
             relation = next_relation
             inlined = ()
         else:

@@ -20,6 +20,7 @@ from repro.relational.schema import (
     FIELD_PCDATA,
     FIELD_PRESENCE,
     FIELD_REFS,
+    INTERVAL_TABLE,
     MappingSchema,
     Relation,
 )
@@ -45,7 +46,12 @@ def shred_document(
     measured experiment).
     """
     allocator = allocator or IdAllocator(db)
-    shredder = _Shredder(schema, allocator)
+    shredder = _Shredder(schema, allocator, intervals=schema.intervals)
+    if schema.intervals:
+        # Multi-document stores append into the ordinal space past the
+        # last occupied post value.
+        row = db.query_one(f"SELECT MAX(post) FROM {INTERVAL_TABLE}")
+        shredder._ordinal = row[0] or 0
     root_id = shredder.shred(document.root)
     for relation_name, rows in shredder.rows.items():
         relation = schema.relation(relation_name)
@@ -55,16 +61,32 @@ def shred_document(
             f'INSERT INTO "{relation_name}" ({columns}) VALUES ({placeholders})',
             rows,
         )
+    if shredder.interval_rows:
+        db.executemany(
+            f"INSERT INTO {INTERVAL_TABLE} (id, pre, post, level) VALUES (?, ?, ?, ?)",
+            shredder.interval_rows,
+        )
     db.commit()
     return root_id
 
 
 class _Shredder:
-    def __init__(self, schema: MappingSchema, allocator: IdAllocator) -> None:
+    def __init__(
+        self,
+        schema: MappingSchema,
+        allocator: IdAllocator,
+        intervals: bool = False,
+    ) -> None:
         self.schema = schema
         self.allocator = allocator
         self.rows: dict[str, list[tuple]] = {name: [] for name in schema.relations}
         self._count = 0
+        # Gapped pre/post ordinals, emitted only for whole-document loads
+        # (spliced subtrees are indexed after the fact by the store's
+        # interval index, which knows the insertion position).
+        self.intervals = intervals
+        self.interval_rows: list[tuple[int, int, int, int]] = []
+        self._ordinal = 0
 
     def shred(self, root_element: Element) -> int:
         root_relation = self.schema.relation(self.schema.root)
@@ -89,19 +111,31 @@ class _Shredder:
                 count += self._count_tuples(child, child_relation)
         return count
 
-    def _emit(self, element: Element, relation: Relation, parent_id: Optional[int]) -> int:
+    def _emit(
+        self,
+        element: Element,
+        relation: Relation,
+        parent_id: Optional[int],
+        level: int = 0,
+    ) -> int:
         tuple_id = self._next_id
         self._next_id += 1
         row = [tuple_id, parent_id]
         for inlined in relation.fields:
             row.append(extract_field(element, inlined))
         self.rows[relation.name].append(tuple(row))
+        if self.intervals:
+            self._ordinal += self.schema.interval_gap
+            pre = self._ordinal
         for child_relation in self.schema.child_relations(relation.name):
             anchor = element_at(element, child_relation.parent_path)
             if anchor is None:
                 continue
             for child in anchor.child_elements(child_relation.tag):
-                self._emit(child, child_relation, parent_id=tuple_id)
+                self._emit(child, child_relation, parent_id=tuple_id, level=level + 1)
+        if self.intervals:
+            self._ordinal += self.schema.interval_gap
+            self.interval_rows.append((tuple_id, pre, self._ordinal, level))
         return tuple_id
 
 

@@ -27,6 +27,7 @@ from repro.relational.delete_methods import (
     DELETE_METHODS,
     AsrDelete,
     DeleteMethod,
+    IntervalRangeDelete,
 )
 from repro.relational.idgen import IdAllocator
 from repro.relational.inlining import derive_inlining_schema
@@ -34,7 +35,9 @@ from repro.relational.insert_methods import (
     INSERT_METHODS,
     AsrInsert,
     InsertMethod,
+    IntervalCopyInsert,
 )
+from repro.relational.interval import IntervalIndex
 from repro.relational.outer_union import build_outer_union, reconstruct_elements
 from repro.relational.plan_cache import PlanCache, contains_rename
 from repro.relational.query_translate import (
@@ -76,6 +79,7 @@ class XmlStore:
         self._delete_method: DeleteMethod = DELETE_METHODS["per_tuple_trigger"]()
         self._insert_method: InsertMethod = INSERT_METHODS["table"]()
         self._asr: Optional[AsrManager] = None
+        self._interval_index: Optional[IntervalIndex] = None
         if create:
             self._delete_method.install(self.db, self.schema)
         self.plan_cache = PlanCache()
@@ -88,7 +92,7 @@ class XmlStore:
         Trigger DDL and ASR tables travel with the cloned database;
         strategy objects are re-instantiated against the copy.
         """
-        copy = XmlStore(
+        copy = self.__class__(
             self.schema,
             db=self.db.clone(),
             document_name=self.document_name,
@@ -101,9 +105,13 @@ class XmlStore:
         copy._delete_method = DELETE_METHODS[self._delete_method.name]()
         if isinstance(copy._delete_method, AsrDelete):
             copy._delete_method.asr = copy._shared_asr()
+        if isinstance(copy._delete_method, IntervalRangeDelete):
+            copy._delete_method.index = copy._shared_interval()
         copy._insert_method = INSERT_METHODS[self._insert_method.name]()
         if isinstance(copy._insert_method, AsrInsert):
             copy._insert_method.asr = copy._shared_asr()
+        if isinstance(copy._insert_method, IntervalCopyInsert):
+            copy._insert_method.index = copy._shared_interval()
         return copy
 
     # ------------------------------------------------------------------
@@ -158,6 +166,8 @@ class XmlStore:
         method = DELETE_METHODS[name]()
         if isinstance(method, AsrDelete):
             method.asr = self._shared_asr()
+        if isinstance(method, IntervalRangeDelete):
+            method.index = self._shared_interval()
         method.install(self.db, self.schema)
         self._delete_method = method
 
@@ -173,6 +183,8 @@ class XmlStore:
         method = INSERT_METHODS[name]()
         if isinstance(method, AsrInsert):
             method.asr = self._shared_asr()
+        if isinstance(method, IntervalCopyInsert):
+            method.index = self._shared_interval()
         method.install(self.db, self.schema)
         self._insert_method = method
 
@@ -180,6 +192,13 @@ class XmlStore:
         if self._asr is None:
             self._asr = AsrManager(self.db, self.schema)
         return self._asr
+
+    def _shared_interval(self) -> IntervalIndex:
+        """One interval index per store, shared by both interval
+        strategies (and owned outright by the interval store subclass)."""
+        if self._interval_index is None:
+            self._interval_index = IntervalIndex(self.db, self.schema)
+        return self._interval_index
 
     # ------------------------------------------------------------------
     # Statements
@@ -256,12 +275,27 @@ class XmlStore:
             rows = self.db.query(outer_union.sql, outer_union.params)
         with span("store.reconstruct", rows=len(rows)):
             return reconstruct_elements(
-                self.schema, outer_union, rows, positions=positions
+                self.schema,
+                outer_union,
+                rows,
+                positions=positions,
+                positions_global=self._positions_global,
             )
+
+    #: Whether :meth:`_order_positions` orders the whole document (the
+    #: interval store's ``pre`` ordinals) rather than siblings per
+    #: parent (``doc_order``); global maps also sort top-level results.
+    _positions_global = False
 
     def _order_positions(self):
         """Tuple-id -> position map for order-aware reconstruction;
         None in the (paper-default) unordered store."""
+        return None
+
+    def _interval_resolver(self):
+        """Descendant-step lowering hook for translation; the interval
+        store returns a callable that rewrites relation-to-relation
+        descendant steps as pre/post range predicates."""
         return None
 
     def _query_selection(self, query: Query) -> TargetSelection:
@@ -282,6 +316,7 @@ class XmlStore:
         from repro.relational.query_translate import translate_relative_path
         from repro.updates.binding import LetClause
 
+        resolver = self._interval_resolver()
         for clause in query.clauses:
             if isinstance(clause, LetClause):
                 raise TranslationError(
@@ -292,10 +327,13 @@ class XmlStore:
                 base = selections.get(path.start.name)
                 if base is None:
                     raise TranslationError(f"unbound variable ${path.start.name}")
-                selection = translate_relative_path(self.schema, base, path)
+                selection = translate_relative_path(
+                    self.schema, base, path, resolver=resolver
+                )
             else:
                 selection = translate_target_path(
-                    self.schema, path, document_name=self.document_name
+                    self.schema, path, document_name=self.document_name,
+                    resolver=resolver,
                 )
             for predicate in predicate_groups.pop(clause.variable, []):
                 selection = translate_predicate(
@@ -315,10 +353,13 @@ class XmlStore:
                 raise TranslationError(
                     f"RETURN references unbound ${returns.start.name}"
                 )
-            result = translate_relative_path(self.schema, base, returns)
+            result = translate_relative_path(
+                self.schema, base, returns, resolver=resolver
+            )
         else:
             result = translate_target_path(
-                self.schema, returns, document_name=self.document_name
+                self.schema, returns, document_name=self.document_name,
+                resolver=resolver,
             )
         if result.is_inlined:
             raise TranslationError(
@@ -360,7 +401,11 @@ class XmlStore:
         outer_union = build_outer_union(self.schema, self.schema.root)
         rows = self.db.query(outer_union.sql, outer_union.params)
         elements = reconstruct_elements(
-            self.schema, outer_union, rows, positions=self._order_positions()
+            self.schema,
+            outer_union,
+            rows,
+            positions=self._order_positions(),
+            positions_global=self._positions_global,
         )
         if len(elements) != 1:
             raise StorageError(

@@ -137,10 +137,40 @@ Host = Union[DocumentHost, StoreHost]
 
 
 def _ids_where(relation: str, ids: Sequence[int]) -> tuple[str, tuple]:
+    """Id-set predicate for a coalesced batch operation.
+
+    Consecutive ids (the common shape after group-commit merges many
+    single-subtree deletes over DFS-allocated ids) compress into
+    ``BETWEEN`` runs; stragglers stay in one ``IN`` list.  The interval
+    delete strategy then sees the same contiguity and fuses each run
+    into a single pre/post range delete."""
     if not ids:
         raise ServiceError("a subtree operation needs at least one id")
-    placeholders = ", ".join("?" for _ in ids)
-    return f'"{relation}".id IN ({placeholders})', tuple(ids)
+    unique = sorted(set(ids))
+    runs: list[tuple[int, int]] = []
+    start = previous = unique[0]
+    for value in unique[1:]:
+        if value == previous + 1:
+            previous = value
+            continue
+        runs.append((start, previous))
+        start = previous = value
+    runs.append((start, previous))
+    column = f'"{relation}".id'
+    clauses: list[str] = []
+    params: list[int] = []
+    singles = [low for low, high in runs if low == high]
+    if singles:
+        clauses.append(f"{column} IN ({', '.join('?' for _ in singles)})")
+        params.extend(singles)
+    for low, high in runs:
+        if low != high:
+            clauses.append(f"{column} BETWEEN ? AND ?")
+            params.extend((low, high))
+    where = " OR ".join(clauses)
+    if len(clauses) > 1:
+        where = f"({where})"
+    return where, tuple(params)
 
 
 @dataclass(frozen=True)
@@ -673,6 +703,7 @@ def _coalesce(entries: list[tuple[int, ServiceOp]]) -> list[ServiceOp]:
         if key is not None and key == last_key:
             previous = groups[-1]
             assert isinstance(previous, (SubtreeDelete, SubtreeCopy))
+            get_registry().counter("batcher.ops_coalesced").inc()
             merged_ids = previous.ids + op.ids
             if isinstance(previous, SubtreeDelete):
                 groups[-1] = SubtreeDelete(previous.doc, previous.relation, merged_ids)

@@ -1,0 +1,172 @@
+"""Property: the interval mapping agrees with the edge mapping (and with
+an in-memory model) across randomized update sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.relational.edge import EdgeMapping
+from repro.relational.interval import IntervalMapping
+from repro.workloads.tpcw import CustomerParams, generate_customers
+from repro.xmlmodel.model import Element, Text
+from repro.xmlmodel.serializer import serialize
+
+TAGS = ("Customer", "Order", "OrderLine")
+
+
+def build_pair(seed: int, customers: int):
+    document = generate_customers(CustomerParams(customers=customers, seed=seed))
+    edge = EdgeMapping()
+    edge_root = edge.load(document)
+    interval = IntervalMapping()
+    interval.load(document)
+    interval_root = interval.element_ids(document.root.name)[0]
+    return edge, edge_root, interval, interval_root
+
+
+def serialized(mapping, root_id):
+    return serialize(mapping.reconstruct(root_id), indent=0)
+
+
+class TestEdgeEquivalence:
+    @given(
+        seed=st.integers(0, 500),
+        customers=st.integers(2, 8),
+        rounds=st.lists(
+            st.tuples(st.sampled_from(TAGS), st.integers(0, 30)),
+            min_size=1,
+            max_size=5,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_random_deletes_stay_byte_identical(self, seed, customers, rounds):
+        edge, edge_root, interval, interval_root = build_pair(seed, customers)
+        try:
+            for tag, pick in rounds:
+                # Both element_ids listings are in document order, so the
+                # same index names the same element in both mappings.
+                edge_ids = edge.element_ids(tag)
+                interval_ids = interval.element_ids(tag)
+                assert len(edge_ids) == len(interval_ids)
+                if not edge_ids:
+                    continue
+                index = pick % len(edge_ids)
+                edge.delete_subtrees([edge_ids[index]])
+                interval.delete_subtrees([interval_ids[index]])
+                assert serialized(edge, edge_root) == serialized(
+                    interval, interval_root
+                )
+        finally:
+            edge.db.close()
+            interval.db.close()
+
+    @given(seed=st.integers(0, 500), customers=st.integers(2, 6))
+    @settings(max_examples=10, deadline=None)
+    def test_batched_delete_equals_one_by_one(self, seed, customers):
+        edge, edge_root, interval, interval_root = build_pair(seed, customers)
+        try:
+            edge.delete_subtrees(edge.element_ids("Order"))
+            for order_id in interval.element_ids("Order"):
+                interval.delete_subtrees([order_id])
+            assert serialized(edge, edge_root) == serialized(interval, interval_root)
+        finally:
+            edge.db.close()
+            interval.db.close()
+
+
+def model_elements(root: Element, tag: str) -> list[Element]:
+    """Elements with ``tag`` in document order (the model-side mirror of
+    ``element_ids``)."""
+    found = []
+
+    def walk(element: Element) -> None:
+        if element.name == tag:
+            found.append(element)
+        for child in element.children:
+            if isinstance(child, Element):
+                walk(child)
+
+    walk(root)
+    return found
+
+
+def model_parent(root: Element, target: Element) -> Element:
+    def walk(element: Element):
+        for child in element.children:
+            if isinstance(child, Element):
+                if child is target:
+                    return element
+                below = walk(child)
+                if below is not None:
+                    return below
+        return None
+
+    parent = walk(root)
+    assert parent is not None
+    return parent
+
+
+def new_note(label: str) -> Element:
+    note = Element("Note")
+    text = Element("Text")
+    text.append_child(Text(label))
+    note.append_child(text)
+    return note
+
+
+class TestModelEquivalence:
+    @given(
+        seed=st.integers(0, 200),
+        customers=st.integers(2, 4),
+        ops=st.lists(
+            st.tuples(
+                st.sampled_from(["before", "after", "append", "delete"]),
+                st.sampled_from(TAGS),
+                st.integers(0, 30),
+            ),
+            min_size=1,
+            max_size=8,
+        ),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_positional_updates_match_in_memory_model(self, seed, customers, ops):
+        """With a tiny gap (renumbering triggers often), every positional
+        insert and delete produces exactly the document an in-memory
+        model predicts."""
+        document = generate_customers(CustomerParams(customers=customers, seed=seed))
+        interval = IntervalMapping(gap=4)
+        interval.load(document)
+        model_root = document.root
+        try:
+            for step, (action, tag, pick) in enumerate(ops):
+                targets = model_elements(model_root, tag)
+                ids = interval.element_ids(tag)
+                assert len(targets) == len(ids)
+                if not targets:
+                    continue
+                index = pick % len(targets)
+                target, target_id = targets[index], ids[index]
+                if action == "delete":
+                    parent = model_parent(model_root, target)
+                    parent.children.remove(target)
+                    interval.delete_subtrees([target_id])
+                    continue
+                label = f"s{step}"
+                if action == "append":
+                    target.append_child(new_note(label))
+                    interval.insert_subtree(new_note(label), parent_id=target_id)
+                else:
+                    parent = model_parent(model_root, target)
+                    position = parent.children.index(target)
+                    if action == "after":
+                        position += 1
+                    parent.children.insert(position, new_note(label))
+                    interval.insert_subtree(
+                        new_note(label),
+                        before_id=target_id if action == "before" else None,
+                        after_id=target_id if action == "after" else None,
+                    )
+            assert serialize(interval.to_document().root, indent=0) == serialize(
+                model_root, indent=0
+            )
+        finally:
+            interval.db.close()

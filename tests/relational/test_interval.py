@@ -1,0 +1,179 @@
+"""The interval (pre/post) mapping and its ordinal machinery."""
+
+import pytest
+
+from repro.errors import StorageError
+from repro.obs import counter_delta, get_registry
+from repro.relational.interval import (
+    IntervalMapping,
+    coalesce_ranges,
+    merge_ranges,
+)
+from repro.xmlmodel.model import Element, Text
+from repro.xmlmodel.serializer import serialize
+
+
+@pytest.fixture
+def mapping(customer_document):
+    mapping = IntervalMapping()
+    mapping.load(customer_document)
+    yield mapping
+    mapping.db.close()
+
+
+def _line_items(mapping, order_id):
+    return [
+        line.child_elements("ItemName")[0].text()
+        for line in mapping.reconstruct(order_id).child_elements("OrderLine")
+    ]
+
+
+class TestMergeRanges:
+    def test_nested_ranges_are_dropped(self):
+        assert merge_ranges([(1, 100), (5, 20), (150, 200)]) == [(1, 100), (150, 200)]
+
+    def test_disjoint_ranges_survive(self):
+        assert merge_ranges([(1, 10), (20, 30)]) == [(1, 10), (20, 30)]
+
+
+class TestCoalesceRanges:
+    def test_adjacent_sibling_subtrees_fuse(self, mapping):
+        # John's two Orders are adjacent siblings: nothing lives in the
+        # ordinal slack between them, so one range covers both.
+        john_orders = [
+            mapping.space.bounds(order_id)[:2]
+            for order_id in mapping.element_ids("Order")[:2]
+        ]
+        fused = coalesce_ranges(mapping.db, john_orders, table="accel")
+        assert fused == [(john_orders[0][0], john_orders[1][1])]
+
+    def test_occupied_gap_keeps_ranges_apart(self, mapping):
+        # John's first Order and Mary's Order straddle live rows (John's
+        # second Order, Mary's Name/Address), so the gap probe finds them.
+        orders = mapping.element_ids("Order")
+        ranges = [
+            mapping.space.bounds(orders[0])[:2],
+            mapping.space.bounds(orders[2])[:2],
+        ]
+        assert coalesce_ranges(mapping.db, ranges, table="accel") == ranges
+
+
+class TestRoundTrip:
+    def test_byte_identical_reconstruction(self, mapping, customer_document):
+        assert serialize(mapping.to_document().root, indent=0) == serialize(
+            customer_document.root, indent=0
+        )
+
+
+class TestAxes:
+    def test_descendants(self, mapping):
+        john = mapping.element_ids("Customer")[0]
+        tags = {
+            mapping.reconstruct(node_id).name
+            for node_id in mapping.descendant_ids(john)
+        }
+        assert tags == {"Name", "Address", "City", "State", "Order",
+                        "OrderLine", "ItemName", "Qty", "Date", "Status"}
+
+    def test_ancestors_in_document_order(self, mapping):
+        line = mapping.element_ids("OrderLine")[0]
+        names = [
+            mapping.reconstruct(node_id).name
+            for node_id in mapping.ancestor_ids(line)
+        ]
+        assert names == ["CustDB", "Customer", "Order"]
+
+    def test_following_and_preceding(self, mapping):
+        orders = mapping.element_ids("Order")
+        following = mapping.following_ids(orders[0])
+        assert orders[1] in following and orders[2] in following
+        assert orders[0] not in following
+        preceding = mapping.preceding_ids(orders[2])
+        assert orders[0] in preceding and orders[1] in preceding
+
+    def test_children_in_document_order(self, mapping):
+        root = mapping.element_ids("CustDB")[0]
+        names = [mapping.reconstruct(c).name for c in mapping.child_ids(root)]
+        assert names == ["Customer", "Customer"]
+
+
+class TestRangeDelete:
+    def test_subtree_delete_is_whole(self, mapping):
+        john_first = mapping.element_ids("Order")[0]
+        before = mapping.count()
+        mapping.delete_subtrees([john_first])
+        # The Order and everything inside it — Date, Status, two
+        # OrderLines with ItemName/Qty, and their text rows — is gone.
+        assert before - mapping.count() == 15
+        assert len(mapping.element_ids("Order")) == 2
+
+    def test_statement_count_independent_of_subtree_count(self, mapping):
+        ids = mapping.element_ids("OrderLine")
+        mapping.db.counts.reset()
+        mapping.delete_subtrees(ids)
+        # Range lookup + gap probe + one ranged DELETE — not one
+        # statement per subtree.
+        assert mapping.db.counts.client <= 3
+        assert mapping.element_ids("OrderLine") == []
+
+
+class TestPositionalInserts:
+    def _order_with_lines(self, mapping):
+        return mapping.element_ids("Order")[0]
+
+    def _new_line(self, item):
+        line = Element("OrderLine")
+        name = Element("ItemName")
+        name.append_child(Text(item))
+        line.append_child(name)
+        return line
+
+    def test_insert_before_and_after(self, mapping):
+        order = self._order_with_lines(mapping)
+        first_line = mapping.element_ids("OrderLine")[0]
+        mapping.insert_subtree(self._new_line("wax"), before_id=first_line)
+        mapping.insert_subtree(self._new_line("rack"), after_id=first_line)
+        assert _line_items(mapping, order) == ["wax", "tire", "rack", "rim"]
+
+    def test_append_goes_last(self, mapping):
+        order = self._order_with_lines(mapping)
+        mapping.insert_subtree(self._new_line("mirror"), parent_id=order)
+        assert _line_items(mapping, order) == ["tire", "rim", "mirror"]
+
+
+class TestRenumbering:
+    def test_gap_exhaustion_renumbers_locally_and_stays_correct(
+        self, customer_document
+    ):
+        mapping = IntervalMapping(gap=4)
+        mapping.load(customer_document)
+        order = mapping.element_ids("Order")[0]
+        anchor = mapping.element_ids("OrderLine")[0]
+        before = get_registry().snapshot()
+        for index in range(24):
+            name = Element("ItemName")
+            name.append_child(Text(f"item{index}"))
+            inserted = Element("OrderLine")
+            inserted.append_child(name)
+            mapping.insert_subtree(inserted, before_id=anchor)
+        after = get_registry().snapshot()
+        assert mapping.renumber_events > 0
+        assert counter_delta(before, after, "interval.renumber.count") == (
+            mapping.renumber_events
+        )
+        assert counter_delta(before, after, "interval.renumber.nodes") > 0
+        items = _line_items(mapping, order)
+        # Insert-before keeps submission order ahead of the anchor.
+        assert items == [f"item{i}" for i in range(24)] + ["tire", "rim"]
+        mapping.db.close()
+
+    def test_tiny_gap_rejected(self):
+        with pytest.raises(ValueError):
+            IntervalMapping(gap=2)
+
+    def test_window_errors_at_document_edges(self, mapping):
+        root = mapping.element_ids("CustDB")[0]
+        with pytest.raises(StorageError):
+            mapping.space.window_for_before(root, 2)
+        with pytest.raises(StorageError):
+            mapping.space.window_for_after(root, 2)
