@@ -187,6 +187,25 @@ def run_read(smoke: bool = False) -> list:
     return [point.as_measurement() for point in points]
 
 
+def run_checkpoint(smoke: bool = False) -> list:
+    from repro.bench.service_bench import (
+        DEFAULT_CHECKPOINT_OPS,
+        run_checkpoint_benchmark,
+    )
+
+    points = run_checkpoint_benchmark(ops=32 if smoke else DEFAULT_CHECKPOINT_OPS)
+    for point in points:
+        print(
+            f"  checkpoint[{point.mode}]: "
+            f"{point.ops_per_second:.0f} ops/s "
+            f"p50={point.p50_ms:.2f}ms p99={point.p99_ms:.2f}ms "
+            f"checkpoints={point.checkpoints} "
+            f"snapshotted={point.docs_snapshotted} "
+            f"carried={point.docs_carried}"
+        )
+    return [point.as_measurement() for point in points]
+
+
 EXPERIMENTS = {
     "fig6": ("Figure 6: delete, bulk (f=1, d=8)", "sf"),
     "fig7": ("Figure 7: delete, random (f=1, d=8)", "sf"),
@@ -201,6 +220,7 @@ EXPERIMENTS = {
     "recovery": ("Service: cold recovery time vs WAL length", "ops"),
     "net": ("Service: loopback TCP vs in-process round-trips", "ops"),
     "read": ("Service: read-path thread scaling (caches + reader pool)", "threads"),
+    "checkpoint": ("Service: submit latency during fuzzy checkpoints", "ops"),
     "mapping": ("Ablation: interval vs inlining/edge/attribute mappings", "-"),
 }
 
@@ -270,6 +290,8 @@ def main(argv=None) -> int:
         emit(*EXPERIMENTS["net"], run_net())
     if "read" in selected:
         emit(*EXPERIMENTS["read"], run_read(smoke=args.smoke))
+    if "checkpoint" in selected:
+        emit(*EXPERIMENTS["checkpoint"], run_checkpoint(smoke=args.smoke))
     if "mapping" in selected:
         emit(*EXPERIMENTS["mapping"],
              run_mapping(smoke=args.smoke, json_path=args.json))

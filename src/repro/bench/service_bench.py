@@ -14,6 +14,7 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
 import time
 from dataclasses import asdict, dataclass
 
@@ -22,7 +23,7 @@ from repro.obs import counter_delta, get_registry
 from repro.relational.store import XmlStore
 from repro.service import DeltaUpdate, ServiceConfig, SubtreeDelete, UpdateService
 from repro.service.wal import list_segments
-from repro.updates.delta import InsertNode
+from repro.updates.delta import InsertNode, SetAttribute
 from repro.xmlmodel.parser import XmlParser
 
 #: Group-commit windows compared by the experiment (and BENCH_service.json).
@@ -33,6 +34,10 @@ DEFAULT_UPDATES = 192
 DEFAULT_RECOVERY_OPS = (64, 128, 256)
 #: Synchronous round-trips per transport in the network experiment.
 DEFAULT_NET_OPS = 160
+#: Appends per phase of the checkpoint-interference experiment.
+DEFAULT_CHECKPOINT_OPS = 160
+#: Documents hosted by the checkpoint experiment (one hot, rest idle).
+DEFAULT_CHECKPOINT_DOCS = 4
 #: Client-thread counts compared by the read experiment.
 DEFAULT_READ_THREADS = (1, 2, 4, 8)
 #: Total read/write cycles per read point (split across the clients, so
@@ -354,6 +359,137 @@ def run_net_benchmark(
 
 
 @dataclass
+class CheckpointPoint:
+    """Submit latency of one phase: with or without concurrent checkpoints.
+
+    The fuzzy protocol's claim is that a checkpoint is not a stall: a
+    client committing to one document while a background thread
+    checkpoints continuously should see submit latency comparable to an
+    idle service (the old protocol paused the batcher and took every
+    write lock for the duration).  ``docs_snapshotted`` /
+    ``docs_carried`` record the incremental property alongside: after
+    the first full pass only the hot document is re-captured; the idle
+    ones carry their state files forward.
+    """
+
+    mode: str  # "baseline" | "during_checkpoints"
+    ops: int
+    seconds: float
+    ops_per_second: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    checkpoints: int = 0
+    docs_snapshotted: int = 0
+    docs_carried: int = 0
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method=self.mode,
+            x=self.ops,
+            seconds=self.seconds,
+            client_statements=0,
+            trigger_statements=0,
+            runs=1,
+        )
+
+
+def run_checkpoint_point(
+    mode: str,
+    ops: int = DEFAULT_CHECKPOINT_OPS,
+    wal_dir: str | None = None,
+    docs: int = DEFAULT_CHECKPOINT_DOCS,
+) -> CheckpointPoint:
+    """Time ``ops`` synchronous attribute writes to one hot document
+    while a background thread checkpoints continuously (``mode`` =
+    ``"during_checkpoints"``) or not at all (``"baseline"``).
+
+    The writes overwrite one attribute instead of appending, so the
+    document — and with it each checkpoint's capture cost — stays a
+    constant size across the run: the series then isolates the
+    protocol's interference with the commit path rather than the cost
+    of serializing an ever-growing document."""
+    wal_path = os.path.join(wal_dir, f"checkpoint-{mode}.wal")
+    service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=8))
+    names = [f"bench-{index}.xml" for index in range(docs)]
+    for name in names:
+        service.host_document(name, XmlParser("<log></log>").parse())
+    service.start()
+    hot = names[0]
+    reports: list = []
+    stop = threading.Event()
+
+    def checkpointer():
+        # A short gap between checkpoints, as the automatic policy's
+        # duty cycle would leave: checkpoints still overlap most of the
+        # measured window, but a zero-gap busy loop would measure raw
+        # fsync starvation of the shared disk, not the protocol.
+        while not stop.is_set():
+            reports.append(service.checkpoint(timeout=120))
+            stop.wait(0.01)
+
+    worker = None
+    try:
+        # Seed every document and take one full pass, so the measured
+        # checkpoints run incrementally (hot doc fresh, idle carried).
+        for name in names:
+            service.submit_wait(
+                DeltaUpdate(name, (InsertNode((), 1 << 30, xml="<seed/>"),)),
+                timeout=120,
+            )
+        service.checkpoint(timeout=120)
+        if mode == "during_checkpoints":
+            worker = threading.Thread(target=checkpointer, daemon=True)
+            worker.start()
+        elif mode != "baseline":
+            raise ValueError(f"unknown mode {mode!r}")
+        latencies: list[float] = []
+        start = time.perf_counter()
+        for index in range(ops):
+            op = DeltaUpdate(hot, (SetAttribute((0,), "i", str(index)),))
+            began = time.perf_counter()
+            service.submit_wait(op, timeout=120)
+            latencies.append((time.perf_counter() - began) * 1000.0)
+        elapsed = time.perf_counter() - start
+        stop.set()
+        if worker is not None:
+            worker.join(120)
+    finally:
+        stop.set()
+        service.close()
+    latencies.sort()
+    return CheckpointPoint(
+        mode=mode,
+        ops=ops,
+        seconds=elapsed,
+        ops_per_second=ops / elapsed if elapsed else float("inf"),
+        mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        p50_ms=_quantile(latencies, 0.50),
+        p99_ms=_quantile(latencies, 0.99),
+        checkpoints=len(reports),
+        docs_snapshotted=sum(report.snapshotted for report in reports),
+        docs_carried=sum(report.carried for report in reports),
+    )
+
+
+def run_checkpoint_benchmark(
+    ops: int = DEFAULT_CHECKPOINT_OPS, wal_dir: str | None = None
+) -> list[CheckpointPoint]:
+    """The checkpoint-interference pair (``checkpoint`` series)."""
+
+    def run_all(directory: str) -> list[CheckpointPoint]:
+        return [
+            run_checkpoint_point("baseline", ops=ops, wal_dir=directory),
+            run_checkpoint_point("during_checkpoints", ops=ops, wal_dir=directory),
+        ]
+
+    if wal_dir is not None:
+        return run_all(wal_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-checkpoint-") as directory:
+        return run_all(directory)
+
+
+@dataclass
 class ReadPoint:
     """Read throughput of one (transport, client-thread-count) pair.
 
@@ -589,6 +725,7 @@ def save_service_results(
     recovery: list[RecoveryPoint] | None = None,
     net: list[NetPoint] | None = None,
     read: list[ReadPoint] | None = None,
+    checkpoint: list[CheckpointPoint] | None = None,
 ) -> None:
     """Write ``BENCH_service.json``: one entry per batch size, plus the
     recovery-time-vs-log-length, network-transport, and read-scaling
@@ -628,6 +765,16 @@ def save_service_results(
                 "fixed total work split across client threads"
             ),
             "points": [asdict(point) for point in read],
+        }
+    if checkpoint is not None:
+        payload["checkpoint"] = {
+            "experiment": "submit latency during fuzzy checkpoints",
+            "workload": (
+                "synchronous appends to one hot document; the contended "
+                "phase checkpoints continuously (incremental) in the "
+                "background"
+            ),
+            "points": [asdict(point) for point in checkpoint],
         }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)

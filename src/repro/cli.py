@@ -19,7 +19,7 @@ Usage::
     python -m repro replay   --xml doc.xml --wal doc.wal [--output new.xml]
                              [--checkpoint-dir DIR] [--trace-out spans.json]
     python -m repro checkpoint --xml doc.xml --wal doc.wal
-                             [--checkpoint-dir DIR]
+                             [--checkpoint-dir DIR] [--full]
     python -m repro stats    [--xml doc.xml [--dtd doc.dtd] --exec STMT ...]
                              [--json]
 
@@ -236,6 +236,12 @@ def build_parser() -> argparse.ArgumentParser:
     ckpt.add_argument(
         "--checkpoint-dir",
         help="snapshot directory (default: <wal>.ckpt)",
+    )
+    ckpt.add_argument(
+        "--full",
+        action="store_true",
+        help="re-snapshot every document instead of carrying clean ones "
+        "forward from the previous checkpoint",
     )
 
     stats = commands.add_parser(
@@ -706,7 +712,7 @@ def cmd_checkpoint(args) -> int:
     try:
         recovery = service.recover()
         print(f"-- recovery: {recovery.summary()}", file=sys.stderr)
-        report = service.checkpoint()
+        report = service.checkpoint(full=args.full)
     finally:
         service.close()
     print(f"-- {report.summary()}", file=sys.stderr)

@@ -297,6 +297,24 @@ class Database:
             connection.commit()
             return connection.serialize()
 
+    def committed_image(self) -> bytes:
+        """The last *committed* state as a SQLite image.
+
+        The fuzzy checkpoint's capture hook: shares the reader pool's
+        per-version image cache (one ``serialize()`` per commit, reused
+        across captures and reader refreshes) and — unlike
+        :meth:`dump_bytes` — never issues a commit itself.  If the
+        writer holds an open transaction (impossible under the
+        service's per-document read lock, where the committer's apply
+        is excluded, but possible for standalone callers) it falls back
+        to :meth:`dump_bytes`, which commits and serialises.
+        """
+        try:
+            _version, image = self._current_image()
+        except _WriterTransactionOpen:
+            return self.dump_bytes()
+        return image
+
     def load_bytes(self, data: bytes) -> None:
         """Replace the database contents with a ``dump_bytes`` image.
 

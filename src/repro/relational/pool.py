@@ -101,6 +101,11 @@ class ReaderPool:
                 if not self._quiesced and self._idle:
                     reader = self._idle.pop()
                     self._in_use += 1
+                    # Publish while still holding the lock: each set is
+                    # then serialised with the ±1 it reports, so the
+                    # gauge walks the true lease count instead of
+                    # racing a concurrent release's stale read.
+                    get_registry().gauge("sql.pool.in_use").set(self._in_use)
                     break
                 if deadline is not None:
                     remaining = deadline - time.monotonic()
@@ -117,7 +122,6 @@ class ReaderPool:
         registry.histogram("sql.pool.wait_ms").observe(
             (time.monotonic() - started) * 1000.0
         )
-        registry.gauge("sql.pool.in_use").set(self._in_use)
         registry.counter("sql.pool.reads").inc()
         try:
             self._refresh(reader)
@@ -146,12 +150,15 @@ class ReaderPool:
     def _release(self, reader: _Reader) -> None:
         with self._cond:
             self._in_use -= 1
+            # Inside the lock, like acquire: re-reading `_in_use` after
+            # releasing raced concurrent acquires into publishing stale
+            # (negative-clamped) values out of order.
+            get_registry().gauge("sql.pool.in_use").set(self._in_use)
             if self._closed:
                 reader.close()
             else:
                 self._idle.append(reader)
             self._cond.notify_all()
-        get_registry().gauge("sql.pool.in_use").set(max(0, self._in_use))
 
     # ------------------------------------------------------------------
     def query(

@@ -41,9 +41,16 @@ from repro.obs import get_registry, span
 from repro.service.ops import CommitMarker, ServiceOp, encode_op
 from repro.service.wal import WriteAheadLog
 
-#: apply callback: receives the batch in submission order and returns one
-#: entry per operation — None on success, an exception on failure.
-ApplyBatch = Callable[[Sequence[ServiceOp]], Sequence[Optional[Exception]]]
+#: apply callback: receives the batch in submission order plus each
+#: operation's WAL sequence number, and returns one entry per operation
+#: — None on success, an exception on failure.  The seqs let the server
+#: track, per document, the last applied sequence number (the fuzzy
+#: checkpoint's covered-seq vector) under the same write locks the
+#: apply itself holds.
+ApplyBatch = Callable[
+    [Sequence[ServiceOp], Sequence[Optional[int]]],
+    Sequence[Optional[Exception]],
+]
 
 
 class Ticket:
@@ -122,6 +129,14 @@ class GroupCommitBatcher:
         self._paused = False
         self._in_commit = False
         self._seq_counter = 0  # stand-in sequence numbers when wal is None
+        #: Documents of the batch currently between its first WAL append
+        #: and the end of its apply.  Published *before* the batch logs
+        #: and cleared only *after* the apply returns, so a fuzzy
+        #: checkpoint that samples ``wal.next_seq`` and then reads this
+        #: set sees every document that could still have a logged-but-
+        #: unapplied record at or below its sample (see
+        #: ``UpdateService._checkpoint_inner``'s safe-advance rule).
+        self._inflight_docs: frozenset[str] = frozenset()
         self.stats = BatcherStats()
         self._thread = threading.Thread(
             target=self._run, name="group-commit", daemon=True
@@ -187,6 +202,17 @@ class GroupCommitBatcher:
     def queue_limit(self) -> int:
         return self._max_queue
 
+    @property
+    def inflight_docs(self) -> frozenset:
+        """Documents of the batch currently logging or applying.
+
+        Read it *after* sampling ``wal.next_seq``: any document absent
+        from the set has no logged-but-unapplied record at or below
+        that sample (single committer thread; the set is assigned
+        before the batch's first append and cleared only after its
+        apply returns)."""
+        return self._inflight_docs
+
     def _wait(self, deadline: Optional[float]) -> bool:
         """Wait on the condition; False once the deadline has passed.
 
@@ -236,11 +262,20 @@ class GroupCommitBatcher:
                 self._paused = False
                 self._cond.notify_all()
 
-    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
-        """Stop accepting work; by default drain what was already queued."""
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> int:
+        """Stop accepting work; by default drain what was already queued.
+
+        Returns the number of operations still *undrained* when the
+        close gave up — submissions whose tickets had not resolved by
+        the time the committer join timed out.  0 is a clean shutdown;
+        anything else means acked-but-unapplied work is pending (a
+        stalled apply, a wedged WAL) and is also counted in the
+        ``batcher.close.undrained`` metric.  Callers that previously
+        ignored the silent join-timeout now get a truthful signal.
+        """
         with self._cond:
             if self._stopping:
-                return
+                return self._undrained_locked()
             self._stopping = True
             if not drain:
                 while self._queue:
@@ -251,6 +286,19 @@ class GroupCommitBatcher:
             self._cond.notify_all()
         if self._started:
             self._thread.join(timeout)
+        with self._cond:
+            undrained = self._undrained_locked()
+        if undrained:
+            get_registry().counter("batcher.close.undrained").inc(undrained)
+        return undrained
+
+    def _undrained_locked(self) -> int:
+        """Submissions not yet resolved (call with ``_cond`` held).
+
+        A cleanly drained committer leaves this at 0; a join timeout, a
+        never-started batcher with queued work, or a committer thread
+        that died mid-batch all leave it positive."""
+        return max(0, self._submitted - self._completed)
 
     # ------------------------------------------------------------------
     # Committer thread
@@ -301,25 +349,33 @@ class GroupCommitBatcher:
         registry = get_registry()
         registry.histogram("batcher.batch_size").observe(len(batch))
         ops = [ticket.op for ticket in batch]
-        # 1. Log every operation (buffered; not yet durable).
+        # Publish the batch's documents *before* the first append: a
+        # fuzzy checkpoint reading this set after sampling the WAL's
+        # high-water mark sees every document with a logged-but-
+        # unapplied record at or below its sample.
+        self._inflight_docs = frozenset(op.doc for op in ops)
         try:
-            with span("wal.append", records=len(ops)):
-                seqs = self._log(ops)
-        except Exception as error:  # WAL failure: nothing was applied
-            for ticket in batch:
-                ticket._fail(error)
-            with self.stats._lock:
-                self.stats.failed += len(batch)
-            registry.counter("batcher.ops.failed").inc(len(batch))
-            return
-        # 2. Apply, collecting one outcome per operation.
-        try:
-            with span("service.apply", ops=len(ops)):
-                errors = list(self._apply_batch(ops))
-            if len(errors) != len(ops):
-                raise RuntimeError("apply callback returned a misaligned result")
-        except Exception as error:
-            errors = [error] * len(ops)
+            # 1. Log every operation (buffered; not yet durable).
+            try:
+                with span("wal.append", records=len(ops)):
+                    seqs = self._log(ops)
+            except Exception as error:  # WAL failure: nothing was applied
+                for ticket in batch:
+                    ticket._fail(error)
+                with self.stats._lock:
+                    self.stats.failed += len(batch)
+                registry.counter("batcher.ops.failed").inc(len(batch))
+                return
+            # 2. Apply, collecting one outcome per operation.
+            try:
+                with span("service.apply", ops=len(ops)):
+                    errors = list(self._apply_batch(ops, seqs))
+                if len(errors) != len(ops):
+                    raise RuntimeError("apply callback returned a misaligned result")
+            except Exception as error:
+                errors = [error] * len(ops)
+        finally:
+            self._inflight_docs = frozenset()
         # 3. Commit marker + the batch's one fsync: the durability point.
         committed = [
             seq for seq, err in zip(seqs, errors) if err is None and seq is not None

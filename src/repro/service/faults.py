@@ -79,10 +79,18 @@ class FaultPlan:
     boundaries).  ``tear=True`` makes a crash landing on a ``write``
     boundary first write half of that call's bytes (a torn write);
     crashes on non-write boundaries ignore it.
+
+    ``match`` restricts the numbering to boundaries whose file *name*
+    contains the substring: ``crash_at`` then means the k-th *matching*
+    boundary.  Concurrent-commit fault tests need this — with commits
+    interleaving a checkpoint, the global boundary index of, say, the
+    manifest rename varies run to run, but "the 3rd operation on a
+    ``.snap`` or MANIFEST file" is stable.
     """
 
     crash_at: Optional[int] = None
     tear: bool = False
+    match: Optional[str] = None
 
 
 @dataclass
@@ -96,6 +104,7 @@ class FaultInjector:
 
     plan: FaultPlan = field(default_factory=FaultPlan)
     boundaries: int = 0
+    matched: int = 0  # boundaries the plan's ``match`` filter counted
     crashed: bool = False
     trace: list = field(default_factory=list)
 
@@ -106,8 +115,15 @@ class FaultInjector:
         if self.crashed:
             raise InjectedCrash("filesystem is dead (post-crash)")
         self.boundaries += 1
-        self.trace.append((self.boundaries, kind, os.path.basename(path)))
-        if self.plan.crash_at is not None and self.boundaries >= self.plan.crash_at:
+        name = os.path.basename(path)
+        self.trace.append((self.boundaries, kind, name))
+        count = self.boundaries
+        if self.plan.match is not None:
+            if self.plan.match not in name:
+                return None  # off-target boundary: proceed, don't count
+            self.matched += 1
+            count = self.matched
+        if self.plan.crash_at is not None and count >= self.plan.crash_at:
             self.crashed = True
             if kind == "write" and self.plan.tear:
                 return -1  # caller tears the write, then dies

@@ -53,6 +53,10 @@ class RecoveryReport:
     truncated_bytes: int = 0
     last_seq: int = 0
     errors: list[str] = field(default_factory=list)
+    #: Last sequence number replayed per document — the service seeds
+    #: its covered-seq tracking from this so the first post-recovery
+    #: checkpoint sees accurate per-document positions.
+    doc_last_applied: dict = field(default_factory=dict)
 
     def summary(self) -> str:
         return (
@@ -71,13 +75,21 @@ def replay(
     apply: Callable[[ServiceOp], object],
     truncate: bool = True,
     min_seq: int = 0,
+    doc_min_seq: Optional[Mapping[str, int]] = None,
 ) -> RecoveryReport:
     """Replay committed operations through ``apply`` (one op at a time,
     in log order).  ``apply`` returning ``False`` counts the operation
     as skipped (not applied); raising a :class:`ReproError` marks it
     failed and the replay continues; any other exception propagates (it
     is a bug, not a data problem).  Records with ``seq <= min_seq`` are
-    not replayed — the caller's snapshot already reflects them."""
+    not replayed — the caller's snapshot already reflects them.
+
+    A fuzzy (manifest v2) checkpoint covers each document at its own
+    log position: ``doc_min_seq`` maps a document to its covered seq,
+    overriding ``min_seq`` for that document's records — a record
+    replays only past its *own* document's threshold.  Documents absent
+    from the mapping fall back to ``min_seq`` (for a v1 manifest the
+    mapping is None and the single global threshold governs)."""
     report = RecoveryReport()
     with span("recovery.scan"):
         records, torn = wal.scan()
@@ -91,10 +103,14 @@ def replay(
         payload = decode_op(record.payload)
         if isinstance(payload, CommitMarker):
             committed.update(payload.seqs)
-        elif record.seq <= min_seq:
-            report.covered += 1
         else:
-            operations.append((record.seq, payload))
+            threshold = min_seq
+            if doc_min_seq is not None:
+                threshold = doc_min_seq.get(payload.doc, min_seq)
+            if record.seq <= threshold:
+                report.covered += 1
+            else:
+                operations.append((record.seq, payload))
         report.last_seq = record.seq
     with span("recovery.replay", records=len(operations)):
         for seq, op in operations:
@@ -111,6 +127,7 @@ def replay(
                 report.unknown_docs += 1
             else:
                 report.applied += 1
+                report.doc_last_applied[op.doc] = seq
     registry = get_registry()
     registry.counter("recovery.applied").inc(report.applied)
     registry.counter("recovery.skipped").inc(report.unknown_docs)

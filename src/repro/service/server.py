@@ -41,7 +41,7 @@ from repro.service.faults import Filesystem
 from repro.service.locks import LockManager
 from repro.service.ops import DeltaUpdate, ServiceOp, SubtreeCopy, SubtreeDelete
 from repro.service.recovery import RecoveryReport, replay
-from repro.service.snapshot import SnapshotStore
+from repro.service.snapshot import CheckpointManifest, SnapshotStore
 from repro.service.wal import WriteAheadLog
 from repro.updates.delta import apply_delta
 from repro.xmlmodel.model import Document, Element
@@ -126,14 +126,31 @@ class StoreHost:
         renumber them and the post-checkpoint log would target the
         wrong rows.  The id allocator's high-water mark lives in a
         table, so it travels with the image.
+
+        Captured via :meth:`Database.committed_image` — the reader
+        pool's version-stamped committed image (one ``serialize()`` per
+        commit, shared with reader refreshes) rather than a fresh dump,
+        so a fuzzy checkpoint's capture under the document's *read*
+        lock costs nothing when the store is unchanged since the last
+        commit and never issues a commit of its own.
         """
-        return self.store.db.dump_bytes()
+        return self.store.db.committed_image()
 
     def restore_state(self, data: bytes) -> None:
         self.store.db.load_bytes(data)
 
 
 Host = Union[DocumentHost, StoreHost]
+
+
+def _deadline(timeout: Optional[float]) -> Optional[float]:
+    """A monotonic deadline, or None for 'wait forever'."""
+    return None if timeout is None else time.monotonic() + timeout
+
+
+def _remaining(deadline: Optional[float]) -> Optional[float]:
+    """Budget left until ``deadline`` (clamped at 0), or None if unbounded."""
+    return None if deadline is None else max(0.0, deadline - time.monotonic())
 
 
 def _ids_where(relation: str, ids: Sequence[int]) -> tuple[str, tuple]:
@@ -218,15 +235,18 @@ class ServiceConfig:
 class CheckpointReport:
     """What one checkpoint covered and reclaimed."""
 
-    wal_seq: int  # every WAL record with seq <= this is in the snapshot
+    wal_seq: int  # the covered-seq floor: every record <= this is snapshotted
     documents: int
     segments_retired: int
     bytes_retired: int
+    snapshotted: int = 0  # documents whose state was re-captured (dirty)
+    carried: int = 0  # documents re-referencing the previous checkpoint's file
 
     def summary(self) -> str:
         return (
             f"checkpointed {self.documents} document(s) at seq {self.wal_seq} "
-            f"(retired {self.segments_retired} segment(s), "
+            f"({self.snapshotted} snapshotted, {self.carried} carried forward; "
+            f"retired {self.segments_retired} segment(s), "
             f"{self.bytes_retired} byte(s))"
         )
 
@@ -273,6 +293,18 @@ class UpdateService:
         #: :meth:`stats` so operators can see why checkpoints stopped
         #: retiring WAL segments.
         self.checkpoint_last_error: Optional[str] = None
+        #: Last WAL seq applied per document, maintained by the
+        #: committer under each document's write lock and seeded by
+        #: :meth:`recover`.  A fuzzy checkpoint reads it under the
+        #: document's read lock: it is that document's exact covered
+        #: seq, and comparing it against the previous manifest decides
+        #: dirty-vs-carry (derived, not a mutable dirty set — a failed
+        #: manifest write must not lose dirtiness).
+        self._applied_seq: dict[str, int] = {}
+        #: The manifest incremental checkpoints carry forward from:
+        #: trusted only when loaded by :meth:`recover` or written by
+        #: this process — never re-read mid-flight from disk.
+        self._last_manifest: Optional[CheckpointManifest] = None
         auto = (
             config.checkpoint_every_ops is not None
             or config.checkpoint_every_bytes is not None
@@ -334,9 +366,11 @@ class UpdateService:
         it onto the registered hosts.  Call after hosting, before
         :meth:`start`.
 
-        The checkpoint manifest names the last WAL sequence number its
-        state files reflect; records at or below it are counted as
-        ``covered`` and skipped, so replay work is bounded by the
+        The checkpoint manifest carries a per-document covered-seq
+        vector (manifest v2; a v1 manifest loads with every document at
+        its global ``wal_seq``): each document's records replay only
+        past its *own* covered seq, so a fuzzy checkpoint's staggered
+        capture points recover exactly.  Replay work is bounded by the
         post-checkpoint log length, not the service's lifetime.
         """
         if self._started:
@@ -344,6 +378,7 @@ class UpdateService:
         if self.wal is None:
             return RecoveryReport()
         min_seq = 0
+        doc_min_seq: Optional[dict[str, int]] = None
         snapshot_docs = 0
         manifest = self.snapshots.load_manifest() if self.snapshots else None
         if manifest is not None:
@@ -355,6 +390,13 @@ class UpdateService:
                     host.restore_state(self.snapshots.read_state(manifest, doc))
                     snapshot_docs += 1
             min_seq = manifest.wal_seq
+            doc_min_seq = {
+                doc: entry.covered_seq
+                for doc, entry in manifest.documents.items()
+            }
+            # Seed per-document positions from the vector so the first
+            # post-recovery checkpoint carries clean documents forward.
+            self._applied_seq.update(doc_min_seq)
 
         def apply(op: ServiceOp) -> object:
             host = self._hosts.get(op.doc)
@@ -364,11 +406,15 @@ class UpdateService:
             host.commit()
             return True
 
-        report = replay(self.wal, apply, min_seq=min_seq)
+        report = replay(self.wal, apply, min_seq=min_seq, doc_min_seq=doc_min_seq)
         report.snapshot_docs = snapshot_docs
+        self._applied_seq.update(report.doc_last_applied)
+        self._last_manifest = manifest
         if manifest is not None:
             # A crash between manifest commit and retirement leaves fully
-            # covered segments behind; sweep them now.
+            # covered segments behind; sweep them now.  The manifest's
+            # wal_seq is the minimum covered seq across documents, so
+            # nothing any document still needs can be removed.
             self.wal.retire_covered_segments(manifest.wal_seq)
         return report
 
@@ -405,8 +451,16 @@ class UpdateService:
         return self._batcher.submit(op, timeout=timeout)
 
     def submit_wait(self, op: ServiceOp, timeout: Optional[float] = None) -> Optional[int]:
-        """Submit and block until durable + applied; returns the WAL seq."""
-        return self.submit(op, timeout=timeout).wait(timeout)
+        """Submit and block until durable + applied; returns the WAL seq.
+
+        ``timeout`` bounds the *total* call: queue admission and the
+        ticket wait draw down one monotonic deadline (previously each
+        phase was granted the full budget, so a call could take 2x its
+        timeout — the same double-grant fixed earlier in ``query()``).
+        """
+        deadline = _deadline(timeout)
+        ticket = self.submit(op, timeout=timeout)
+        return ticket.wait(_remaining(deadline))
 
     def query(
         self,
@@ -513,76 +567,161 @@ class UpdateService:
             "checkpoint": {
                 "last_error": self.checkpoint_last_error,
                 "ops_since": self._ops_since_checkpoint,
+                # The covered-seq floor the last manifest committed (WAL
+                # retirement cannot pass it) and its incremental split.
+                "covered_floor": (
+                    self._last_manifest.wal_seq
+                    if self._last_manifest is not None
+                    else None
+                ),
+                "manifest_docs": (
+                    len(self._last_manifest.documents)
+                    if self._last_manifest is not None
+                    else 0
+                ),
             },
         }
         if self.wal is not None:
             snapshot["wal_next_seq"] = self.wal.next_seq
         return snapshot
 
-    def checkpoint(self, timeout: Optional[float] = None) -> CheckpointReport:
-        """Persist every host's state and retire the WAL segments it covers.
+    def checkpoint(
+        self, timeout: Optional[float] = None, *, full: bool = False
+    ) -> CheckpointReport:
+        """Persist the hosted state *without stalling writes* and retire
+        the WAL segments the new manifest covers.
 
-        Crash-consistent protocol:
+        Fuzzy (non-quiescent) protocol — the batcher keeps committing
+        throughout; no global pause, no all-documents write lock:
 
-        1. flush, then **quiesce**: pause the batcher until no batch is
-           in flight, so every appended record belongs to a completed
-           commit cycle (applied with a durable marker, or failed with
-           its tickets rejected) — the race where an operation commits
-           between the flush and the log truncation and is then lost
-           without ever reaching a snapshot cannot happen;
-        2. under every document's write lock, capture each host's state
-           bytes and the covered sequence number, then rotate the log —
-           operations queued during the pause land in the new segment
-           with higher sequence numbers;
-        3. release the pause and write the snapshot files + manifest
-           (the manifest rename is the commit point — a crash before it
-           leaves the previous checkpoint governing the full log);
-        4. retire the covered segments.  Only segments whose records
-           are all ``<= wal_seq`` are removed, so a concurrent
-           post-pause rotation can never lose fresh records.
+        1. flush (explicit checkpoints only), so everything already
+           submitted is in the log before the capture begins;
+        2. sample the WAL high-water mark ``S``, then read the
+           batcher's in-flight document set (in that order — see the
+           safe-advance rule below);
+        3. for each document in turn, under *its read lock only*
+           (the committer applies under the write lock, so a read lock
+           excludes mid-apply states for exactly that document while
+           every other document keeps committing): read the document's
+           last applied seq; if it is not past the previous manifest's
+           covered seq, **carry** the previous state file forward,
+           otherwise capture fresh state bytes.  The document's new
+           covered seq is its applied seq — advanced to ``S`` when the
+           document was not in the in-flight set (*safe advance*: a
+           logged-but-unapplied record with ``seq <= S`` would have had
+           its document in the set, so its absence proves no such
+           record exists and an idle document cannot pin the
+           retirement floor forever);
+        4. rotate the log, then write fresh snapshots + the v2 manifest
+           (per-document covered-seq vector; the manifest rename is the
+           commit point — a crash before it leaves the previous
+           checkpoint governing);
+        5. retire segments up to the manifest's ``wal_seq`` — the
+           *minimum* covered seq — so no record any document still
+           needs is removed.
+
+        ``timeout`` is one monotonic deadline across every stage
+        (previously flush, quiesce, and lock acquisition each drew a
+        fresh budget, so a checkpoint could take ~4x its timeout).
+        ``full=True`` re-snapshots every document instead of carrying
+        clean ones forward (operator escape hatch: re-verifies every
+        state file on disk).
         """
         if self._closed:
             raise ServiceClosedError("service is closed")
         if timeout is None:
             timeout = self.config.checkpoint_timeout
+        deadline = _deadline(timeout)
         if self.wal is None or self.snapshots is None:
-            self.flush(timeout)
+            self.flush(_remaining(deadline))
             return CheckpointReport(
                 wal_seq=0, documents=len(self._hosts), segments_retired=0, bytes_retired=0
             )
         if self._started:
-            self.flush(timeout)
-        return self._checkpoint_locked(timeout)
+            self.flush(_remaining(deadline))
+        return self._checkpoint_locked(deadline, full=full)
 
-    def _checkpoint_locked(self, timeout: Optional[float]) -> CheckpointReport:
+    def _checkpoint_locked(
+        self, deadline: Optional[float], full: bool = False
+    ) -> CheckpointReport:
         try:
-            return self._checkpoint_inner(timeout)
+            return self._checkpoint_inner(deadline, full)
         except Exception as error:
             self.checkpoint_last_error = f"{type(error).__name__}: {error}"
             raise
 
-    def _checkpoint_inner(self, timeout: Optional[float]) -> CheckpointReport:
+    def _checkpoint_inner(
+        self, deadline: Optional[float], full: bool
+    ) -> CheckpointReport:
         registry = get_registry()
-        with self._checkpoint_mutex, span("service.checkpoint"):
-            with self._batcher.paused(timeout):
-                with self._locks.write_many(self._hosts.keys(), timeout):
-                    states = {
-                        name: host.snapshot_state()
-                        for name, host in self._hosts.items()
-                    }
-                    wal_seq = self.wal.next_seq - 1
-                    self.wal.rotate()
-            self.snapshots.write_checkpoint(states, wal_seq)
-            segments, size = self.wal.retire_covered_segments(wal_seq)
-            self._ops_since_checkpoint = 0
-            self.checkpoint_last_error = None
-            registry.counter("checkpoint.count").inc()
-            return CheckpointReport(
-                wal_seq=wal_seq,
-                documents=len(states),
-                segments_retired=segments,
-                bytes_retired=size,
-            )
+        remaining = _remaining(deadline)
+        acquired = self._checkpoint_mutex.acquire(
+            timeout=-1 if remaining is None else remaining
+        )
+        if not acquired:
+            raise ServiceTimeoutError("timed out waiting for a running checkpoint")
+        try:
+            with span("service.checkpoint", full=full):
+                previous = None if full else self._last_manifest
+                # Order matters: sample the high-water mark *before*
+                # the in-flight set.  A record logged after the sample
+                # has seq > safe_seq and cannot be mis-covered; one
+                # logged before it that is still unapplied keeps its
+                # document in the set and blocks the advance.
+                safe_seq = self.wal.last_seq
+                inflight = self._batcher.inflight_docs
+                states: dict[str, bytes] = {}
+                covered: dict[str, int] = {}
+                carry: dict[str, Any] = {}
+                for name in sorted(self._hosts):
+                    host = self._hosts[name]
+                    with self._locks.read(name, _remaining(deadline)):
+                        applied = self._applied_seq.get(name, 0)
+                        entry = (
+                            previous.documents.get(name)
+                            if previous is not None
+                            else None
+                        )
+                        if entry is not None and applied <= entry.covered_seq:
+                            # Clean since the last manifest: re-reference
+                            # its file.  (Nothing applied past the old
+                            # covered seq, and post-checkpoint records
+                            # all have seq above it — see safe advance —
+                            # so the old bytes are still exact.)
+                            carry[name] = entry
+                            base = entry.covered_seq
+                        else:
+                            states[name] = host.snapshot_state()
+                            base = applied
+                        covered[name] = (
+                            base if name in inflight else max(base, safe_seq)
+                        )
+                self.wal.rotate()
+                # Settle the rotation's deferred fsyncs (sealed segment,
+                # new header, directory entry) from this thread, off the
+                # append lock — otherwise the next commit's sync pays
+                # them, which is exactly the stall fuzziness removes.
+                self.wal.sync()
+                manifest = self.snapshots.write_checkpoint(
+                    states, covered, carry=carry, default_floor=safe_seq
+                )
+                self._last_manifest = manifest
+                segments, size = self.wal.retire_covered_segments(manifest.wal_seq)
+                self._ops_since_checkpoint = 0
+                self.checkpoint_last_error = None
+                registry.counter("checkpoint.count").inc()
+                registry.counter("checkpoint.docs_snapshotted").inc(len(states))
+                registry.counter("checkpoint.docs_carried").inc(len(carry))
+                return CheckpointReport(
+                    wal_seq=manifest.wal_seq,
+                    documents=len(states) + len(carry),
+                    segments_retired=segments,
+                    bytes_retired=size,
+                    snapshotted=len(states),
+                    carried=len(carry),
+                )
+        finally:
+            self._checkpoint_mutex.release()
 
     def _after_commit(self, batch_size: int) -> None:
         """Auto-checkpoint policy; runs on the committer thread after
@@ -602,10 +741,11 @@ class UpdateService:
             return
         try:
             # No flush here: flushing from the committer thread would
-            # deadlock on work only this thread can complete.  The pause
-            # inside is safe — it waits only on `_in_commit`, already
-            # clear when this hook runs.
-            self._checkpoint_locked(config.checkpoint_timeout)
+            # deadlock on work only this thread can complete.  The fuzzy
+            # capture is safe on this thread — it takes only read locks,
+            # and the writers they exclude all run on this very thread,
+            # which is idle between batches when this hook fires.
+            self._checkpoint_locked(_deadline(config.checkpoint_timeout))
         except Exception:
             # A failed auto-checkpoint must not kill the committer; the
             # next due batch retries.  `_checkpoint_locked` has already
@@ -614,17 +754,24 @@ class UpdateService:
             # retiring segments, not *why*.
             get_registry().counter("checkpoint.failed").inc()
 
-    def close(self, drain: bool = True, timeout: Optional[float] = None) -> None:
+    def close(self, drain: bool = True, timeout: Optional[float] = None) -> int:
         """Graceful shutdown: drain the queue (unless told not to), stop
         the committer, and close the WAL.  Hosted stores stay open —
-        the service does not own them."""
+        the service does not own them.
+
+        Returns the number of operations still undrained when the
+        batcher's committer join gave up (0 for a clean shutdown) —
+        previously a stalled committer was silently reported as
+        success, with acked-but-unapplied work pending.  The count is
+        also published as ``batcher.close.undrained``."""
         if self._closed:
-            return
+            return 0
         self._closed = True
-        self._batcher.close(drain=drain, timeout=timeout)
+        undrained = self._batcher.close(drain=drain, timeout=timeout)
         self._pool.shutdown(wait=True)
         if self.wal is not None:
             self.wal.close()
+        return undrained
 
     def open_session(self, default_timeout: Optional[float] = None) -> "Session":
         from repro.service.session import Session
@@ -634,7 +781,9 @@ class UpdateService:
     # ------------------------------------------------------------------
     # Batch application (runs on the group-commit thread)
     # ------------------------------------------------------------------
-    def _apply_batch(self, ops: Sequence[ServiceOp]) -> list[Optional[Exception]]:
+    def _apply_batch(
+        self, ops: Sequence[ServiceOp], seqs: Sequence[Optional[int]]
+    ) -> list[Optional[Exception]]:
         errors: list[Optional[Exception]] = [None] * len(ops)
         by_doc: dict[str, list[tuple[int, ServiceOp]]] = {}
         for index, op in enumerate(ops):
@@ -651,6 +800,18 @@ class UpdateService:
                     self._apply_transactional(host, entries, errors)
                 else:
                     self._apply_independent(host, entries, errors)
+                # Advance the document's covered position under its
+                # write lock.  Failed entries advance too: their seqs
+                # never reach a commit marker, so recovery skips them
+                # regardless of any covered threshold — while a fuzzy
+                # capture that trusted a stale position would needlessly
+                # re-snapshot.
+                last = max(
+                    (seqs[index] for index, _ in entries if seqs[index] is not None),
+                    default=None,
+                )
+                if last is not None:
+                    self._applied_seq[doc] = last
         return errors
 
     def _apply_transactional(

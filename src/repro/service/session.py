@@ -66,9 +66,21 @@ class Session:
         operation: Union[ServiceOp, Sequence[DeltaOp]],
         timeout: Optional[float] = None,
     ) -> Optional[int]:
-        return self.submit(doc, operation, timeout=timeout).wait(
-            self._effective(timeout)
+        """Submit and block until durable + applied.
+
+        The timeout bounds the *total* call: queue admission and the
+        ticket wait draw down one monotonic deadline (previously each
+        was granted the full budget, so a call could take 2x its
+        timeout before failing — the same double-grant fixed earlier
+        in ``UpdateService.query``).
+        """
+        effective = self._effective(timeout)
+        deadline = None if effective is None else time.monotonic() + effective
+        ticket = self.submit(doc, operation, timeout=effective)
+        remaining = (
+            None if deadline is None else max(0.0, deadline - time.monotonic())
         )
+        return ticket.wait(remaining)
 
     def delete_subtrees(
         self, doc: str, relation: str, ids: Iterable[int],

@@ -5,26 +5,39 @@ can be retired, bounding recovery time by the post-checkpoint log
 length.  The store keeps one directory per service::
 
     <dir>/MANIFEST.json          the checkpoint's commit record
-    <dir>/<slug>.<wal_seq>.snap  one state file per hosted document
+    <dir>/<slug>.<seq>.snap      one state file per snapshotted document
+
+Manifest **v2** commits a *per-document covered-seq vector*: each entry
+records the last WAL sequence number its state file reflects, and the
+manifest's top-level ``wal_seq`` is the **minimum** covered seq across
+documents — the retirement floor.  Recovery replays, per document, only
+records past that document's own covered seq, so a fuzzy checkpoint can
+capture documents one at a time (at different log positions) while
+commits continue.  v1 manifests (a single global ``wal_seq``) still
+load: every entry's covered seq defaults to the manifest's ``wal_seq``.
+
+Incremental checkpoints pass ``carry``: entries from the previous
+manifest whose documents are unchanged are re-referenced (same file,
+same checksum, a possibly advanced covered seq) without rewriting their
+state bytes — checkpoint cost tracks write volume, not corpus size.
 
 Protocol (every step crash-safe):
 
-1. each state file is written to a temp name, fsynced, and atomically
-   renamed into place — under a *versioned* name (the checkpoint's
-   ``wal_seq`` is part of the filename), so a crash mid-checkpoint can
-   never leave the old manifest pointing at a newer state file;
+1. each *fresh* state file is written to a temp name, fsynced, and
+   atomically renamed into place — under a *versioned* name (the
+   document's covered seq is part of the filename, and covered seqs
+   strictly increase for a re-snapshotted document), so a checkpoint in
+   progress never overwrites a file the committed manifest references;
 2. the directory entry is fsynced;
-3. the manifest — JSON naming ``wal_seq`` (every WAL record with
-   ``seq <= wal_seq`` is reflected in the state files) and, per
-   document, the exact file with its SHA-256 and size — is written the
-   same way: temp, fsync, rename, directory fsync.  **The manifest
+3. the manifest — JSON naming the covered-seq floor and, per document,
+   the exact file with its SHA-256, size, and covered seq — is written
+   the same way: temp, fsync, rename, directory fsync.  **The manifest
    rename is the checkpoint's commit point**: before it, recovery uses
-   the previous checkpoint (or none) and replays the full log; after
-   it, recovery loads the new state files and replays only records past
-   ``wal_seq``;
-4. files not referenced by the new manifest (previous checkpoints,
-   stray temp files) are garbage-collected — a crash here leaves only
-   unreferenced litter for the next checkpoint to sweep.
+   the previous checkpoint (or none); after it, the new vector governs;
+4. files not referenced by the new manifest (superseded snapshots,
+   stray temp files) are garbage-collected — carried-forward files are
+   referenced and therefore kept; a crash here leaves only unreferenced
+   litter for the next checkpoint to sweep.
 
 State bytes are host-defined: serialised XML for document hosts, a
 SQLite database image for store hosts (which preserves tuple ids, so
@@ -50,7 +63,10 @@ from repro.obs import get_registry, span
 from repro.service.faults import Filesystem
 
 MANIFEST_NAME = "MANIFEST.json"
-MANIFEST_VERSION = 1
+MANIFEST_VERSION = 2
+#: Versions ``load_manifest`` understands.  v1 carried one global
+#: ``wal_seq``; its entries load with ``covered_seq`` = that value.
+READABLE_VERSIONS = (1, 2)
 
 
 def _slug(doc: str) -> str:
@@ -67,14 +83,25 @@ class SnapshotEntry:
     file: str
     sha256: str
     size: int
+    covered_seq: int  # every WAL record for this doc with seq <= this is in the file
 
 
 @dataclass(frozen=True)
 class CheckpointManifest:
-    """A loaded checkpoint: the log position it covers and its files."""
+    """A loaded checkpoint: its covered-seq vector and state files.
+
+    ``wal_seq`` is the minimum covered seq across documents — the WAL
+    retirement floor (0 for an empty corpus unless the writer supplied
+    a floor).
+    """
 
     wal_seq: int
     documents: dict  # doc name -> SnapshotEntry
+
+    def covered_for(self, doc: str) -> int:
+        """The replay threshold for one document (the floor if unknown)."""
+        entry = self.documents.get(doc)
+        return entry.covered_seq if entry is not None else self.wal_seq
 
 
 class SnapshotStore:
@@ -85,33 +112,68 @@ class SnapshotStore:
         self.fs = fs or Filesystem()
 
     # ------------------------------------------------------------------
-    # Write path (runs inside the service's quiesced checkpoint window)
+    # Write path (fuzzy: commits may land while states are written; the
+    # covered-seq vector is the caller's consistency claim per document)
     # ------------------------------------------------------------------
     def write_checkpoint(
-        self, states: Mapping[str, bytes], wal_seq: int
+        self,
+        states: Mapping[str, bytes],
+        covered: Mapping[str, int],
+        carry: Optional[Mapping[str, SnapshotEntry]] = None,
+        default_floor: int = 0,
     ) -> CheckpointManifest:
-        """Persist ``states`` as the checkpoint covering ``seq <= wal_seq``."""
+        """Persist a checkpoint: fresh ``states`` plus carried entries.
+
+        ``covered`` maps every document (fresh *and* carried) to the
+        last WAL seq its state reflects.  ``carry`` re-references a
+        previous manifest's still-valid files — their bytes are not
+        rewritten, only their manifest entry (with the new covered seq).
+        ``default_floor`` is the manifest ``wal_seq`` when there are no
+        documents at all (an empty corpus still retires its log).
+        """
+        carry = carry or {}
+        overlap = set(states) & set(carry)
+        if overlap:
+            raise ValueError(f"documents both fresh and carried: {sorted(overlap)}")
+        missing = (set(states) | set(carry)) - set(covered)
+        if missing:
+            raise ValueError(f"documents without a covered seq: {sorted(missing)}")
         self.fs.makedirs(self.directory)
         entries: dict[str, SnapshotEntry] = {}
-        with span("snapshot.write", documents=len(states)):
+        registry = get_registry()
+        with span("snapshot.write", documents=len(states), carried=len(carry)):
             for doc in sorted(states):
                 data = states[doc]
-                name = f"{_slug(doc)}.{wal_seq:012d}.snap"
+                name = f"{_slug(doc)}.{covered[doc]:012d}.snap"
                 self._write_atomic(name, data)
                 entries[doc] = SnapshotEntry(
                     file=name,
                     sha256=hashlib.sha256(data).hexdigest(),
                     size=len(data),
+                    covered_seq=covered[doc],
                 )
-                get_registry().counter("checkpoint.snapshot_bytes").inc(len(data))
+                registry.counter("checkpoint.snapshot_bytes").inc(len(data))
+            for doc in sorted(carry):
+                previous = carry[doc]
+                entries[doc] = SnapshotEntry(
+                    file=previous.file,
+                    sha256=previous.sha256,
+                    size=previous.size,
+                    covered_seq=covered[doc],
+                )
+            floor = min(
+                (entry.covered_seq for entry in entries.values()),
+                default=default_floor,
+            )
             payload = {
                 "version": MANIFEST_VERSION,
-                "wal_seq": wal_seq,
+                "wal_seq": floor,
                 "documents": {
                     doc: {
                         "file": entry.file,
                         "sha256": entry.sha256,
                         "size": entry.size,
+                        "covered_seq": entry.covered_seq,
                     }
                     for doc, entry in entries.items()
                 },
@@ -121,7 +183,7 @@ class SnapshotStore:
             self._collect_garbage(
                 {MANIFEST_NAME} | {entry.file for entry in entries.values()}
             )
-        return CheckpointManifest(wal_seq=wal_seq, documents=entries)
+        return CheckpointManifest(wal_seq=floor, documents=entries)
 
     def _write_atomic(self, name: str, data: bytes) -> None:
         path = os.path.join(self.directory, name)
@@ -156,19 +218,26 @@ class SnapshotStore:
         try:
             with open(path, "rb") as handle:
                 payload = json.loads(handle.read().decode("ascii"))
-            if payload["version"] != MANIFEST_VERSION:
+            version = payload["version"]
+            if version not in READABLE_VERSIONS:
                 raise CheckpointError(
-                    f"unsupported checkpoint manifest version {payload['version']!r}"
+                    f"unsupported checkpoint manifest version {version!r}"
                 )
+            wal_seq = int(payload["wal_seq"])
             documents = {
                 doc: SnapshotEntry(
                     file=str(entry["file"]),
                     sha256=str(entry["sha256"]),
                     size=int(entry["size"]),
+                    # v1 predates per-document vectors: its quiesced
+                    # protocol guaranteed every document at wal_seq.
+                    covered_seq=(
+                        int(entry["covered_seq"]) if version >= 2 else wal_seq
+                    ),
                 )
                 for doc, entry in payload["documents"].items()
             }
-            return CheckpointManifest(wal_seq=int(payload["wal_seq"]), documents=documents)
+            return CheckpointManifest(wal_seq=wal_seq, documents=documents)
         except (ValueError, KeyError, TypeError) as error:
             raise CheckpointError(f"malformed checkpoint manifest: {error}") from error
 

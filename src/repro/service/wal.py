@@ -31,11 +31,17 @@ batcher appends a whole batch plus its commit marker and then calls
 record is durable — and its submitter's ticket is resolved — only after
 that sync returns.
 
-Checkpointing rotates instead of truncating: :meth:`rotate` fsyncs the
-live segment and opens a fresh one (header first, fsynced, directory
-entry fsynced) so a checkpoint can later :meth:`retire_old_segments`
-— whole-file unlinks, each crash-safe, never an in-place truncate of
-bytes a concurrent reader might be scanning.
+Checkpointing rotates instead of truncating: :meth:`rotate` seals the
+live segment and opens a fresh one so a checkpoint can later
+:meth:`retire_old_segments` — whole-file unlinks, each crash-safe,
+never an in-place truncate of bytes a concurrent reader might be
+scanning.  Rotation itself is memory-cheap: it flushes (not fsyncs)
+the sealed segment and defers every fsync — sealed bytes, the new
+header, the directory entry — to the next :meth:`sync`, whose I/O runs
+*outside* the append lock.  A fuzzy checkpoint rotating mid-commit
+therefore never stalls the commit path behind the disk; durability is
+unchanged because a record is only acknowledged after a ``sync`` that
+covers the sealed files and the pending directory entry.
 
 A crash can leave a *torn tail*: a partially written frame or payload,
 a payload whose CRC does not match, or a segment whose header never
@@ -147,6 +153,23 @@ class WriteAheadLog:
         self.max_segment_bytes = max_segment_bytes
         self._dir = os.path.dirname(os.path.abspath(path)) or "."
         self._lock = threading.RLock()
+        # Serialises the I/O phase of sync() so its fsyncs can run
+        # outside the append lock.  Lock order: _sync_mutex, then _lock.
+        self._sync_mutex = threading.Lock()
+        # Segment files sealed by a rotation but not yet fsynced+closed
+        # by a sync, plus whether a new segment's directory entry still
+        # needs an fsync before the next acknowledgement.
+        self._sealing: list = []
+        self._dirsync_pending = False
+        self._rotation_epoch = 0
+        # Buffered-write bookkeeping: the live segment is dirty (has
+        # bytes no fsync has covered) exactly when the epochs differ.
+        # Rotation seals a *clean* segment by simply closing it — every
+        # byte was already covered by some commit's fsync — so a
+        # checkpoint's rotation adds at most one tiny header fsync and
+        # one directory fsync to the next sync.
+        self._write_epoch = 0
+        self._synced_epoch = 0
         self._closed = False
         self._segments = list_segments(path)
         if os.path.exists(path):
@@ -206,6 +229,7 @@ class WriteAheadLog:
             self._file.seek(self._end_offset)
             self._file.write(frame + payload)
             self._end_offset += len(frame) + len(payload)
+            self._write_epoch += 1
             registry = get_registry()
             registry.counter("wal.appends").inc()
             registry.counter("wal.bytes").inc(len(frame) + len(payload))
@@ -216,19 +240,75 @@ class WriteAheadLog:
     def sync(self) -> None:
         """Make everything appended so far durable (the commit point).
 
-        Only the live segment needs the fsync: older segments were
-        synced when rotation switched away from them.
+        The fsyncs run *outside* the append lock (serialised by a
+        dedicated sync mutex), so a commit waiting on the disk never
+        blocks concurrent appends — in particular, a fuzzy checkpoint's
+        rotation never stalls the commit path.  One sync covers, in
+        order: any segments sealed by a rotation since the last sync
+        (a batch can straddle the rotation), the live segment, and —
+        when a rotation created a new segment file — the directory
+        entry, so a record is never acknowledged before the file
+        holding it is findable after a crash.
         """
-        with self._lock:
-            self._check_open()
-            self._sync_locked()
+        with self._sync_mutex:
+            with self._lock:
+                self._check_open()
+                sealing = list(self._sealing)
+                file = self._file
+                dirty = self._write_epoch != self._synced_epoch
+                write_epoch = self._write_epoch
+                dirsync = self._dirsync_pending
+                rotation_epoch = self._rotation_epoch
+            if not sealing and not dirty and not dirsync:
+                return  # everything already durable
+            for old in sealing:
+                old.flush()
+            if dirty:
+                file.flush()
+            if self.sync_mode != "never":
+                for old in sealing:
+                    self.fs.fsync(old)
+                if dirty:
+                    with span("wal.fsync"):
+                        self.fs.fsync(file)
+                if sealing or dirty:
+                    get_registry().counter("wal.fsyncs").inc()
+                if dirsync:
+                    self.fs.fsync_dir(self._dir)
+            with self._lock:
+                for old in sealing:
+                    if old in self._sealing:
+                        old.close()
+                        self._sealing.remove(old)
+                if dirty and self._file is file:
+                    # Appends made while we were fsyncing keep the live
+                    # segment dirty; a racing rotation means `file` is
+                    # sealed now and its residue is tracked there.
+                    self._synced_epoch = max(self._synced_epoch, write_epoch)
+                if dirsync and self._rotation_epoch == rotation_epoch:
+                    # No rotation raced the fsync: the directory is
+                    # caught up.  (A racing rotation re-arms the flag
+                    # for a file our fsync may not have covered.)
+                    self._dirsync_pending = False
 
     def _sync_locked(self) -> None:
+        """Durability under the append lock — the ``sync_mode="always"``
+        append path and ``close``.  Sealed segments are flushed and
+        fsynced but stay open: :meth:`sync` (or :meth:`close`) retires
+        them."""
+        for old in self._sealing:
+            old.flush()
         self._file.flush()
         if self.sync_mode != "never":
+            for old in self._sealing:
+                self.fs.fsync(old)
             with span("wal.fsync"):
                 self.fs.fsync(self._file)
             get_registry().counter("wal.fsyncs").inc()
+            if self._dirsync_pending:
+                self.fs.fsync_dir(self._dir)
+        self._dirsync_pending = False
+        self._synced_epoch = self._write_epoch
 
     # ------------------------------------------------------------------
     # Rotation and retirement (the checkpoint path)
@@ -236,9 +316,17 @@ class WriteAheadLog:
     def rotate(self) -> str:
         """Seal the live segment and start a new one; returns its path.
 
-        The new segment's header records the current next sequence
-        number, so the numbering survives even if every older segment
-        is later retired.
+        Cheap by design: the sealed segment is flushed (so scans and
+        retirement see every appended byte) but its fsync — and the new
+        segment's header and directory-entry fsyncs — are deferred to
+        the next :meth:`sync`, whose I/O runs off the append lock.  A
+        crash before that sync leaves, at worst, a missing or
+        torn-header trailing segment, which recovery already drops
+        (:meth:`truncate_torn_tail`); no acknowledged record is
+        affected because acknowledgement waits for the sync.  The new
+        segment's header records the current next sequence number, so
+        the numbering survives even if every older segment is later
+        retired.
         """
         with self._lock:
             self._check_open()
@@ -247,14 +335,20 @@ class WriteAheadLog:
             return self._rotate_locked()
 
     def _rotate_locked(self) -> str:
-        self._sync_locked()  # seal: everything in the old segment is durable
+        self._file.flush()
         index = self._segments[-1][0] + 1
         path = segment_path(self.path, index)
         file = self.fs.open(path, "a+b")
         file.write(SEGMENT_MAGIC + _BASE.pack(self._next_seq))
-        self.fs.fsync(file)
-        self.fs.fsync_dir(self._dir)
-        self._file.close()
+        if self._write_epoch != self._synced_epoch:
+            # Unsynced bytes (a batch straddling the rotation): the
+            # next sync must cover this file before acknowledging.
+            self._sealing.append(self._file)
+        else:
+            self._file.close()
+        self._dirsync_pending = True
+        self._rotation_epoch += 1
+        self._write_epoch += 1  # the new header is buffered, not synced
         self._file = file
         self._segments.append((index, path))
         self._end_offset = SEGMENT_HEADER_SIZE
@@ -285,7 +379,12 @@ class WriteAheadLog:
         """Unlink leading non-live segments whose records all have
         ``seq <= max_seq`` — a just-committed checkpoint's segments, or
         stale leftovers of one that crashed between writing its manifest
-        and retiring.  Returns (segments, bytes) removed."""
+        and retiring.  Returns (segments, bytes) removed.
+
+        With manifest v2 the caller passes the *minimum* covered seq
+        across documents (the manifest's ``wal_seq`` floor): a segment
+        is only removable once every document's snapshot reflects all
+        of its records."""
         with self._lock:
             self._check_open()
             removed = 0
@@ -442,6 +541,7 @@ class WriteAheadLog:
             state2 = self._scan_locked()
             self._end_offset = state2.active_end
             self._torn_bytes = 0
+            self._synced_epoch = self._write_epoch
             if state2.records:
                 self._next_seq = state2.records[-1].seq + 1
             else:
@@ -456,6 +556,19 @@ class WriteAheadLog:
     @property
     def next_seq(self) -> int:
         return self._next_seq
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number assigned so far (0 before the first).
+
+        A fuzzy checkpoint samples this *before* reading the batcher's
+        in-flight document set: a document absent from the set can have
+        its covered seq advanced to this sample even without new
+        applies, because no logged-but-unapplied record at or below the
+        sample can exist for it (see ``retire_covered_segments`` — idle
+        documents must not pin the retirement floor forever)."""
+        with self._lock:
+            return self._next_seq - 1
 
     @property
     def segment_paths(self) -> list[str]:
@@ -478,14 +591,18 @@ class WriteAheadLog:
         return self._closed
 
     def close(self) -> None:
-        with self._lock:
-            if self._closed:
-                return
-            self._closed = True
-            try:
-                self._sync_locked()
-            finally:
-                self._file.close()
+        with self._sync_mutex:
+            with self._lock:
+                if self._closed:
+                    return
+                self._closed = True
+                try:
+                    self._sync_locked()
+                finally:
+                    for old in self._sealing:
+                        old.close()
+                    self._sealing.clear()
+                    self._file.close()
 
     def __enter__(self) -> "WriteAheadLog":
         return self

@@ -193,3 +193,63 @@ class TestLockWaitHistogram:
         for _ in range(10):
             db.query('SELECT COUNT(*) FROM "t"')
         assert _hist("sql.lock.wait_ms")["count"] == before
+
+
+class TestInUseGaugeConsistency:
+    def test_gauge_walks_the_true_lease_count_under_concurrency(
+        self, db, monkeypatch
+    ):
+        """Regression: acquire/release used to publish ``sql.pool.in_use``
+        *after* dropping the condition lock, from a stale re-read of the
+        count — two racing releases could publish the same value (the
+        clamp then hid the negative excursions).  Publishing under the
+        lock makes the gauge walk the true lease count: every published
+        value is exactly ±1 from the previous one, stays within
+        [0, size], and ends at zero."""
+        from repro.obs.metrics import Gauge
+
+        db.configure_pool(3)
+        condition = db.pool._cond
+        gauge = get_registry().gauge("sql.pool.in_use")
+        assert gauge.value == 0
+        values = []
+        unlocked = []
+        original_set = Gauge.set
+
+        def recording_set(self, value):
+            # Invoked under the pool's condition lock (that is the fix),
+            # so appends are ordered exactly as the publications are.
+            if self.name == "sql.pool.in_use":
+                if not condition._is_owned():
+                    unlocked.append(value)
+                values.append(value)
+            original_set(self, value)
+
+        monkeypatch.setattr(Gauge, "set", recording_set)
+        start = threading.Barrier(4)
+
+        def worker():
+            start.wait()
+            for _ in range(50):
+                rows = db.read_query('SELECT COUNT(*) FROM "t"')
+                assert rows == [(5,)]
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30)
+            assert not thread.is_alive()
+        assert len(values) == 2 * 4 * 50  # one set per acquire, one per release
+        # The deterministic half of the regression: a publication made
+        # after dropping the condition lock is exactly the stale-read
+        # race, whether or not this run's timing exposed it in the walk.
+        assert unlocked == [], "gauge published outside the pool's lock"
+        walk = [0] + values
+        deltas = [b - a for a, b in zip(walk, walk[1:])]
+        assert all(delta in (-1, 1) for delta in deltas), (
+            "gauge skipped or repeated a value: the publication raced"
+        )
+        assert all(0 <= value <= 3 for value in values)
+        assert values[-1] == 0
+        assert gauge.value == 0

@@ -164,7 +164,7 @@ class TestQueueDiscipline:
     def test_flush_is_a_barrier(self):
         applied = []
 
-        def apply(ops):
+        def apply(ops, seqs):
             applied.extend(ops)
             return [None] * len(ops)
 
@@ -179,7 +179,7 @@ class TestQueueDiscipline:
     def test_bounded_queue_times_out(self):
         release = threading.Event()
 
-        def slow_apply(ops):
+        def slow_apply(ops, seqs):
             release.wait(10)
             return [None] * len(ops)
 
@@ -195,18 +195,77 @@ class TestQueueDiscipline:
     def test_close_drains_by_default(self):
         applied = []
 
-        def apply(ops):
+        def apply(ops, seqs):
             applied.extend(ops)
             return [None] * len(ops)
 
         batcher = GroupCommitBatcher(apply, max_batch=4)
         batcher.start()
         tickets = [batcher.submit(SubtreeDelete("d", "n1", (i,))) for i in range(10)]
-        batcher.close(drain=True)
+        assert batcher.close(drain=True) == 0  # clean drain: nothing undrained
         assert len(applied) == 10
         assert all(ticket.done for ticket in tickets)
         with pytest.raises(ServiceClosedError):
             batcher.submit(SubtreeDelete("d", "n1", (99,)))
+
+    def test_close_with_stalled_committer_reports_undrained(self):
+        """Regression: ``close(drain=True, timeout=...)`` joined the
+        committer thread and returned None even when the join timed out
+        — a stalled apply meant acked-but-unapplied work was silently
+        reported as a clean shutdown.  It must return the undrained
+        count and bump ``batcher.close.undrained``."""
+        from repro.obs import get_registry
+
+        release = threading.Event()
+
+        def stalled_apply(ops, seqs):
+            release.wait(30)
+            return [None] * len(ops)
+
+        batcher = GroupCommitBatcher(stalled_apply, max_batch=1, max_queue=4)
+        batcher.start()
+        batcher.submit(SubtreeDelete("d", "n1", (1,)))  # wedged in apply
+        batcher.submit(SubtreeDelete("d", "n1", (2,)))  # still queued
+        counter = get_registry().counter("batcher.close.undrained")
+        before = counter.value
+        try:
+            undrained = batcher.close(drain=True, timeout=0.2)
+            assert undrained == 2
+            assert counter.value == before + 2
+        finally:
+            release.set()
+        # The committer finishes once unstalled; a repeated close
+        # re-reports the (now clean) state without double-counting.
+        batcher._thread.join(5)
+        assert batcher.close(timeout=1) == 0
+        assert counter.value == before + 2
+
+    def test_service_close_surfaces_undrained_count(self):
+        """The service must pass the batcher's undrained signal through
+        instead of swallowing it (previously ``UpdateService.close``
+        ignored the result entirely)."""
+        from repro.service.ops import DeltaUpdate
+        from repro.updates.delta import InsertNode
+        from repro.xmlmodel.parser import XmlParser
+
+        service = UpdateService(ServiceConfig(batch_size=1))
+        doc = "doc.xml"
+        service.host_document(doc, XmlParser("<db></db>").parse())
+        release = threading.Event()
+        host = service.host(doc)
+        original_apply = host.apply
+
+        def stalled(op):
+            release.wait(30)
+            return original_apply(op)
+
+        host.apply = stalled
+        service.start()
+        service.submit(DeltaUpdate(doc, (InsertNode((), 0, xml="<e/>"),)))
+        try:
+            assert service.close(drain=True, timeout=0.2) == 1  # the wedged op
+        finally:
+            release.set()
 
     def test_submit_timeout_is_a_deadline_not_per_wait(self):
         """Regression: the full timeout used to be passed to every
@@ -215,7 +274,7 @@ class TestQueueDiscipline:
         could block a submitter far past its timeout."""
         release = threading.Event()
 
-        def slow_apply(ops):
+        def slow_apply(ops, seqs):
             release.wait(10)
             return [None] * len(ops)
 
@@ -248,7 +307,7 @@ class TestQueueDiscipline:
         """Same regression as above, for ``flush``."""
         release = threading.Event()
 
-        def slow_apply(ops):
+        def slow_apply(ops, seqs):
             release.wait(10)
             return [None] * len(ops)
 
@@ -280,7 +339,7 @@ class TestQueueDiscipline:
         started = threading.Event()
         release = threading.Event()
 
-        def gated_apply(ops):
+        def gated_apply(ops, seqs):
             started.set()
             release.wait(10)
             return [None] * len(ops)
@@ -321,7 +380,7 @@ class TestQueueDiscipline:
         release = threading.Event()
         picked_up = threading.Event()
 
-        def slow_apply(ops):
+        def slow_apply(ops, seqs):
             picked_up.set()
             release.wait(10)
             return [None] * len(ops)
@@ -339,7 +398,7 @@ class TestQueueDiscipline:
     def test_after_commit_hook_fires_per_batch(self):
         sizes = []
 
-        def apply(ops):
+        def apply(ops, seqs):
             return [None] * len(ops)
 
         batcher = GroupCommitBatcher(apply, max_batch=4, after_commit=sizes.append)
@@ -355,7 +414,7 @@ class TestQueueDiscipline:
         started = threading.Event()
         release = threading.Event()
 
-        def gated_apply(ops):
+        def gated_apply(ops, seqs):
             started.set()
             release.wait(10)
             return [None] * len(ops)

@@ -19,6 +19,8 @@ single crash point:
   or may not survive, and nothing else is possible.
 """
 
+import threading
+
 import pytest
 
 from repro.service import (
@@ -154,6 +156,185 @@ def test_crash_matrix_recovers_a_committed_prefix_everywhere(tmp_path):
                 f"{label}: acknowledged {acked} op(s) but only "
                 f"{prefix} recovered"
             )
+    assert not failures, "\n".join(failures)
+
+
+HAMMERED = "h.xml"
+CONCURRENT_OPS = 6
+CONCURRENT_CHECKPOINTS = {1, 3}
+HAMMER_CAP = 400  # backstop so a wedged run cannot spin forever
+
+
+def run_concurrent_workload(tmp_path, plan):
+    """The matrix workload with a *concurrent committer*: a background
+    thread hammers a second document with acknowledged writes while the
+    main thread interleaves acknowledged ops and fuzzy checkpoints on
+    the first.  Returns ``(acked, hammer_acked, injector)``.
+
+    This is the scenario the non-quiescent protocol exists for — the
+    WAL keeps growing *during* the snapshot/manifest writes, so a crash
+    at a checkpoint boundary now lands with commits genuinely in
+    flight."""
+    injector = FaultInjector(plan=plan)
+    fs = FaultyFilesystem(injector)
+    wal_path = str(tmp_path / "faulty.wal")
+    service = None
+    acked = 0
+    hammer_acked = [0]
+    stop = threading.Event()
+
+    def hammer(svc):
+        index = 0
+        try:
+            while not stop.is_set() and index < HAMMER_CAP:
+                svc.submit_wait(
+                    DeltaUpdate(HAMMERED, (entry_op(index),)), timeout=30
+                )
+                hammer_acked[0] = index + 1
+                index += 1
+        except Exception:
+            pass  # the crash (or close) reached the hammer first
+
+    thread = None
+    try:
+        service = UpdateService(
+            ServiceConfig(wal_path=wal_path, batch_size=4), fs=fs
+        )
+        service.host_document(DOC, fresh_doc())
+        service.host_document(HAMMERED, fresh_doc())
+        service.start()
+        thread = threading.Thread(target=hammer, args=(service,), daemon=True)
+        thread.start()
+        for index in range(CONCURRENT_OPS):
+            service.submit_wait(DeltaUpdate(DOC, (entry_op(index),)), timeout=30)
+            acked += 1
+            if index in CONCURRENT_CHECKPOINTS:
+                service.checkpoint(timeout=30)
+    except InjectedCrash:
+        pass
+    except Exception:
+        if not injector.crashed:
+            raise
+    finally:
+        stop.set()
+        if thread is not None:
+            thread.join(30)
+        if service is not None:
+            try:
+                service.close(timeout=10)
+            except InjectedCrash:
+                pass
+    return acked, hammer_acked[0], injector
+
+
+def recover_both_docs(tmp_path):
+    wal_path = str(tmp_path / "faulty.wal")
+    service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=4))
+    service.host_document(DOC, fresh_doc())
+    service.host_document(HAMMERED, fresh_doc())
+    service.recover()
+    service.start()
+    doc_text = service.query(DOC)
+    hammered_text = service.query(HAMMERED)
+    service.close()
+    return doc_text, hammered_text
+
+
+def check_concurrent_recovery(label, acked, hammer_acked, workdir, failures):
+    states = prefix_states()
+    doc_text, hammered_text = recover_both_docs(workdir)
+    if doc_text not in states:
+        failures.append(f"{label}: {DOC} recovered state is not a prefix")
+    elif states.index(doc_text) < acked:
+        failures.append(
+            f"{label}: acknowledged {acked} op(s) on {DOC} but only "
+            f"{states.index(doc_text)} recovered"
+        )
+    # The hammered document's entries must be a contiguous,
+    # duplicate-free prefix 0..m-1 covering every acknowledged write:
+    # a hole means a committed op was lost, a double means a replayed
+    # record re-applied over a snapshot that already contained it.
+    counts = [hammered_text.count(f'i="{k}"') for k in range(HAMMER_CAP + 1)]
+    if any(count > 1 for count in counts):
+        doubled = [k for k, count in enumerate(counts) if count > 1]
+        failures.append(f"{label}: {HAMMERED} ops {doubled} applied twice")
+        return
+    present = [k for k, count in enumerate(counts) if count == 1]
+    if present != list(range(len(present))):
+        failures.append(f"{label}: {HAMMERED} recovered a non-contiguous set")
+    elif len(present) < hammer_acked:
+        failures.append(
+            f"{label}: acknowledged {hammer_acked} op(s) on {HAMMERED} "
+            f"but only {len(present)} recovered"
+        )
+
+
+@pytest.mark.parametrize(
+    "match", [".snap", "MANIFEST.json", ".ckpt"], ids=["snap", "manifest", "ckptdir"]
+)
+def test_concurrent_commit_crash_matrix(tmp_path, match):
+    """Crash at every checkpoint-artifact boundary (state-file writes/
+    renames/unlinks, manifest writes/renames, checkpoint-directory
+    fsyncs) while a background committer keeps acknowledging writes.
+    ``FaultPlan.match`` pins the crash to the k-th operation on a
+    matching *file*, which stays meaningful even though the global
+    boundary numbering shifts with the concurrent WAL traffic."""
+    workdir = tmp_path / "calibrate"
+    workdir.mkdir()
+    acked, _hammer_acked, calibration = run_concurrent_workload(
+        workdir, FaultPlan(crash_at=None)
+    )
+    assert acked == CONCURRENT_OPS and not calibration.crashed
+    matched = sum(
+        1 for _num, _kind, name in calibration.trace if match in name
+    )
+    assert matched > 0, f"workload never touched a {match!r} boundary"
+
+    failures = []
+    fired = 0
+    for crash_at in range(1, matched + 1):
+        workdir = tmp_path / f"{match}-{crash_at:03d}"
+        workdir.mkdir()
+        acked, hammer_acked, injector = run_concurrent_workload(
+            workdir, FaultPlan(crash_at=crash_at, match=match)
+        )
+        if not injector.crashed:
+            continue  # this run's interleaving produced fewer matches
+        fired += 1
+        check_concurrent_recovery(
+            f"{match} boundary {crash_at}", acked, hammer_acked, workdir, failures
+        )
+    assert fired >= matched // 2, "the matrix barely fired; matcher broken?"
+    assert not failures, "\n".join(failures)
+
+
+def test_concurrent_torn_manifest_write(tmp_path):
+    """The manifest rename is the checkpoint commit point; a torn write
+    of the manifest's *bytes* (before the rename) must leave the
+    previous checkpoint governing, with every acknowledged commit —
+    including the concurrent ones — recovered from it plus the log."""
+    workdir = tmp_path / "calibrate"
+    workdir.mkdir()
+    _acked, _hammer, calibration = run_concurrent_workload(
+        workdir, FaultPlan(crash_at=None)
+    )
+    manifest_kinds = [
+        kind for _num, kind, name in calibration.trace if "MANIFEST.json" in name
+    ]
+    writes = [i + 1 for i, kind in enumerate(manifest_kinds) if kind == "write"]
+    assert writes, "no manifest write boundaries found"
+    failures = []
+    for crash_at in writes:
+        torn_dir = tmp_path / f"torn-{crash_at:03d}"
+        torn_dir.mkdir()
+        acked, hammer_acked, injector = run_concurrent_workload(
+            torn_dir, FaultPlan(crash_at=crash_at, tear=True, match="MANIFEST.json")
+        )
+        if not injector.crashed:
+            continue
+        check_concurrent_recovery(
+            f"torn manifest write {crash_at}", acked, hammer_acked, torn_dir, failures
+        )
     assert not failures, "\n".join(failures)
 
 

@@ -11,10 +11,14 @@ the network front end:
   ``UpdateService.checkpoint_last_error`` / ``stats()`` instead of only
   bumping a counter;
 * concurrent readers of one document overlap on the query pool while a
-  writer blocks behind their read locks.
+  writer blocks behind their read locks;
+* ``submit_wait`` (service and session) and ``checkpoint`` bound their
+  *total* time with one monotonic deadline instead of granting the
+  timeout again to each internal stage.
 """
 
 import threading
+import time
 
 import pytest
 
@@ -124,7 +128,7 @@ class TestCheckpointLastError:
         try:
             service.submit_wait(entry_op(0), timeout=JOIN_TIMEOUT)
 
-            def refuse(states, wal_seq):
+            def refuse(states, covered, carry=None, default_floor=0):
                 raise CheckpointError("snapshot volume is read-only")
 
             monkeypatch.setattr(service.snapshots, "write_checkpoint", refuse)
@@ -147,7 +151,7 @@ class TestCheckpointLastError:
             service.submit_wait(entry_op(0), timeout=JOIN_TIMEOUT)
             original = service.snapshots.write_checkpoint
 
-            def refuse(states, wal_seq):
+            def refuse(states, covered, carry=None, default_floor=0):
                 raise OSError("disk full")
 
             monkeypatch.setattr(service.snapshots, "write_checkpoint", refuse)
@@ -172,7 +176,7 @@ class TestCheckpointLastError:
         )
         try:
 
-            def refuse(states, wal_seq):
+            def refuse(states, covered, carry=None, default_floor=0):
                 raise OSError("No space left on device")
 
             monkeypatch.setattr(service.snapshots, "write_checkpoint", refuse)
@@ -191,6 +195,102 @@ class TestCheckpointLastError:
             # The committer survived: the service still accepts work.
             service.submit_wait(entry_op(1), timeout=JOIN_TIMEOUT)
         finally:
+            service.close(drain=False)
+
+
+class TestSubmitWaitSingleDeadline:
+    """``submit_wait`` used to grant its timeout twice — the full
+    budget to queue admission, then the full budget *again* to the
+    ticket wait — so a call could take 2x its timeout before failing."""
+
+    @pytest.mark.parametrize("via_session", [False, True], ids=["service", "session"])
+    def test_timeout_bounds_the_total_call(self, via_session):
+        service = make_service(batch_size=1, coalesce_wait=0.0, queue_limit=1)
+        gates = [threading.Event(), threading.Event()]
+        picked = []
+        host = service.host(DOC)
+        original_apply = host.apply
+
+        def wedged(op):
+            index = len(picked)
+            picked.append(op)
+            if index < len(gates):
+                gates[index].wait(JOIN_TIMEOUT)
+            return original_apply(op)
+
+        host.apply = wedged
+        session = Session(service) if via_session else None
+        try:
+            service.submit(entry_op(0))  # dequeued, wedges in apply
+            service.submit(entry_op(1))  # fills the one-slot queue
+            # Free the queue slot after ~0.5s: op 0 lands, the committer
+            # dequeues op 1 (which wedges in turn) and the blocked
+            # submission below is finally admitted — with half its
+            # budget already spent.
+            threading.Timer(0.5, gates[0].set).start()
+            started = time.monotonic()
+            with pytest.raises(ServiceTimeoutError):
+                if via_session:
+                    session.submit_wait(DOC, entry_op(2), timeout=1.0)
+                else:
+                    service.submit_wait(entry_op(2), timeout=1.0)
+            elapsed = time.monotonic() - started
+            # One deadline: ~0.5s queueing + ~0.5s ticket wait = ~1.0s.
+            # The double-grant spent ~0.5s queueing and then gave the
+            # ticket wait the full 1.0s again (~1.5s total).
+            assert elapsed < 1.35, (
+                f"submit_wait took {elapsed:.2f}s on a 1.0s timeout - "
+                "was the budget granted to each stage separately?"
+            )
+        finally:
+            for gate in gates:
+                gate.set()
+            if session is not None:
+                session.close(timeout=JOIN_TIMEOUT)
+            service.close(drain=False)
+
+
+class TestCheckpointSingleDeadline:
+    """``checkpoint`` used to grant its timeout independently to every
+    stage (flush, quiesce, lock wait), so one call could take ~4x its
+    budget before failing."""
+
+    def test_timeout_bounds_the_total_call(self, tmp_path, monkeypatch):
+        service = make_service(
+            wal_path=str(tmp_path / "doc.wal"), batch_size=1, coalesce_wait=0.0
+        )
+        gate = threading.Event()
+        picked = threading.Event()
+        try:
+            service.submit_wait(entry_op(0), timeout=JOIN_TIMEOUT)
+            host = service.host(DOC)
+            original_apply = host.apply
+
+            def wedge(op):
+                picked.set()
+                gate.wait(JOIN_TIMEOUT)
+                return original_apply(op)
+
+            host.apply = wedge
+            service.submit(entry_op(1))
+            # The committer now holds DOC's write lock, wedged mid-apply,
+            # so the checkpoint's per-document read lock cannot be taken.
+            assert picked.wait(JOIN_TIMEOUT)
+            # Stage 1 (the flush) eats most of the budget...
+            monkeypatch.setattr(service, "flush", lambda timeout=None: time.sleep(0.5))
+            started = time.monotonic()
+            with pytest.raises(ServiceTimeoutError):
+                service.checkpoint(timeout=0.8)
+            elapsed = time.monotonic() - started
+            # ...leaving ~0.3s for the lock wait under one deadline
+            # (~0.8s total).  The per-stage grant gave the lock wait a
+            # fresh 0.8s on top of the 0.5s flush (~1.3s total).
+            assert elapsed < 1.15, (
+                f"checkpoint took {elapsed:.2f}s on a 0.8s timeout - "
+                "was the budget granted to each stage separately?"
+            )
+        finally:
+            gate.set()
             service.close(drain=False)
 
 

@@ -186,3 +186,43 @@ class TestConnectCommand:
         code = main(["connect", "--addr", f"{host}:{port}", "--stats"])
         assert code == 1
         assert "error" in capsys.readouterr().err
+
+
+class TestCheckpointCommand:
+    """`repro checkpoint` recovers a WAL and takes one checkpoint."""
+
+    @pytest.fixture
+    def logged(self, files, tmp_path):
+        from repro.service import DeltaUpdate, ServiceConfig, UpdateService
+        from repro.updates.delta import InsertNode
+        from repro.xmlmodel.parser import XmlParser
+
+        xml, _dtd = files
+        wal = str(tmp_path / "custdb.wal")
+        service = UpdateService(ServiceConfig(wal_path=wal, batch_size=2))
+        service.host_document("custdb.xml", XmlParser(CUSTOMER_XML).parse())
+        service.start()
+        try:
+            service.submit_wait(
+                DeltaUpdate(
+                    "custdb.xml",
+                    (InsertNode((), 1 << 30, xml='<Customer><Name>Zed</Name>'
+                                                 "</Customer>"),),
+                ),
+                timeout=30,
+            )
+        finally:
+            service.close()
+        return xml, wal
+
+    def test_incremental_then_full(self, logged, capsys):
+        xml, wal = logged
+        assert main(["checkpoint", "--xml", xml, "--wal", wal]) == 0
+        err = capsys.readouterr().err
+        assert "1 snapshotted, 0 carried forward" in err
+        # Nothing changed since: an incremental pass carries the
+        # document, a --full pass re-captures it.
+        assert main(["checkpoint", "--xml", xml, "--wal", wal]) == 0
+        assert "0 snapshotted, 1 carried forward" in capsys.readouterr().err
+        assert main(["checkpoint", "--xml", xml, "--wal", wal, "--full"]) == 0
+        assert "1 snapshotted, 0 carried forward" in capsys.readouterr().err
