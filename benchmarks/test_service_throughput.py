@@ -15,7 +15,10 @@ import pytest
 from repro.bench.experiments import build_fixed_store
 from repro.bench.service_bench import (
     DEFAULT_BATCH_SIZES,
+    DEFAULT_CONNECTION_COUNTS,
+    DEFAULT_PIPELINE_DEPTHS,
     DEFAULT_READ_THREADS,
+    run_async_net_benchmark,
     run_checkpoint_benchmark,
     run_net_benchmark,
     run_read_benchmark,
@@ -42,6 +45,9 @@ def results(tmp_path_factory):
         wal_dir=str(tmp_path_factory.mktemp("recovery-wal"))
     )
     net = run_net_benchmark(wal_dir=str(tmp_path_factory.mktemp("net-wal")))
+    pipeline, connections = run_async_net_benchmark(
+        wal_dir=str(tmp_path_factory.mktemp("aionet-wal"))
+    )
     read_master = build_fixed_store(SyntheticParams(400, 3, 1))
     read_master.set_delete_method("per_statement_trigger")
     try:
@@ -72,8 +78,10 @@ def results(tmp_path_factory):
         net=net,
         read=read,
         checkpoint=checkpoint,
+        pipeline=pipeline,
+        connections=connections,
     )
-    return throughput, recovery, net, read, checkpoint
+    return throughput, recovery, net, read, checkpoint, pipeline, connections
 
 
 def _p99_ratio(pair):
@@ -240,6 +248,43 @@ def test_fuzzy_checkpoints_bound_the_submit_tail(checkpoint_points):
     baseline = checkpoint_points["baseline"]
     during = checkpoint_points["during_checkpoints"]
     assert during.p99_ms < 2.0 * baseline.p99_ms
+
+
+@pytest.fixture(scope="module")
+def pipeline_points(results):
+    return {point.depth: point for point in results[5]}
+
+
+@pytest.fixture(scope="module")
+def connection_points(results):
+    return {point.connections: point for point in results[6]}
+
+
+def test_pipeline_series_measures_every_depth(pipeline_points):
+    assert set(pipeline_points) == set(DEFAULT_PIPELINE_DEPTHS)
+    for point in pipeline_points.values():
+        assert point.ops_per_second > 0
+        assert point.p99_ms >= point.p50_ms > 0
+
+
+def test_pipelining_beats_lockstep_throughput(pipeline_points):
+    # The tentpole's acceptance bar: with 16 requests in flight on one
+    # connection, group commit amortises the WAL fsync across the
+    # window and throughput must beat the depth-1 request/response
+    # lockstep.
+    assert (
+        pipeline_points[16].ops_per_second
+        > pipeline_points[1].ops_per_second
+    )
+
+
+def test_async_server_sustains_1000_idle_connections(connection_points):
+    assert set(connection_points) == set(DEFAULT_CONNECTION_COUNTS)
+    assert max(connection_points) >= 1000
+    for point in connection_points.values():
+        # Every fleet member connected and the prober still served.
+        assert point.connect_seconds > 0
+        assert point.ping_p99_ms >= point.ping_p50_ms > 0
 
 
 def test_results_file_written(points):

@@ -137,10 +137,47 @@ def run_recovery() -> list:
     return [point.as_measurement() for point in run_recovery_benchmark()]
 
 
-def run_net() -> list:
-    from repro.bench.service_bench import run_net_benchmark
+def run_net(smoke: bool = False) -> list:
+    from repro.bench.service_bench import (
+        run_async_net_benchmark,
+        run_net_benchmark,
+    )
 
-    return [point.as_measurement() for point in run_net_benchmark()]
+    if smoke:
+        # Loopback liveness check (CI): tiny fixed work, and a small
+        # connection sweep exercising the asyncio server.
+        points = run_net_benchmark(ops=24)
+        pipeline, connection = run_async_net_benchmark(
+            depths=(1, 16),
+            pipeline_ops=48,
+            connection_counts=(50,),
+            pings=10,
+        )
+    else:
+        points = run_net_benchmark()
+        pipeline, connection = run_async_net_benchmark()
+    for point in points:
+        print(
+            f"  net[{point.transport}]: {point.ops_per_second:.0f} ops/s "
+            f"p50={point.p50_ms:.2f}ms p99={point.p99_ms:.2f}ms"
+        )
+    for point in pipeline:
+        print(
+            f"  net[pipeline depth={point.depth}]: "
+            f"{point.ops_per_second:.0f} ops/s "
+            f"p50={point.p50_ms:.2f}ms p99={point.p99_ms:.2f}ms"
+        )
+    for point in connection:
+        print(
+            f"  net[connections={point.connections}]: "
+            f"connect={point.connect_seconds:.2f}s "
+            f"ping p50={point.ping_p50_ms:.2f}ms "
+            f"p99={point.ping_p99_ms:.2f}ms"
+        )
+    return [
+        point.as_measurement()
+        for point in [*points, *pipeline, *connection]
+    ]
 
 
 def run_mapping(smoke: bool = False, json_path: str | None = None) -> list:
@@ -218,7 +255,7 @@ EXPERIMENTS = {
     "table2": ("Table 2: DBLP", "-"),
     "service": ("Service: group-commit delete throughput", "batch"),
     "recovery": ("Service: cold recovery time vs WAL length", "ops"),
-    "net": ("Service: loopback TCP vs in-process round-trips", "ops"),
+    "net": ("Service: transports, pipeline depths, connection scaling", "x"),
     "read": ("Service: read-path thread scaling (caches + reader pool)", "threads"),
     "checkpoint": ("Service: submit latency during fuzzy checkpoints", "ops"),
     "mapping": ("Ablation: interval vs inlining/edge/attribute mappings", "-"),
@@ -233,8 +270,8 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--smoke",
         action="store_true",
-        help="tiny liveness sizes (currently the read experiment: "
-        "2 loopback points, 4 cycles)",
+        help="tiny liveness sizes (read: 2 loopback points, 4 cycles; "
+        "net: short sweeps + a 50-connection async fleet)",
     )
     parser.add_argument("--runs", type=int, default=5,
                         help="runs per point (first discarded; default 5)")
@@ -287,7 +324,7 @@ def main(argv=None) -> int:
     if "recovery" in selected:
         emit(*EXPERIMENTS["recovery"], run_recovery())
     if "net" in selected:
-        emit(*EXPERIMENTS["net"], run_net())
+        emit(*EXPERIMENTS["net"], run_net(smoke=args.smoke))
     if "read" in selected:
         emit(*EXPERIMENTS["read"], run_read(smoke=args.smoke))
     if "checkpoint" in selected:

@@ -34,6 +34,14 @@ DEFAULT_UPDATES = 192
 DEFAULT_RECOVERY_OPS = (64, 128, 256)
 #: Synchronous round-trips per transport in the network experiment.
 DEFAULT_NET_OPS = 160
+#: Pipeline depths compared by the async pipelining experiment.
+DEFAULT_PIPELINE_DEPTHS = (1, 4, 16)
+#: Durable appends per pipeline point (identical work at every depth).
+DEFAULT_PIPELINE_OPS = 192
+#: Concurrent idle connection counts for the connection-scaling curve.
+DEFAULT_CONNECTION_COUNTS = (100, 500, 1000)
+#: Round-trips measured per connection point (with the idle fleet up).
+DEFAULT_CONNECTION_PINGS = 50
 #: Appends per phase of the checkpoint-interference experiment.
 DEFAULT_CHECKPOINT_OPS = 160
 #: Documents hosted by the checkpoint experiment (one hot, rest idle).
@@ -355,6 +363,215 @@ def run_net_benchmark(
     if wal_dir is not None:
         return run_all(wal_dir)
     with tempfile.TemporaryDirectory(prefix="repro-net-") as directory:
+        return run_all(directory)
+
+
+@dataclass
+class PipelinePoint:
+    """Throughput of one pipeline depth on the asyncio front end.
+
+    One connection keeps ``depth`` durable ``submit_wait`` appends in
+    flight (an :class:`asyncio.Semaphore` refills the window as
+    responses land).  Depth 1 reproduces the blocking client's
+    request/response lockstep; deeper pipelines expose concurrent
+    requests to the group-commit batcher, which amortises the WAL fsync
+    across them — the throughput win the series records.
+    """
+
+    depth: int
+    ops: int
+    seconds: float
+    ops_per_second: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method="pipeline",
+            x=self.depth,
+            seconds=self.seconds,
+            client_statements=0,
+            trigger_statements=0,
+            runs=1,
+        )
+
+
+@dataclass
+class ConnectionPoint:
+    """Latency with ``connections`` concurrent idle connections attached.
+
+    The fleet is opened (bounded concurrency), then one member measures
+    ``pings`` round trips while the rest sit idle — the curve shows what
+    an idle connection costs the event loop.  The thread-per-connection
+    server pays a thread per member; the asyncio server pays a task.
+    """
+
+    connections: int
+    pings: int
+    connect_seconds: float
+    seconds: float
+    ping_mean_ms: float
+    ping_p50_ms: float
+    ping_p99_ms: float
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method="connections",
+            x=self.connections,
+            seconds=self.seconds,
+            client_statements=0,
+            trigger_statements=0,
+            runs=1,
+        )
+
+
+def run_pipeline_point(
+    depth: int, ops: int = DEFAULT_PIPELINE_OPS, wal_dir: str | None = None
+) -> PipelinePoint:
+    """``ops`` durable appends through one async connection holding
+    ``depth`` requests in flight."""
+    import asyncio
+
+    from repro.service.net import AsyncNetServer, AsyncServiceClient
+
+    wal_path = None
+    if wal_dir is not None:
+        wal_path = os.path.join(wal_dir, f"pipeline-{depth}.wal")
+    service = UpdateService(ServiceConfig(wal_path=wal_path, batch_size=32))
+    service.host_document("bench.xml", XmlParser("<log></log>").parse())
+    service.start()
+    server = AsyncNetServer(service, max_inflight=max(64, depth)).start()
+    host, port = server.address
+    latencies: list[float] = []
+
+    async def run() -> float:
+        client = await AsyncServiceClient.connect(host, port)
+        window = asyncio.Semaphore(depth)
+
+        async def one(index: int) -> None:
+            op = DeltaUpdate(
+                "bench.xml", (InsertNode((), 1 << 30, xml=f'<e i="{index}"/>'),)
+            )
+            async with window:
+                began = time.perf_counter()
+                await client.submit_wait(op, 120)
+                latencies.append((time.perf_counter() - began) * 1000.0)
+
+        try:
+            start = time.perf_counter()
+            await asyncio.gather(*(one(index) for index in range(ops)))
+            return time.perf_counter() - start
+        finally:
+            await client.close()
+
+    try:
+        elapsed = asyncio.run(run())
+    finally:
+        server.close()
+        service.close()
+    latencies.sort()
+    return PipelinePoint(
+        depth=depth,
+        ops=ops,
+        seconds=elapsed,
+        ops_per_second=ops / elapsed if elapsed else float("inf"),
+        mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        p50_ms=_quantile(latencies, 0.50),
+        p99_ms=_quantile(latencies, 0.99),
+    )
+
+
+def run_connection_point(
+    connections: int, pings: int = DEFAULT_CONNECTION_PINGS
+) -> ConnectionPoint:
+    """Ping latency with a fleet of ``connections`` idle connections
+    held open on the asyncio server."""
+    import asyncio
+
+    from repro.service.net import AsyncNetServer, AsyncServiceClient
+
+    service = UpdateService(ServiceConfig(batch_size=8))
+    service.host_document("bench.xml", XmlParser("<log></log>").parse())
+    service.start()
+    server = AsyncNetServer(
+        service, max_connections=max(connections + 16, 10_000)
+    ).start()
+    host, port = server.address
+    latencies: list[float] = []
+
+    async def run() -> tuple[float, float]:
+        opener = asyncio.Semaphore(64)
+
+        async def open_one() -> AsyncServiceClient:
+            async with opener:
+                return await AsyncServiceClient.connect(
+                    host, port, connect_timeout=60
+                )
+
+        began_connect = time.perf_counter()
+        fleet = await asyncio.gather(*(open_one() for _ in range(connections)))
+        connect_seconds = time.perf_counter() - began_connect
+        try:
+            prober = fleet[0]
+            await prober.ping()  # warm
+            start = time.perf_counter()
+            for _ in range(pings):
+                began = time.perf_counter()
+                await prober.ping()
+                latencies.append((time.perf_counter() - began) * 1000.0)
+            elapsed = time.perf_counter() - start
+        finally:
+            closer = asyncio.Semaphore(64)
+
+            async def close_one(client: AsyncServiceClient) -> None:
+                async with closer:
+                    await client.close()
+
+            await asyncio.gather(*(close_one(client) for client in fleet))
+        return connect_seconds, elapsed
+
+    try:
+        connect_seconds, elapsed = asyncio.run(run())
+    finally:
+        server.close()
+        service.close()
+    latencies.sort()
+    return ConnectionPoint(
+        connections=connections,
+        pings=pings,
+        connect_seconds=connect_seconds,
+        seconds=elapsed,
+        ping_mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+        ping_p50_ms=_quantile(latencies, 0.50),
+        ping_p99_ms=_quantile(latencies, 0.99),
+    )
+
+
+def run_async_net_benchmark(
+    depths: tuple[int, ...] = DEFAULT_PIPELINE_DEPTHS,
+    pipeline_ops: int = DEFAULT_PIPELINE_OPS,
+    connection_counts: tuple[int, ...] = DEFAULT_CONNECTION_COUNTS,
+    pings: int = DEFAULT_CONNECTION_PINGS,
+    wal_dir: str | None = None,
+) -> tuple[list[PipelinePoint], list[ConnectionPoint]]:
+    """The asyncio additions to the ``net`` series: pipeline-depth
+    throughput and connection-count-vs-latency curves."""
+
+    def run_all(directory: str | None) -> tuple[list, list]:
+        pipeline = [
+            run_pipeline_point(depth, ops=pipeline_ops, wal_dir=directory)
+            for depth in depths
+        ]
+        connection = [
+            run_connection_point(count, pings=pings)
+            for count in connection_counts
+        ]
+        return pipeline, connection
+
+    if wal_dir is not None:
+        return run_all(wal_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-aionet-") as directory:
         return run_all(directory)
 
 
@@ -726,6 +943,8 @@ def save_service_results(
     net: list[NetPoint] | None = None,
     read: list[ReadPoint] | None = None,
     checkpoint: list[CheckpointPoint] | None = None,
+    pipeline: list[PipelinePoint] | None = None,
+    connections: list[ConnectionPoint] | None = None,
 ) -> None:
     """Write ``BENCH_service.json``: one entry per batch size, plus the
     recovery-time-vs-log-length, network-transport, and read-scaling
@@ -751,12 +970,35 @@ def save_service_results(
             "workload": "document appends; checkpointed variant retires the log",
             "points": [asdict(point) for point in recovery],
         }
-    if net is not None:
-        payload["net"] = {
-            "experiment": "transport overhead: loopback TCP vs in-process",
-            "workload": "synchronous durable document appends, one client",
-            "points": [asdict(point) for point in net],
-        }
+    if net is not None or pipeline is not None or connections is not None:
+        net_entry = payload.setdefault(
+            "net",
+            {
+                "experiment": "transport overhead: loopback TCP vs in-process",
+                "workload": "synchronous durable document appends, one client",
+            },
+        )
+        if net is not None:
+            net_entry["points"] = [asdict(point) for point in net]
+        if pipeline is not None:
+            net_entry["pipeline"] = {
+                "experiment": "async pipeline depth vs durable-append throughput",
+                "workload": (
+                    "one async connection holding N submit_wait appends in "
+                    "flight; group commit amortises the fsync across the "
+                    "window"
+                ),
+                "points": [asdict(point) for point in pipeline],
+            }
+        if connections is not None:
+            net_entry["connections"] = {
+                "experiment": "connection count vs round-trip latency (asyncio)",
+                "workload": (
+                    "a fleet of idle connections held open while one member "
+                    "measures ping round trips"
+                ),
+                "points": [asdict(point) for point in connections],
+            }
     if read is not None:
         payload["read"] = {
             "experiment": "read-path thread scaling: caches + reader pool",

@@ -28,7 +28,13 @@ from repro.service.faults import (
     InjectedCrash,
 )
 from repro.service.locks import LockManager, ReadWriteLock
-from repro.service.net import NetServer, ServiceClient, parse_address
+from repro.service.net import (
+    AsyncNetServer,
+    AsyncServiceClient,
+    NetServer,
+    ServiceClient,
+    parse_address,
+)
 from repro.service.ops import (
     CommitMarker,
     DeltaUpdate,
@@ -53,6 +59,8 @@ from repro.service.snapshot import CheckpointManifest, SnapshotEntry, SnapshotSt
 from repro.service.wal import WalRecord, WriteAheadLog, wal_exists
 
 __all__ = [
+    "AsyncNetServer",
+    "AsyncServiceClient",
     "BatcherStats",
     "CheckpointManifest",
     "CheckpointReport",

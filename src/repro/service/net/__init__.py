@@ -1,0 +1,75 @@
+"""Network front end for the update service.
+
+The package splits along the axis the shard router will reuse:
+
+* :mod:`~repro.service.net.core` — the transport-agnostic framing
+  codec (length-prefixed JSON frames, the incremental
+  :class:`FrameDecoder`, protocol v2 chunked responses, error-code
+  mapping);
+* :mod:`~repro.service.net.handlers` — the request
+  :class:`~repro.service.net.handlers.Dispatcher` shared by both
+  servers;
+* :mod:`~repro.service.net.threaded` — the thread-per-connection
+  :class:`NetServer` and the blocking :class:`ServiceClient`;
+* :mod:`~repro.service.net.aio` — the asyncio
+  :class:`AsyncNetServer` (pipelined frames, 10k+ connections) and
+  :class:`AsyncServiceClient`.
+
+Everything importable from the old ``repro.service.net`` module is
+re-exported here unchanged.
+"""
+
+from repro.service.net.aio import (
+    AsyncNetServer,
+    AsyncServiceClient,
+    read_frame_async,
+    write_frame_async,
+)
+from repro.service.net.core import (
+    DEFAULT_CHUNK_BYTES,
+    ERROR_CODES,
+    HEADER,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    PROTOCOL_VERSION_CHUNKED,
+    SUPPORTED_VERSIONS,
+    ChunkAssembler,
+    FrameDecoder,
+    decode_frame_payload,
+    encode_frame,
+    error_frame,
+    error_to_exception,
+    parse_address,
+    recv_frame,
+    send_frame,
+    split_response,
+)
+from repro.service.net.handlers import Dispatcher
+from repro.service.net.threaded import NetServer, ServiceClient
+
+__all__ = [
+    "AsyncNetServer",
+    "AsyncServiceClient",
+    "ChunkAssembler",
+    "DEFAULT_CHUNK_BYTES",
+    "Dispatcher",
+    "ERROR_CODES",
+    "FrameDecoder",
+    "HEADER",
+    "MAX_FRAME_BYTES",
+    "NetServer",
+    "PROTOCOL_VERSION",
+    "PROTOCOL_VERSION_CHUNKED",
+    "SUPPORTED_VERSIONS",
+    "ServiceClient",
+    "decode_frame_payload",
+    "encode_frame",
+    "error_frame",
+    "error_to_exception",
+    "parse_address",
+    "read_frame_async",
+    "recv_frame",
+    "send_frame",
+    "split_response",
+    "write_frame_async",
+]

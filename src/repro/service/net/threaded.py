@@ -1,0 +1,726 @@
+"""The threaded TCP front end and the blocking client.
+
+:class:`NetServer` is the original thread-per-connection server — one
+acceptor thread, one thread per connection — now built on the shared
+:mod:`~repro.service.net.core` codec and
+:class:`~repro.service.net.handlers.Dispatcher`.  It remains the
+simplest deployment (and what the existing tests drive); the asyncio
+server in :mod:`~repro.service.net.aio` is the high-connection-count
+sibling.
+
+Two long-standing bugs are fixed here:
+
+* **Slow readers no longer lose responses mid-frame.**  Responses used
+  to be sent while the socket still carried the 0.2 s idle-poll
+  timeout, so ``sendall`` of a large frame to a reader with a full
+  receive window timed out halfway and the connection died with the
+  reply half-written.  Writes now get the full request-timeout grace
+  (and only a peer stalled *that* long is dropped).
+* **``close()`` no longer relies on daemon threads dying at interpreter
+  exit.**  Drain joins the acceptor and every connection thread against
+  one deadline; connections that outlive it are counted into the
+  ``net.close.undrained_connections`` counter and returned, mirroring
+  ``batcher.close.undrained``.
+
+:class:`ServiceClient` no longer serialises the whole round trip under
+one mutex.  Sends are serialised (a frame must hit the wire
+contiguously), but waiting for a response happens outside any lock with
+id-matched dispatch: whichever waiting thread currently holds the
+*receiver* role reads bytes through a :class:`FrameDecoder` in short
+ticks and deposits completed responses into per-request slots, handing
+the role off when its own response arrives (or its deadline passes).
+A slow ``query`` therefore no longer blocks a concurrent ``submit`` on
+a shared client, and a request that times out abandons only *itself* —
+the late response is discarded by id and the connection stays usable.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+import time
+from typing import Any, Callable, Optional
+
+from repro.errors import (
+    ProtocolError,
+    ServiceBusyError,
+    ServiceClosedError,
+    ServiceConnectionError,
+    ServiceError,
+    ServiceTimeoutError,
+)
+from repro.obs import get_registry
+from repro.service.net.core import (
+    DEFAULT_CHUNK_BYTES,
+    HEADER,
+    MAX_FRAME_BYTES,
+    PROTOCOL_VERSION,
+    SUPPORTED_VERSIONS,
+    ChunkAssembler,
+    FrameDecoder,
+    _recv_strict,
+    decode_frame_payload,
+    encode_frame,
+    error_frame,
+    error_to_exception,
+    send_frame,
+    split_response,
+)
+from repro.service.net.handlers import Dispatcher
+from repro.service.ops import ServiceOp, op_to_dict
+from repro.service.server import UpdateService
+
+#: Receiver tick: how long the elected receiving thread blocks in one
+#: ``recv`` before re-checking deadlines and offering a handoff.
+_TICK = 0.25
+
+
+# ----------------------------------------------------------------------
+# Server
+# ----------------------------------------------------------------------
+class NetServer:
+    """A threaded TCP front end over one :class:`UpdateService`.
+
+    One thread accepts, one thread per connection serves; a connection
+    processes one request at a time (pipelining is the asyncio
+    server's job).  The server does not own the service unless
+    ``own_service`` is set — with it set, :meth:`close` finishes the
+    drain by calling ``service.close()``.
+    """
+
+    def __init__(
+        self,
+        service: UpdateService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_connections: int = 64,
+        max_inflight: int = 64,
+        max_request_timeout: float = 30.0,
+        own_service: bool = False,
+        poll_interval: float = 0.2,
+        chunk_bytes: int = DEFAULT_CHUNK_BYTES,
+    ) -> None:
+        self.service = service
+        self._host = host
+        self._port = port
+        self._max_connections = max_connections
+        self._max_inflight = max_inflight
+        self._max_request_timeout = max_request_timeout
+        self._own_service = own_service
+        self._poll_interval = poll_interval
+        self._chunk_bytes = chunk_bytes
+        self._listener: Optional[socket.socket] = None
+        self._address: Optional[tuple[str, int]] = None
+        self._acceptor: Optional[threading.Thread] = None
+        self._connections: dict[int, "_Connection"] = {}
+        self._mutex = threading.Lock()
+        self._next_connection = 0
+        self._draining = threading.Event()
+        self._closed = False
+        self._dispatcher = Dispatcher(
+            service,
+            max_inflight=max_inflight,
+            max_request_timeout=max_request_timeout,
+            net_info=self._net_info,
+        )
+
+    def _net_info(self) -> dict:
+        with self._mutex:
+            connections = len(self._connections)
+        return {
+            "connections": connections,
+            "max_connections": self._max_connections,
+            "max_inflight": self._max_inflight,
+            "transport": "threaded",
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "NetServer":
+        if self._listener is not None:
+            raise ServiceError("server already started")
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        listener.bind((self._host, self._port))
+        listener.listen(128)
+        listener.settimeout(self._poll_interval)
+        self._listener = listener
+        self._address = listener.getsockname()[:2]
+        self._acceptor = threading.Thread(
+            target=self._accept_loop, name="net-accept", daemon=True
+        )
+        self._acceptor.start()
+        return self
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` — resolves ``port=0`` requests."""
+        if self._address is None:
+            raise ServiceError("server not started")
+        return self._address
+
+    def __enter__(self) -> "NetServer":
+        return self.start()
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
+
+    def close(self, timeout: Optional[float] = 30.0) -> int:
+        """Graceful drain: stop accepting, finish in-flight requests,
+        close the sessions, then (when owned) close the service.
+
+        Joins every serving thread against one deadline — a handler
+        mid-send of its final frame finishes instead of being killed
+        with the interpreter.  Returns the number of connections still
+        undrained when the deadline passed (also counted into the
+        ``net.close.undrained_connections`` counter)."""
+        if self._closed:
+            return 0
+        self._closed = True
+        self._draining.set()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        if self._listener is not None:
+            self._listener.close()
+        if self._acceptor is not None:
+            self._acceptor.join(timeout)
+        with self._mutex:
+            connections = list(self._connections.values())
+        undrained = 0
+        for connection in connections:
+            remaining = (
+                None if deadline is None else max(0.0, deadline - time.monotonic())
+            )
+            if connection.join(remaining):
+                undrained += 1
+        if undrained:
+            get_registry().counter("net.close.undrained_connections").inc(undrained)
+        if self._own_service:
+            self.service.close(drain=True, timeout=timeout)
+        return undrained
+
+    # ------------------------------------------------------------------
+    # Accept loop
+    # ------------------------------------------------------------------
+    def _accept_loop(self) -> None:
+        registry = get_registry()
+        while not self._draining.is_set():
+            try:
+                sock, _peer = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return  # listener closed under us: drain has begun
+            with self._mutex:
+                over_limit = len(self._connections) >= self._max_connections
+                if not over_limit:
+                    self._next_connection += 1
+                    connection = _Connection(self, self._next_connection, sock)
+                    self._connections[connection.id] = connection
+            if over_limit:
+                registry.counter("net.rejected").inc()
+                try:
+                    send_frame(
+                        sock,
+                        error_frame(
+                            0,
+                            ServiceBusyError(
+                                f"connection limit ({self._max_connections}) reached"
+                            ),
+                        ),
+                    )
+                except OSError:
+                    pass
+                sock.close()
+                continue
+            connection.start()
+
+    def _forget(self, connection: "_Connection") -> None:
+        with self._mutex:
+            self._connections.pop(connection.id, None)
+
+
+class _Connection:
+    """One client connection: a socket, a session, a serving thread."""
+
+    def __init__(self, server: NetServer, conn_id: int, sock: socket.socket) -> None:
+        self.server = server
+        self.id = conn_id
+        self.sock = sock
+        self.session = server.service.open_session()
+        self.thread = threading.Thread(
+            target=self._serve, name=f"net-conn-{conn_id}", daemon=True
+        )
+
+    def start(self) -> None:
+        get_registry().gauge("net.connections").inc()
+        self.sock.settimeout(self.server._poll_interval)
+        self.thread.start()
+
+    def join(self, timeout: Optional[float]) -> bool:
+        """Join the serving thread; True if it is still alive after the
+        deadline (the socket is then cut out from under it)."""
+        self.thread.join(timeout)
+        if self.thread.is_alive():  # drain deadline passed: cut it loose
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            self.thread.join(1.0)
+        return self.thread.is_alive()
+
+    # ------------------------------------------------------------------
+    def _serve(self) -> None:
+        registry = get_registry()
+        server = self.server
+        try:
+            while True:
+                try:
+                    request = self._next_frame()
+                except socket.timeout:
+                    if server._draining.is_set():
+                        break  # idle connection during drain
+                    continue
+                except (ProtocolError, OSError):
+                    break  # malformed stream or dead peer: drop it
+                if request is None:
+                    break  # clean EOF
+                started = time.monotonic()
+                registry.counter("net.requests").inc()
+                response = server._dispatcher.dispatch(self.session, request)
+                registry.histogram("net.request_ms").observe(
+                    (time.monotonic() - started) * 1000.0
+                )
+                if not response.get("ok", False):
+                    registry.counter("net.rejected").inc()
+                frames = split_response(response, server._chunk_bytes)
+                if len(frames) > 1:
+                    registry.counter("net.chunks").inc(len(frames))
+                # A response write gets the full request-timeout grace:
+                # under the 0.2 s idle-poll timeout, sendall of a large
+                # frame to a slow reader timed out halfway and the
+                # connection died with the reply half-written.
+                try:
+                    self.sock.settimeout(server._max_request_timeout)
+                    for frame in frames:
+                        send_frame(self.sock, frame)
+                    self.sock.settimeout(server._poll_interval)
+                except OSError:
+                    break
+                if server._draining.is_set():
+                    break  # in-flight request finished; stop here
+        finally:
+            # Draining the session here is what makes an *acknowledged*
+            # async submit durable before drain completes: close waits
+            # on every ticket this connection enqueued.
+            undrained = self.session.close(timeout=server._max_request_timeout)
+            if undrained:
+                registry.counter("net.close.undrained").inc(undrained)
+            try:
+                self.sock.close()
+            except OSError:
+                pass
+            registry.gauge("net.connections").dec()
+            server._forget(self)
+
+    def _next_frame(self) -> Optional[dict]:
+        """One frame.  Idle waits poll at the server's interval (the
+        ``socket.timeout`` propagates so the serve loop can notice a
+        drain); once a frame has started arriving, a stalled peer gets
+        one request-timeout's grace and is then dropped as wedged —
+        a partial read must never be retried as if it were idle, or the
+        stream desynchronises."""
+        first = self.sock.recv(1)  # socket.timeout propagates: idle tick
+        if not first:
+            return None
+        self.sock.settimeout(self.server._max_request_timeout)
+        try:
+            header = first + _recv_strict(self.sock, HEADER.size - 1)
+            (length,) = HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"frame of {length} bytes exceeds {MAX_FRAME_BYTES}"
+                )
+            payload = _recv_strict(self.sock, length)
+        except socket.timeout:
+            raise ProtocolError("peer stalled mid-frame") from None
+        finally:
+            try:
+                self.sock.settimeout(self.server._poll_interval)
+            except OSError:
+                pass
+        return decode_frame_payload(payload)
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class _PendingRequest:
+    """One outstanding request's response slot (and, for v2 clients,
+    its chunk assembler)."""
+
+    __slots__ = ("assembler", "response")
+
+    def __init__(self) -> None:
+        self.assembler = ChunkAssembler()
+        self.response: Optional[dict] = None
+
+
+class ServiceClient:
+    """A blocking client for :class:`NetServer` (and the asyncio
+    server — the wire protocol is identical).
+
+    Safe to share across threads *concurrently*: a send is serialised
+    under a lock (frames must hit the wire contiguously), but the wait
+    for a response is id-matched, so many requests ride the connection
+    at once and a slow ``query`` no longer blocks a concurrent
+    ``submit``.  Whichever waiting thread is elected *receiver* reads
+    via an incremental :class:`FrameDecoder` in short ticks — a handoff
+    mid-frame leaves the partial bytes buffered, never desynced.
+
+    Every failure is a typed :class:`~repro.errors.ServiceError`
+    subclass: wire errors map by code (``BUSY`` →
+    :class:`ServiceBusyError`, ``TIMEOUT`` →
+    :class:`ServiceTimeoutError`, ...), a deadline miss raises
+    :class:`ServiceTimeoutError` (the connection survives; the late
+    response is discarded by id), and a refused/reset/closed transport
+    raises :class:`ServiceConnectionError` — never a bare socket
+    exception.
+
+    ``protocol=2`` opts in to chunked (streamed) responses for large
+    query results; the default speaks the unchanged v1.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        connect_timeout: float = 5.0,
+        request_timeout: float = 30.0,
+        protocol: int = PROTOCOL_VERSION,
+    ) -> None:
+        if protocol not in SUPPORTED_VERSIONS:
+            raise ProtocolError(f"unsupported protocol version {protocol!r}")
+        self._address = (host, port)
+        self._request_timeout = request_timeout
+        self._protocol = protocol
+        self._mutex = threading.Lock()
+        self._cond = threading.Condition(self._mutex)
+        self._send_lock = threading.Lock()
+        self._pending: dict[int, _PendingRequest] = {}
+        self._decoder = FrameDecoder()
+        self._next_id = 0
+        self._receiving = False
+        self._dead: Optional[ServiceError] = None
+        self._closed = False
+        try:
+            self._sock = socket.create_connection(
+                self._address, timeout=connect_timeout
+            )
+        except socket.timeout:
+            raise ServiceTimeoutError(
+                f"connect to {host}:{port} timed out after {connect_timeout}s"
+            ) from None
+        except OSError as error:
+            raise ServiceConnectionError(
+                f"cannot connect to {host}:{port}: {error}"
+            ) from error
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # One static timeout serves both roles: the receiver's recv
+        # ticks at it, and sends retry partial progress against their
+        # own deadline (see _send_bytes) — nobody re-arms the socket.
+        self._sock.settimeout(_TICK)
+
+    # ------------------------------------------------------------------
+    def _request(self, kind: str, timeout: Optional[float] = None, **fields) -> dict:
+        effective = self._request_timeout if timeout is None else timeout
+        # The server enforces the deadline; ours is a backstop slightly
+        # past it so a *hung* server surfaces as a typed timeout
+        # instead of a forever-block.
+        deadline = time.monotonic() + effective + 2.0
+        message = {"v": self._protocol, "op": kind, "timeout": effective}
+        message.update(fields)
+        with self._cond:
+            if self._closed or self._dead is not None:
+                raise ServiceClosedError(
+                    "client is closed"
+                    if self._dead is None
+                    else f"client connection is dead: {self._dead}"
+                )
+            self._next_id += 1
+            request_id = message["id"] = self._next_id
+            self._pending[request_id] = pending = _PendingRequest()
+        try:
+            self._send(message, deadline, kind, effective)
+            response = self._await(request_id, pending, deadline, kind, effective)
+        finally:
+            with self._cond:
+                self._pending.pop(request_id, None)
+        if not response.get("ok", False):
+            raise error_to_exception(response.get("error", {}))
+        return response
+
+    def _send(
+        self, message: dict, deadline: float, kind: str, effective: float
+    ) -> None:
+        payload = encode_frame(message)
+        with self._send_lock:
+            try:
+                view = memoryview(payload)
+                while view:
+                    try:
+                        sent = self._sock.send(view)
+                    except socket.timeout:
+                        # One tick with no progress; the frame may be
+                        # partially on the wire, so a deadline miss
+                        # here must kill the connection.
+                        if time.monotonic() >= deadline:
+                            raise
+                        continue
+                    view = view[sent:]
+            except socket.timeout:
+                error = ServiceTimeoutError(
+                    f"sending {kind!r} stalled past {effective}s; "
+                    "the stream is no longer consistent"
+                )
+                self._die(error)
+                raise error from None
+            except OSError as oserror:
+                error = ServiceConnectionError(
+                    f"connection to {self._address[0]}:{self._address[1]} "
+                    f"failed during {kind!r}: {oserror}"
+                )
+                self._die(error)
+                raise error from oserror
+
+    def _await(
+        self,
+        request_id: int,
+        pending: _PendingRequest,
+        deadline: float,
+        kind: str,
+        effective: float,
+    ) -> dict:
+        with self._cond:
+            while True:
+                if pending.response is not None:
+                    return pending.response
+                if self._dead is not None:
+                    raise self._dead
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    # Abandon only this request; id routing discards
+                    # the late response and the connection lives on.
+                    raise ServiceTimeoutError(
+                        f"request {kind!r} timed out after {effective}s"
+                    )
+                if not self._receiving:
+                    self._receive_once()
+                else:
+                    self._cond.wait(min(remaining, _TICK))
+
+    def _receive_once(self) -> None:
+        """One receiver tick (called and returns with the lock held;
+        drops it for the blocking recv)."""
+        self._receiving = True
+        self._cond.release()
+        frames: list[dict] = []
+        fatal: Optional[ServiceError] = None
+        try:
+            try:
+                data = self._sock.recv(65536)
+            except socket.timeout:
+                data = None  # nothing arrived this tick
+            except OSError as error:
+                fatal = ServiceConnectionError(
+                    f"connection to {self._address[0]}:{self._address[1]} "
+                    f"failed: {error}"
+                )
+                data = None
+            if fatal is None and data is not None:
+                if not data:
+                    fatal = (
+                        ProtocolError("connection closed mid-frame")
+                        if self._decoder.mid_frame
+                        else ServiceConnectionError(
+                            "server closed the connection"
+                        )
+                    )
+                else:
+                    try:
+                        frames = self._decoder.feed(data)
+                    except ProtocolError as error:
+                        fatal = error
+        finally:
+            self._cond.acquire()
+            self._receiving = False
+        if fatal is None:
+            for frame in frames:
+                fatal = self._route(frame)
+                if fatal is not None:
+                    break
+        if fatal is not None and self._dead is None:
+            self._dead = fatal
+            self._closed = True
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+        self._cond.notify_all()
+
+    def _route(self, frame: dict) -> Optional[ServiceError]:
+        """Deliver one response frame (lock held); a returned error is
+        fatal to the connection."""
+        response_id = frame.get("id")
+        if response_id == 0 and not frame.get("ok", True):
+            # id 0 marks a server-initiated rejection (e.g. the
+            # connection-limit BUSY frame sent before any request was
+            # read); surface the typed error rather than an id mismatch.
+            return error_to_exception(frame.get("error", {}))
+        if (
+            not isinstance(response_id, int)
+            or response_id <= 0
+            or response_id > self._next_id
+        ):
+            return ProtocolError(
+                f"response id {response_id!r} does not match any request id "
+                "issued by this client"
+            )
+        pending = self._pending.get(response_id)
+        if pending is None:
+            return None  # late response to an abandoned request: discard
+        try:
+            complete = pending.assembler.feed(frame)
+        except ProtocolError as error:
+            return error
+        if complete is not None:
+            pending.response = complete
+        return None
+
+    def _die(self, error: ServiceError) -> None:
+        with self._cond:
+            if self._dead is None:
+                self._dead = error
+            self._closed = True
+            self._cond.notify_all()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    # ------------------------------------------------------------------
+    # API
+    # ------------------------------------------------------------------
+    def ping(self) -> list[str]:
+        """Round-trip; returns the hosted document names."""
+        return self._request("ping")["documents"]
+
+    def submit(
+        self,
+        op: ServiceOp,
+        *,
+        retries_busy: int = 0,
+        backoff: float = 0.01,
+    ) -> int:
+        """Enqueue without waiting for durability; returns the number of
+        this connection's operations still in flight.  ``retries_busy``
+        retries a ``BUSY`` rejection with exponential backoff."""
+        response = self._retry_busy(
+            lambda: self._request("submit", payload=op_to_dict(op)),
+            retries_busy,
+            backoff,
+        )
+        return response["pending"]
+
+    def submit_wait(
+        self,
+        op: ServiceOp,
+        timeout: Optional[float] = None,
+        *,
+        retries_busy: int = 0,
+        backoff: float = 0.01,
+    ) -> Optional[int]:
+        """Submit and block until durable + applied; returns the WAL seq."""
+        response = self._retry_busy(
+            lambda: self._request(
+                "submit_wait", timeout=timeout, payload=op_to_dict(op)
+            ),
+            retries_busy,
+            backoff,
+        )
+        return response["seq"]
+
+    def _retry_busy(
+        self, attempt: Callable[[], dict], retries: int, backoff: float
+    ) -> dict:
+        for retry in range(retries + 1):
+            try:
+                return attempt()
+            except ServiceBusyError:
+                if retry == retries:
+                    raise
+                time.sleep(backoff * (2**retry))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def query(
+        self,
+        doc: str,
+        statement: Optional[str] = None,
+        timeout: Optional[float] = None,
+    ) -> Any:
+        """The serialised document (no statement) or rendered FLWR
+        results (statement), read under the document's read lock."""
+        response = self._request(
+            "query", timeout=timeout, doc=doc, statement=statement
+        )
+        return response["text"] if statement is None else response["results"]
+
+    def execute(
+        self, doc: str, statement: str, timeout: Optional[float] = None
+    ) -> dict:
+        """Run an XQuery statement server-side; update statements return
+        ``{"seq", "delta_ops"}``, reads return ``{"results"}``."""
+        response = self._request(
+            "execute", timeout=timeout, doc=doc, statement=statement
+        )
+        return {
+            key: response[key]
+            for key in ("seq", "delta_ops", "results")
+            if key in response
+        }
+
+    def flush(self, timeout: Optional[float] = None) -> None:
+        """Barrier: everything this server accepted before now is durable."""
+        self._request("flush", timeout=timeout)
+
+    def checkpoint(self, timeout: Optional[float] = None) -> dict:
+        response = self._request("checkpoint", timeout=timeout)
+        return {
+            key: response[key]
+            for key in ("wal_seq", "documents", "segments_retired", "bytes_retired")
+        }
+
+    def stats(self) -> dict:
+        response = self._request("stats")
+        return {key: response[key] for key in ("service", "net", "metrics")}
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            if self._dead is None:
+                self._dead = ServiceClosedError("client is closed")
+            self._cond.notify_all()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.close()
