@@ -243,6 +243,26 @@ def run_checkpoint(smoke: bool = False) -> list:
     return [point.as_measurement() for point in points]
 
 
+def run_shards(smoke: bool = False, json_path: str | None = None) -> list:
+    from repro.bench.service_bench import run_shards_benchmark, save_shards_results
+
+    if smoke:
+        # Liveness check (CI): two tiny clusters, enough to prove the
+        # router + worker processes round-trip end to end.
+        points = run_shards_benchmark(shard_counts=(1, 2), ops=48, docs=4, depth=2)
+    else:
+        points = run_shards_benchmark()
+    if json_path:
+        save_shards_results(json_path, points)
+    for point in points:
+        print(
+            f"  shards[{point.shards}] (cpus={point.cpus}): "
+            f"{point.ops_per_second:.0f} ops/s "
+            f"p50={point.p50_ms:.2f}ms p99={point.p99_ms:.2f}ms"
+        )
+    return [point.as_measurement() for point in points]
+
+
 EXPERIMENTS = {
     "fig6": ("Figure 6: delete, bulk (f=1, d=8)", "sf"),
     "fig7": ("Figure 7: delete, random (f=1, d=8)", "sf"),
@@ -259,6 +279,7 @@ EXPERIMENTS = {
     "read": ("Service: read-path thread scaling (caches + reader pool)", "threads"),
     "checkpoint": ("Service: submit latency during fuzzy checkpoints", "ops"),
     "mapping": ("Ablation: interval vs inlining/edge/attribute mappings", "-"),
+    "shards": ("Service: shard-per-core router write scaling", "shards"),
 }
 
 
@@ -332,6 +353,9 @@ def main(argv=None) -> int:
     if "mapping" in selected:
         emit(*EXPERIMENTS["mapping"],
              run_mapping(smoke=args.smoke, json_path=args.json))
+    if "shards" in selected:
+        emit(*EXPERIMENTS["shards"],
+             run_shards(smoke=args.smoke, json_path=args.json))
     if tracer is not None:
         tracer.stop_capture()
         written = tracer.write_json(args.trace_out)

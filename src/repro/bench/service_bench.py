@@ -57,6 +57,14 @@ DEFAULT_READS_PER_CYCLE = 8
 #: purpose: production statement vocabularies repeat, which is what the
 #: statement/plan caches exploit (hit rates are part of the measurement).
 DEFAULT_READ_STATEMENTS = 4
+#: Shard counts compared by the shard-per-core scaling experiment.
+DEFAULT_SHARD_COUNTS = (1, 2, 4, 8)
+#: Durable appends per shard point (identical total work at every count).
+DEFAULT_SHARD_OPS = 256
+#: Documents hosted by the shard experiment (spread across the shards).
+DEFAULT_SHARD_DOCS = 16
+#: In-flight appends per shard the driving client keeps pipelined.
+DEFAULT_SHARD_DEPTH = 4
 
 
 @dataclass
@@ -936,6 +944,161 @@ def run_read_benchmark(
         return run_all(directory)
 
 
+@dataclass
+class ShardPoint:
+    """Aggregate durable-append throughput at one shard count.
+
+    One async client drives a fixed stream of ``submit_wait`` appends
+    (round-robin over ``docs`` documents) through the router, keeping
+    ``depth`` requests in flight per shard.  Workers are real processes,
+    so on a multi-core host the WAL fsyncs and SQL application run in
+    true parallel; ``cpus`` records how many cores the measurement
+    actually had — on a single-core box the series measures router
+    overhead, not scaling, and says so in the data.
+    """
+
+    shards: int
+    docs: int
+    ops: int
+    depth: int
+    cpus: int
+    seconds: float
+    ops_per_second: float
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+
+    def as_measurement(self) -> Measurement:
+        return Measurement(
+            method="shards",
+            x=self.shards,
+            seconds=self.seconds,
+            client_statements=0,
+            trigger_statements=0,
+            runs=1,
+        )
+
+
+def run_shard_point(
+    shards: int,
+    ops: int = DEFAULT_SHARD_OPS,
+    docs: int = DEFAULT_SHARD_DOCS,
+    depth: int = DEFAULT_SHARD_DEPTH,
+    base_dir: str | None = None,
+) -> ShardPoint:
+    """``ops`` durable appends through a ``shards``-worker cluster."""
+    import asyncio
+
+    from repro.service.router import ShardCluster
+
+    def run_in(directory: str) -> ShardPoint:
+        names = [f"bench-{index}.xml" for index in range(docs)]
+        documents = {name: "<log></log>" for name in names}
+        cluster = ShardCluster(
+            os.path.join(directory, f"cluster-{shards}"),
+            documents,
+            shards,
+            batch_size=32,
+        ).start()
+        host, port = cluster.address
+        latencies: list[float] = []
+
+        async def run() -> float:
+            from repro.service.net import AsyncServiceClient
+
+            client = await AsyncServiceClient.connect(host, port)
+            window = asyncio.Semaphore(depth * shards)
+
+            async def one(index: int) -> None:
+                op = DeltaUpdate(
+                    names[index % docs],
+                    (InsertNode((), 1 << 30, xml=f'<e i="{index}"/>'),),
+                )
+                async with window:
+                    began = time.perf_counter()
+                    await client.submit_wait(op, 120)
+                    latencies.append((time.perf_counter() - began) * 1000.0)
+
+            try:
+                start = time.perf_counter()
+                await asyncio.gather(*(one(index) for index in range(ops)))
+                return time.perf_counter() - start
+            finally:
+                await client.close()
+
+        try:
+            elapsed = asyncio.run(run())
+        finally:
+            cluster.close()
+        latencies.sort()
+        return ShardPoint(
+            shards=shards,
+            docs=docs,
+            ops=ops,
+            depth=depth,
+            cpus=os.cpu_count() or 1,
+            seconds=elapsed,
+            ops_per_second=ops / elapsed if elapsed else float("inf"),
+            mean_ms=sum(latencies) / len(latencies) if latencies else 0.0,
+            p50_ms=_quantile(latencies, 0.50),
+            p99_ms=_quantile(latencies, 0.99),
+        )
+
+    if base_dir is not None:
+        return run_in(base_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-shards-") as directory:
+        return run_in(directory)
+
+
+def run_shards_benchmark(
+    shard_counts: tuple[int, ...] = DEFAULT_SHARD_COUNTS,
+    ops: int = DEFAULT_SHARD_OPS,
+    docs: int = DEFAULT_SHARD_DOCS,
+    depth: int = DEFAULT_SHARD_DEPTH,
+    base_dir: str | None = None,
+) -> list[ShardPoint]:
+    """The ``shards`` series: aggregate write throughput vs shard count."""
+
+    def run_all(directory: str) -> list[ShardPoint]:
+        return [
+            run_shard_point(
+                shards, ops=ops, docs=docs, depth=depth, base_dir=directory
+            )
+            for shards in shard_counts
+        ]
+
+    if base_dir is not None:
+        return run_all(base_dir)
+    with tempfile.TemporaryDirectory(prefix="repro-shards-") as directory:
+        return run_all(directory)
+
+
+def save_shards_results(path: str, points: list[ShardPoint]) -> None:
+    """Merge the ``shards`` series into ``BENCH_service.json`` without
+    disturbing the other experiments' entries."""
+    payload: dict = {}
+    if os.path.exists(path):
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                payload = json.load(handle)
+            except ValueError:
+                payload = {}
+        if not isinstance(payload, dict):
+            payload = {}
+    payload["shards"] = {
+        "experiment": "shard-per-core router: write scaling vs shard count",
+        "workload": (
+            "durable document appends round-robin over the hosted "
+            "documents, pipelined through the router"
+        ),
+        "cpus": os.cpu_count() or 1,
+        "points": [asdict(point) for point in points],
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
 def save_service_results(
     path: str,
     points: list[ServicePoint],
@@ -954,16 +1117,18 @@ def save_service_results(
         "workload": "single-subtree deletes, per_statement_trigger",
         "points": [asdict(point) for point in points],
     }
-    # The mapping ablation writes into the same file under its own key;
-    # keep it when regenerating the service series.
+    # The mapping ablation and the shard-scaling series write into the
+    # same file under their own keys; keep them when regenerating the
+    # service series.
     if os.path.exists(path):
         with open(path, "r", encoding="utf-8") as handle:
             try:
                 existing = json.load(handle)
             except ValueError:
                 existing = {}
-        if "mapping" in existing:
-            payload["mapping"] = existing["mapping"]
+        for key in ("mapping", "shards"):
+            if key in existing:
+                payload[key] = existing[key]
     if recovery is not None:
         payload["recovery"] = {
             "experiment": "cold recovery time vs WAL length",

@@ -191,6 +191,19 @@ def build_parser() -> argparse.ArgumentParser:
         "frames, 10k+ connections) instead of thread-per-connection",
     )
     serve.add_argument(
+        "--shards",
+        type=int,
+        metavar="N",
+        help="with --listen: spawn N shard worker processes (each a full "
+        "service over its own WAL under shard-<k>/) behind a routing "
+        "front end; documents are hashed to shards by name",
+    )
+    serve.add_argument(
+        "--shard-dir",
+        help="with --shards: directory holding the shards.json manifest "
+        "and the per-shard WAL/checkpoint trees (default: <wal>.shards)",
+    )
+    serve.add_argument(
         "--port-file",
         help="write the bound port here once listening (smoke tests; "
         "useful with --listen HOST:0)",
@@ -430,6 +443,8 @@ def cmd_serve(args) -> int:
     from repro.updates.delta import diff
     from repro.xmlmodel.parser import XmlParser
 
+    if args.shards:
+        return _serve_shards(args)
     tracer = get_tracer()
     if args.trace_out:
         tracer.start_capture()
@@ -549,8 +564,11 @@ def _serve_listen(args, service, name: str) -> int:
         flush=True,
     )
     if args.port_file:
-        with open(args.port_file, "w", encoding="utf-8") as handle:
-            handle.write(f"{bound_port}\n")
+        # Atomic (temp + rename): a polling reader either sees no file
+        # or the complete port, never a created-but-empty window.
+        from repro.service import write_port_file
+
+        write_port_file(args.port_file, bound_port)
     try:
         for line in sys.stdin:
             command = line.strip()
@@ -591,6 +609,80 @@ def _serve_listen(args, service, name: str) -> int:
             file=sys.stderr,
         )
     print(f"-- served {name}; WAL at {args.wal}", file=sys.stderr)
+    return 0
+
+
+def _serve_shards(args) -> int:
+    """`serve --shards N`: spawn N worker processes behind a router.
+
+    Each worker is a full service + async server over its own WAL under
+    ``<shard-dir>/shard-<k>/``; the router forwards client frames to the
+    shard that owns each document.  Workers always recover their WALs
+    on startup (``--no-recover`` does not apply), so a restarted
+    deployment carries every acknowledged update forward.
+    """
+    from repro.service import ShardCluster, write_port_file
+    from repro.service.net import parse_address
+
+    if not args.listen:
+        print("error: --shards requires --listen", file=sys.stderr)
+        return 2
+    name, document, _dtd, _policy = _load(args)
+    dtd_text = None
+    if args.dtd:
+        with open(args.dtd, "r", encoding="utf-8") as handle:
+            dtd_text = handle.read()
+    host, port = parse_address(args.listen)
+    shard_dir = args.shard_dir or args.wal + ".shards"
+    cluster = ShardCluster(
+        shard_dir,
+        {name: serialize(document)},
+        args.shards,
+        host=host,
+        port=port,
+        dtd_text=dtd_text,
+        batch_size=args.batch_size,
+        checkpoint_every_ops=args.checkpoint_every,
+        checkpoint_every_bytes=args.checkpoint_bytes,
+        query_workers=args.query_workers,
+        readers=args.readers,
+        max_inflight=args.max_inflight,
+        router_options={"max_connections": args.max_connections},
+    ).start()
+    bound_host, bound_port = cluster.address
+    print(
+        f"-- routing {name} across {cluster.shards} shard(s) on "
+        f"{bound_host}:{bound_port}; shard dirs under {shard_dir}",
+        file=sys.stderr,
+        flush=True,
+    )
+    if args.port_file:
+        write_port_file(args.port_file, bound_port)
+    try:
+        for line in sys.stdin:
+            command = line.strip()
+            if command == ":quit":
+                break
+            if command == ":stats":
+                for k in range(cluster.shards):
+                    state = "up" if cluster.supervisor.alive(k) else "DOWN"
+                    print(
+                        f"-- shard-{k}: {state} "
+                        f"(port {cluster.supervisor._ports[k]})",
+                        file=sys.stderr,
+                    )
+                continue
+            if command:
+                print(
+                    "error: --shards console only takes :quit / :stats "
+                    "(use `repro connect` for statements and checkpoints)",
+                    file=sys.stderr,
+                )
+    except KeyboardInterrupt:
+        print("-- interrupted; draining", file=sys.stderr)
+    finally:
+        cluster.close()
+    print(f"-- served {name}; shard WALs under {shard_dir}", file=sys.stderr)
     return 0
 
 

@@ -135,6 +135,23 @@ class Histogram:
         with self._lock:
             return self._sum / self._count if self._count else 0.0
 
+    def merge_snapshot(self, snap: dict) -> None:
+        """Fold another histogram's snapshot into this one: counts and
+        sums add, min/max widen.  A zero-count snapshot is a no-op (its
+        min/max are None and must not clobber real observations)."""
+        count = int(snap.get("count", 0))
+        if count <= 0:
+            return
+        low = snap.get("min")
+        high = snap.get("max")
+        with self._lock:
+            self._count += count
+            self._sum += float(snap.get("sum", 0.0))
+            if low is not None and (self._min is None or low < self._min):
+                self._min = float(low)
+            if high is not None and (self._max is None or high > self._max):
+                self._max = float(high)
+
     def snapshot(self) -> dict:
         with self._lock:
             return {
@@ -186,6 +203,34 @@ class MetricsRegistry:
         with self._lock:
             metrics = list(self._metrics.items())
         return {name: metric.snapshot() for name, metric in sorted(metrics)}
+
+    def merge(
+        self, snapshot: dict[str, dict], *, gauge_tag: Optional[str] = None
+    ) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        This is how the shard router's ``stats`` fan-out aggregates N
+        worker registries (and how a bench can pool registries from
+        several processes): counters sum, histograms merge count/sum
+        and widen min/max, and gauges — point-in-time levels that do
+        not meaningfully add across processes — land under
+        ``name{gauge_tag}`` when a tag is given (e.g. ``shard-3``) so
+        each source's level stays visible; without a tag the incoming
+        value overwrites.
+        """
+        for name, snap in snapshot.items():
+            kind = snap.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(int(snap.get("value", 0)))
+            elif kind == "histogram":
+                self.histogram(name).merge_snapshot(snap)
+            elif kind == "gauge":
+                target = f"{name}{{{gauge_tag}}}" if gauge_tag else name
+                self.gauge(target).set(float(snap.get("value", 0.0)))
+            else:
+                raise ValueError(
+                    f"snapshot entry {name!r} has unknown kind {kind!r}"
+                )
 
     def reset(self) -> None:
         """Forget every metric (tests; production code diffs snapshots)."""

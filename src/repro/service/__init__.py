@@ -47,6 +47,7 @@ from repro.service.ops import (
     op_to_dict,
 )
 from repro.service.recovery import RecoveryReport, replay, replay_into_documents
+from repro.service.router import ShardCluster, ShardRouter
 from repro.service.server import (
     CheckpointReport,
     DocumentHost,
@@ -56,6 +57,13 @@ from repro.service.server import (
 )
 from repro.service.session import Session
 from repro.service.snapshot import CheckpointManifest, SnapshotEntry, SnapshotStore
+from repro.service.supervise import (
+    ShardMap,
+    ShardSupervisor,
+    WorkerSpec,
+    wait_for_port_file,
+    write_port_file,
+)
 from repro.service.wal import WalRecord, WriteAheadLog, wal_exists
 
 __all__ = [
@@ -81,6 +89,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceOp",
     "Session",
+    "ShardCluster",
+    "ShardMap",
+    "ShardRouter",
+    "ShardSupervisor",
     "SnapshotEntry",
     "SnapshotStore",
     "StoreHost",
@@ -89,6 +101,7 @@ __all__ = [
     "Ticket",
     "UpdateService",
     "WalRecord",
+    "WorkerSpec",
     "WriteAheadLog",
     "decode_op",
     "encode_op",
@@ -97,5 +110,7 @@ __all__ = [
     "parse_address",
     "replay",
     "replay_into_documents",
+    "wait_for_port_file",
     "wal_exists",
+    "write_port_file",
 ]

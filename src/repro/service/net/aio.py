@@ -38,6 +38,7 @@ the original single-frame responses.
 from __future__ import annotations
 
 import asyncio
+import random
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -643,6 +644,12 @@ class AsyncServiceClient:
     async def ping(self) -> list[str]:
         return (await self._request("ping"))["documents"]
 
+    async def request(self, kind: str, timeout: Optional[float] = None, **fields) -> dict:
+        """One raw protocol request; returns the complete (reassembled)
+        response frame.  This is the escape hatch the shard router's
+        admin fan-out uses — the typed methods below cover normal use."""
+        return await self._request(kind, timeout=timeout, **fields)
+
     async def submit(
         self, op: ServiceOp, *, retries_busy: int = 0, backoff: float = 0.01
     ) -> int:
@@ -650,6 +657,7 @@ class AsyncServiceClient:
             lambda: self._request("submit", payload=op_to_dict(op)),
             retries_busy,
             backoff,
+            time.monotonic() + self._request_timeout,
         )
         return response["pending"]
 
@@ -661,23 +669,33 @@ class AsyncServiceClient:
         retries_busy: int = 0,
         backoff: float = 0.01,
     ) -> Optional[int]:
+        effective = self._request_timeout if timeout is None else timeout
         response = await self._retry_busy(
             lambda: self._request(
                 "submit_wait", timeout=timeout, payload=op_to_dict(op)
             ),
             retries_busy,
             backoff,
+            time.monotonic() + effective,
         )
         return response["seq"]
 
-    async def _retry_busy(self, attempt, retries: int, backoff: float) -> dict:
+    async def _retry_busy(
+        self, attempt, retries: int, backoff: float, deadline: float
+    ) -> dict:
+        # Jittered exponential backoff under a total-deadline cap: the
+        # jitter de-synchronises N clients hammering one saturated
+        # shard, and the cap guarantees the retry loop never outlives
+        # the request deadline (unjittered 2**retry growth used to).
         for retry in range(retries + 1):
             try:
                 return await attempt()
             except ServiceBusyError:
-                if retry == retries:
+                remaining = deadline - time.monotonic()
+                if retry == retries or remaining <= 0.0:
                     raise
-                await asyncio.sleep(backoff * (2**retry))
+                delay = backoff * (2**retry) * (0.5 + random.random() * 0.5)
+                await asyncio.sleep(min(delay, remaining))
         raise AssertionError("unreachable")  # pragma: no cover
 
     async def query(

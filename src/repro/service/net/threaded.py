@@ -36,6 +36,7 @@ the late response is discarded by id and the connection stays usable.
 
 from __future__ import annotations
 
+import random
 import socket
 import threading
 import time
@@ -626,11 +627,13 @@ class ServiceClient:
     ) -> int:
         """Enqueue without waiting for durability; returns the number of
         this connection's operations still in flight.  ``retries_busy``
-        retries a ``BUSY`` rejection with exponential backoff."""
+        retries a ``BUSY`` rejection with jittered exponential backoff,
+        never retrying past one request-timeout in total."""
         response = self._retry_busy(
             lambda: self._request("submit", payload=op_to_dict(op)),
             retries_busy,
             backoff,
+            time.monotonic() + self._request_timeout,
         )
         return response["pending"]
 
@@ -643,25 +646,38 @@ class ServiceClient:
         backoff: float = 0.01,
     ) -> Optional[int]:
         """Submit and block until durable + applied; returns the WAL seq."""
+        effective = self._request_timeout if timeout is None else timeout
         response = self._retry_busy(
             lambda: self._request(
                 "submit_wait", timeout=timeout, payload=op_to_dict(op)
             ),
             retries_busy,
             backoff,
+            time.monotonic() + effective,
         )
         return response["seq"]
 
     def _retry_busy(
-        self, attempt: Callable[[], dict], retries: int, backoff: float
+        self,
+        attempt: Callable[[], dict],
+        retries: int,
+        backoff: float,
+        deadline: float,
     ) -> dict:
+        # Jittered exponential backoff under a total-deadline cap: the
+        # jitter de-synchronises N clients retrying a saturated shard
+        # in lockstep, and the cap guarantees the retry loop never
+        # outlives the request deadline (unjittered 2**retry growth
+        # used to sleep for minutes at high retry counts).
         for retry in range(retries + 1):
             try:
                 return attempt()
             except ServiceBusyError:
-                if retry == retries:
+                remaining = deadline - time.monotonic()
+                if retry == retries or remaining <= 0.0:
                     raise
-                time.sleep(backoff * (2**retry))
+                delay = backoff * (2**retry) * (0.5 + random.random() * 0.5)
+                time.sleep(min(delay, remaining))
         raise AssertionError("unreachable")  # pragma: no cover
 
     def query(

@@ -1,0 +1,95 @@
+"""`MetricsRegistry.merge`: the registry aggregation the shard router's
+`stats` fan-out is built on (counter sum, histogram merge, gauge
+tagging), usable standalone for multi-registry bench reporting."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+
+
+def snapshot_of(**values):
+    """Build a registry snapshot from keyword shorthand."""
+    registry = MetricsRegistry()
+    for name, value in values.items():
+        registry.counter(name).inc(value)
+    return registry.snapshot()
+
+
+def test_counters_sum():
+    merged = MetricsRegistry()
+    merged.counter("wal.appends").inc(5)
+    merged.merge(snapshot_of(**{"wal.appends": 7}))
+    merged.merge(snapshot_of(**{"wal.appends": 11, "wal.fsyncs": 3}))
+    assert merged.counter("wal.appends").value == 23
+    assert merged.counter("wal.fsyncs").value == 3
+
+
+def test_histograms_merge_count_sum_min_max():
+    source_a = MetricsRegistry()
+    for value in (1.0, 5.0):
+        source_a.histogram("net.request_ms").observe(value)
+    source_b = MetricsRegistry()
+    for value in (2.0, 10.0, 0.5):
+        source_b.histogram("net.request_ms").observe(value)
+
+    merged = MetricsRegistry()
+    merged.merge(source_a.snapshot())
+    merged.merge(source_b.snapshot())
+    snap = merged.snapshot()["net.request_ms"]
+    assert snap["count"] == 5
+    assert snap["sum"] == pytest.approx(18.5)
+    assert snap["min"] == pytest.approx(0.5)
+    assert snap["max"] == pytest.approx(10.0)
+    assert snap["mean"] == pytest.approx(18.5 / 5)
+
+
+def test_empty_histogram_does_not_clobber_min_max():
+    merged = MetricsRegistry()
+    merged.histogram("lat").observe(3.0)
+    empty = MetricsRegistry()
+    empty.histogram("lat")  # created, never observed: min/max are None
+    merged.merge(empty.snapshot())
+    snap = merged.snapshot()["lat"]
+    assert snap["count"] == 1
+    assert snap["min"] == pytest.approx(3.0)
+    assert snap["max"] == pytest.approx(3.0)
+
+
+def test_gauges_tagged_by_source():
+    shard0 = MetricsRegistry()
+    shard0.gauge("net.connections").set(4)
+    shard1 = MetricsRegistry()
+    shard1.gauge("net.connections").set(9)
+
+    merged = MetricsRegistry()
+    merged.merge(shard0.snapshot(), gauge_tag="shard-0")
+    merged.merge(shard1.snapshot(), gauge_tag="shard-1")
+    snap = merged.snapshot()
+    # Levels do not sum across processes; each stays visible under its tag.
+    assert snap["net.connections{shard-0}"]["value"] == 4
+    assert snap["net.connections{shard-1}"]["value"] == 9
+    assert "net.connections" not in snap
+
+
+def test_gauges_overwrite_without_tag():
+    merged = MetricsRegistry()
+    merged.gauge("depth").set(1)
+    source = MetricsRegistry()
+    source.gauge("depth").set(42)
+    merged.merge(source.snapshot())
+    assert merged.snapshot()["depth"]["value"] == 42
+
+
+def test_merge_is_reusable_and_kind_checked():
+    merged = MetricsRegistry()
+    merged.merge(snapshot_of(ops=1))
+    merged.merge(snapshot_of(ops=1))
+    assert merged.counter("ops").value == 2
+    with pytest.raises(ValueError):
+        merged.merge({"weird": {"kind": "sparkline", "value": 1}})
+    # Merging a counter snapshot into an existing gauge name is a type
+    # conflict, not silent coercion.
+    conflicted = MetricsRegistry()
+    conflicted.gauge("ops").set(1)
+    with pytest.raises(TypeError):
+        conflicted.merge(snapshot_of(ops=1))

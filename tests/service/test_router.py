@@ -1,0 +1,287 @@
+"""Shard router end-to-end: routing, broadcast fan-out/merge, and the
+failure modes the supervisor exists for (kill -9 mid-burst, retryable
+BUSY while a shard is down, graceful drain)."""
+
+import asyncio
+import os
+
+import pytest
+
+from repro.errors import ServiceBusyError, ServiceError, ServiceTimeoutError
+from repro.service import (
+    AsyncServiceClient,
+    ServiceClient,
+    ServiceConfig,
+    ShardCluster,
+    UpdateService,
+)
+from repro.service.ops import DeltaUpdate
+from repro.updates.delta import InsertNode
+from repro.xmlmodel.parser import XmlParser
+
+JOIN_TIMEOUT = 60
+DOCS = tuple(f"doc-{i}.xml" for i in range(8))
+
+
+def fresh_documents():
+    return {name: "<log></log>" for name in DOCS}
+
+
+def entry_op(doc, marker):
+    return DeltaUpdate(doc, (InsertNode((), 1 << 30, xml=f'<e m="{marker}"/>'),))
+
+
+def markers_in(text):
+    return {
+        part.split('"', 1)[0] for part in text.split('m="')[1:]
+    }
+
+
+# ----------------------------------------------------------------------
+# Shared healthy cluster (module-scoped: spawning workers is slow)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def cluster(tmp_path_factory):
+    directory = str(tmp_path_factory.mktemp("router") / "shards")
+    with ShardCluster(directory, fresh_documents(), 2, start_timeout=JOIN_TIMEOUT) as c:
+        yield c
+
+
+@pytest.fixture()
+def client(cluster):
+    host, port = cluster.address
+    with ServiceClient(host, port, request_timeout=JOIN_TIMEOUT) as c:
+        yield c
+
+
+def test_ping_reports_all_documents_and_shard_health(cluster, client):
+    assert client.ping() == sorted(DOCS)
+    # Both shards genuinely host a non-empty slice of the documents.
+    by_shard = {k: 0 for k in range(2)}
+    for name in DOCS:
+        by_shard[cluster.supervisor.shard_of(name)] += 1
+    assert all(count > 0 for count in by_shard.values())
+
+
+def test_single_document_requests_route_through(cluster, client):
+    supervisor = cluster.supervisor
+    doc_a = DOCS[0]
+    doc_b = next(n for n in DOCS if supervisor.shard_of(n) != supervisor.shard_of(doc_a))
+    seq_a = client.submit_wait(entry_op(doc_a, "route-a"))
+    seq_b = client.submit_wait(entry_op(doc_b, "route-b"))
+    assert seq_a >= 1 and seq_b >= 1
+    assert "route-a" in markers_in(client.query(doc_a))
+    assert "route-b" not in markers_in(client.query(doc_a))
+    assert "route-b" in markers_in(client.query(doc_b))
+
+
+def test_unknown_document_is_a_clean_error(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.submit_wait(entry_op("nope.xml", "x"))
+    assert not isinstance(excinfo.value, (ServiceBusyError, ServiceTimeoutError))
+    # The connection survives a routed error frame.
+    assert client.ping() == sorted(DOCS)
+
+
+def test_stats_fans_out_and_merges(cluster, client):
+    for i in range(4):
+        client.submit_wait(entry_op(DOCS[i], f"stats-{i}"))
+    stats = client.stats()
+    assert stats["service"]["shards"] == 2
+    assert stats["service"]["down"] == []
+    assert set(stats["service"]["per_shard"]) == {"shard-0", "shard-1"}
+    assert stats["net"]["transport"] == "router"
+    assert stats["net"]["shards"]["up"] == [0, 1]
+    metrics = stats["metrics"]
+    # Counters sum across workers: every durable append is visible.
+    assert metrics["wal.appends"]["kind"] == "counter"
+    assert metrics["wal.appends"]["value"] >= 4
+    # Gauges do not sum; they come back tagged by source shard.
+    assert any(name.endswith("{shard-0}") for name in metrics)
+    assert any(name.endswith("{shard-1}") for name in metrics)
+
+
+def test_checkpoint_broadcasts_and_aggregates(cluster, client):
+    for name in DOCS:
+        client.submit_wait(entry_op(name, "ckpt"))
+    report = client.checkpoint()
+    # Every shard checkpointed every document it hosts.
+    assert report["documents"] == len(DOCS)
+    assert report["wal_seq"] >= 1
+    # The raw frame carries the per-shard breakdown the client helper
+    # does not surface.
+    host, port = cluster.address
+
+    async def raw_checkpoint():
+        async with await AsyncServiceClient.connect(
+            host, port, request_timeout=JOIN_TIMEOUT
+        ) as aclient:
+            return await aclient.request("checkpoint")
+
+    frame = asyncio.run(raw_checkpoint())
+    assert set(frame["shards"]) == {"shard-0", "shard-1"}
+    assert (
+        sum(entry["documents"] for entry in frame["shards"].values())
+        == report["documents"]
+    )
+
+
+def test_flush_broadcasts(client):
+    client.submit(entry_op(DOCS[0], "flush-me"))
+    client.flush()  # barrier across every shard; raises on failure
+
+
+def test_pipelined_ops_across_shards(cluster):
+    host, port = cluster.address
+
+    async def drive():
+        async with await AsyncServiceClient.connect(
+            host, port, request_timeout=JOIN_TIMEOUT
+        ) as aclient:
+            seqs = await asyncio.gather(
+                *(
+                    aclient.submit_wait(entry_op(DOCS[i % len(DOCS)], f"pipe-{i}"))
+                    for i in range(24)
+                )
+            )
+            return seqs
+
+    seqs = asyncio.run(drive())
+    assert len(seqs) == 24
+    assert all(isinstance(seq, int) and seq >= 1 for seq in seqs)
+
+
+# ----------------------------------------------------------------------
+# Kill -9 a worker mid-pipelined-burst
+# ----------------------------------------------------------------------
+def test_kill_nine_mid_burst_acked_ops_survive(tmp_path):
+    """SIGKILL one worker while a pipelined burst is in flight: every
+    *acknowledged* operation must survive the restart (WAL replay), the
+    outage must surface as retryable BUSY (never data loss or a hung
+    client), and the other shard must keep serving throughout."""
+    directory = str(tmp_path / "shards")
+    # coalesce_wait slows group commit so the burst is genuinely still
+    # in flight when the SIGKILL lands.
+    with ShardCluster(
+        directory,
+        fresh_documents(),
+        2,
+        start_timeout=JOIN_TIMEOUT,
+        coalesce_wait=0.05,
+    ) as cluster:
+        host, port = cluster.address
+        supervisor = cluster.supervisor
+        victim_doc = DOCS[0]
+        victim = supervisor.shard_of(victim_doc)
+        other_doc = next(n for n in DOCS if supervisor.shard_of(n) != victim)
+
+        async def drive():
+            acked: set[str] = set()
+            busy_seen = 0
+            async with await AsyncServiceClient.connect(
+                host, port, request_timeout=JOIN_TIMEOUT
+            ) as aclient:
+                # Warm-up acks, guaranteed durable before the kill.
+                for i in range(5):
+                    await aclient.submit_wait(entry_op(victim_doc, f"pre-{i}"))
+                    acked.add(f"pre-{i}")
+
+                window = asyncio.Semaphore(4)
+
+                async def one(i):
+                    marker = f"burst-{i}"
+                    async with window:
+                        await aclient.submit_wait(entry_op(victim_doc, marker))
+                    return marker
+
+                burst = [asyncio.create_task(one(i)) for i in range(40)]
+                # Let part of the burst land, then SIGKILL the worker
+                # with the rest still pipelined.
+                while sum(t.done() for t in burst) < 4:
+                    await asyncio.sleep(0.01)
+                supervisor.kill(victim)
+
+                results = await asyncio.gather(*burst, return_exceptions=True)
+                for result in results:
+                    if isinstance(result, str):
+                        acked.add(result)
+                    elif isinstance(result, ServiceBusyError):
+                        busy_seen += 1
+                    elif isinstance(result, BaseException):
+                        raise result
+
+                # The sibling shard never noticed.
+                await aclient.submit_wait(entry_op(other_doc, "other-alive"))
+                acked_other = {"other-alive"}
+
+                # The router restarts the victim; BUSY is retryable, so a
+                # patient client just retries until the shard is back.
+                recovered = 0
+                while recovered < 5:
+                    try:
+                        await aclient.submit_wait(
+                            entry_op(victim_doc, f"post-{recovered}"),
+                            retries_busy=50,
+                            backoff=0.05,
+                        )
+                    except ServiceBusyError:
+                        await asyncio.sleep(0.2)
+                        continue
+                    acked.add(f"post-{recovered}")
+                    recovered += 1
+
+                text = await aclient.query(victim_doc)
+                other_text = await aclient.query(other_doc)
+                return acked, acked_other, busy_seen, text, other_text
+
+        acked, acked_other, busy_seen, text, other_text = asyncio.run(drive())
+        assert len(acked) >= 14  # 5 pre + >=4 mid-burst + 5 post
+        assert busy_seen >= 1, "outage must surface as retryable BUSY"
+        present = markers_in(text)
+        missing = acked - present
+        assert not missing, f"acknowledged ops lost across kill -9: {missing}"
+        assert acked_other <= markers_in(other_text)
+
+
+# ----------------------------------------------------------------------
+# Graceful drain
+# ----------------------------------------------------------------------
+def test_graceful_drain_broadcasts_and_everything_acked_is_durable(tmp_path):
+    directory = str(tmp_path / "shards")
+    documents = fresh_documents()
+    with ShardCluster(directory, documents, 2, start_timeout=JOIN_TIMEOUT) as cluster:
+        host, port = cluster.address
+        shard_of = cluster.supervisor.shard_of
+
+        async def drive():
+            async with await AsyncServiceClient.connect(
+                host, port, request_timeout=JOIN_TIMEOUT
+            ) as aclient:
+                await asyncio.gather(
+                    *(
+                        aclient.submit_wait(entry_op(name, f"drain-{name}-{i}"))
+                        for name in DOCS
+                        for i in range(3)
+                    )
+                )
+
+        asyncio.run(drive())
+    # Cluster fully stopped (context exit closes router, drains, and
+    # quits every worker).  Recover each shard offline exactly the way
+    # a restarted worker would and count what survived.
+    for k in range(2):
+        wal_path = os.path.join(directory, f"shard-{k}", "shard.wal")
+        service = UpdateService(ServiceConfig(wal_path=wal_path))
+        hosted = [name for name in DOCS if shard_of(name) == k]
+        for name in hosted:
+            service.host_document(name, XmlParser(documents[name]).parse())
+        service.recover()
+        service.start()
+        try:
+            with service.open_session() as session:
+                for name in hosted:
+                    text = session.query(name)
+                    got = {m for m in markers_in(text) if m.startswith("drain-")}
+                    assert got == {f"drain-{name}-{i}" for i in range(3)}
+        finally:
+            service.close()

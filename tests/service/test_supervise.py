@@ -1,0 +1,181 @@
+"""Shard supervision: the atomic port-file handshake, the stable
+document→shard map and its persisted manifest, and the worker
+spawn/restart/stop lifecycle."""
+
+import multiprocessing
+import os
+import threading
+import time
+
+import pytest
+
+from repro.errors import ServiceError, ServiceTimeoutError
+from repro.service import ShardMap, ShardSupervisor, wait_for_port_file, write_port_file
+from repro.service.supervise import MANIFEST_NAME
+
+JOIN_TIMEOUT = 60
+
+
+# ----------------------------------------------------------------------
+# Port-file handshake
+# ----------------------------------------------------------------------
+def test_port_file_roundtrip(tmp_path):
+    path = str(tmp_path / "w.port")
+    write_port_file(path, 43210)
+    assert wait_for_port_file(path, timeout=1.0) == 43210
+    # No temp droppings left behind.
+    assert os.listdir(tmp_path) == ["w.port"]
+
+
+def test_wait_for_port_file_deadline(tmp_path):
+    start = time.monotonic()
+    with pytest.raises(ServiceTimeoutError):
+        wait_for_port_file(str(tmp_path / "never.port"), timeout=0.3)
+    assert time.monotonic() - start < 5.0
+
+
+def _exit_without_publishing():
+    pass
+
+
+def test_wait_for_port_file_detects_dead_worker(tmp_path):
+    proc = multiprocessing.get_context("spawn").Process(target=_exit_without_publishing)
+    proc.start()
+    proc.join(JOIN_TIMEOUT)
+    start = time.monotonic()
+    with pytest.raises(ServiceError, match="before publishing"):
+        wait_for_port_file(str(tmp_path / "never.port"), timeout=30.0, process=proc)
+    # Fails fast on the corpse instead of waiting out the 30s deadline.
+    assert time.monotonic() - start < 5.0
+
+
+def test_port_file_never_observed_empty(tmp_path):
+    """Regression: the old CLI handoff wrote with a bare ``open(path, "w")``
+    while the parent polled ``open()`` — the parent could observe the file
+    created but still empty and crash on ``int("")``."""
+    path = str(tmp_path / "racy.port")
+    # Recreate the racy window: the file exists but holds nothing yet.
+    with open(path, "w", encoding="utf-8"):
+        pass
+    with pytest.raises(ValueError):
+        int(open(path, encoding="utf-8").read())  # what the old poller did
+
+    def publish_later():
+        time.sleep(0.2)
+        write_port_file(path, 55555)
+
+    writer = threading.Thread(target=publish_later)
+    writer.start()
+    try:
+        # The new reader skips the empty window and returns the complete
+        # value once the atomic rename lands.
+        assert wait_for_port_file(path, timeout=10.0) == 55555
+    finally:
+        writer.join(JOIN_TIMEOUT)
+
+
+# ----------------------------------------------------------------------
+# ShardMap
+# ----------------------------------------------------------------------
+def test_shard_map_is_stable_and_in_range():
+    a = ShardMap(4)
+    b = ShardMap(4)
+    for i in range(64):
+        name = f"doc-{i}.xml"
+        assert a.shard_of(name) == b.shard_of(name)
+        assert 0 <= a.shard_of(name) < 4
+
+
+def test_shard_map_spreads_sibling_names():
+    """CRC-32 (the obvious choice) is linear: names differing in one
+    digit land on one shard under modulo.  blake2b must not."""
+    for shards in (2, 4):
+        mapping = ShardMap(shards)
+        hit = {mapping.shard_of(f"doc-{i}.xml") for i in range(16)}
+        assert hit == set(range(shards))
+
+
+def test_shard_map_rejects_bad_parameters():
+    with pytest.raises(ServiceError):
+        ShardMap(0)
+    with pytest.raises(ServiceError):
+        ShardMap(2, algorithm="crc32mod")
+
+
+def test_shard_map_manifest_roundtrip(tmp_path):
+    path = str(tmp_path / MANIFEST_NAME)
+    ShardMap(8).save(path)
+    loaded = ShardMap.load(path)
+    assert loaded.shards == 8
+    assert loaded.algorithm == "blake2b64mod"
+    assert loaded.shard_of("doc.xml") == ShardMap(8).shard_of("doc.xml")
+
+
+def test_shard_map_load_rejects_garbage(tmp_path):
+    path = str(tmp_path / MANIFEST_NAME)
+    with pytest.raises(ServiceError):
+        ShardMap.load(path)  # missing
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("not json")
+    with pytest.raises(ServiceError):
+        ShardMap.load(path)
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write('{"shards": "two"}')
+    with pytest.raises(ServiceError):
+        ShardMap.load(path)
+
+
+# ----------------------------------------------------------------------
+# Supervisor lifecycle
+# ----------------------------------------------------------------------
+def test_supervisor_refuses_resharding(tmp_path):
+    directory = str(tmp_path / "shards")
+    docs = {"doc.xml": "<log></log>"}
+    ShardSupervisor(directory, docs, 2)  # lays out the manifest
+    with pytest.raises(ServiceError, match="re-home"):
+        ShardSupervisor(directory, docs, 3)
+    # Omitting the count re-loads the persisted layout.
+    again = ShardSupervisor(directory, docs)
+    assert again.shards == 2
+
+
+def test_supervisor_requires_count_for_fresh_directory(tmp_path):
+    with pytest.raises(ServiceError, match="shard count is required"):
+        ShardSupervisor(str(tmp_path / "fresh"), {"doc.xml": "<log></log>"})
+
+
+def test_supervisor_surfaces_worker_startup_failure(tmp_path):
+    supervisor = ShardSupervisor(
+        str(tmp_path / "shards"), {"bad.xml": "<unclosed"}, 1, start_timeout=JOIN_TIMEOUT
+    )
+    try:
+        with pytest.raises(ServiceError, match="before publishing"):
+            supervisor.start()
+    finally:
+        supervisor.stop()
+
+
+def test_supervisor_start_restart_stop(tmp_path):
+    docs = {f"doc-{i}.xml": "<log></log>" for i in range(8)}
+    supervisor = ShardSupervisor(
+        str(tmp_path / "shards"), docs, 2, start_timeout=JOIN_TIMEOUT
+    )
+    with supervisor:
+        assert supervisor.shards == 2
+        ports = [supervisor.port(k) for k in range(2)]
+        assert all(isinstance(p, int) and p > 0 for p in ports)
+        assert supervisor.alive(0) and supervisor.alive(1)
+        # Every document belongs to exactly one shard, and both shard
+        # directories were materialised.
+        for k in range(2):
+            assert os.path.isdir(os.path.join(supervisor.directory, f"shard-{k}"))
+
+        supervisor.kill(1)
+        assert not supervisor.alive(1)
+        new_port = supervisor.restart(1)
+        assert supervisor.alive(1)
+        assert supervisor.port(1) == new_port
+    assert not supervisor.alive(0)
+    assert not supervisor.alive(1)
+    # Idempotent.
+    supervisor.stop()
